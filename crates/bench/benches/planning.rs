@@ -1,0 +1,26 @@
+//! Criterion benchmark of the end-to-end interconnect-planning pipeline
+//! (one full Table-1 cell: physical plan plus both retimers) on the
+//! smallest benchmark circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lacr_core::planner::{build_physical_plan, plan_retimings};
+use lacr_netlist::bench89;
+
+fn bench_planning(c: &mut Criterion) {
+    let config = lacr_bench::quick_planner();
+    let circuit = bench89::generate("s344").expect("known circuit");
+
+    let mut g = c.benchmark_group("planning_s344");
+    g.sample_size(10);
+    g.bench_function("physical_plan", |b| {
+        b.iter(|| build_physical_plan(&circuit, &config, &[]))
+    });
+    let plan = build_physical_plan(&circuit, &config, &[]);
+    g.bench_function("both_retimers", |b| {
+        b.iter(|| plan_retimings(&plan, &config).expect("feasible"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

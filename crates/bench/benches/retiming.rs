@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the retiming kernels that produce Table 1:
+//! constraint generation, min-period retiming, one weighted min-area
+//! solve, and the full LAC loop, on a planned mid-size circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lacr_core::lac::{lac_retiming, LacConfig};
+use lacr_core::planner::{build_physical_plan, plan_constraints};
+use lacr_netlist::bench89;
+use lacr_retime::{
+    generate_period_constraints, min_period_retiming, weighted_min_area_retiming,
+    ConstraintOptions,
+};
+
+fn bench_retiming(c: &mut Criterion) {
+    let config = lacr_bench::quick_planner();
+    let circuit = bench89::generate("s344").expect("known circuit");
+    let plan = build_physical_plan(&circuit, &config, &[]);
+    let pc = plan_constraints(&plan, &config);
+    let graph = &plan.expanded.graph;
+    let areas: Vec<f64> = graph.vertex_ids().map(|v| graph.area(v)).collect();
+
+    let mut g = c.benchmark_group("retiming_s344");
+    g.sample_size(10);
+    g.bench_function("constraint_generation", |b| {
+        b.iter(|| {
+            generate_period_constraints(graph, plan.t_clk, ConstraintOptions::default())
+        })
+    });
+    g.bench_function("constraint_generation_unpruned", |b| {
+        b.iter(|| {
+            generate_period_constraints(graph, plan.t_clk, ConstraintOptions { prune: false })
+        })
+    });
+    g.bench_function("min_period", |b| b.iter(|| min_period_retiming(graph)));
+    g.bench_function("min_area_single_solve", |b| {
+        b.iter(|| weighted_min_area_retiming(graph, &pc, &areas).expect("feasible"))
+    });
+    g.bench_function("lac_full_loop", |b| {
+        b.iter(|| {
+            lac_retiming(graph, &pc, &plan.expanded.caps_ff, &LacConfig::default())
+                .expect("feasible")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_retiming);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation **A4**: the W/D constraint reduction (Maheshwari–Sapatnekar
+//! style), which the paper cites as the main avenue for further run-time
+//! improvement (§5).
+//!
+//! Compares constraint counts and generation/solve times with pruning on
+//! and off. The solutions must coincide on objective value (the pruned
+//! system is equivalent, see `lacr-retime` docs).
+//!
+//! ```text
+//! cargo run --release -p lacr-bench --bin constraint_pruning [circuit ...]
+//! ```
+
+use lacr_core::planner::build_physical_plan;
+use lacr_retime::{
+    generate_period_constraints, weighted_min_area_retiming, ConstraintOptions,
+};
+use std::time::Instant;
+
+fn main() {
+    let mut circuits: Vec<String> = std::env::args().skip(1).collect();
+    if circuits.is_empty() {
+        circuits = vec!["s641".into(), "s953".into(), "s1196".into()];
+    }
+    let config = lacr_bench::experiment_planner();
+    println!(
+        "{:<8} {:>7} | {:>10} {:>10} {:>9} {:>9} | {:>5}",
+        "circuit", "prune", "pairs", "emitted", "gen t/s", "solve t/s", "N_F"
+    );
+    for name in &circuits {
+        let circuit = match lacr_netlist::bench89::generate(name) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                continue;
+            }
+        };
+        let plan = build_physical_plan(&circuit, &config, &[]);
+        let graph = &plan.expanded.graph;
+        let areas: Vec<f64> = graph.vertex_ids().map(|v| graph.area(v)).collect();
+        let mut flops = Vec::new();
+        for prune in [false, true] {
+            let t0 = Instant::now();
+            let pc = generate_period_constraints(graph, plan.t_clk, ConstraintOptions { prune });
+            let gen_t = t0.elapsed();
+            let t1 = Instant::now();
+            match weighted_min_area_retiming(graph, &pc, &areas) {
+                Ok(out) => {
+                    println!(
+                        "{name:<8} {prune:>7} | {:>10} {:>10} {:>9.3} {:>9.3} | {:>5}",
+                        pc.pairs_before_pruning,
+                        pc.constraints.len(),
+                        gen_t.as_secs_f64(),
+                        t1.elapsed().as_secs_f64(),
+                        out.total_flops,
+                    );
+                    flops.push(out.total_flops);
+                }
+                Err(e) => println!("{name:<8} {prune:>7} | error: {e}"),
+            }
+        }
+        if flops.len() == 2 && flops[0] != flops[1] {
+            println!("  WARNING: pruning changed the optimum ({} vs {})", flops[0], flops[1]);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Stress run on `s5378` (≈2 800 units — the largest ISCAS89 circuit the
+//! paper's generation handles), with large-circuit settings: a 2 %
+//! `T_min` search tolerance and a tighter LAC round budget.
+//!
+//! ```text
+//! cargo run --release -p lacr-bench --bin stress [circuit]
+//! ```
+
+use lacr_core::lac::LacConfig;
+use lacr_core::planner::{build_physical_plan, plan_retimings, PlannerConfig};
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "s5378".into());
+    let config = PlannerConfig {
+        t_min_tolerance_frac: 0.02,
+        lac: LacConfig {
+            n_max: 3,
+            max_rounds: 12,
+            ..Default::default()
+        },
+        ..lacr_bench::experiment_planner()
+    };
+    let circuit = match lacr_netlist::bench89::generate(&name) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{name}: {} units, {} flops — planning with 2% T_min tolerance...",
+        circuit.num_units(),
+        circuit.num_flops()
+    );
+    let t0 = Instant::now();
+    let plan = build_physical_plan(&circuit, &config, &[]);
+    println!(
+        "physical plan in {:?}: V={} E={} wires={} repeaters={}",
+        t0.elapsed(),
+        plan.expanded.graph.num_vertices(),
+        plan.expanded.graph.num_edges(),
+        plan.expanded.num_interconnect_units,
+        plan.expanded.num_repeaters
+    );
+    println!(
+        "T_init {:.2} ns, T_min ≤ {:.2} ns, T_clk {:.2} ns",
+        plan.t_init as f64 / 1000.0,
+        plan.t_min as f64 / 1000.0,
+        plan.t_clk as f64 / 1000.0
+    );
+    let t1 = Instant::now();
+    match plan_retimings(&plan, &config) {
+        Ok(report) => {
+            println!(
+                "retimings in {:?}: baseline N_FOA {} | LAC N_FOA {} (N_wr {}, N_F {}, N_FN {})",
+                t1.elapsed(),
+                report.min_area.result.n_foa,
+                report.lac.result.n_foa,
+                report.lac.result.n_wr,
+                report.lac.result.n_f,
+                report.lac.result.n_fn,
+            );
+        }
+        Err(e) => eprintln!("retiming failed: {e}"),
+    }
+    println!("total {:?}", t0.elapsed());
+}

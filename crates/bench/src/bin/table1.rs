@@ -1,0 +1,40 @@
+//! Regenerates the paper's **Table 1**: for each benchmark circuit, the
+//! clock targets and the min-area vs LAC-retiming comparison
+//! (`N_FOA`, `N_F`, `N_FN`, `N_wr`, execution times, `N_FOA` decrease, and
+//! the second planning iteration's `N_FOA` in parentheses).
+//!
+//! ```text
+//! cargo run --release -p lacr-bench --bin table1 [circuit ...]
+//! ```
+
+use lacr_core::experiment::{format_table, run_experiment, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ExperimentConfig {
+        planner: lacr_bench::experiment_planner(),
+        ..Default::default()
+    };
+    if !args.is_empty() {
+        config.circuits = args;
+    }
+    eprintln!(
+        "[table1] planning {} circuits (this reruns the full pipeline per circuit)...",
+        config.circuits.len()
+    );
+    let rows = run_experiment(&config);
+    println!("{}", format_table(&rows));
+    println!(
+        "shape checks: LAC beats or matches the baseline on every circuit: {}",
+        rows.iter().all(|r| r.lac.n_foa <= r.min_area.n_foa)
+    );
+    let resolved = rows
+        .iter()
+        .filter(|r| r.lac.n_foa > 0)
+        .filter(|r| matches!(r.second_iteration, Some(Ok(0))))
+        .count();
+    let unresolved = rows.iter().filter(|r| r.lac.n_foa > 0).count();
+    println!(
+        "second planning iteration resolved {resolved}/{unresolved} circuits that kept violations"
+    );
+}

@@ -1,0 +1,49 @@
+//! Benchmark harness reproducing the paper's experimental artifacts.
+//!
+//! Binaries (run with `cargo run --release -p lacr-bench --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |--------|-----------|
+//! | `table1` | Table 1: per-circuit min-area vs LAC-retiming metrics |
+//! | `fig2_tilegraph` | Figure 2: the tile graph (ASCII to stdout, SVG to a file) |
+//! | `alpha_sweep` | ablation: the α coefficient of the LAC weight update |
+//! | `nmax_sweep` | ablation: the `N_max` convergence patience |
+//! | `subsegmentation` | ablation: interconnect sub-segmentation (§3.2) |
+//! | `constraint_pruning` | ablation: W/D constraint reduction on/off |
+//!
+//! Criterion benches (`cargo bench -p lacr-bench`): `retiming`
+//! (min-period / min-area / LAC kernels), `substrates` (flow, floorplan,
+//! routing, repeater DP), `planning` (end-to-end planning of one circuit).
+
+use lacr_core::planner::PlannerConfig;
+
+/// The planner configuration every artifact binary uses, identical to the
+/// library default so numbers printed by different binaries agree.
+pub fn experiment_planner() -> PlannerConfig {
+    PlannerConfig::default()
+}
+
+/// A smaller, faster configuration for Criterion kernels (fewer annealing
+/// moves; everything else at experiment settings).
+pub fn quick_planner() -> PlannerConfig {
+    PlannerConfig {
+        floorplan: lacr_floorplan::anneal::FloorplanConfig {
+            moves: 1_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_buildable() {
+        let a = experiment_planner();
+        let b = quick_planner();
+        assert!(a.technology.validate().is_empty());
+        assert!(b.floorplan.moves < a.floorplan.moves);
+    }
+}

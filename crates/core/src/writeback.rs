@@ -1,0 +1,133 @@
+//! Writing a retiming result back into the RT-level netlist.
+//!
+//! The planner's contract (§1) is that "correct timing and system
+//! behaviors are guaranteed; thus the iterations between high level
+//! designs and physical designs can be avoided" — the high-level design
+//! receives an updated netlist whose per-connection flip-flop counts
+//! reflect the relocations. [`retimed_circuit`] produces exactly that: a
+//! copy of the input circuit with every connection's flip-flop count
+//! replaced by the sum of the retimed weights along its interconnect
+//! chain.
+
+use crate::expand::ExpandedDesign;
+use lacr_netlist::Circuit;
+
+/// Builds the retimed netlist: the input circuit with each connection's
+/// flip-flop count updated from `weights` (an edge-weight vector of the
+/// expanded graph, e.g. [`lacr_retime::RetimingOutcome::weights`]).
+///
+/// The total flip-flop count of the result equals the sum of `weights`
+/// (every expanded edge belongs to exactly one connection chain).
+///
+/// # Panics
+///
+/// Panics if `expanded` was not built from `circuit` (chain/connection
+/// count mismatch) or `weights` does not match the expanded graph, or if
+/// any chain weight is negative or exceeds `u32::MAX`.
+pub fn retimed_circuit(
+    circuit: &Circuit,
+    expanded: &ExpandedDesign,
+    weights: &[i64],
+) -> Circuit {
+    assert_eq!(weights.len(), expanded.graph.num_edges(), "weights mismatch");
+    let num_connections: usize = circuit.nets().iter().map(|n| n.sinks.len()).sum();
+    assert_eq!(
+        expanded.connection_chains.len(),
+        num_connections,
+        "expansion does not belong to this circuit"
+    );
+
+    let mut out = circuit.clone();
+    let mut chain_iter = expanded.connection_chains.iter();
+    for ni in 0..out.num_nets() {
+        let num_sinks = out.net(lacr_netlist::NetId(ni as u32)).sinks.len();
+        for si in 0..num_sinks {
+            let chain = chain_iter.next().expect("chain per connection");
+            let flops: i64 = chain.iter().map(|e| weights[e.index()]).sum();
+            assert!(
+                (0..=i64::from(u32::MAX)).contains(&flops),
+                "illegal chain weight {flops}"
+            );
+            out.net_mut(lacr_netlist::NetId(ni as u32)).sinks[si].flops = flops as u32;
+        }
+    }
+    debug_assert_eq!(
+        out.num_flops() as i64,
+        weights.iter().sum::<i64>(),
+        "flip-flop conservation through write-back"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{build_physical_plan, plan_retimings, PlannerConfig};
+    use lacr_floorplan::anneal::FloorplanConfig;
+    use lacr_netlist::bench89;
+
+    fn quick() -> PlannerConfig {
+        PlannerConfig {
+            floorplan: FloorplanConfig {
+                moves: 800,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn writeback_conserves_and_validates() {
+        let cfg = quick();
+        let circuit = bench89::generate("s344").unwrap();
+        let plan = build_physical_plan(&circuit, &cfg, &[]);
+        let report = plan_retimings(&plan, &cfg).unwrap();
+        let out = &report.lac.result.outcome;
+        let retimed = retimed_circuit(&circuit, &plan.expanded, &out.weights);
+        assert_eq!(retimed.num_flops() as i64, out.total_flops);
+        assert_eq!(retimed.num_units(), circuit.num_units());
+        assert_eq!(retimed.num_nets(), circuit.num_nets());
+        assert!(retimed.validate().is_empty(), "{:?}", retimed.validate());
+    }
+
+    #[test]
+    fn identity_weights_reproduce_the_input() {
+        let cfg = quick();
+        let circuit = bench89::generate("s382").unwrap();
+        let plan = build_physical_plan(&circuit, &cfg, &[]);
+        let identity = plan.expanded.graph.weights();
+        let same = retimed_circuit(&circuit, &plan.expanded, &identity);
+        // Flop counts per connection are unchanged.
+        let orig: Vec<u32> = circuit.edges().map(|e| e.flops).collect();
+        let back: Vec<u32> = same.edges().map(|e| e.flops).collect();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn replanning_the_retimed_circuit_is_already_balanced() {
+        // After write-back, the circuit's flip-flops sit where retiming
+        // put them, so T_init of a fresh plan should be near the old
+        // T_clk rather than the old T_init.
+        let cfg = quick();
+        let circuit = bench89::generate("s526").unwrap();
+        let plan = build_physical_plan(&circuit, &cfg, &[]);
+        let report = plan_retimings(&plan, &cfg).unwrap();
+        let retimed = retimed_circuit(&circuit, &plan.expanded, &report.lac.result.outcome.weights);
+        let plan2 = build_physical_plan(&retimed, &cfg, &[]);
+        assert!(
+            plan2.t_init < plan.t_init,
+            "rebalanced circuit should start faster: {} !< {}",
+            plan2.t_init,
+            plan.t_init
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_weights_panic() {
+        let cfg = quick();
+        let circuit = bench89::generate("s344").unwrap();
+        let plan = build_physical_plan(&circuit, &cfg, &[]);
+        let _ = retimed_circuit(&circuit, &plan.expanded, &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Sequence-pair floorplanning and the LAC tile graph.
+//!
+//! The paper's experiments "partition those circuits into soft blocks and
+//! use a sequence pair floorplanner to compute the floorplan" (§5); the
+//! LAC formulation then divides the chip into *tiles* — regular tiles in
+//! channels/dead space/hard blocks, plus one merged tile per soft block —
+//! each with a capacity for repeater and flip-flop insertion (§4, Fig. 2).
+//!
+//! * [`seqpair`] — sequence-pair evaluation (block positions via the
+//!   horizontal/vertical constraint longest paths);
+//! * [`anneal`] — a simulated-annealing floorplanner over sequence pairs
+//!   (area + wirelength cost, soft-block aspect moves);
+//! * [`slicing`] — an alternative engine over normalized Polish
+//!   expressions (Wong–Liu), a packing-quality baseline;
+//! * [`tiles`] — the tile graph with capacities and a consumption ledger.
+//!
+//! # Examples
+//!
+//! ```
+//! use lacr_floorplan::{anneal::{floorplan, FloorplanConfig}, BlockSpec};
+//!
+//! let blocks = vec![
+//!     BlockSpec::soft(400.0),
+//!     BlockSpec::soft(300.0),
+//!     BlockSpec::hard(20.0, 10.0),
+//! ];
+//! let fp = floorplan(&blocks, &[], &FloorplanConfig::default());
+//! assert_eq!(fp.blocks.len(), 3);
+//! assert!(fp.utilization() > 0.3);
+//! ```
+
+pub mod anneal;
+pub mod seqpair;
+pub mod shapes;
+pub mod slicing;
+pub mod tiles;
+
+use serde::{Deserialize, Serialize};
+
+/// Input description of one circuit block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockSpec {
+    /// Required area (µm², already including any whitespace budget).
+    pub area: f64,
+    /// `true` for hard blocks: fixed dimensions, only 90° rotation allowed.
+    pub hard: bool,
+    /// Width for hard blocks; initial aspect hint for soft blocks.
+    pub width: f64,
+    /// Height for hard blocks.
+    pub height: f64,
+}
+
+impl BlockSpec {
+    /// A soft block of the given area (aspect chosen by the annealer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area` is not positive and finite.
+    pub fn soft(area: f64) -> Self {
+        assert!(area > 0.0 && area.is_finite());
+        let side = area.sqrt();
+        Self {
+            area,
+            hard: false,
+            width: side,
+            height: side,
+        }
+    }
+
+    /// A hard block with fixed dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is not positive.
+    pub fn hard(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0);
+        Self {
+            area: width * height,
+            hard: true,
+            width,
+            height,
+        }
+    }
+}
+
+/// One placed block of a floorplan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacedBlock {
+    /// Lower-left corner x.
+    pub x: f64,
+    /// Lower-left corner y.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+    /// Whether the block is hard.
+    pub hard: bool,
+}
+
+impl PlacedBlock {
+    /// Centre of the block.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Whether `(px, py)` lies inside the block (half-open rectangle).
+    pub fn contains(&self, px: f64, py: f64) -> bool {
+        px >= self.x && px < self.x + self.w && py >= self.y && py < self.y + self.h
+    }
+}
+
+/// A computed floorplan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    /// Placed blocks, in input order.
+    pub blocks: Vec<PlacedBlock>,
+    /// Chip width (bounding box).
+    pub chip_w: f64,
+    /// Chip height (bounding box).
+    pub chip_h: f64,
+}
+
+impl Floorplan {
+    /// Fraction of the chip bounding box covered by blocks.
+    pub fn utilization(&self) -> f64 {
+        let used: f64 = self.blocks.iter().map(|b| b.w * b.h).sum();
+        let total = self.chip_w * self.chip_h;
+        if total > 0.0 {
+            used / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Index of the block containing `(x, y)`, if any.
+    pub fn block_at(&self, x: f64, y: f64) -> Option<usize> {
+        self.blocks.iter().position(|b| b.contains(x, y))
+    }
+
+    /// Returns a copy with every block pushed away from the origin by
+    /// `factor` (e.g. 0.15 = 15 % more pitch), opening channel space
+    /// between blocks while preserving relative order and non-overlap —
+    /// the "channel regions" of the paper's Figure 2, allocated
+    /// explicitly. Block sizes are unchanged; the chip grows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn spread(&self, factor: f64) -> Floorplan {
+        assert!(factor >= 0.0 && factor.is_finite());
+        let scale = 1.0 + factor;
+        let blocks: Vec<PlacedBlock> = self
+            .blocks
+            .iter()
+            .map(|b| PlacedBlock {
+                x: b.x * scale,
+                y: b.y * scale,
+                ..*b
+            })
+            .collect();
+        let mut chip_w: f64 = 0.0;
+        let mut chip_h: f64 = 0.0;
+        for b in &blocks {
+            chip_w = chip_w.max(b.x + b.w);
+            chip_h = chip_h.max(b.y + b.h);
+        }
+        Floorplan {
+            blocks,
+            chip_w: chip_w.max(self.chip_w * scale),
+            chip_h: chip_h.max(self.chip_h * scale),
+        }
+    }
+
+    /// Checks the structural invariants: blocks inside the chip and
+    /// pairwise non-overlapping (within `eps`). Returns problems.
+    pub fn validate(&self, eps: f64) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.x < -eps
+                || b.y < -eps
+                || b.x + b.w > self.chip_w + eps
+                || b.y + b.h > self.chip_h + eps
+            {
+                problems.push(format!("block {i} escapes the chip"));
+            }
+        }
+        for i in 0..self.blocks.len() {
+            for j in i + 1..self.blocks.len() {
+                let a = &self.blocks[i];
+                let b = &self.blocks[j];
+                let overlap_w = (a.x + a.w).min(b.x + b.w) - a.x.max(b.x);
+                let overlap_h = (a.y + a.h).min(b.y + b.h) - a.y.max(b.y);
+                if overlap_w > eps && overlap_h > eps {
+                    problems.push(format!("blocks {i} and {j} overlap"));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_spec_square_by_default() {
+        let s = BlockSpec::soft(100.0);
+        assert!((s.width - 10.0).abs() < 1e-9);
+        assert!((s.height - 10.0).abs() < 1e-9);
+        assert!(!s.hard);
+    }
+
+    #[test]
+    fn hard_spec_keeps_dims() {
+        let s = BlockSpec::hard(4.0, 25.0);
+        assert!((s.area - 100.0).abs() < 1e-9);
+        assert!(s.hard);
+    }
+
+    #[test]
+    fn placed_block_contains_and_center() {
+        let b = PlacedBlock {
+            x: 1.0,
+            y: 2.0,
+            w: 4.0,
+            h: 6.0,
+            hard: false,
+        };
+        assert_eq!(b.center(), (3.0, 5.0));
+        assert!(b.contains(1.0, 2.0));
+        assert!(!b.contains(5.0, 2.0)); // half-open
+        assert!(b.contains(4.9, 7.9));
+    }
+
+    #[test]
+    fn validate_catches_overlap() {
+        let fp = Floorplan {
+            blocks: vec![
+                PlacedBlock {
+                    x: 0.0,
+                    y: 0.0,
+                    w: 5.0,
+                    h: 5.0,
+                    hard: false,
+                },
+                PlacedBlock {
+                    x: 3.0,
+                    y: 3.0,
+                    w: 5.0,
+                    h: 5.0,
+                    hard: false,
+                },
+            ],
+            chip_w: 10.0,
+            chip_h: 10.0,
+        };
+        assert!(fp.validate(1e-9).iter().any(|p| p.contains("overlap")));
+    }
+
+    #[test]
+    fn validate_catches_escape() {
+        let fp = Floorplan {
+            blocks: vec![PlacedBlock {
+                x: 8.0,
+                y: 0.0,
+                w: 5.0,
+                h: 5.0,
+                hard: false,
+            }],
+            chip_w: 10.0,
+            chip_h: 10.0,
+        };
+        assert!(fp.validate(1e-9).iter().any(|p| p.contains("escapes")));
+    }
+
+    #[test]
+    fn spread_opens_channels_without_overlap() {
+        let fp = Floorplan {
+            blocks: vec![
+                PlacedBlock { x: 0.0, y: 0.0, w: 5.0, h: 5.0, hard: false },
+                PlacedBlock { x: 5.0, y: 0.0, w: 5.0, h: 5.0, hard: false },
+                PlacedBlock { x: 0.0, y: 5.0, w: 10.0, h: 5.0, hard: true },
+            ],
+            chip_w: 10.0,
+            chip_h: 10.0,
+        };
+        let spread = fp.spread(0.2);
+        assert!(spread.validate(1e-9).is_empty(), "{:?}", spread.validate(1e-9));
+        assert!(spread.utilization() < fp.utilization());
+        // gap appeared between the two bottom blocks
+        assert!(spread.blocks[1].x > spread.blocks[0].x + spread.blocks[0].w);
+        // sizes unchanged
+        assert_eq!(spread.blocks[0].w, 5.0);
+    }
+
+    #[test]
+    fn spread_zero_is_identity() {
+        let fp = Floorplan {
+            blocks: vec![PlacedBlock { x: 1.0, y: 2.0, w: 3.0, h: 4.0, hard: false }],
+            chip_w: 10.0,
+            chip_h: 10.0,
+        };
+        assert_eq!(fp.spread(0.0), fp);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_area_soft_block_panics() {
+        let _ = BlockSpec::soft(0.0);
+    }
+}

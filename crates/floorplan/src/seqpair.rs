@@ -1,0 +1,214 @@
+//! Sequence-pair representation and packing evaluation.
+//!
+//! A sequence pair `(s1, s2)` of the block indices encodes relative block
+//! positions (Murata et al.): block `i` is left of `j` when `i` precedes
+//! `j` in both sequences, and below `j` when `i` follows `j` in `s1` but
+//! precedes it in `s2`. Packing evaluates the two constraint longest paths.
+
+/// A sequence pair over `n` blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequencePair {
+    /// First sequence (permutation of `0..n`).
+    pub s1: Vec<usize>,
+    /// Second sequence (permutation of `0..n`).
+    pub s2: Vec<usize>,
+}
+
+impl SequencePair {
+    /// The identity pair `(0..n, 0..n)` — all blocks in one row.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            s1: (0..n).collect(),
+            s2: (0..n).collect(),
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.s1.len()
+    }
+
+    /// Whether the pair is empty.
+    pub fn is_empty(&self) -> bool {
+        self.s1.is_empty()
+    }
+
+    /// Validates that both sequences are permutations of `0..n`.
+    pub fn is_valid(&self) -> bool {
+        let n = self.s1.len();
+        if self.s2.len() != n {
+            return false;
+        }
+        let mut seen1 = vec![false; n];
+        let mut seen2 = vec![false; n];
+        for i in 0..n {
+            if self.s1[i] >= n || self.s2[i] >= n || seen1[self.s1[i]] || seen2[self.s2[i]] {
+                return false;
+            }
+            seen1[self.s1[i]] = true;
+            seen2[self.s2[i]] = true;
+        }
+        true
+    }
+
+    /// Packs blocks with the given dimensions, returning lower-left
+    /// positions and the chip bounding box `(positions, chip_w, chip_h)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `widths`/`heights` lengths do not match the pair.
+    pub fn pack(&self, widths: &[f64], heights: &[f64]) -> (Vec<(f64, f64)>, f64, f64) {
+        let n = self.len();
+        assert_eq!(widths.len(), n);
+        assert_eq!(heights.len(), n);
+        let mut pos2 = vec![0usize; n];
+        for (i, &b) in self.s2.iter().enumerate() {
+            pos2[b] = i;
+        }
+
+        let mut x = vec![0.0f64; n];
+        let mut chip_w = 0.0f64;
+        // Process s1 order: all predecessors in s1 are candidates; those
+        // also earlier in s2 are left-of constraints.
+        for (i, &b) in self.s1.iter().enumerate() {
+            let mut best = 0.0f64;
+            for &a in &self.s1[..i] {
+                if pos2[a] < pos2[b] {
+                    best = best.max(x[a] + widths[a]);
+                }
+            }
+            x[b] = best;
+            chip_w = chip_w.max(x[b] + widths[b]);
+        }
+
+        let mut y = vec![0.0f64; n];
+        let mut chip_h = 0.0f64;
+        // Below-of: i after j in s1 and before j in s2 ⇒ i below j. So
+        // process s1 in reverse; previously processed blocks are "after b
+        // in s1"; among them, those earlier in s2 sit below b.
+        for (i, &b) in self.s1.iter().enumerate().rev() {
+            let mut best = 0.0f64;
+            for &a in &self.s1[i + 1..] {
+                if pos2[a] < pos2[b] {
+                    best = best.max(y[a] + heights[a]);
+                }
+            }
+            y[b] = best;
+            chip_h = chip_h.max(y[b] + heights[b]);
+        }
+
+        let positions = (0..n).map(|b| (x[b], y[b])).collect();
+        (positions, chip_w, chip_h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_overlap(pos: &[(f64, f64)], w: &[f64], h: &[f64]) -> bool {
+        for i in 0..pos.len() {
+            for j in i + 1..pos.len() {
+                let ow = (pos[i].0 + w[i]).min(pos[j].0 + w[j]) - pos[i].0.max(pos[j].0);
+                let oh = (pos[i].1 + h[i]).min(pos[j].1 + h[j]) - pos[i].1.max(pos[j].1);
+                if ow > 1e-9 && oh > 1e-9 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn identity_pair_is_a_row() {
+        let sp = SequencePair::identity(3);
+        let w = [2.0, 3.0, 4.0];
+        let h = [1.0, 1.0, 1.0];
+        let (pos, cw, ch) = sp.pack(&w, &h);
+        assert_eq!(pos, vec![(0.0, 0.0), (2.0, 0.0), (5.0, 0.0)]);
+        assert_eq!(cw, 9.0);
+        assert_eq!(ch, 1.0);
+    }
+
+    #[test]
+    fn reversed_s2_is_a_column() {
+        let sp = SequencePair {
+            s1: vec![0, 1, 2],
+            s2: vec![2, 1, 0],
+        };
+        let w = [2.0, 2.0, 2.0];
+        let h = [1.0, 2.0, 3.0];
+        let (pos, cw, ch) = sp.pack(&w, &h);
+        assert_eq!(cw, 2.0);
+        assert_eq!(ch, 6.0);
+        assert!(no_overlap(&pos, &w, &h));
+    }
+
+    #[test]
+    fn arbitrary_pairs_never_overlap() {
+        // Exhaustive over all pairs of permutations of 4 blocks.
+        let perms4: Vec<Vec<usize>> = permutations(4);
+        let w = [3.0, 1.0, 2.0, 5.0];
+        let h = [2.0, 4.0, 1.0, 3.0];
+        for p1 in &perms4 {
+            for p2 in &perms4 {
+                let sp = SequencePair {
+                    s1: p1.clone(),
+                    s2: p2.clone(),
+                };
+                let (pos, cw, ch) = sp.pack(&w, &h);
+                assert!(no_overlap(&pos, &w, &h), "overlap for {sp:?}");
+                for i in 0..4 {
+                    assert!(pos[i].0 + w[i] <= cw + 1e-9);
+                    assert!(pos[i].1 + h[i] <= ch + 1e-9);
+                }
+            }
+        }
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut cur: Vec<usize> = (0..n).collect();
+        heap_permute(&mut cur, n, &mut out);
+        out
+    }
+
+    fn heap_permute(a: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k == 1 {
+            out.push(a.clone());
+            return;
+        }
+        for i in 0..k {
+            heap_permute(a, k - 1, out);
+            if k.is_multiple_of(2) {
+                a.swap(i, k - 1);
+            } else {
+                a.swap(0, k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(SequencePair::identity(5).is_valid());
+        let bad = SequencePair {
+            s1: vec![0, 0, 1],
+            s2: vec![0, 1, 2],
+        };
+        assert!(!bad.is_valid());
+        let mismatched = SequencePair {
+            s1: vec![0, 1],
+            s2: vec![0, 1, 2],
+        };
+        assert!(!mismatched.is_valid());
+    }
+
+    #[test]
+    fn empty_pair() {
+        let sp = SequencePair::identity(0);
+        assert!(sp.is_empty());
+        let (pos, cw, ch) = sp.pack(&[], &[]);
+        assert!(pos.is_empty());
+        assert_eq!((cw, ch), (0.0, 0.0));
+    }
+}

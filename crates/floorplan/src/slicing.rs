@@ -1,0 +1,519 @@
+//! Slicing floorplans via normalized Polish expressions (Wong & Liu).
+//!
+//! An alternative floorplan engine with the same interface as
+//! [`crate::anneal::floorplan`]: blocks at the leaves of a slicing tree,
+//! encoded as a postfix (Polish) expression over `H` (stack vertically)
+//! and `V` (place side by side). Simulated annealing explores the three
+//! classic Wong–Liu moves:
+//!
+//! * **M1** — swap two adjacent operands;
+//! * **M2** — complement a chain of operators (`H↔V`);
+//! * **M3** — swap an adjacent operand/operator pair (kept normalized and
+//!   ballot-valid).
+//!
+//! Slicing floorplans are a strict subset of the sequence-pair solution
+//! space, so the annealer here is a *baseline*: the `substrates` bench
+//! compares packing quality against the sequence-pair engine.
+
+use crate::{BlockSpec, Floorplan, PlacedBlock};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// One element of a Polish expression (postfix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Element {
+    /// A block index.
+    Block(usize),
+    /// Horizontal cut: the two children are stacked (heights add).
+    H,
+    /// Vertical cut: the two children sit side by side (widths add).
+    V,
+}
+
+/// A slicing floorplan encoded as a normalized Polish expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolishExpression {
+    elements: Vec<Element>,
+}
+
+impl PolishExpression {
+    /// The canonical initial expression `b0 b1 V b2 V … b_{n−1} V` (one
+    /// row), alternating cut directions for normalization friendliness.
+    pub fn initial(n: usize) -> Self {
+        let mut elements = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            elements.push(Element::Block(i));
+            if i >= 1 {
+                elements.push(if i % 2 == 1 { Element::V } else { Element::H });
+            }
+        }
+        Self { elements }
+    }
+
+    /// The raw postfix elements.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Checks the ballot property (every prefix has more operands than
+    /// operators) and normalization (no two equal adjacent operators).
+    pub fn is_valid(&self, n: usize) -> bool {
+        let mut operands = 0usize;
+        let mut operators = 0usize;
+        let mut seen = vec![false; n];
+        let mut prev_op: Option<Element> = None;
+        for e in &self.elements {
+            match e {
+                Element::Block(b) => {
+                    if *b >= n || seen[*b] {
+                        return false;
+                    }
+                    seen[*b] = true;
+                    operands += 1;
+                    prev_op = None;
+                }
+                op => {
+                    operators += 1;
+                    if operators >= operands {
+                        return false;
+                    }
+                    if prev_op == Some(*op) {
+                        return false; // not normalized
+                    }
+                    prev_op = Some(*op);
+                }
+            }
+        }
+        operands == n && operators + 1 == n
+    }
+
+    /// Evaluates the expression for the given block dimensions, returning
+    /// positions (lower-left corners) and the chip bounding box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression is malformed.
+    pub fn pack(&self, widths: &[f64], heights: &[f64]) -> (Vec<(f64, f64)>, f64, f64) {
+        #[derive(Debug, Clone)]
+        enum Node {
+            Leaf(usize),
+            Cut(Element, Box<Node>, Box<Node>, f64, f64),
+        }
+        fn dims(node: &Node, w: &[f64], h: &[f64]) -> (f64, f64) {
+            match node {
+                Node::Leaf(b) => (w[*b], h[*b]),
+                Node::Cut(_, _, _, cw, ch) => (*cw, *ch),
+            }
+        }
+        let n = widths.len();
+        if n == 0 {
+            return (Vec::new(), 0.0, 0.0);
+        }
+        let mut stack: Vec<Node> = Vec::new();
+        for e in &self.elements {
+            match e {
+                Element::Block(b) => stack.push(Node::Leaf(*b)),
+                op => {
+                    let right = stack.pop().expect("malformed expression");
+                    let left = stack.pop().expect("malformed expression");
+                    let (lw, lh) = dims(&left, widths, heights);
+                    let (rw, rh) = dims(&right, widths, heights);
+                    let (cw, ch) = match op {
+                        Element::V => (lw + rw, lh.max(rh)),
+                        Element::H => (lw.max(rw), lh + rh),
+                        Element::Block(_) => unreachable!(),
+                    };
+                    stack.push(Node::Cut(*op, Box::new(left), Box::new(right), cw, ch));
+                }
+            }
+        }
+        assert_eq!(stack.len(), 1, "malformed expression");
+        let root = stack.pop().expect("one root");
+        let (chip_w, chip_h) = dims(&root, widths, heights);
+        let mut pos = vec![(0.0, 0.0); n];
+        // Recursive coordinate assignment.
+        fn place(
+            node: &Node,
+            x: f64,
+            y: f64,
+            w: &[f64],
+            h: &[f64],
+            pos: &mut Vec<(f64, f64)>,
+        ) {
+            match node {
+                Node::Leaf(b) => pos[*b] = (x, y),
+                Node::Cut(op, left, right, ..) => {
+                    let (lw, lh) = dims(left, w, h);
+                    place(left, x, y, w, h, pos);
+                    match op {
+                        Element::V => place(right, x + lw, y, w, h, pos),
+                        Element::H => place(right, x, y + lh, w, h, pos),
+                        Element::Block(_) => unreachable!(),
+                    }
+                }
+            }
+        }
+        place(&root, 0.0, 0.0, widths, heights, &mut pos);
+        (pos, chip_w, chip_h)
+    }
+}
+
+/// Configuration for [`floorplan_slicing`]; mirrors
+/// [`crate::anneal::FloorplanConfig`].
+pub type SlicingConfig = crate::anneal::FloorplanConfig;
+
+/// Aspect-ratio choices explored for soft blocks (same set as the
+/// sequence-pair engine).
+const SOFT_ASPECTS: [f64; 5] = [0.5, 0.75, 1.0, 4.0 / 3.0, 2.0];
+
+/// Computes a slicing floorplan with simulated annealing over normalized
+/// Polish expressions. Interface-compatible with
+/// [`crate::anneal::floorplan`].
+///
+/// # Examples
+///
+/// ```
+/// use lacr_floorplan::{slicing::floorplan_slicing, anneal::FloorplanConfig, BlockSpec};
+///
+/// let blocks: Vec<BlockSpec> = (0..6).map(|i| BlockSpec::soft(100.0 + i as f64)).collect();
+/// let fp = floorplan_slicing(&blocks, &[], &FloorplanConfig::default());
+/// assert!(fp.validate(1e-6).is_empty());
+/// ```
+pub fn floorplan_slicing(
+    blocks: &[BlockSpec],
+    nets: &[Vec<usize>],
+    config: &SlicingConfig,
+) -> Floorplan {
+    let n = blocks.len();
+    if n == 0 {
+        return Floorplan {
+            blocks: Vec::new(),
+            chip_w: 0.0,
+            chip_h: 0.0,
+        };
+    }
+    if n == 1 {
+        let b = &blocks[0];
+        return Floorplan {
+            blocks: vec![PlacedBlock {
+                x: 0.0,
+                y: 0.0,
+                w: b.width,
+                h: b.height,
+                hard: b.hard,
+            }],
+            chip_w: b.width,
+            chip_h: b.height,
+        };
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x511c);
+    let mut expr = PolishExpression::initial(n);
+    let mut aspect: Vec<usize> = blocks.iter().map(|b| if b.hard { 0 } else { 2 }).collect();
+
+    let dims = |aspect: &[usize]| -> (Vec<f64>, Vec<f64>) {
+        let mut w = Vec::with_capacity(n);
+        let mut h = Vec::with_capacity(n);
+        for (i, b) in blocks.iter().enumerate() {
+            if b.hard {
+                if aspect[i] == 0 {
+                    w.push(b.width);
+                    h.push(b.height);
+                } else {
+                    w.push(b.height);
+                    h.push(b.width);
+                }
+            } else {
+                let ar = SOFT_ASPECTS[aspect[i]];
+                w.push((b.area * ar).sqrt());
+                h.push((b.area / ar).sqrt());
+            }
+        }
+        (w, h)
+    };
+
+    let evaluate = |expr: &PolishExpression, aspect: &[usize]| -> (f64, f64) {
+        let (w, h) = dims(aspect);
+        let (pos, cw, ch) = expr.pack(&w, &h);
+        let mut hpwl = 0.0;
+        for net in nets {
+            let (mut minx, mut maxx) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut miny, mut maxy) = (f64::INFINITY, f64::NEG_INFINITY);
+            let mut count = 0;
+            for &b in net {
+                if b < n {
+                    let cx = pos[b].0 + w[b] / 2.0;
+                    let cy = pos[b].1 + h[b] / 2.0;
+                    minx = minx.min(cx);
+                    maxx = maxx.max(cx);
+                    miny = miny.min(cy);
+                    maxy = maxy.max(cy);
+                    count += 1;
+                }
+            }
+            if count >= 2 {
+                hpwl += (maxx - minx) + (maxy - miny);
+            }
+        }
+        (cw * ch, hpwl)
+    };
+
+    let (area0, hpwl0) = evaluate(&expr, &aspect);
+    let area_norm = area0.max(1e-9);
+    let hpwl_norm = hpwl0.max(1e-9);
+    let cost_of =
+        |area: f64, hpwl: f64| area / area_norm + config.wirelength_weight * hpwl / hpwl_norm;
+
+    let mut cur_cost = cost_of(area0, hpwl0);
+    let mut best = (expr.clone(), aspect.clone(), cur_cost);
+    let mut temp = cur_cost * config.initial_temp_frac;
+    let cool_every = (config.moves / 100).max(1);
+
+    for step in 0..config.moves {
+        let mut cand = expr.clone();
+        let mut cand_aspect = aspect.clone();
+        let kind = rng.gen_range(0..4u32);
+        let ok = match kind {
+            0 => move_m1(&mut cand, &mut rng),
+            1 => move_m2(&mut cand, &mut rng),
+            2 => move_m3(&mut cand, &mut rng, n),
+            _ => {
+                let i = rng.gen_range(0..n);
+                if blocks[i].hard {
+                    cand_aspect[i] = 1 - cand_aspect[i];
+                } else {
+                    cand_aspect[i] = rng.gen_range(0..SOFT_ASPECTS.len());
+                }
+                true
+            }
+        };
+        if !ok {
+            continue;
+        }
+        debug_assert!(cand.is_valid(n), "move broke validity: {cand:?}");
+        let (area, hpwl) = evaluate(&cand, &cand_aspect);
+        let cand_cost = cost_of(area, hpwl);
+        let accept = cand_cost <= cur_cost
+            || rng.gen_bool(((cur_cost - cand_cost) / temp.max(1e-12)).exp().clamp(0.0, 1.0));
+        if accept {
+            expr = cand;
+            aspect = cand_aspect;
+            cur_cost = cand_cost;
+            if cur_cost < best.2 {
+                best = (expr.clone(), aspect.clone(), cur_cost);
+            }
+        }
+        if step % cool_every == cool_every - 1 {
+            temp *= config.cooling;
+        }
+    }
+
+    let (w, h) = dims(&best.1);
+    let (pos, chip_w, chip_h) = best.0.pack(&w, &h);
+    Floorplan {
+        blocks: (0..n)
+            .map(|i| PlacedBlock {
+                x: pos[i].0,
+                y: pos[i].1,
+                w: w[i],
+                h: h[i],
+                hard: blocks[i].hard,
+            })
+            .collect(),
+        chip_w,
+        chip_h,
+    }
+}
+
+/// M1: swap two adjacent operands.
+fn move_m1(expr: &mut PolishExpression, rng: &mut ChaCha8Rng) -> bool {
+    let operand_positions: Vec<usize> = expr
+        .elements
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, Element::Block(_)))
+        .map(|(i, _)| i)
+        .collect();
+    if operand_positions.len() < 2 {
+        return false;
+    }
+    let k = rng.gen_range(0..operand_positions.len() - 1);
+    let (i, j) = (operand_positions[k], operand_positions[k + 1]);
+    expr.elements.swap(i, j);
+    true
+}
+
+/// M2: complement a maximal chain of operators starting at a random
+/// operator.
+fn move_m2(expr: &mut PolishExpression, rng: &mut ChaCha8Rng) -> bool {
+    let op_positions: Vec<usize> = expr
+        .elements
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| !matches!(e, Element::Block(_)))
+        .map(|(i, _)| i)
+        .collect();
+    if op_positions.is_empty() {
+        return false;
+    }
+    let mut start = op_positions[rng.gen_range(0..op_positions.len())];
+    // Rewind to the beginning of the maximal operator chain: flipping a
+    // suffix of a chain would create equal adjacent operators at the seam.
+    while start > 0 && !matches!(expr.elements[start - 1], Element::Block(_)) {
+        start -= 1;
+    }
+    let mut i = start;
+    while i < expr.elements.len() && !matches!(expr.elements[i], Element::Block(_)) {
+        expr.elements[i] = match expr.elements[i] {
+            Element::H => Element::V,
+            Element::V => Element::H,
+            Element::Block(b) => Element::Block(b),
+        };
+        i += 1;
+    }
+    true
+}
+
+/// M3: swap an adjacent operand/operator pair, keeping the expression
+/// ballot-valid and normalized. Returns `false` (no-op) if the chosen
+/// swap would be invalid.
+fn move_m3(expr: &mut PolishExpression, rng: &mut ChaCha8Rng, n: usize) -> bool {
+    let len = expr.elements.len();
+    let candidates: Vec<usize> = (0..len - 1)
+        .filter(|&i| {
+            matches!(expr.elements[i], Element::Block(_))
+                != matches!(expr.elements[i + 1], Element::Block(_))
+        })
+        .collect();
+    if candidates.is_empty() {
+        return false;
+    }
+    let i = candidates[rng.gen_range(0..candidates.len())];
+    expr.elements.swap(i, i + 1);
+    if expr.is_valid(n) {
+        true
+    } else {
+        expr.elements.swap(i, i + 1);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_overlap(pos: &[(f64, f64)], w: &[f64], h: &[f64]) -> bool {
+        for i in 0..pos.len() {
+            for j in i + 1..pos.len() {
+                let ow = (pos[i].0 + w[i]).min(pos[j].0 + w[j]) - pos[i].0.max(pos[j].0);
+                let oh = (pos[i].1 + h[i]).min(pos[j].1 + h[j]) - pos[i].1.max(pos[j].1);
+                if ow > 1e-9 && oh > 1e-9 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn initial_expression_is_valid() {
+        for n in 1..10 {
+            assert!(PolishExpression::initial(n).is_valid(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn simple_packs() {
+        // b0 b1 V: side by side.
+        let e = PolishExpression {
+            elements: vec![Element::Block(0), Element::Block(1), Element::V],
+        };
+        let (pos, cw, ch) = e.pack(&[2.0, 3.0], &[4.0, 1.0]);
+        assert_eq!(pos, vec![(0.0, 0.0), (2.0, 0.0)]);
+        assert_eq!((cw, ch), (5.0, 4.0));
+        // b0 b1 H: stacked.
+        let e = PolishExpression {
+            elements: vec![Element::Block(0), Element::Block(1), Element::H],
+        };
+        let (pos, cw, ch) = e.pack(&[2.0, 3.0], &[4.0, 1.0]);
+        assert_eq!(pos, vec![(0.0, 0.0), (0.0, 4.0)]);
+        assert_eq!((cw, ch), (3.0, 5.0));
+    }
+
+    #[test]
+    fn annealed_result_is_legal_and_tight() {
+        let blocks: Vec<BlockSpec> = (0..10)
+            .map(|i| BlockSpec::soft(50.0 + 17.0 * i as f64))
+            .collect();
+        let fp = floorplan_slicing(&blocks, &[], &SlicingConfig::default());
+        assert!(fp.validate(1e-6).is_empty(), "{:?}", fp.validate(1e-6));
+        assert!(fp.utilization() > 0.6, "utilization {}", fp.utilization());
+    }
+
+    #[test]
+    fn moves_preserve_validity_under_stress() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 8;
+        let mut e = PolishExpression::initial(n);
+        for step in 0..5_000 {
+            let mut cand = e.clone();
+            let ok = match step % 3 {
+                0 => move_m1(&mut cand, &mut rng),
+                1 => move_m2(&mut cand, &mut rng),
+                _ => move_m3(&mut cand, &mut rng, n),
+            };
+            if ok {
+                assert!(cand.is_valid(n), "step {step}: {cand:?}");
+                e = cand;
+            }
+        }
+    }
+
+    #[test]
+    fn packs_never_overlap_after_random_walks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 6;
+        let w: Vec<f64> = (0..n).map(|i| 2.0 + i as f64).collect();
+        let h: Vec<f64> = (0..n).map(|i| 5.0 - 0.5 * i as f64).collect();
+        let mut e = PolishExpression::initial(n);
+        for _ in 0..500 {
+            let mut cand = e.clone();
+            let ok = match rng.gen_range(0..3) {
+                0 => move_m1(&mut cand, &mut rng),
+                1 => move_m2(&mut cand, &mut rng),
+                _ => move_m3(&mut cand, &mut rng, n),
+            };
+            if ok {
+                e = cand;
+            }
+            let (pos, cw, ch) = e.pack(&w, &h);
+            assert!(no_overlap(&pos, &w, &h), "{e:?}");
+            for i in 0..n {
+                assert!(pos[i].0 + w[i] <= cw + 1e-9);
+                assert!(pos[i].1 + h[i] <= ch + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn hard_blocks_keep_dims() {
+        let blocks = vec![
+            BlockSpec::hard(8.0, 2.0),
+            BlockSpec::soft(30.0),
+            BlockSpec::soft(20.0),
+        ];
+        let fp = floorplan_slicing(&blocks, &[], &SlicingConfig::default());
+        let hb = &fp.blocks[0];
+        let ok = ((hb.w - 8.0).abs() < 1e-9 && (hb.h - 2.0).abs() < 1e-9)
+            || ((hb.w - 2.0).abs() < 1e-9 && (hb.h - 8.0).abs() < 1e-9);
+        assert!(ok, "hard block resized to {}x{}", hb.w, hb.h);
+    }
+
+    #[test]
+    fn single_and_empty_inputs() {
+        let fp = floorplan_slicing(&[], &[], &SlicingConfig::default());
+        assert!(fp.blocks.is_empty());
+        let fp = floorplan_slicing(&[BlockSpec::soft(9.0)], &[], &SlicingConfig::default());
+        assert_eq!(fp.blocks.len(), 1);
+        assert!(fp.utilization() > 0.99);
+    }
+}

@@ -1,0 +1,210 @@
+//! Bellman–Ford solver for systems of difference constraints.
+
+use crate::Constraint;
+
+/// A system of difference constraints `r[u] − r[v] ≤ bound`, solved for
+/// feasibility with Bellman–Ford.
+///
+/// Used by min-period retiming: a clock period `T` is feasible exactly when
+/// the corresponding constraint system has a solution, and any Bellman–Ford
+/// solution is a valid retiming vector.
+///
+/// # Examples
+///
+/// ```
+/// use lacr_mcmf::{Constraint, DifferenceConstraints};
+///
+/// let sys = DifferenceConstraints::new(
+///     2,
+///     [Constraint::new(0, 1, 1), Constraint::new(1, 0, 0)],
+/// );
+/// let r = sys.solve().expect("feasible");
+/// assert!(r[0] - r[1] <= 1 && r[1] - r[0] <= 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DifferenceConstraints {
+    num_vars: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl DifferenceConstraints {
+    /// Builds a system over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a constraint references a variable `>= num_vars`.
+    pub fn new<I: IntoIterator<Item = Constraint>>(num_vars: usize, constraints: I) -> Self {
+        let constraints: Vec<Constraint> = constraints.into_iter().collect();
+        for c in &constraints {
+            assert!(
+                c.u < num_vars && c.v < num_vars,
+                "constraint {c:?} references a variable >= {num_vars}"
+            );
+        }
+        Self {
+            num_vars,
+            constraints,
+        }
+    }
+
+    /// Number of variables in the system.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The constraints of the system.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds one more constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint references a variable out of range.
+    pub fn push(&mut self, c: Constraint) {
+        assert!(c.u < self.num_vars && c.v < self.num_vars);
+        self.constraints.push(c);
+    }
+
+    /// Solves the system, returning one feasible assignment, or `None` if
+    /// the system is infeasible (the constraint graph has a negative cycle).
+    ///
+    /// The returned assignment is the pointwise-maximum solution with all
+    /// values ≤ 0 (standard single-source Bellman–Ford from a virtual
+    /// source), shifted so that the minimum value is 0.
+    pub fn solve(&self) -> Option<Vec<i64>> {
+        // Constraint r_u − r_v ≤ b becomes edge v → u with weight b; dist
+        // from a virtual source (dist 0 to all) yields r = dist.
+        let n = self.num_vars;
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        let mut dist = vec![0i64; n];
+        // Bellman–Ford with early exit; the virtual source is simulated by
+        // the all-zeros initialisation.
+        for round in 0..n {
+            let mut changed = false;
+            for c in &self.constraints {
+                let cand = dist[c.v].saturating_add(c.bound);
+                if cand < dist[c.u] {
+                    dist[c.u] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            if round == n - 1 && changed {
+                return None; // negative cycle
+            }
+        }
+        // One extra scan to be safe against the boundary case n == 1 etc.
+        if self
+            .constraints
+            .iter()
+            .any(|c| dist[c.v].saturating_add(c.bound) < dist[c.u])
+        {
+            return None;
+        }
+        let m = *dist.iter().min().unwrap_or(&0);
+        for d in &mut dist {
+            *d -= m;
+        }
+        Some(dist)
+    }
+
+    /// Returns `true` when the system has at least one solution.
+    pub fn is_feasible(&self) -> bool {
+        self.solve().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_system_is_feasible() {
+        let sys = DifferenceConstraints::new(3, []);
+        assert_eq!(sys.solve().unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn zero_vars() {
+        let sys = DifferenceConstraints::new(0, []);
+        assert!(sys.solve().unwrap().is_empty());
+    }
+
+    #[test]
+    fn simple_feasible() {
+        let sys = DifferenceConstraints::new(
+            3,
+            [
+                Constraint::new(0, 1, 3),
+                Constraint::new(1, 2, -2),
+                Constraint::new(2, 0, 1),
+            ],
+        );
+        let r = sys.solve().expect("feasible");
+        assert!(r[0] - r[1] <= 3);
+        assert!(r[1] - r[2] <= -2);
+        assert!(r[2] - r[0] <= 1);
+    }
+
+    #[test]
+    fn negative_cycle_detected() {
+        let sys = DifferenceConstraints::new(
+            2,
+            [Constraint::new(0, 1, -1), Constraint::new(1, 0, 0)],
+        );
+        assert!(sys.solve().is_none());
+        assert!(!sys.is_feasible());
+    }
+
+    #[test]
+    fn negative_self_loop_detected() {
+        let sys = DifferenceConstraints::new(1, [Constraint::new(0, 0, -1)]);
+        assert!(sys.solve().is_none());
+    }
+
+    #[test]
+    fn push_extends_system() {
+        let mut sys = DifferenceConstraints::new(2, [Constraint::new(0, 1, 5)]);
+        assert!(sys.is_feasible());
+        sys.push(Constraint::new(1, 0, -6));
+        assert!(!sys.is_feasible());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let _ = DifferenceConstraints::new(1, [Constraint::new(0, 1, 0)]);
+    }
+
+    #[test]
+    fn long_chain_of_tight_constraints() {
+        // r0 ≤ r1 − 1 ≤ r2 − 2 ≤ ... forcing a spread of n−1.
+        let n = 64;
+        let mut cons = Vec::new();
+        for i in 0..n - 1 {
+            cons.push(Constraint::new(i, i + 1, -1));
+        }
+        let sys = DifferenceConstraints::new(n, cons);
+        let r = sys.solve().expect("feasible");
+        for i in 0..n - 1 {
+            assert!(r[i] - r[i + 1] <= -1);
+        }
+        assert!(r[n - 1] - r[0] >= (n - 1) as i64);
+    }
+
+    #[test]
+    fn solution_is_shifted_to_zero_minimum() {
+        let sys = DifferenceConstraints::new(
+            2,
+            [Constraint::new(0, 1, -5), Constraint::new(1, 0, 10)],
+        );
+        let r = sys.solve().unwrap();
+        assert_eq!(*r.iter().min().unwrap(), 0);
+    }
+}

@@ -1,0 +1,403 @@
+//! Incremental solver for a *family* of dual programs sharing one
+//! constraint set.
+//!
+//! LAC-retiming solves a series of weighted min-area retimings whose
+//! constraints never change — only the objective coefficients (node
+//! imbalances of the dual transshipment) move a little each round.
+//! [`DualSolver`] keeps the residual network and Johnson potentials
+//! between solves: because arc costs are fixed, the previous optimal flow
+//! remains reduced-cost optimal, and each new solve only has to route the
+//! *difference* between the old and new imbalances. After the first round
+//! this is typically a tiny fraction of a from-scratch solve.
+
+use crate::difference::DifferenceConstraints;
+use crate::{Constraint, DualError};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+#[derive(Debug, Clone)]
+struct Arc {
+    to: usize,
+    cap: i64,
+    cost: i64,
+    rev: usize,
+}
+
+/// An incremental solver for
+/// `min Σ cost[v]·r[v]  s.t.  r[u] − r[v] ≤ bound` with a fixed constraint
+/// set and varying costs.
+///
+/// # Examples
+///
+/// ```
+/// use lacr_mcmf::{Constraint, DualSolver};
+///
+/// let cons = [Constraint::new(0, 1, 3), Constraint::new(1, 0, 0)];
+/// let mut solver = DualSolver::new(2, &cons)?;
+/// let (r1, obj1) = solver.solve(&[1, -1])?;
+/// assert_eq!(obj1, 0);
+/// assert!(r1[0] - r1[1] <= 3 && r1[1] - r1[0] <= 0);
+/// // Re-solve with flipped costs: warm-started, same constraints.
+/// let (r2, obj2) = solver.solve(&[-1, 1])?;
+/// assert_eq!(obj2, -3);
+/// assert_eq!(r2[0] - r2[1], 3);
+/// # Ok::<(), lacr_mcmf::DualError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DualSolver {
+    n: usize,
+    /// Residual arcs: interior (constraint) arcs only persist; s/t arcs
+    /// are appended per solve and truncated afterwards.
+    arcs: Vec<Arc>,
+    adj: Vec<Vec<usize>>,
+    pi: Vec<i64>,
+    /// Imbalance satisfied by the current interior flow.
+    cur: Vec<i64>,
+    /// Pristine copies for rebuilding after a failed solve (a partial
+    /// routing leaves the flow inconsistent with `cur`).
+    arcs0: Vec<Arc>,
+    pi0: Vec<i64>,
+}
+
+const INF_CAP: i64 = i64::MAX / 4;
+
+impl DualSolver {
+    /// Builds the solver: verifies feasibility of the constraint system
+    /// once, merges parallel constraints and prepares the flow network.
+    ///
+    /// # Errors
+    ///
+    /// [`DualError::Infeasible`] when the constraints have no solution;
+    /// [`DualError::VariableOutOfRange`] for a bad index.
+    pub fn new(num_vars: usize, constraints: &[Constraint]) -> Result<Self, DualError> {
+        for c in constraints {
+            if c.u >= num_vars {
+                return Err(DualError::VariableOutOfRange(c.u));
+            }
+            if c.v >= num_vars {
+                return Err(DualError::VariableOutOfRange(c.v));
+            }
+        }
+        let feas = DifferenceConstraints::new(num_vars, constraints.iter().copied());
+        let potentials = feas.solve().ok_or(DualError::Infeasible)?;
+
+        let mut merged: HashMap<(usize, usize), i64> =
+            HashMap::with_capacity(constraints.len());
+        for c in constraints {
+            if c.u == c.v {
+                continue; // non-negative self-bound, vacuous
+            }
+            merged
+                .entry((c.u, c.v))
+                .and_modify(|b| *b = (*b).min(c.bound))
+                .or_insert(c.bound);
+        }
+
+        // Nodes 0..n are variables; n = super source, n+1 = super sink.
+        let nn = num_vars + 2;
+        let mut arcs = Vec::with_capacity(2 * merged.len());
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nn];
+        for (&(u, v), &b) in &merged {
+            let fwd = arcs.len();
+            arcs.push(Arc {
+                to: v,
+                cap: INF_CAP,
+                cost: b,
+                rev: fwd + 1,
+            });
+            arcs.push(Arc {
+                to: u,
+                cap: 0,
+                cost: -b,
+                rev: fwd,
+            });
+            adj[u].push(fwd);
+            adj[v].push(fwd + 1);
+        }
+        // Initial potentials: the Bellman–Ford solution of the constraint
+        // system gives distances `r` with `r_u − r_v ≤ b` for every arc,
+        // i.e. `b + (−r_u) − (−r_v) ≥ 0`: π = −r is dual-feasible.
+        let mut pi: Vec<i64> = potentials.iter().map(|&r| -r).collect();
+        pi.push(0); // s, fixed up per solve
+        pi.push(0); // t, fixed up per solve
+        Ok(Self {
+            n: num_vars,
+            arcs0: arcs.clone(),
+            pi0: pi.clone(),
+            arcs,
+            adj,
+            pi,
+            cur: vec![0; num_vars],
+        })
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Solves for the given cost vector, warm-starting from the previous
+    /// solution.
+    ///
+    /// Returns the optimal assignment (anchored at `min r = 0`) and its
+    /// objective value.
+    ///
+    /// # Errors
+    ///
+    /// [`DualError::Unbounded`] when the objective has no finite minimum
+    /// (costs not summing to zero, or an imbalance the constraint arcs
+    /// cannot route).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost.len() != num_vars()`.
+    pub fn solve(&mut self, cost: &[i64]) -> Result<(Vec<i64>, i64), DualError> {
+        assert_eq!(cost.len(), self.n);
+        if cost.iter().sum::<i64>() != 0 {
+            return Err(DualError::Unbounded);
+        }
+        let s = self.n;
+        let t = self.n + 1;
+
+        // Deltas to route on top of the existing interior flow.
+        let interior_arcs = self.arcs.len();
+        let mut touched: Vec<(usize, usize)> = Vec::new(); // (node, old adj len)
+        let mut remaining = 0i64;
+        let mut pi_s = i64::MIN;
+        let mut pi_t = i64::MAX;
+        touched.push((s, self.adj[s].len()));
+        touched.push((t, self.adj[t].len()));
+        for (v, (&c, &cur)) in cost.iter().zip(&self.cur).enumerate() {
+            let d = c - cur;
+            if d == 0 {
+                continue;
+            }
+            touched.push((v, self.adj[v].len()));
+            let fwd = self.arcs.len();
+            if d < 0 {
+                // v must shed inflow: s → v supplies the delta.
+                self.arcs.push(Arc {
+                    to: v,
+                    cap: -d,
+                    cost: 0,
+                    rev: fwd + 1,
+                });
+                self.arcs.push(Arc {
+                    to: s,
+                    cap: 0,
+                    cost: 0,
+                    rev: fwd,
+                });
+                self.adj[s].push(fwd);
+                self.adj[v].push(fwd + 1);
+                pi_s = pi_s.max(self.pi[v]);
+            } else {
+                self.arcs.push(Arc {
+                    to: t,
+                    cap: d,
+                    cost: 0,
+                    rev: fwd + 1,
+                });
+                self.arcs.push(Arc {
+                    to: v,
+                    cap: 0,
+                    cost: 0,
+                    rev: fwd,
+                });
+                self.adj[v].push(fwd);
+                self.adj[t].push(fwd + 1);
+                pi_t = pi_t.min(self.pi[v]);
+                remaining += d;
+            }
+        }
+        // Dual-feasible potentials for the fresh s/t arcs: the zero-cost
+        // arc s→v needs π_s ≥ π_v, and v→t needs π_t ≤ π_v.
+        if pi_s != i64::MIN {
+            self.pi[s] = pi_s;
+        }
+        if pi_t != i64::MAX {
+            self.pi[t] = pi_t;
+        }
+
+        let result = self.route(s, t, remaining);
+        // Truncate the temporary s/t arcs whatever happened.
+        for &(v, len) in &touched {
+            self.adj[v].truncate(len);
+        }
+        self.arcs.truncate(interior_arcs);
+        if result.is_err() {
+            // A partial routing left flow inconsistent with `cur`; restore
+            // the pristine network so later solves stay correct.
+            self.arcs.clone_from(&self.arcs0);
+            self.pi.clone_from(&self.pi0);
+            self.cur.iter_mut().for_each(|c| *c = 0);
+        }
+        result?;
+
+        self.cur.copy_from_slice(cost);
+        let mut r: Vec<i64> = (0..self.n).map(|v| -self.pi[v]).collect();
+        if let Some(&m) = r.iter().min() {
+            for x in &mut r {
+                *x -= m;
+            }
+        }
+        let obj = cost.iter().zip(&r).map(|(&c, &x)| c * x).sum();
+        Ok((r, obj))
+    }
+
+    /// Successive shortest paths from `s` to `t` for `remaining` units.
+    fn route(&mut self, s: usize, t: usize, mut remaining: i64) -> Result<(), DualError> {
+        let nn = self.adj.len();
+        let mut dist = vec![i64::MAX; nn];
+        let mut prev_arc = vec![usize::MAX; nn];
+        while remaining > 0 {
+            dist.iter_mut().for_each(|d| *d = i64::MAX);
+            prev_arc.iter_mut().for_each(|p| *p = usize::MAX);
+            dist[s] = 0;
+            let mut heap = BinaryHeap::new();
+            heap.push(Reverse((0i64, s)));
+            let mut dist_t = i64::MAX;
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                if u == t {
+                    dist_t = d;
+                    break;
+                }
+                for &ai in &self.adj[u] {
+                    let a = &self.arcs[ai];
+                    if a.cap <= 0 {
+                        continue;
+                    }
+                    let rc = a.cost + self.pi[u] - self.pi[a.to];
+                    debug_assert!(rc >= 0, "negative reduced cost {rc}");
+                    let nd = d + rc;
+                    if nd < dist[a.to] {
+                        dist[a.to] = nd;
+                        prev_arc[a.to] = ai;
+                        heap.push(Reverse((nd, a.to)));
+                    }
+                }
+            }
+            if dist_t == i64::MAX {
+                return Err(DualError::Unbounded);
+            }
+            for (p, &d) in self.pi.iter_mut().zip(&dist) {
+                *p += d.min(dist_t);
+            }
+            let mut bottleneck = remaining;
+            let mut v = t;
+            while v != s {
+                let ai = prev_arc[v];
+                bottleneck = bottleneck.min(self.arcs[ai].cap);
+                v = self.arcs[self.arcs[ai].rev].to;
+            }
+            let mut v = t;
+            while v != s {
+                let ai = prev_arc[v];
+                self.arcs[ai].cap -= bottleneck;
+                let rev = self.arcs[ai].rev;
+                self.arcs[rev].cap += bottleneck;
+                v = self.arcs[rev].to;
+            }
+            remaining -= bottleneck;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn matches_one_shot_solver_on_random_instances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for case in 0..50 {
+            let n = rng.gen_range(2..6usize);
+            // A ring of constraints keeps everything bounded.
+            let mut cons = Vec::new();
+            for i in 0..n {
+                cons.push(Constraint::new(i, (i + 1) % n, rng.gen_range(0..4)));
+            }
+            for _ in 0..rng.gen_range(0..4) {
+                cons.push(Constraint::new(
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..5),
+                ));
+            }
+            let mut solver = match DualSolver::new(n, &cons) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // Several cost vectors in sequence, comparing against the
+            // stateless reference each time.
+            for round in 0..4 {
+                let mut cost: Vec<i64> = (0..n).map(|_| rng.gen_range(-5..=5)).collect();
+                let sum: i64 = cost.iter().sum();
+                cost[0] -= sum;
+                let warm = solver.solve(&cost);
+                let reference = crate::solve_dual_program(n, &cost, &cons);
+                match (warm, reference) {
+                    (Ok((r, obj)), Ok((_, obj_ref))) => {
+                        assert_eq!(obj, obj_ref, "case {case} round {round}");
+                        for c in &cons {
+                            assert!(r[c.u] - r[c.v] <= c.bound);
+                        }
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    (a, b) => panic!("case {case} round {round}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_same_cost_is_stable() {
+        let cons = [Constraint::new(0, 1, 2), Constraint::new(1, 0, 1)];
+        let mut solver = DualSolver::new(2, &cons).unwrap();
+        let (r1, o1) = solver.solve(&[3, -3]).unwrap();
+        let (r2, o2) = solver.solve(&[3, -3]).unwrap();
+        assert_eq!(o1, o2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn infeasible_constraints_rejected_up_front() {
+        let cons = [Constraint::new(0, 1, -2), Constraint::new(1, 0, 1)];
+        assert_eq!(DualSolver::new(2, &cons).unwrap_err(), DualError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected_per_solve() {
+        // Only one direction constrained: pushing cost along the free
+        // direction is unbounded.
+        let cons = [Constraint::new(0, 1, 2)];
+        let mut solver = DualSolver::new(2, &cons).unwrap();
+        assert_eq!(solver.solve(&[1, -1]), Err(DualError::Unbounded));
+        // The solver survives the failure and can solve a bounded cost.
+        let (r, obj) = solver.solve(&[-1, 1]).unwrap();
+        assert_eq!(obj, -2);
+        assert_eq!(r[0] - r[1], 2);
+    }
+
+    #[test]
+    fn nonzero_cost_sum_rejected() {
+        let cons = [Constraint::new(0, 1, 1), Constraint::new(1, 0, 0)];
+        let mut solver = DualSolver::new(2, &cons).unwrap();
+        assert_eq!(solver.solve(&[1, 1]), Err(DualError::Unbounded));
+    }
+
+    #[test]
+    fn bad_index_rejected() {
+        let cons = [Constraint::new(0, 5, 1)];
+        assert_eq!(
+            DualSolver::new(2, &cons).unwrap_err(),
+            DualError::VariableOutOfRange(5)
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Deterministic ISCAS89-class synthetic benchmark circuits.
+//!
+//! The paper evaluates on ISCAS89 gate-level netlists treated as RT-level
+//! circuits. The original `.bench` files are not distributable with this
+//! repository, so [`generate`] builds *synthetic equivalents*: circuits
+//! with the same names and approximately the same unit/flip-flop/PI/PO
+//! counts, matched fanin statistics, and a guaranteed-well-formed
+//! sequential structure (every directed cycle carries at least one
+//! flip-flop). Generation is fully deterministic (ChaCha8 seeded by the
+//! benchmark name), so results are reproducible across runs and machines.
+//! Real `.bench` files can be substituted via [`crate::bench_format`].
+
+use crate::{Circuit, Sink, Unit, UnitId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error returned by [`generate`] for a name outside the suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmarkError {
+    /// The requested name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown benchmark {:?}; known: {}",
+            self.name,
+            suite().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBenchmarkError {}
+
+/// Size specification of one synthetic benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenSpec {
+    /// Circuit name.
+    pub name: String,
+    /// Number of combinational functional units.
+    pub units: usize,
+    /// Target total flip-flop count.
+    pub flops: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Fraction of units that receive a sequential feedback (back) edge.
+    pub feedback_frac: f64,
+    /// PRNG seed; [`generate`] derives it from the name.
+    pub seed: u64,
+}
+
+impl GenSpec {
+    /// A spec with the suite defaults for feedback fraction.
+    pub fn new(
+        name: impl Into<String>,
+        units: usize,
+        flops: usize,
+        inputs: usize,
+        outputs: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            units,
+            flops,
+            inputs,
+            outputs,
+            feedback_frac: 0.08,
+            seed,
+        }
+    }
+}
+
+/// Published ISCAS89 size classes for the circuits used in the paper's
+/// Table 1, plus `s5378` as a stress case.
+fn table() -> Vec<GenSpec> {
+    vec![
+        GenSpec::new("s344", 160, 15, 9, 11, 0x344),
+        GenSpec::new("s382", 158, 21, 3, 6, 0x382),
+        GenSpec::new("s526", 193, 21, 3, 6, 0x526),
+        GenSpec::new("s641", 379, 19, 35, 24, 0x641),
+        GenSpec::new("s713", 393, 19, 35, 23, 0x713),
+        GenSpec::new("s838", 446, 32, 34, 1, 0x838),
+        GenSpec::new("s953", 395, 29, 16, 23, 0x953),
+        GenSpec::new("s1196", 529, 18, 14, 14, 0x1196),
+        GenSpec::new("s1269", 569, 37, 18, 10, 0x1269),
+        GenSpec::new("s1423", 657, 74, 17, 5, 0x1423),
+        GenSpec::new("s5378", 2779, 179, 35, 49, 0x5378),
+        // Additional ISCAS89 size classes beyond the paper's Table 1,
+        // useful for scaling studies.
+        GenSpec::new("s298", 119, 14, 3, 6, 0x298),
+        GenSpec::new("s420", 218, 16, 18, 1, 0x420),
+        GenSpec::new("s510", 211, 6, 19, 7, 0x510),
+        GenSpec::new("s820", 289, 5, 18, 19, 0x820),
+        GenSpec::new("s832", 287, 5, 18, 19, 0x832),
+        GenSpec::new("s1488", 653, 6, 8, 19, 0x1488),
+        GenSpec::new("s1494", 647, 6, 8, 19, 0x1494),
+    ]
+}
+
+/// Names of the whole synthetic suite, in Table-1 order.
+pub fn suite() -> Vec<&'static str> {
+    vec![
+        "s344", "s382", "s526", "s641", "s713", "s838", "s953", "s1196", "s1269", "s1423",
+        "s5378", "s298", "s420", "s510", "s820", "s832", "s1488", "s1494",
+    ]
+}
+
+/// Names of the ten circuits reported in the paper's Table 1.
+pub fn table1_circuits() -> Vec<&'static str> {
+    suite().into_iter().take(10).collect()
+}
+
+/// Generates the named benchmark.
+///
+/// # Errors
+///
+/// Returns [`UnknownBenchmarkError`] if `name` is not in [`suite`].
+///
+/// # Examples
+///
+/// ```
+/// let c = lacr_netlist::bench89::generate("s1423")?;
+/// assert!(c.num_flops() >= 74);
+/// # Ok::<(), lacr_netlist::UnknownBenchmarkError>(())
+/// ```
+pub fn generate(name: &str) -> Result<Circuit, UnknownBenchmarkError> {
+    table()
+        .into_iter()
+        .find(|s| s.name == name)
+        .map(|s| generate_spec(&s))
+        .ok_or_else(|| UnknownBenchmarkError {
+            name: name.to_string(),
+        })
+}
+
+/// Generates a circuit from an explicit [`GenSpec`].
+///
+/// The construction guarantees a well-formed circuit
+/// ([`Circuit::validate`] returns no problems):
+///
+/// 1. logic units are laid out in a topological order; forward edges (no
+///    flip-flops required) go from earlier to later units;
+/// 2. feedback edges go from later to earlier units and always carry at
+///    least one flip-flop, so every directed cycle is sequential;
+/// 3. leftover flip-flops from the target count are sprinkled on random
+///    edges;
+/// 4. every unit is reachable (fanin from PIs or earlier units) and every
+///    primary output taps a distinct late unit.
+///
+/// # Panics
+///
+/// Panics if `units`, `inputs` or `outputs` is zero.
+pub fn generate_spec(spec: &GenSpec) -> Circuit {
+    assert!(spec.units > 0 && spec.inputs > 0 && spec.outputs > 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0x1acc_0de5_eed0_0001);
+    let mut c = Circuit::new(spec.name.clone());
+
+    let pis: Vec<UnitId> = (0..spec.inputs)
+        .map(|i| c.add_unit(Unit::input(format!("pi{i}"))))
+        .collect();
+    let logic: Vec<UnitId> = (0..spec.units)
+        .map(|i| {
+            let delay = rng.gen_range(0.6..2.0);
+            let area = rng.gen_range(0.8..2.2);
+            c.add_unit(Unit::logic(format!("g{i}"), delay, area))
+        })
+        .collect();
+    let pos: Vec<UnitId> = (0..spec.outputs)
+        .map(|i| c.add_unit(Unit::output(format!("po{i}"))))
+        .collect();
+
+    // Connections gathered per driver; turned into nets at the end.
+    let mut conns: Vec<(UnitId, UnitId, u32)> = Vec::new();
+
+    // 1. Forward fanin for each logic unit.
+    for (i, &g) in logic.iter().enumerate() {
+        let fanin = *[1usize, 2, 2, 2, 3].choose(&mut rng).expect("nonempty");
+        for _ in 0..fanin {
+            let from = if i == 0 || rng.gen_bool((spec.inputs as f64 / (i + spec.inputs) as f64).min(0.9)) {
+                *pis.choose(&mut rng).expect("nonempty pis")
+            } else {
+                logic[rng.gen_range(0..i)]
+            };
+            conns.push((from, g, 0));
+        }
+    }
+
+    // 2. Sequential feedback edges (always ≥ 1 flop).
+    let n_back = ((spec.units as f64) * spec.feedback_frac).round() as usize;
+    let n_back = n_back.min(spec.flops); // never demand more flops than budgeted
+    for _ in 0..n_back {
+        if spec.units < 2 {
+            break;
+        }
+        let j = rng.gen_range(1..spec.units);
+        let i = rng.gen_range(0..j);
+        conns.push((logic[j], logic[i], 1));
+    }
+
+    // 3. Primary outputs tap late units. Every output connection carries a
+    // flip-flop: RT-level designs register their outputs, and without this
+    // a combinational PI→PO path would pin the clock period beyond any
+    // retiming's reach (the environment cannot absorb a register).
+    let tail_start = spec.units - (spec.units / 4).max(1).min(spec.units);
+    for &po in &pos {
+        let src = logic[rng.gen_range(tail_start..spec.units)];
+        conns.push((src, po, 1));
+    }
+
+    // 4. Distribute the remaining flip-flop budget over random connections.
+    let used: usize = conns.iter().map(|&(_, _, f)| f as usize).sum();
+    let mut remaining = spec.flops.saturating_sub(used);
+    while remaining > 0 {
+        let k = rng.gen_range(0..conns.len());
+        conns[k].2 += 1;
+        remaining -= 1;
+    }
+
+    // Group by driver into nets.
+    let mut by_driver: HashMap<UnitId, Vec<Sink>> = HashMap::new();
+    for (from, to, flops) in conns {
+        by_driver.entry(from).or_default().push(Sink::new(to, flops));
+    }
+    let mut drivers: Vec<UnitId> = by_driver.keys().copied().collect();
+    drivers.sort();
+    for d in drivers {
+        let sinks = by_driver.remove(&d).expect("present");
+        c.add_net(d, sinks);
+    }
+    debug_assert!(c.validate().is_empty(), "{:?}", c.validate());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnitKind;
+
+    #[test]
+    fn whole_suite_is_well_formed() {
+        for name in suite() {
+            let c = generate(name).expect("known name");
+            let problems = c.validate();
+            assert!(problems.is_empty(), "{name}: {problems:?}");
+        }
+    }
+
+    #[test]
+    fn sizes_match_spec() {
+        for spec in table() {
+            let c = generate_spec(&spec);
+            assert_eq!(
+                c.units_of_kind(UnitKind::Logic).count(),
+                spec.units,
+                "{}",
+                spec.name
+            );
+            assert_eq!(c.units_of_kind(UnitKind::Input).count(), spec.inputs);
+            assert_eq!(c.units_of_kind(UnitKind::Output).count(), spec.outputs);
+            assert!(
+                c.num_flops() >= spec.flops as u64,
+                "{}: {} flops < {}",
+                spec.name,
+                c.num_flops(),
+                spec.flops
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate("s953").unwrap();
+        let b = generate("s953").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let a = generate("s641").unwrap();
+        let b = generate("s713").unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unknown_name_is_error() {
+        let e = generate("s9999").unwrap_err();
+        assert_eq!(e.name, "s9999");
+        assert!(e.to_string().contains("s344"));
+    }
+
+    #[test]
+    fn table1_is_ten_circuits() {
+        assert_eq!(table1_circuits().len(), 10);
+        assert!(!table1_circuits().contains(&"s5378"));
+    }
+
+    #[test]
+    fn feedback_edges_have_flops() {
+        // Every back edge must carry ≥1 flop; equivalently the circuit
+        // validates (no combinational cycle). Checked across seeds.
+        for seed in 0..20 {
+            let spec = GenSpec::new(format!("x{seed}"), 60, 12, 4, 4, seed);
+            let c = generate_spec(&spec);
+            assert!(c.validate().is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_unit_circuit() {
+        let spec = GenSpec::new("one", 1, 1, 1, 1, 7);
+        let c = generate_spec(&spec);
+        assert!(c.validate().is_empty());
+        assert_eq!(c.units_of_kind(UnitKind::Logic).count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_units_panics() {
+        let spec = GenSpec::new("zero", 0, 0, 1, 1, 7);
+        let _ = generate_spec(&spec);
+    }
+}

@@ -1,0 +1,450 @@
+//! ISCAS89 `.bench` reader and writer.
+//!
+//! The `.bench` dialect understood here is the classic one:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = NAND(G0, G1)
+//! G7  = DFF(G14)
+//! ```
+//!
+//! Explicit `DFF` elements are collapsed into per-connection flip-flop
+//! counts on the [`Circuit`] edges (chains of DFFs accumulate), which is
+//! the edge-weighted representation retiming operates on.
+
+use crate::{Circuit, Sink, Unit, UnitId, UnitKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchError {
+    /// 1-based line number, 0 for whole-file problems.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseBenchError {
+    ParseBenchError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Per-gate-type raw delay (ps) and area (µm²) used when instantiating
+/// `.bench` gates as functional units.
+fn gate_params(kind: &str) -> (f64, f64) {
+    match kind {
+        "NOT" | "INV" => (0.7, 0.8),
+        "BUF" | "BUFF" => (0.6, 0.8),
+        "AND" => (1.2, 1.4),
+        "NAND" => (1.0, 1.2),
+        "OR" => (1.3, 1.4),
+        "NOR" => (1.1, 1.2),
+        "XOR" => (1.8, 2.2),
+        "XNOR" => (1.9, 2.2),
+        _ => (1.5, 1.8),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Def {
+    Input,
+    Gate { kind: String, inputs: Vec<String> },
+    Dff { input: String },
+}
+
+/// Parses `.bench` text into a [`Circuit`] named `name`.
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, references to undefined
+/// signals, duplicate definitions, or all-DFF loops (a cycle made solely of
+/// flip-flops has no functional unit to attach them to).
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// INPUT(a)
+/// OUTPUT(z)
+/// q = DFF(g)
+/// g = NAND(a, q)
+/// z = BUF(g)
+/// ";
+/// let c = lacr_netlist::bench_format::parse("demo", src)?;
+/// assert_eq!(c.num_flops(), 1);
+/// assert!(c.validate().is_empty());
+/// # Ok::<(), lacr_netlist::bench_format::ParseBenchError>(())
+/// ```
+pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
+    let mut defs: HashMap<String, Def> = HashMap::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut order: Vec<String> = Vec::new(); // gate instantiation order
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("INPUT") {
+            let sig = strip_parens(rest)
+                .ok_or_else(|| err(line_no, format!("malformed INPUT line {line:?}")))?;
+            if defs
+                .insert(sig.to_string(), Def::Input)
+                .is_some()
+            {
+                return Err(err(line_no, format!("signal {sig:?} defined twice")));
+            }
+            inputs.push(sig.to_string());
+        } else if let Some(rest) = line.strip_prefix("OUTPUT") {
+            let sig = strip_parens(rest)
+                .ok_or_else(|| err(line_no, format!("malformed OUTPUT line {line:?}")))?;
+            outputs.push(sig.to_string());
+        } else if let Some(eq) = line.find('=') {
+            let lhs = line[..eq].trim();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| err(line_no, format!("missing '(' in {line:?}")))?;
+            let kind = rhs[..open].trim().to_ascii_uppercase();
+            let args = rhs[open..]
+                .trim()
+                .strip_prefix('(')
+                .and_then(|s| s.strip_suffix(')'))
+                .ok_or_else(|| err(line_no, format!("malformed gate in {line:?}")))?;
+            let ins: Vec<String> = args
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if ins.is_empty() {
+                return Err(err(line_no, format!("gate {lhs:?} has no inputs")));
+            }
+            let def = if kind == "DFF" || kind == "DFFSR" {
+                if ins.len() != 1 {
+                    return Err(err(line_no, format!("DFF {lhs:?} must have one input")));
+                }
+                Def::Dff {
+                    input: ins[0].clone(),
+                }
+            } else {
+                Def::Gate { kind, inputs: ins }
+            };
+            if defs.insert(lhs.to_string(), def).is_some() {
+                return Err(err(line_no, format!("signal {lhs:?} defined twice")));
+            }
+            order.push(lhs.to_string());
+        } else {
+            return Err(err(line_no, format!("unrecognised line {line:?}")));
+        }
+    }
+
+    // Resolve a signal through any chain of DFFs to its combinational or
+    // primary-input source, counting flip-flops.
+    let resolve = |sig: &str| -> Result<(String, u32), ParseBenchError> {
+        let mut cur = sig.to_string();
+        let mut flops = 0u32;
+        let mut hops = 0usize;
+        loop {
+            match defs.get(&cur) {
+                Some(Def::Dff { input }) => {
+                    flops += 1;
+                    cur = input.clone();
+                    hops += 1;
+                    if hops > defs.len() {
+                        return Err(err(
+                            0,
+                            format!("cycle of DFFs with no logic through {sig:?}"),
+                        ));
+                    }
+                }
+                Some(_) => return Ok((cur, flops)),
+                None => {
+                    return Err(err(0, format!("undefined signal {cur:?}")));
+                }
+            }
+        }
+    };
+
+    let mut circuit = Circuit::new(name);
+    let mut unit_of: HashMap<String, UnitId> = HashMap::new();
+    for sig in &inputs {
+        let id = circuit.add_unit(Unit::input(sig.clone()));
+        unit_of.insert(sig.clone(), id);
+    }
+    for sig in &order {
+        if let Some(Def::Gate { kind, .. }) = defs.get(sig) {
+            let (delay, area) = gate_params(kind);
+            let id = circuit.add_unit(Unit::logic(sig.clone(), delay, area));
+            unit_of.insert(sig.clone(), id);
+        }
+    }
+    let mut output_units: HashMap<String, UnitId> = HashMap::new();
+    for sig in &outputs {
+        let id = circuit.add_unit(Unit::output(format!("out:{sig}")));
+        output_units.insert(sig.clone(), id);
+    }
+
+    // Gather connections grouped by driving unit.
+    let mut fanout: HashMap<UnitId, Vec<Sink>> = HashMap::new();
+    for sig in &order {
+        if let Some(Def::Gate { inputs: ins, .. }) = defs.get(sig) {
+            let to = unit_of[sig];
+            for in_sig in ins {
+                let (src, flops) = resolve(in_sig)?;
+                let from = *unit_of
+                    .get(&src)
+                    .ok_or_else(|| err(0, format!("undefined signal {src:?}")))?;
+                fanout.entry(from).or_default().push(Sink::new(to, flops));
+            }
+        }
+    }
+    for sig in &outputs {
+        let to = output_units[sig];
+        let (src, flops) = resolve(sig)?;
+        let from = *unit_of
+            .get(&src)
+            .ok_or_else(|| err(0, format!("undefined signal {src:?}")))?;
+        fanout.entry(from).or_default().push(Sink::new(to, flops));
+    }
+
+    let mut drivers: Vec<UnitId> = fanout.keys().copied().collect();
+    drivers.sort();
+    for d in drivers {
+        let sinks = fanout.remove(&d).expect("key present");
+        circuit.add_net(d, sinks);
+    }
+    Ok(circuit)
+}
+
+/// Writes a circuit back to `.bench` text.
+///
+/// Flip-flops on edges are expanded back into named `DFF` elements; logic
+/// units are emitted as generic `UNIT` gates (gate identities are not
+/// preserved by the edge-weighted model). The result parses back into an
+/// isomorphic circuit (same unit/flop counts), which the tests rely on.
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", circuit.name()));
+    for id in circuit.units_of_kind(UnitKind::Input) {
+        out.push_str(&format!("INPUT({})\n", circuit.unit(id).name));
+    }
+    // Output markers: each Output unit's incoming signal.
+    let mut dff_count = 0usize;
+    let mut lines = Vec::new();
+    let mut output_lines = Vec::new();
+    for net in circuit.nets() {
+        let driver_name = &circuit.unit(net.driver).name;
+        for s in &net.sinks {
+            // Chain of `flops` DFFs between driver and sink.
+            let mut src = driver_name.clone();
+            for _ in 0..s.flops {
+                let q = format!("dff{dff_count}");
+                dff_count += 1;
+                lines.push(format!("{q} = DFF({src})"));
+                src = q;
+            }
+            let sink_unit = circuit.unit(s.unit);
+            if sink_unit.kind == UnitKind::Output {
+                // OUTPUT lines are markers, not definitions, so referring to
+                // the (possibly DFF-chained) driving signal is enough.
+                output_lines.push(format!("OUTPUT({src})"));
+            }
+        }
+    }
+    // Re-emit logic units as UNIT gates with their gathered fanins.
+    let mut fanins: HashMap<UnitId, Vec<String>> = HashMap::new();
+    let mut dff_idx = 0usize;
+    for net in circuit.nets() {
+        let driver_name = circuit.unit(net.driver).name.clone();
+        for s in &net.sinks {
+            let mut src = driver_name.clone();
+            for _ in 0..s.flops {
+                src = format!("dff{dff_idx}");
+                dff_idx += 1;
+            }
+            if circuit.unit(s.unit).kind == UnitKind::Logic {
+                fanins.entry(s.unit).or_default().push(src);
+            }
+        }
+    }
+    for id in circuit.units_of_kind(UnitKind::Logic) {
+        let name = &circuit.unit(id).name;
+        let ins = fanins
+            .get(&id)
+            .map(|v| v.join(", "))
+            .unwrap_or_else(|| "vdd".to_string());
+        lines.push(format!("{name} = UNIT({ins})"));
+    }
+    for l in output_lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+fn strip_parens(s: &str) -> Option<&str> {
+    let s = s.trim();
+    let inner = s.strip_prefix('(')?.strip_suffix(')')?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        None
+    } else {
+        Some(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "
+# a small sequential circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+q1 = DFF(g2)
+g1 = NAND(a, q1)
+g2 = NOR(g1, b)
+z = BUF(g2)
+";
+
+    #[test]
+    fn parses_small_circuit() {
+        let c = parse("small", SMALL).expect("parse");
+        assert_eq!(c.name(), "small");
+        // units: a, b, g1, g2, z-buf(BUF is a gate), out:z
+        assert_eq!(
+            c.units_of_kind(UnitKind::Input).count(),
+            2,
+            "two primary inputs"
+        );
+        assert_eq!(c.units_of_kind(UnitKind::Output).count(), 1);
+        assert_eq!(c.num_flops(), 1);
+        assert!(c.validate().is_empty(), "{:?}", c.validate());
+    }
+
+    #[test]
+    fn dff_chain_accumulates() {
+        let src = "
+INPUT(a)
+OUTPUT(z)
+q1 = DFF(a)
+q2 = DFF(q1)
+q3 = DFF(q2)
+z = BUF(q3)
+";
+        let c = parse("chain", src).expect("parse");
+        assert_eq!(c.num_flops(), 3);
+        let edge = c.edges().find(|e| e.flops == 3).expect("3-flop edge");
+        assert_eq!(c.unit(edge.from).kind, UnitKind::Input);
+    }
+
+    #[test]
+    fn all_dff_loop_rejected() {
+        let src = "
+INPUT(a)
+OUTPUT(z)
+q1 = DFF(q2)
+q2 = DFF(q1)
+z = BUF(q1)
+";
+        let e = parse("loop", src).unwrap_err();
+        assert!(e.message.contains("cycle of DFFs"), "{e}");
+    }
+
+    #[test]
+    fn undefined_signal_rejected() {
+        let src = "
+INPUT(a)
+OUTPUT(z)
+z = BUF(ghost)
+";
+        let e = parse("bad", src).unwrap_err();
+        assert!(e.message.contains("undefined"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let src = "
+INPUT(a)
+a = BUF(a)
+";
+        let e = parse("bad", src).unwrap_err();
+        assert!(e.message.contains("defined twice"), "{e}");
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        let e = parse("bad", "whatever this is").unwrap_err();
+        assert!(e.message.contains("unrecognised"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn missing_inputs_rejected() {
+        let e = parse("bad", "g = AND()").unwrap_err();
+        assert!(e.message.contains("no inputs"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let c = parse("c", "# nothing\n\n   \nINPUT(a)\nOUTPUT(z)\nz = BUF(a)\n").unwrap();
+        assert_eq!(c.num_units(), 3); // a, z-buf gate, out:z
+    }
+
+    #[test]
+    fn roundtrip_preserves_counts() {
+        let c = parse("small", SMALL).expect("parse");
+        let text = write(&c);
+        let c2 = parse("small2", &text).expect("reparse:\n{text}");
+        assert_eq!(c.num_flops(), c2.num_flops());
+        assert_eq!(
+            c.units_of_kind(UnitKind::Input).count(),
+            c2.units_of_kind(UnitKind::Input).count()
+        );
+        assert_eq!(
+            c.units_of_kind(UnitKind::Output).count(),
+            c2.units_of_kind(UnitKind::Output).count()
+        );
+        assert!(c2.validate().is_empty(), "{:?}", c2.validate());
+    }
+
+    #[test]
+    fn self_loop_through_dff_ok() {
+        let src = "
+INPUT(a)
+OUTPUT(z)
+q = DFF(g)
+g = NAND(a, q)
+z = BUF(g)
+";
+        let c = parse("selfloop", src).expect("parse");
+        assert!(c.validate().is_empty());
+        // g drives itself through one flop.
+        let self_edge = c.edges().find(|e| e.from == e.to).expect("self edge");
+        assert_eq!(self_edge.flops, 1);
+    }
+}

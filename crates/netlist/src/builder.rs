@@ -1,0 +1,271 @@
+//! A fluent builder for RT-level circuits, plus ready-made topology
+//! generators (pipelines, rings, trees, meshes) used by tests, examples
+//! and benchmarks.
+//!
+//! [`Circuit`]'s raw API requires exactly one `add_net` per driver, which
+//! is easy to get wrong when sketching a design; [`CircuitBuilder`]
+//! accumulates individual connections and groups them into nets at
+//! [`CircuitBuilder::build`] time.
+
+use crate::{Circuit, Sink, Unit, UnitId};
+use std::collections::HashMap;
+
+/// Accumulates units and individual connections, grouping connections by
+/// driver into well-formed nets on [`build`](CircuitBuilder::build).
+///
+/// # Examples
+///
+/// ```
+/// use lacr_netlist::builder::CircuitBuilder;
+///
+/// let mut b = CircuitBuilder::new("mac");
+/// let x = b.input("x");
+/// let m = b.logic("mul", 2.0, 3.0);
+/// let a = b.logic("acc", 1.0, 2.0);
+/// let y = b.output("y");
+/// b.connect(x, m, 0);
+/// b.connect(m, a, 1);
+/// b.connect(a, a, 1); // accumulator feedback
+/// b.connect(a, y, 0);
+/// let c = b.build();
+/// assert!(c.validate().is_empty());
+/// assert_eq!(c.num_flops(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    circuit: Circuit,
+    connections: Vec<(UnitId, UnitId, u32)>,
+}
+
+impl CircuitBuilder {
+    /// Starts a new builder for a circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            circuit: Circuit::new(name),
+            connections: Vec::new(),
+        }
+    }
+
+    /// Adds a primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> UnitId {
+        self.circuit.add_unit(Unit::input(name))
+    }
+
+    /// Adds a primary output.
+    pub fn output(&mut self, name: impl Into<String>) -> UnitId {
+        self.circuit.add_unit(Unit::output(name))
+    }
+
+    /// Adds a logic unit with the given raw delay (ps) and area.
+    pub fn logic(&mut self, name: impl Into<String>, delay_ps: f64, area: f64) -> UnitId {
+        self.circuit.add_unit(Unit::logic(name, delay_ps, area))
+    }
+
+    /// Records a connection from `from` to `to` carrying `flops`
+    /// flip-flops.
+    pub fn connect(&mut self, from: UnitId, to: UnitId, flops: u32) -> &mut Self {
+        self.connections.push((from, to, flops));
+        self
+    }
+
+    /// Finalises the circuit, grouping connections into one net per
+    /// driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a connection references a unit the builder did not
+    /// create (enforced by [`Circuit::add_net`]).
+    pub fn build(self) -> Circuit {
+        let mut circuit = self.circuit;
+        let mut by_driver: HashMap<UnitId, Vec<Sink>> = HashMap::new();
+        for (from, to, flops) in self.connections {
+            by_driver.entry(from).or_default().push(Sink::new(to, flops));
+        }
+        let mut drivers: Vec<UnitId> = by_driver.keys().copied().collect();
+        drivers.sort();
+        for d in drivers {
+            let sinks = by_driver.remove(&d).expect("present");
+            circuit.add_net(d, sinks);
+        }
+        circuit
+    }
+}
+
+/// A linear pipeline: `input → u_0 → … → u_{n−1} → output`, with
+/// `regs_per_stage` flip-flops on every inter-stage connection and one on
+/// the output.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`.
+pub fn pipeline(stages: usize, delay_ps: f64, regs_per_stage: u32) -> Circuit {
+    assert!(stages > 0);
+    let mut b = CircuitBuilder::new(format!("pipeline{stages}"));
+    let x = b.input("x");
+    let y = b.output("y");
+    let mut prev = x;
+    for i in 0..stages {
+        let u = b.logic(format!("u{i}"), delay_ps, 1.0);
+        b.connect(prev, u, if i == 0 { 0 } else { regs_per_stage });
+        prev = u;
+    }
+    b.connect(prev, y, 1);
+    b.build()
+}
+
+/// A registered ring of `n` units (a token-passing structure): every edge
+/// carries one flip-flop, plus an input tap and an output tap.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ring(n: usize, delay_ps: f64) -> Circuit {
+    assert!(n > 0);
+    let mut b = CircuitBuilder::new(format!("ring{n}"));
+    let x = b.input("x");
+    let y = b.output("y");
+    let units: Vec<UnitId> = (0..n)
+        .map(|i| b.logic(format!("r{i}"), delay_ps, 1.0))
+        .collect();
+    b.connect(x, units[0], 0);
+    for i in 0..n {
+        b.connect(units[i], units[(i + 1) % n], 1);
+    }
+    b.connect(units[n - 1], y, 1);
+    b.build()
+}
+
+/// A balanced binary reduction tree with `leaves` inputs (rounded up to a
+/// power of two internally is *not* done — any count works; odd nodes pass
+/// through), one flip-flop at the root output.
+///
+/// # Panics
+///
+/// Panics if `leaves == 0`.
+pub fn reduction_tree(leaves: usize, delay_ps: f64) -> Circuit {
+    assert!(leaves > 0);
+    let mut b = CircuitBuilder::new(format!("tree{leaves}"));
+    let y = b.output("y");
+    let mut frontier: Vec<UnitId> = (0..leaves).map(|i| b.input(format!("x{i}"))).collect();
+    let mut level = 0usize;
+    // Inputs cannot feed the output directly; ensure at least one logic
+    // level exists.
+    if frontier.len() == 1 {
+        let u = b.logic("root", delay_ps, 1.0);
+        b.connect(frontier[0], u, 0);
+        frontier = vec![u];
+    }
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+        for pair in frontier.chunks(2) {
+            if pair.len() == 2 {
+                let u = b.logic(format!("n{level}_{}", next.len()), delay_ps, 1.0);
+                b.connect(pair[0], u, 0);
+                b.connect(pair[1], u, 0);
+                next.push(u);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        frontier = next;
+        level += 1;
+    }
+    b.connect(frontier[0], y, 1);
+    b.build()
+}
+
+/// A 2-D systolic mesh of `rows × cols` cells: each cell registers its
+/// connection to its right and down neighbours (weight 1), inputs feed the
+/// left column, outputs tap the right column.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+pub fn mesh(rows: usize, cols: usize, delay_ps: f64) -> Circuit {
+    assert!(rows > 0 && cols > 0);
+    let mut b = CircuitBuilder::new(format!("mesh{rows}x{cols}"));
+    let cells: Vec<Vec<UnitId>> = (0..rows)
+        .map(|r| {
+            (0..cols)
+                .map(|c| b.logic(format!("c{r}_{c}"), delay_ps, 1.0))
+                .collect()
+        })
+        .collect();
+    for (r, row) in cells.iter().enumerate() {
+        let x = b.input(format!("x{r}"));
+        b.connect(x, row[0], 0);
+        let y = b.output(format!("y{r}"));
+        b.connect(row[cols - 1], y, 1);
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.connect(cells[r][c], cells[r][c + 1], 1);
+            }
+            if r + 1 < rows {
+                b.connect(cells[r][c], cells[r + 1][c], 1);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_groups_connections_per_driver() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.logic("a", 1.0, 1.0);
+        let x = b.logic("x", 1.0, 1.0);
+        let y = b.logic("y", 1.0, 1.0);
+        b.connect(a, x, 1);
+        b.connect(a, y, 2);
+        b.connect(x, a, 1);
+        b.connect(y, a, 1);
+        let c = b.build();
+        assert_eq!(c.num_nets(), 3);
+        assert_eq!(c.num_flops(), 5);
+        assert!(c.validate().is_empty(), "{:?}", c.validate());
+    }
+
+    #[test]
+    fn pipeline_shape() {
+        let c = pipeline(5, 2.0, 1);
+        assert!(c.validate().is_empty());
+        assert_eq!(c.num_flops(), 5); // 4 inter-stage + 1 output
+    }
+
+    #[test]
+    fn ring_shape() {
+        let c = ring(6, 1.5);
+        assert!(c.validate().is_empty());
+        assert_eq!(c.num_flops(), 7); // 6 ring + 1 output
+    }
+
+    #[test]
+    fn tree_shapes() {
+        for leaves in [1usize, 2, 3, 7, 8, 13] {
+            let c = reduction_tree(leaves, 1.0);
+            assert!(c.validate().is_empty(), "leaves {leaves}: {:?}", c.validate());
+            assert_eq!(c.num_flops(), 1, "leaves {leaves}");
+        }
+    }
+
+    #[test]
+    fn mesh_shape() {
+        let c = mesh(3, 4, 1.0);
+        assert!(c.validate().is_empty(), "{:?}", c.validate());
+        // right edges: 3 rows × 3, down edges: 2 × 4, outputs: 3.
+        assert_eq!(c.num_flops(), (3 * 3 + 2 * 4 + 3) as u64);
+    }
+
+    #[test]
+    fn mesh_stats() {
+        let c = mesh(2, 3, 1.0);
+        let s = crate::stats::CircuitStats::compute(&c);
+        assert_eq!(s.logic_units, 6);
+        assert!(s.flops > 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Circuit statistics used by reports and experiment logs.
+
+use crate::{Circuit, UnitKind};
+
+/// Summary statistics of a [`Circuit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Combinational functional units.
+    pub logic_units: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Nets.
+    pub nets: usize,
+    /// Flattened driver→sink connections.
+    pub connections: usize,
+    /// Total flip-flops.
+    pub flops: u64,
+    /// Mean fanin of logic units.
+    pub avg_fanin: f64,
+    /// Maximum fanout of any net.
+    pub max_fanout: usize,
+    /// Longest chain of zero-flop connections (combinational depth in
+    /// units).
+    pub comb_depth: usize,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lacr_netlist::{bench89, stats::CircuitStats};
+    ///
+    /// let c = bench89::generate("s344")?;
+    /// let s = CircuitStats::compute(&c);
+    /// assert_eq!(s.logic_units, 160);
+    /// assert!(s.avg_fanin >= 1.0);
+    /// # Ok::<(), lacr_netlist::UnknownBenchmarkError>(())
+    /// ```
+    pub fn compute(circuit: &Circuit) -> Self {
+        let n = circuit.num_units();
+        let mut fanin = vec![0usize; n];
+        let mut adj0: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg0 = vec![0usize; n];
+        let mut connections = 0usize;
+        for e in circuit.edges() {
+            connections += 1;
+            fanin[e.to.index()] += 1;
+            if e.flops == 0 {
+                adj0[e.from.index()].push(e.to.index());
+                indeg0[e.to.index()] += 1;
+            }
+        }
+        let logic_units = circuit.units_of_kind(UnitKind::Logic).count();
+        let logic_fanin: usize = circuit
+            .units_of_kind(UnitKind::Logic)
+            .map(|u| fanin[u.index()])
+            .sum();
+
+        // Longest path in the zero-flop DAG (validated circuits have one).
+        let mut depth = vec![0usize; n];
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg0[v] == 0).collect();
+        let mut comb_depth = 0;
+        while let Some(v) = queue.pop() {
+            comb_depth = comb_depth.max(depth[v]);
+            for &w in &adj0[v] {
+                depth[w] = depth[w].max(depth[v] + 1);
+                indeg0[w] -= 1;
+                if indeg0[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+
+        CircuitStats {
+            logic_units,
+            inputs: circuit.units_of_kind(UnitKind::Input).count(),
+            outputs: circuit.units_of_kind(UnitKind::Output).count(),
+            nets: circuit.num_nets(),
+            connections,
+            flops: circuit.num_flops(),
+            avg_fanin: if logic_units == 0 {
+                0.0
+            } else {
+                logic_fanin as f64 / logic_units as f64
+            },
+            max_fanout: circuit.nets().iter().map(|n| n.sinks.len()).max().unwrap_or(0),
+            comb_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circuit, Sink, Unit};
+
+    #[test]
+    fn stats_of_small_pipeline() {
+        let mut c = Circuit::new("p");
+        let a = c.add_unit(Unit::input("a"));
+        let g1 = c.add_unit(Unit::logic("g1", 1.0, 1.0));
+        let g2 = c.add_unit(Unit::logic("g2", 1.0, 1.0));
+        let z = c.add_unit(Unit::output("z"));
+        c.add_net(a, vec![Sink::new(g1, 0)]);
+        c.add_net(g1, vec![Sink::new(g2, 1)]);
+        c.add_net(g2, vec![Sink::new(z, 0)]);
+        let s = CircuitStats::compute(&c);
+        assert_eq!(s.logic_units, 2);
+        assert_eq!(s.flops, 1);
+        assert_eq!(s.connections, 3);
+        // zero-flop chains: a→g1 and g2→z, both depth 1.
+        assert_eq!(s.comb_depth, 1);
+    }
+
+    #[test]
+    fn comb_depth_counts_longest_chain() {
+        let mut c = Circuit::new("chain");
+        let a = c.add_unit(Unit::input("a"));
+        let mut prev = a;
+        for i in 0..5 {
+            let g = c.add_unit(Unit::logic(format!("g{i}"), 1.0, 1.0));
+            c.add_net(prev, vec![Sink::new(g, 0)]);
+            prev = g;
+        }
+        let s = CircuitStats::compute(&c);
+        assert_eq!(s.comb_depth, 5);
+    }
+
+    #[test]
+    fn empty_circuit_stats() {
+        let c = Circuit::new("empty");
+        let s = CircuitStats::compute(&c);
+        assert_eq!(s.logic_units, 0);
+        assert_eq!(s.avg_fanin, 0.0);
+        assert_eq!(s.comb_depth, 0);
+    }
+
+    #[test]
+    fn max_fanout_reflects_widest_net() {
+        let mut c = Circuit::new("fan");
+        let g = c.add_unit(Unit::logic("g", 1.0, 1.0));
+        let sinks: Vec<Sink> = (0..7)
+            .map(|i| {
+                let u = c.add_unit(Unit::logic(format!("s{i}"), 1.0, 1.0));
+                Sink::new(u, 1)
+            })
+            .collect();
+        c.add_net(g, sinks);
+        let s = CircuitStats::compute(&c);
+        assert_eq!(s.max_fanout, 7);
+    }
+}

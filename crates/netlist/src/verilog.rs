@@ -1,0 +1,563 @@
+//! A structural Verilog subset: reader and writer.
+//!
+//! RT-level netlists are usually exchanged as structural Verilog, so this
+//! module accepts the gate-level subset that maps onto [`Circuit`]:
+//!
+//! ```verilog
+//! module counter (en, q0);
+//!   input en;
+//!   output q0;
+//!   wire n0, t;
+//!   dff r0 (q0, n0);      // flop: (Q, D)
+//!   xor g0 (n0, q0, en);  // gate: output first, then inputs
+//!   buf g1 (t, n0);
+//! endmodule
+//! ```
+//!
+//! Supported primitives: `and`, `nand`, `or`, `nor`, `xor`, `xnor`,
+//! `not`/`inv`, `buf`, and `dff` (two terminals, `Q` then `D`). Chains of
+//! `dff`s collapse into per-connection flip-flop counts, exactly like the
+//! `.bench` reader. Everything else — behavioural constructs, vectors,
+//! parameters, hierarchies — is out of scope and rejected with a clear
+//! error.
+
+use crate::{Circuit, Sink, Unit, UnitId, UnitKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVerilogError {
+    /// 1-based line number, 0 for whole-file problems.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseVerilogError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseVerilogError {
+    ParseVerilogError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn gate_params(kind: &str) -> (f64, f64) {
+    match kind {
+        "not" | "inv" => (0.7, 0.8),
+        "buf" => (0.6, 0.8),
+        "and" => (1.2, 1.4),
+        "nand" => (1.0, 1.2),
+        "or" => (1.3, 1.4),
+        "nor" => (1.1, 1.2),
+        "xor" => (1.8, 2.2),
+        "xnor" => (1.9, 2.2),
+        _ => (1.5, 1.8),
+    }
+}
+
+const GATES: [&str; 9] = [
+    "and", "nand", "or", "nor", "xor", "xnor", "not", "inv", "buf",
+];
+
+#[derive(Debug, Clone)]
+enum Def {
+    Input,
+    Gate { inputs: Vec<String> },
+    Dff { input: String },
+}
+
+/// Parses structural Verilog into a [`Circuit`].
+///
+/// The circuit is named after the module. Statements may span lines (they
+/// end at `;`); `//` comments are stripped.
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] for unsupported constructs, undefined or
+/// doubly-driven signals, malformed instances, or all-`dff` loops.
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// module toggler (en, q);
+///   input en; output q;
+///   wire n;
+///   dff r (q, n);
+///   xor g (n, q, en);
+/// endmodule";
+/// let c = lacr_netlist::verilog::parse(src)?;
+/// assert_eq!(c.name(), "toggler");
+/// // q reaches both the xor and the output port through the dff.
+/// assert_eq!(c.num_flops(), 2);
+/// assert!(c.validate().is_empty());
+/// # Ok::<(), lacr_netlist::verilog::ParseVerilogError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, ParseVerilogError> {
+    // Split into `;`-terminated statements while tracking line numbers.
+    let mut statements: Vec<(usize, String)> = Vec::new();
+    let mut current = String::new();
+    let mut start_line = 1usize;
+    let mut module_name: Option<String> = None;
+    let mut saw_endmodule = false;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split("//").next().unwrap_or("");
+        for token in line.split_inclusive(';') {
+            if current.is_empty() {
+                start_line = ln + 1;
+            }
+            current.push_str(token);
+            current.push(' ');
+            if token.ends_with(';') {
+                let stmt = current.trim().trim_end_matches(';').trim().to_string();
+                if !stmt.is_empty() {
+                    statements.push((start_line, stmt));
+                }
+                current.clear();
+            }
+        }
+    }
+    let tail = current.trim();
+    if !tail.is_empty() {
+        if tail == "endmodule" {
+            saw_endmodule = true;
+        } else if let Some(rest) = tail.strip_suffix("endmodule") {
+            saw_endmodule = true;
+            if !rest.trim().is_empty() {
+                return Err(err(0, format!("unterminated statement {:?}", rest.trim())));
+            }
+        } else {
+            return Err(err(0, format!("unterminated statement {tail:?}")));
+        }
+    }
+
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut defs: HashMap<String, Def> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    for (ln, stmt) in &statements {
+        let ln = *ln;
+        let stmt = stmt.trim();
+        let mut words = stmt.split_whitespace();
+        let head = words.next().unwrap_or("");
+        match head {
+            "module" => {
+                let rest = stmt["module".len()..].trim();
+                let name_end = rest
+                    .find(|c: char| c == '(' || c.is_whitespace())
+                    .unwrap_or(rest.len());
+                let name = &rest[..name_end];
+                if name.is_empty() {
+                    return Err(err(ln, "module without a name"));
+                }
+                module_name = Some(name.to_string());
+                // The port list is informational; directions come from
+                // input/output declarations.
+            }
+            "endmodule" => {
+                saw_endmodule = true;
+            }
+            "input" | "output" | "wire" => {
+                let names = stmt[head.len()..]
+                    .split(',')
+                    .map(|s| s.trim())
+                    .filter(|s| !s.is_empty());
+                for name in names {
+                    if !is_identifier(name) {
+                        return Err(err(ln, format!("bad identifier {name:?}")));
+                    }
+                    match head {
+                        "input" => {
+                            if defs.insert(name.to_string(), Def::Input).is_some() {
+                                return Err(err(ln, format!("signal {name:?} declared twice")));
+                            }
+                            inputs.push(name.to_string());
+                        }
+                        "output" => outputs.push(name.to_string()),
+                        _ => {} // wires need no bookkeeping
+                    }
+                }
+            }
+            kind if GATES.contains(&kind) || kind == "dff" => {
+                // `kind inst (out, in...)`
+                let open = stmt
+                    .find('(')
+                    .ok_or_else(|| err(ln, format!("missing '(' in {stmt:?}")))?;
+                let close = stmt
+                    .rfind(')')
+                    .ok_or_else(|| err(ln, format!("missing ')' in {stmt:?}")))?;
+                let terms: Vec<String> = stmt[open + 1..close]
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if terms.len() < 2 {
+                    return Err(err(ln, format!("instance needs ≥ 2 terminals: {stmt:?}")));
+                }
+                let out = terms[0].clone();
+                if !is_identifier(&out) {
+                    return Err(err(ln, format!("bad output name {out:?}")));
+                }
+                let def = if kind == "dff" {
+                    if terms.len() != 2 {
+                        return Err(err(ln, "dff takes exactly (Q, D)"));
+                    }
+                    Def::Dff {
+                        input: terms[1].clone(),
+                    }
+                } else {
+                    Def::Gate {
+                        inputs: terms[1..].to_vec(),
+                    }
+                };
+                if defs.insert(out.clone(), def).is_some() {
+                    return Err(err(ln, format!("signal {out:?} driven twice")));
+                }
+                order.push(out);
+            }
+            other => {
+                return Err(err(
+                    ln,
+                    format!("unsupported construct {other:?} (structural subset only)"),
+                ));
+            }
+        }
+    }
+    let module_name = module_name.ok_or_else(|| err(0, "no module declaration"))?;
+    if !saw_endmodule {
+        return Err(err(0, "missing endmodule"));
+    }
+
+    // Resolve through dff chains, as in the `.bench` reader.
+    let resolve = |sig: &str| -> Result<(String, u32), ParseVerilogError> {
+        let mut cur = sig.to_string();
+        let mut flops = 0u32;
+        let mut hops = 0usize;
+        loop {
+            match defs.get(&cur) {
+                Some(Def::Dff { input }) => {
+                    flops += 1;
+                    cur = input.clone();
+                    hops += 1;
+                    if hops > defs.len() {
+                        return Err(err(0, format!("cycle of dffs with no logic via {sig:?}")));
+                    }
+                }
+                Some(_) => return Ok((cur, flops)),
+                None => return Err(err(0, format!("undriven signal {cur:?}"))),
+            }
+        }
+    };
+
+    let mut circuit = Circuit::new(module_name);
+    let mut unit_of: HashMap<String, UnitId> = HashMap::new();
+    for sig in &inputs {
+        let id = circuit.add_unit(Unit::input(sig.clone()));
+        unit_of.insert(sig.clone(), id);
+    }
+    // Gate kinds are needed for delays; re-scan the statements cheaply by
+    // storing them during parsing instead: recover from `order` + defs by
+    // looking the kind up at definition time. Simplest: store kind names.
+    let mut kind_of: HashMap<String, String> = HashMap::new();
+    for (_, stmt) in &statements {
+        let mut words = stmt.split_whitespace();
+        if let Some(head) = words.next() {
+            if GATES.contains(&head) {
+                if let Some(open) = stmt.find('(') {
+                    if let Some(out) = stmt[open + 1..].split(',').next() {
+                        kind_of.insert(out.trim().to_string(), head.to_string());
+                    }
+                }
+            }
+        }
+    }
+    for sig in &order {
+        if let Some(Def::Gate { .. }) = defs.get(sig) {
+            let kind = kind_of.get(sig).map(String::as_str).unwrap_or("buf");
+            let (delay, area) = gate_params(kind);
+            let id = circuit.add_unit(Unit::logic(sig.clone(), delay, area));
+            unit_of.insert(sig.clone(), id);
+        }
+    }
+    let mut output_units: HashMap<String, UnitId> = HashMap::new();
+    for sig in &outputs {
+        let id = circuit.add_unit(Unit::output(format!("out:{sig}")));
+        output_units.insert(sig.clone(), id);
+    }
+
+    let mut fanout: HashMap<UnitId, Vec<Sink>> = HashMap::new();
+    for sig in &order {
+        if let Some(Def::Gate { inputs: ins }) = defs.get(sig) {
+            let to = unit_of[sig];
+            for in_sig in ins {
+                let (src, flops) = resolve(in_sig)?;
+                let from = *unit_of
+                    .get(&src)
+                    .ok_or_else(|| err(0, format!("undriven signal {src:?}")))?;
+                fanout.entry(from).or_default().push(Sink::new(to, flops));
+            }
+        }
+    }
+    for sig in &outputs {
+        let to = output_units[sig];
+        let (src, flops) = resolve(sig)?;
+        let from = *unit_of
+            .get(&src)
+            .ok_or_else(|| err(0, format!("undriven signal {src:?}")))?;
+        fanout.entry(from).or_default().push(Sink::new(to, flops));
+    }
+    let mut drivers: Vec<UnitId> = fanout.keys().copied().collect();
+    drivers.sort();
+    for d in drivers {
+        let sinks = fanout.remove(&d).expect("present");
+        circuit.add_net(d, sinks);
+    }
+    Ok(circuit)
+}
+
+fn is_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Writes a circuit as structural Verilog.
+///
+/// Logic units are emitted as `buf` primitives fed through explicit `dff`
+/// chains (gate identities are not tracked by the edge-weighted model);
+/// the result parses back ([`parse`]) into a circuit with identical
+/// flip-flop and I/O counts.
+pub fn write(circuit: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let sanitize = |s: &str| -> String {
+        let cleaned: String = s
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .collect();
+        if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            format!("s_{cleaned}")
+        } else {
+            cleaned
+        }
+    };
+    let mut out = String::new();
+    let inputs: Vec<String> = circuit
+        .units_of_kind(UnitKind::Input)
+        .map(|u| sanitize(&circuit.unit(u).name))
+        .collect();
+    let n_outputs = circuit.units_of_kind(UnitKind::Output).count();
+    let out_port = |i: usize| format!("po_{i}");
+    let mut ports: Vec<String> = inputs.clone();
+    ports.extend((0..n_outputs).map(out_port));
+    let _ = writeln!(out, "module {} ({});", sanitize(circuit.name()), ports.join(", "));
+    for i in &inputs {
+        let _ = writeln!(out, "  input {i};");
+    }
+    for i in 0..n_outputs {
+        let _ = writeln!(out, "  output {};", out_port(i));
+    }
+
+    // Emit dff chains and connection wiring.
+    let mut body = String::new();
+    let mut dff_idx = 0usize;
+    let mut fanins: HashMap<UnitId, Vec<String>> = HashMap::new();
+    let mut out_drivers: Vec<(usize, String)> = Vec::new();
+    let mut out_seen = 0usize;
+    for net in circuit.nets() {
+        let driver = sanitize(&circuit.unit(net.driver).name);
+        for s in &net.sinks {
+            let mut src = driver.clone();
+            for _ in 0..s.flops {
+                let q = format!("ff{dff_idx}");
+                dff_idx += 1;
+                let _ = writeln!(body, "  dff r{} ({q}, {src});", dff_idx - 1);
+                src = q;
+            }
+            match circuit.unit(s.unit).kind {
+                UnitKind::Output => {
+                    out_drivers.push((out_seen, src.clone()));
+                    out_seen += 1;
+                }
+                _ => fanins.entry(s.unit).or_default().push(src.clone()),
+            }
+        }
+    }
+    // Output index must be stable by unit order, not encounter order.
+    let output_ids: Vec<UnitId> = circuit.units_of_kind(UnitKind::Output).collect();
+    let mut driver_of_output: HashMap<UnitId, String> = HashMap::new();
+    {
+        let mut k = 0usize;
+        for net in circuit.nets() {
+            for s in &net.sinks {
+                if circuit.unit(s.unit).kind == UnitKind::Output {
+                    driver_of_output.insert(s.unit, out_drivers[k].1.clone());
+                    k += 1;
+                }
+            }
+        }
+    }
+    for (i, oid) in output_ids.iter().enumerate() {
+        if let Some(src) = driver_of_output.get(oid) {
+            let _ = writeln!(body, "  buf ob{i} ({}, {src});", out_port(i));
+        }
+    }
+    for (gate_idx, id) in circuit.units_of_kind(UnitKind::Logic).enumerate() {
+        let name = sanitize(&circuit.unit(id).name);
+        let ins = fanins
+            .get(&id)
+            .map(|v| v.join(", "))
+            .unwrap_or_else(|| "one".to_string());
+        let _ = writeln!(body, "  buf g{gate_idx} ({name}, {ins});");
+    }
+    // Wire declarations for everything that is not a port.
+    let mut wires: Vec<String> = Vec::new();
+    for id in circuit.units_of_kind(UnitKind::Logic) {
+        wires.push(sanitize(&circuit.unit(id).name));
+    }
+    for i in 0..dff_idx {
+        wires.push(format!("ff{i}"));
+    }
+    if body.contains("(one") || body.contains(", one") {
+        wires.push("one".to_string());
+    }
+    if !wires.is_empty() {
+        let _ = writeln!(out, "  wire {};", wires.join(", "));
+    }
+    out.push_str(&body);
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOGGLER: &str = "
+module toggler (en, q);
+  input en;
+  output q;
+  wire n;
+  dff r (q, n);
+  xor g (n, q, en);
+endmodule";
+
+    #[test]
+    fn parses_toggler() {
+        let c = parse(TOGGLER).expect("parses");
+        assert_eq!(c.name(), "toggler");
+        assert_eq!(c.units_of_kind(UnitKind::Input).count(), 1);
+        assert_eq!(c.units_of_kind(UnitKind::Output).count(), 1);
+        assert_eq!(c.num_flops(), 2); // q feeds both the xor and the output
+        assert!(c.validate().is_empty(), "{:?}", c.validate());
+    }
+
+    #[test]
+    fn multiline_statements_ok() {
+        let src = "
+module m (a,
+          z);
+  input a; output z;
+  wire w;
+  and g1 (w,
+          a, a);
+  buf g2 (z, w);
+endmodule";
+        let c = parse(src).expect("parses");
+        assert_eq!(c.units_of_kind(UnitKind::Logic).count(), 2);
+    }
+
+    #[test]
+    fn behavioural_rejected() {
+        let src = "module m (a); input a; always @(posedge clk) q <= a; endmodule";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("unsupported"), "{e}");
+    }
+
+    #[test]
+    fn double_driver_rejected() {
+        let src = "
+module m (a, z); input a; output z;
+  buf g1 (z, a);
+  buf g2 (z, a);
+endmodule";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("driven twice"), "{e}");
+    }
+
+    #[test]
+    fn undriven_signal_rejected() {
+        let src = "module m (z); output z; endmodule";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("undriven"), "{e}");
+    }
+
+    #[test]
+    fn missing_endmodule_rejected() {
+        let src = "module m (a); input a;";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("endmodule"), "{e}");
+    }
+
+    #[test]
+    fn dff_loop_rejected() {
+        let src = "
+module m (a, z); input a; output z;
+  dff r1 (x, y);
+  dff r2 (y, x);
+  buf g (z, x);
+endmodule";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("cycle of dffs"), "{e}");
+    }
+
+    #[test]
+    fn roundtrip_preserves_counts() {
+        let c = parse(TOGGLER).expect("parses");
+        let text = write(&c);
+        let c2 = parse(&text).unwrap_or_else(|e| panic!("reparse: {e}\n{text}"));
+        assert_eq!(c.num_flops(), c2.num_flops());
+        assert_eq!(
+            c.units_of_kind(UnitKind::Input).count(),
+            c2.units_of_kind(UnitKind::Input).count()
+        );
+        assert_eq!(
+            c.units_of_kind(UnitKind::Output).count(),
+            c2.units_of_kind(UnitKind::Output).count()
+        );
+        assert!(c2.validate().is_empty(), "{:?}", c2.validate());
+    }
+
+    #[test]
+    fn roundtrip_of_generated_circuit() {
+        let c = crate::bench89::generate("s344").expect("known");
+        let text = write(&c);
+        let c2 = parse(&text).unwrap_or_else(|e| panic!("reparse: {e}"));
+        assert_eq!(c.num_flops(), c2.num_flops());
+        assert!(c2.validate().is_empty(), "{:?}", c2.validate());
+    }
+
+    #[test]
+    fn dff_chain_accumulates() {
+        let src = "
+module m (a, z); input a; output z;
+  dff r1 (q1, a);
+  dff r2 (q2, q1);
+  buf g (z, q2);
+endmodule";
+        let c = parse(src).expect("parses");
+        assert_eq!(c.num_flops(), 2);
+    }
+}

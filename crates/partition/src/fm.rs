@@ -1,0 +1,290 @@
+//! A Fiduccia–Mattheyses bipartitioner over one group of units.
+
+use lacr_netlist::{Circuit, UnitId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Splits `group` into two halves of roughly equal area, minimising the
+/// number of cut nets with up to `passes` FM improvement passes.
+///
+/// `balance_tolerance` bounds how far each side may drift from half the
+/// total area (e.g. 0.15 allows 35 %–65 % splits). Nets with pins outside
+/// `group` are considered only through their in-group pins.
+///
+/// Returns `(left, right)`; both are non-empty whenever `group.len() >= 2`.
+///
+/// # Examples
+///
+/// ```
+/// use lacr_netlist::{bench89, Circuit};
+/// use lacr_partition::bipartition;
+///
+/// let c = bench89::generate("s344")?;
+/// let all: Vec<_> = c.unit_ids().collect();
+/// let (l, r) = bipartition(&c, &all, 0.15, 4, 1);
+/// assert_eq!(l.len() + r.len(), all.len());
+/// assert!(!l.is_empty() && !r.is_empty());
+/// # Ok::<(), lacr_netlist::UnknownBenchmarkError>(())
+/// ```
+pub fn bipartition(
+    circuit: &Circuit,
+    group: &[UnitId],
+    balance_tolerance: f64,
+    passes: usize,
+    seed: u64,
+) -> (Vec<UnitId>, Vec<UnitId>) {
+    let m = group.len();
+    if m < 2 {
+        let left = group.to_vec();
+        return (left, Vec::new());
+    }
+    // Local indices.
+    let mut local: HashMap<UnitId, usize> = HashMap::with_capacity(m);
+    for (i, &u) in group.iter().enumerate() {
+        local.insert(u, i);
+    }
+    // Areas; a zero-area unit (I/O pad) still counts a tiny amount so pads
+    // spread across both sides instead of piling up for free.
+    let areas: Vec<f64> = group
+        .iter()
+        .map(|&u| circuit.unit(u).area.max(1e-3))
+        .collect();
+    let total_area: f64 = areas.iter().sum();
+    let half = total_area / 2.0;
+    let max_side = half * (1.0 + balance_tolerance);
+
+    // Hyperedges restricted to the group (nets with ≥ 2 in-group pins).
+    let mut nets: Vec<Vec<usize>> = Vec::new();
+    for net in circuit.nets() {
+        let mut pins: Vec<usize> = Vec::new();
+        if let Some(&d) = local.get(&net.driver) {
+            pins.push(d);
+        }
+        for s in &net.sinks {
+            if let Some(&p) = local.get(&s.unit) {
+                pins.push(p);
+            }
+        }
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() >= 2 {
+            nets.push(pins);
+        }
+    }
+    let mut nets_of: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (ni, pins) in nets.iter().enumerate() {
+        for &p in pins {
+            nets_of[p].push(ni);
+        }
+    }
+
+    // Initial random area-balanced split.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..m).collect();
+    order.shuffle(&mut rng);
+    let mut side = vec![false; m]; // false = left, true = right
+    let mut left_area = 0.0;
+    for &i in &order {
+        if left_area + areas[i] <= half {
+            left_area += areas[i];
+        } else {
+            side[i] = true;
+        }
+    }
+    // Guarantee both sides non-empty.
+    if side.iter().all(|&s| !s) {
+        side[order[m - 1]] = true;
+    }
+    if side.iter().all(|&s| s) {
+        side[order[0]] = false;
+    }
+
+    for _ in 0..passes {
+        if !fm_pass(
+            &nets,
+            &nets_of,
+            &areas,
+            &mut side,
+            max_side,
+            total_area,
+        ) {
+            break;
+        }
+    }
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (i, &u) in group.iter().enumerate() {
+        if side[i] {
+            right.push(u);
+        } else {
+            left.push(u);
+        }
+    }
+    if left.is_empty() {
+        left.push(right.pop().expect("m >= 2"));
+    }
+    if right.is_empty() {
+        right.push(left.pop().expect("m >= 2"));
+    }
+    (left, right)
+}
+
+/// One FM pass: tentatively move every unit once in best-gain order, then
+/// keep the best prefix. Returns `true` if the cut improved.
+fn fm_pass(
+    nets: &[Vec<usize>],
+    nets_of: &[Vec<usize>],
+    areas: &[f64],
+    side: &mut [bool],
+    max_side: f64,
+    total_area: f64,
+) -> bool {
+    let m = side.len();
+    // Pin counts per net per side.
+    let mut cnt = vec![[0usize; 2]; nets.len()];
+    for (ni, pins) in nets.iter().enumerate() {
+        for &p in pins {
+            cnt[ni][side[p] as usize] += 1;
+        }
+    }
+    let cut0: usize = cnt.iter().filter(|c| c[0] > 0 && c[1] > 0).count();
+
+    let gain = |i: usize, side: &[bool], cnt: &[[usize; 2]]| -> i64 {
+        let s = side[i] as usize;
+        let mut g = 0i64;
+        for &ni in &nets_of[i] {
+            if cnt[ni][1 - s] == 0 {
+                g -= 1; // moving i cuts a currently-uncut net
+            }
+            if cnt[ni][s] == 1 {
+                g += 1; // i is the last pin on its side: move uncuts it
+            }
+        }
+        g
+    };
+
+    let mut locked = vec![false; m];
+    let mut heap: BinaryHeap<(i64, usize)> = (0..m).map(|i| (gain(i, side, &cnt), i)).collect();
+    let mut side_area = [0.0f64; 2];
+    for i in 0..m {
+        side_area[side[i] as usize] += areas[i];
+    }
+
+    let mut moves: Vec<usize> = Vec::with_capacity(m);
+    let mut cur_cut = cut0 as i64;
+    let mut best_cut = cut0 as i64;
+    let mut best_prefix = 0usize;
+    // Classic FM slack: a side may exceed the balance bound by one largest
+    // cell, otherwise an exactly balanced split could never move anything.
+    let slack = areas.iter().cloned().fold(0.0f64, f64::max);
+
+    while let Some((g, i)) = heap.pop() {
+        if locked[i] {
+            continue;
+        }
+        let fresh = gain(i, side, &cnt);
+        if fresh != g {
+            heap.push((fresh, i)); // lazy refresh
+            continue;
+        }
+        let from = side[i] as usize;
+        let to = 1 - from;
+        // Balance guard: skip (lock) moves that overfill the target side.
+        if side_area[to] + areas[i] > max_side + slack && side_area[to] > total_area * 0.05 {
+            locked[i] = true;
+            continue;
+        }
+        // Apply the move.
+        locked[i] = true;
+        side[i] = !side[i];
+        side_area[from] -= areas[i];
+        side_area[to] += areas[i];
+        for &ni in &nets_of[i] {
+            cnt[ni][from] -= 1;
+            cnt[ni][to] += 1;
+        }
+        cur_cut -= fresh;
+        moves.push(i);
+        if cur_cut < best_cut {
+            best_cut = cur_cut;
+            best_prefix = moves.len();
+        }
+        // Re-push neighbours whose gains changed.
+        for &ni in &nets_of[i] {
+            for &p in &nets[ni] {
+                if !locked[p] {
+                    heap.push((gain(p, side, &cnt), p));
+                }
+            }
+        }
+    }
+
+    // Roll back moves after the best prefix.
+    for &i in moves.iter().skip(best_prefix) {
+        side[i] = !side[i];
+    }
+    best_cut < cut0 as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacr_netlist::{Sink, Unit};
+
+    /// Two 4-cliques joined by a single net: FM should find the obvious
+    /// 2-block split with cut 1.
+    #[test]
+    fn separates_two_clusters() {
+        let mut c = Circuit::new("clusters");
+        let mut us = Vec::new();
+        for i in 0..8 {
+            us.push(c.add_unit(Unit::logic(format!("g{i}"), 1.0, 1.0)));
+        }
+        // cluster A: 0-3 chained densely; cluster B: 4-7.
+        for base in [0usize, 4] {
+            for i in base..base + 3 {
+                c.add_net(
+                    us[i],
+                    vec![Sink::new(us[i + 1], 1), Sink::new(us[base], 1)],
+                );
+            }
+        }
+        // one bridge net
+        c.add_net(us[3], vec![Sink::new(us[4], 1)]);
+        let all: Vec<UnitId> = c.unit_ids().collect();
+        let (l, r) = bipartition(&c, &all, 0.2, 8, 3);
+        assert!(!l.is_empty() && !r.is_empty());
+        assert!(l.len() >= 3 && r.len() >= 3, "split {}/{}", l.len(), r.len());
+        let cut = c
+            .nets()
+            .iter()
+            .filter(|net| {
+                let dl = l.contains(&net.driver);
+                net.sinks.iter().any(|s| l.contains(&s.unit) != dl)
+            })
+            .count();
+        assert_eq!(cut, 1, "expected the single-bridge cut, left={l:?}");
+    }
+
+    #[test]
+    fn tiny_groups_degrade_gracefully() {
+        let mut c = Circuit::new("tiny");
+        let a = c.add_unit(Unit::logic("a", 1.0, 1.0));
+        let (l, r) = bipartition(&c, &[a], 0.1, 4, 1);
+        assert_eq!(l.len(), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn two_units_split_one_each() {
+        let mut c = Circuit::new("two");
+        let a = c.add_unit(Unit::logic("a", 1.0, 1.0));
+        let b = c.add_unit(Unit::logic("b", 1.0, 1.0));
+        c.add_net(a, vec![Sink::new(b, 1)]);
+        let (l, r) = bipartition(&c, &[a, b], 0.1, 4, 1);
+        assert_eq!(l.len(), 1);
+        assert_eq!(r.len(), 1);
+    }
+}

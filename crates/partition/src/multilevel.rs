@@ -1,0 +1,386 @@
+//! Multilevel bipartitioning: heavy-edge coarsening, FM on the coarsest
+//! graph, then FM refinement at every uncoarsening level (the hMETIS
+//! recipe, specialised to two sides).
+//!
+//! Flat FM degrades on large netlists — its single-vertex moves cannot
+//! shift whole clusters. Coarsening by heavy-edge matching merges tightly
+//! connected pairs first, so the coarse-level FM effectively moves
+//! clusters, and each finer level only polishes.
+
+use crate::fm::bipartition;
+use lacr_netlist::{Circuit, UnitId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// A coarsened hypergraph level.
+#[derive(Debug, Clone)]
+struct Level {
+    /// For each coarse vertex: the fine vertices it contains (indices into
+    /// the previous level's vertex space).
+    groups: Vec<Vec<usize>>,
+    /// Nets as coarse-vertex index lists (deduplicated, ≥ 2 pins).
+    nets: Vec<Vec<usize>>,
+    /// Vertex areas.
+    areas: Vec<f64>,
+}
+
+/// Splits `group` into two area-balanced halves using multilevel FM.
+///
+/// Parameters mirror [`crate::bipartition`]; `coarsen_to` bounds the
+/// coarsest level's vertex count (default ≈ 64 via
+/// [`multilevel_bipartition`]'s wrapper behaviour).
+///
+/// # Examples
+///
+/// ```
+/// use lacr_netlist::bench89;
+/// use lacr_partition::multilevel_bipartition;
+///
+/// let c = bench89::generate("s953")?;
+/// let all: Vec<_> = c.unit_ids().collect();
+/// let (l, r) = multilevel_bipartition(&c, &all, 0.15, 4, 7);
+/// assert_eq!(l.len() + r.len(), all.len());
+/// assert!(!l.is_empty() && !r.is_empty());
+/// # Ok::<(), lacr_netlist::UnknownBenchmarkError>(())
+/// ```
+pub fn multilevel_bipartition(
+    circuit: &Circuit,
+    group: &[UnitId],
+    balance_tolerance: f64,
+    passes: usize,
+    seed: u64,
+) -> (Vec<UnitId>, Vec<UnitId>) {
+    let m = group.len();
+    if m < 128 {
+        // Small enough for flat FM.
+        return bipartition(circuit, group, balance_tolerance, passes, seed);
+    }
+    let coarsen_to = 64usize;
+
+    // Level 0: the fine hypergraph restricted to the group.
+    let mut local: HashMap<UnitId, usize> = HashMap::with_capacity(m);
+    for (i, &u) in group.iter().enumerate() {
+        local.insert(u, i);
+    }
+    let mut nets: Vec<Vec<usize>> = Vec::new();
+    for net in circuit.nets() {
+        let mut pins: Vec<usize> = std::iter::once(net.driver)
+            .chain(net.sinks.iter().map(|s| s.unit))
+            .filter_map(|u| local.get(&u).copied())
+            .collect();
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() >= 2 {
+            nets.push(pins);
+        }
+    }
+    let areas: Vec<f64> = group
+        .iter()
+        .map(|&u| circuit.unit(u).area.max(1e-3))
+        .collect();
+    let mut levels: Vec<Level> = vec![Level {
+        groups: (0..m).map(|i| vec![i]).collect(),
+        nets,
+        areas,
+    }];
+
+    // Coarsen until small or progress stalls.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc0a5);
+    loop {
+        let cur = levels.last().expect("at least level 0");
+        let n = cur.groups.len();
+        if n <= coarsen_to {
+            break;
+        }
+        let next = coarsen(cur, &mut rng);
+        if next.groups.len() as f64 > 0.9 * n as f64 {
+            break; // diminishing returns
+        }
+        levels.push(next);
+    }
+
+    // Initial FM on the coarsest level via a temporary circuit-free FM:
+    // reuse the generic pass by building side assignments directly.
+    let coarsest = levels.last().expect("non-empty");
+    let mut side = initial_split(coarsest, &mut rng, balance_tolerance);
+    refine(coarsest, &mut side, balance_tolerance, passes * 2);
+
+    // Uncoarsen with refinement at each level.
+    for li in (0..levels.len() - 1).rev() {
+        let finer = &levels[li];
+        let coarser = &levels[li + 1];
+        let mut fine_side = vec![false; finer.groups.len()];
+        for (ci, members) in coarser.groups.iter().enumerate() {
+            for &f in members {
+                fine_side[f] = side[ci];
+            }
+        }
+        side = fine_side;
+        refine(finer, &mut side, balance_tolerance, passes);
+    }
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (i, &u) in group.iter().enumerate() {
+        if side[i] {
+            right.push(u);
+        } else {
+            left.push(u);
+        }
+    }
+    if left.is_empty() {
+        left.push(right.pop().expect("m >= 2"));
+    }
+    if right.is_empty() {
+        right.push(left.pop().expect("m >= 2"));
+    }
+    (left, right)
+}
+
+/// Heavy-edge matching: vertices sharing many small nets merge first.
+fn coarsen(level: &Level, rng: &mut ChaCha8Rng) -> Level {
+    let n = level.groups.len();
+    // Pairwise connectivity scores from nets (small nets weigh more).
+    let mut score: HashMap<(usize, usize), f64> = HashMap::new();
+    for pins in &level.nets {
+        if pins.len() > 8 {
+            continue; // big nets carry little clustering signal
+        }
+        let w = 1.0 / (pins.len() as f64 - 1.0);
+        for i in 0..pins.len() {
+            for j in i + 1..pins.len() {
+                let key = (pins[i].min(pins[j]), pins[i].max(pins[j]));
+                *score.entry(key).or_insert(0.0) += w;
+            }
+        }
+    }
+    // Visit vertices in random order; match each to its best unmatched
+    // neighbour.
+    let mut neighbours: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (&(a, b), &s) in &score {
+        neighbours[a].push((b, s));
+        neighbours[b].push((a, s));
+    }
+    // HashMap iteration order is randomised; sort each adjacency list so
+    // the matching (and therefore the whole partitioner) is deterministic.
+    for list in &mut neighbours {
+        list.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut matched = vec![usize::MAX; n];
+    for &v in &order {
+        if matched[v] != usize::MAX {
+            continue;
+        }
+        let best = neighbours[v]
+            .iter()
+            .find(|(u, _)| matched[*u] == usize::MAX && *u != v);
+        if let Some(&(u, _)) = best {
+            matched[v] = u;
+            matched[u] = v;
+        }
+    }
+    // Build coarse vertices.
+    let mut coarse_of = vec![usize::MAX; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut areas: Vec<f64> = Vec::new();
+    for v in 0..n {
+        if coarse_of[v] != usize::MAX {
+            continue;
+        }
+        let mut members = vec![v];
+        coarse_of[v] = groups.len();
+        let u = matched[v];
+        if u != usize::MAX && coarse_of[u] == usize::MAX {
+            coarse_of[u] = groups.len();
+            members.push(u);
+        }
+        areas.push(members.iter().map(|&x| level.areas[x]).sum());
+        groups.push(members);
+    }
+    // Project nets.
+    let mut nets: Vec<Vec<usize>> = Vec::new();
+    for pins in &level.nets {
+        let mut coarse: Vec<usize> = pins.iter().map(|&p| coarse_of[p]).collect();
+        coarse.sort_unstable();
+        coarse.dedup();
+        if coarse.len() >= 2 {
+            nets.push(coarse);
+        }
+    }
+    Level { groups, nets, areas }
+}
+
+/// Random area-balanced initial split of a level.
+fn initial_split(level: &Level, rng: &mut ChaCha8Rng, _tol: f64) -> Vec<bool> {
+    let n = level.groups.len();
+    let total: f64 = level.areas.iter().sum();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut side = vec![false; n];
+    let mut left = 0.0;
+    for &v in &order {
+        if left + level.areas[v] <= total / 2.0 {
+            left += level.areas[v];
+        } else {
+            side[v] = true;
+        }
+    }
+    if side.iter().all(|&s| !s) && n > 1 {
+        side[order[n - 1]] = true;
+    }
+    if side.iter().all(|&s| s) && n > 1 {
+        side[order[0]] = false;
+    }
+    side
+}
+
+/// Greedy FM-style refinement passes on one level (recomputed gains, best
+/// prefix kept — adequate because levels are small after coarsening and
+/// the fine levels only polish).
+fn refine(level: &Level, side: &mut [bool], tol: f64, passes: usize) {
+    let n = level.groups.len();
+    if n < 2 {
+        return;
+    }
+    let total: f64 = level.areas.iter().sum();
+    let max_side = total / 2.0 * (1.0 + tol) + level.areas.iter().cloned().fold(0.0, f64::max);
+    let mut nets_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ni, pins) in level.nets.iter().enumerate() {
+        for &p in pins {
+            nets_of[p].push(ni);
+        }
+    }
+    for _ in 0..passes {
+        let mut cnt = vec![[0usize; 2]; level.nets.len()];
+        for (ni, pins) in level.nets.iter().enumerate() {
+            for &p in pins {
+                cnt[ni][side[p] as usize] += 1;
+            }
+        }
+        let cut0: i64 = cnt.iter().filter(|c| c[0] > 0 && c[1] > 0).count() as i64;
+        let mut side_area = [0.0f64; 2];
+        for v in 0..n {
+            side_area[side[v] as usize] += level.areas[v];
+        }
+        let mut locked = vec![false; n];
+        let mut moves: Vec<usize> = Vec::new();
+        let mut cur = cut0;
+        let mut best = cut0;
+        let mut best_prefix = 0usize;
+        for _ in 0..n {
+            // Pick the best unlocked, balance-respecting move.
+            let mut pick: Option<(i64, usize)> = None;
+            for v in 0..n {
+                if locked[v] {
+                    continue;
+                }
+                let s = side[v] as usize;
+                if side_area[1 - s] + level.areas[v] > max_side {
+                    continue;
+                }
+                let mut g = 0i64;
+                for &ni in &nets_of[v] {
+                    if cnt[ni][1 - s] == 0 {
+                        g -= 1;
+                    }
+                    if cnt[ni][s] == 1 {
+                        g += 1;
+                    }
+                }
+                if pick.map(|(pg, _)| g > pg).unwrap_or(true) {
+                    pick = Some((g, v));
+                }
+            }
+            let Some((g, v)) = pick else { break };
+            let s = side[v] as usize;
+            locked[v] = true;
+            side[v] = !side[v];
+            side_area[s] -= level.areas[v];
+            side_area[1 - s] += level.areas[v];
+            for &ni in &nets_of[v] {
+                cnt[ni][s] -= 1;
+                cnt[ni][1 - s] += 1;
+            }
+            cur -= g;
+            moves.push(v);
+            if cur < best {
+                best = cur;
+                best_prefix = moves.len();
+            }
+        }
+        for &v in moves.iter().skip(best_prefix) {
+            side[v] = !side[v];
+        }
+        if best >= cut0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lacr_netlist::bench89;
+
+    fn cut_of(circuit: &Circuit, left: &[UnitId]) -> usize {
+        let in_left = |u: UnitId| left.contains(&u);
+        circuit
+            .nets()
+            .iter()
+            .filter(|net| {
+                let dl = in_left(net.driver);
+                net.sinks.iter().any(|s| in_left(s.unit) != dl)
+            })
+            .count()
+    }
+
+    #[test]
+    fn multilevel_covers_and_balances() {
+        let c = bench89::generate("s1196").unwrap();
+        let all: Vec<UnitId> = c.unit_ids().collect();
+        let (l, r) = multilevel_bipartition(&c, &all, 0.15, 4, 11);
+        assert_eq!(l.len() + r.len(), all.len());
+        let la: f64 = l.iter().map(|&u| c.unit(u).area.max(1e-3)).sum();
+        let ra: f64 = r.iter().map(|&u| c.unit(u).area.max(1e-3)).sum();
+        let total = la + ra;
+        assert!(la < 0.75 * total && ra < 0.75 * total, "{la} vs {ra}");
+    }
+
+    #[test]
+    fn multilevel_cut_not_worse_than_flat_on_big_circuits() {
+        let c = bench89::generate("s1423").unwrap();
+        let all: Vec<UnitId> = c.unit_ids().collect();
+        let (ml_l, _) = multilevel_bipartition(&c, &all, 0.15, 4, 5);
+        let (flat_l, _) = bipartition(&c, &all, 0.15, 4, 5);
+        let ml_cut = cut_of(&c, &ml_l);
+        let flat_cut = cut_of(&c, &flat_l);
+        assert!(
+            ml_cut as f64 <= flat_cut as f64 * 1.5,
+            "multilevel {ml_cut} much worse than flat {flat_cut}"
+        );
+    }
+
+    #[test]
+    fn small_groups_fall_back_to_flat() {
+        let c = bench89::generate("s344").unwrap();
+        let few: Vec<UnitId> = c.unit_ids().take(20).collect();
+        let (l, r) = multilevel_bipartition(&c, &few, 0.2, 4, 3);
+        assert_eq!(l.len() + r.len(), 20);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = bench89::generate("s953").unwrap();
+        let all: Vec<UnitId> = c.unit_ids().collect();
+        let a = multilevel_bipartition(&c, &all, 0.15, 4, 9);
+        let b = multilevel_bipartition(&c, &all, 0.15, 4, 9);
+        assert_eq!(a, b);
+    }
+}

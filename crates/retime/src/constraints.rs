@@ -1,0 +1,360 @@
+//! Clock-period constraint generation (the W/D computation).
+//!
+//! For a target period `T`, minimum-area retiming needs, for every vertex
+//! pair with `D(u, v) > T`, the constraint `r(u) − r(v) ≤ W(u, v) − 1`
+//! (Eqn. (2) of the paper), where `W(u, v)` is the minimum flip-flop count
+//! over `u⇝v` paths and `D(u, v)` the maximum delay among the
+//! minimum-weight paths.
+//!
+//! Implementation: one Dijkstra per source `u` over the non-negative edge
+//! weights gives `W(u, ·)`; the *tight subgraph* (edges on some
+//! minimum-weight path) is then a DAG — any tight cycle would be a
+//! zero-weight cycle, which valid circuits exclude — so a longest-path DP
+//! over it gives `D(u, ·)`. Constraints are emitted per row, never storing
+//! the full `|V|²` matrices.
+//!
+//! The optional *pruning* (in the spirit of Maheshwari & Sapatnekar's
+//! constraint reduction, cited in §5) drops `(u, v)` whenever some tight-DAG
+//! ancestor `x` of `v` already violates (`D(u, x) > T`): the emitted
+//! constraint `r(u) − r(x) ≤ W(u, x) − 1` plus the edge constraints along
+//! the tight path `x ⇝ v` (total weight `W(u, v) − W(u, x)`) imply the
+//! dropped one.
+
+use crate::graph::{RetimeGraph, VertexId};
+use lacr_mcmf::Constraint;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The period constraints for one target period, generated once and reused
+/// across the weighted min-area retimings of a LAC run (the paper's §4.2
+/// efficiency argument).
+#[derive(Debug, Clone)]
+pub struct PeriodConstraints {
+    /// The target clock period (integer picoseconds).
+    pub target: u64,
+    /// Period constraints `r(u) − r(v) ≤ bound` over vertex indices.
+    pub constraints: Vec<Constraint>,
+    /// Violating pairs seen before pruning (equals `constraints.len()`
+    /// when pruning is off).
+    pub pairs_before_pruning: usize,
+}
+
+/// Options for [`generate_period_constraints`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstraintOptions {
+    /// Drop constraints implied by an earlier constraint plus edge
+    /// constraints (see module docs). On by default.
+    pub prune: bool,
+}
+
+impl Default for ConstraintOptions {
+    fn default() -> Self {
+        Self { prune: true }
+    }
+}
+
+/// Generates the clock-period constraints for `target`.
+///
+/// # Examples
+///
+/// ```
+/// use lacr_retime::{generate_period_constraints, ConstraintOptions, RetimeGraph, VertexKind};
+///
+/// let mut g = RetimeGraph::new();
+/// let a = g.add_vertex(VertexKind::Functional, 4, 1.0, None);
+/// let b = g.add_vertex(VertexKind::Functional, 4, 1.0, None);
+/// g.add_edge(a, b, 1);
+/// g.add_edge(b, a, 1);
+/// // Period 4 fits each vertex alone: no pair path may stay unregistered,
+/// // but W(a,b) = 1 already ≥ 1 so the constraint bound is 0.
+/// let pc = generate_period_constraints(&g, 7, ConstraintOptions::default());
+/// assert_eq!(pc.constraints.len(), 2); // a⇝b and b⇝a both have D = 8 > 7
+/// ```
+pub fn generate_period_constraints(
+    graph: &RetimeGraph,
+    target: u64,
+    options: ConstraintOptions,
+) -> PeriodConstraints {
+    let n = graph.num_vertices();
+    let mut constraints = Vec::new();
+    let mut pairs = 0usize;
+    // Paths must not pass *through* the host: the environment registers
+    // primary outputs before they can influence primary inputs, so a
+    // `u ⇝ host ⇝ v` chain is not a real signal path (pairs ending or
+    // starting at the host are still considered).
+    let host = graph.host();
+
+    // Reusable scratch buffers across sources.
+    let mut w = vec![i64::MAX; n];
+    let mut d = vec![0u64; n];
+    let mut covered = vec![false; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+
+    for u in graph.vertex_ids() {
+        w.iter_mut().for_each(|x| *x = i64::MAX);
+        covered.iter_mut().for_each(|x| *x = false);
+        // Dijkstra for W(u, ·).
+        w[u.index()] = 0;
+        let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((0, u.0)));
+        order.clear();
+        while let Some(Reverse((dist, v))) = heap.pop() {
+            if dist > w[v as usize] {
+                continue;
+            }
+            order.push(v);
+            if host == Some(VertexId(v)) && u != VertexId(v) {
+                continue; // terminate paths at the host
+            }
+            for e in graph.out_edges(VertexId(v)) {
+                let edge = graph.edge(e);
+                let nd = dist + edge.weight;
+                if nd < w[edge.to.index()] {
+                    w[edge.to.index()] = nd;
+                    heap.push(Reverse((nd, edge.to.0)));
+                }
+            }
+        }
+        // `order` is a topological order of the tight DAG: every tight edge
+        // x→y has W(u,x) ≤ W(u,y), and Dijkstra pops in W order; ties are
+        // resolved consistently because a tight zero-weight edge x→y means
+        // y is finalised only after x relaxed it... in general equal-W pops
+        // are not DAG-ordered, so do an explicit Kahn pass instead.
+        let topo = tight_dag_topo(graph, &w, host.filter(|&h| h != u), u);
+        debug_assert_eq!(
+            topo.len(),
+            order.len(),
+            "tight subgraph had a zero-weight cycle (invalid circuit)"
+        );
+        // Longest-delay DP over the tight DAG.
+        d.iter_mut().for_each(|x| *x = 0);
+        d[u.index()] = graph.delay(u);
+        for &v in &topo {
+            let vi = v as usize;
+            if host == Some(VertexId(v)) && u != VertexId(v) {
+                continue; // terminate paths at the host
+            }
+            let base = d[vi];
+            // A tight ancestor that itself violates the period makes every
+            // descendant's constraint redundant (see module docs).
+            let violating = covered[vi] || (vi != u.index() && base > target);
+            for e in graph.out_edges(VertexId(v)) {
+                let edge = graph.edge(e);
+                let ti = edge.to.index();
+                if w[vi] + edge.weight == w[ti] {
+                    let cand = base + graph.delay(edge.to);
+                    if cand > d[ti] {
+                        d[ti] = cand;
+                    }
+                    if violating {
+                        covered[ti] = true;
+                    }
+                }
+            }
+        }
+        for &v in &topo {
+            let vi = v as usize;
+            if vi == u.index() || w[vi] == i64::MAX {
+                continue;
+            }
+            if d[vi] > target {
+                pairs += 1;
+                if !(options.prune && covered[vi]) {
+                    constraints.push(Constraint::new(u.index(), vi, w[vi] - 1));
+                }
+            }
+        }
+    }
+    PeriodConstraints {
+        target,
+        constraints,
+        pairs_before_pruning: pairs,
+    }
+}
+
+/// Kahn topological order of the tight DAG induced by `w`. Vertices with
+/// `w == MAX` (unreachable) never join the order; `blocked` (the host when
+/// it is not the source) contributes no outgoing tight edges, and edges
+/// back into the `source` are ignored (a tight edge into the source would
+/// close a zero-weight cycle — only possible through the host, where paths
+/// must terminate anyway).
+fn tight_dag_topo(
+    graph: &RetimeGraph,
+    w: &[i64],
+    blocked: Option<VertexId>,
+    source: VertexId,
+) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let tight = |edge: &crate::graph::GraphEdge| -> bool {
+        let fi = edge.from.index();
+        Some(edge.from) != blocked
+            && edge.to != source
+            && w[fi] != i64::MAX
+            && w[fi] + edge.weight == w[edge.to.index()]
+    };
+    let mut indeg = vec![0u32; n];
+    for edge in graph.edges() {
+        if tight(edge) {
+            indeg[edge.to.index()] += 1;
+        }
+    }
+    let mut topo = Vec::with_capacity(n);
+    let mut queue: Vec<u32> = (0..n as u32)
+        .filter(|&v| w[v as usize] != i64::MAX && indeg[v as usize] == 0)
+        .collect();
+    while let Some(v) = queue.pop() {
+        topo.push(v);
+        for e in graph.out_edges(VertexId(v)) {
+            let edge = graph.edge(e);
+            if tight(&edge) {
+                indeg[edge.to.index()] -= 1;
+                if indeg[edge.to.index()] == 0 {
+                    queue.push(edge.to.0);
+                }
+            }
+        }
+    }
+    topo
+}
+
+/// The edge-weight (non-negativity) constraints `r(tail) − r(head) ≤ w(e)`
+/// (Eqn. (1) of the paper), over vertex indices.
+pub fn edge_constraints(graph: &RetimeGraph) -> Vec<Constraint> {
+    graph
+        .edges()
+        .iter()
+        .map(|e| Constraint::new(e.from.index(), e.to.index(), e.weight))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::VertexKind;
+    use lacr_mcmf::DifferenceConstraints;
+
+    /// host→a→b→host pipeline: delays 5 each, two flops at the front.
+    fn pipeline() -> RetimeGraph {
+        let mut g = RetimeGraph::new();
+        let h = g.add_vertex(VertexKind::Host, 0, 1.0, None);
+        g.set_host(h);
+        let a = g.add_vertex(VertexKind::Functional, 5, 1.0, None);
+        let b = g.add_vertex(VertexKind::Functional, 5, 1.0, None);
+        g.add_edge(h, a, 2);
+        g.add_edge(a, b, 0);
+        g.add_edge(b, h, 0);
+        g
+    }
+
+    #[test]
+    fn constraints_make_target_feasible_iff_feas_agrees() {
+        let g = pipeline();
+        for t in 4..=12u64 {
+            let pc = generate_period_constraints(&g, t, ConstraintOptions::default());
+            let mut all = edge_constraints(&g);
+            all.extend(pc.constraints.iter().copied());
+            let sys = DifferenceConstraints::new(g.num_vertices(), all);
+            let feasible = sys.is_feasible() && t >= 5; // single-vertex delay bound
+            let feas = crate::feas::feasible_retiming(&g, t).is_some();
+            assert_eq!(feasible, feas, "target {t}");
+        }
+    }
+
+    #[test]
+    fn bellman_ford_solution_of_constraints_is_valid_retiming() {
+        let g = pipeline();
+        let t = 5;
+        let pc = generate_period_constraints(&g, t, ConstraintOptions::default());
+        let mut all = edge_constraints(&g);
+        all.extend(pc.constraints.iter().copied());
+        let sys = DifferenceConstraints::new(g.num_vertices(), all);
+        let r = sys.solve().expect("feasible at 5");
+        let w = g.retimed_weights(&r);
+        assert!(g.weights_legal(&w));
+        assert!(g.clock_period(&w).unwrap() <= t);
+    }
+
+    #[test]
+    fn pruning_never_changes_feasibility_or_solutions() {
+        let g = pipeline();
+        for t in 5..=10u64 {
+            let full = generate_period_constraints(&g, t, ConstraintOptions { prune: false });
+            let pruned = generate_period_constraints(&g, t, ConstraintOptions { prune: true });
+            assert!(pruned.constraints.len() <= full.constraints.len());
+            // A solution of the pruned system must satisfy the full system.
+            let mut base = edge_constraints(&g);
+            base.extend(pruned.constraints.iter().copied());
+            let sys = DifferenceConstraints::new(g.num_vertices(), base);
+            if let Some(r) = sys.solve() {
+                for c in &full.constraints {
+                    assert!(
+                        r[c.u] - r[c.v] <= c.bound,
+                        "t={t}: pruned solution violates dropped constraint {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tight_dag_longest_path_matches_hand_computation() {
+        // u → x (w=0, d=2) → v (w=0, d=3); also u → v direct (w=1).
+        // W(u,v) = 0 via x; D(u,v) = d(u)+2+3.
+        let mut g = RetimeGraph::new();
+        let u = g.add_vertex(VertexKind::Functional, 1, 1.0, None);
+        let x = g.add_vertex(VertexKind::Functional, 2, 1.0, None);
+        let v = g.add_vertex(VertexKind::Functional, 3, 1.0, None);
+        g.add_edge(u, x, 0);
+        g.add_edge(x, v, 0);
+        g.add_edge(u, v, 1);
+        g.add_edge(v, u, 1); // close the loop legally
+        let pc = generate_period_constraints(&g, 5, ConstraintOptions { prune: false });
+        // D(u,v) = 6 > 5 → constraint r(u) − r(v) ≤ W−1 = −1.
+        let c = pc
+            .constraints
+            .iter()
+            .find(|c| c.u == u.index() && c.v == v.index())
+            .expect("u,v constraint present");
+        assert_eq!(c.bound, -1);
+    }
+
+    #[test]
+    fn no_constraints_when_period_is_loose() {
+        let g = pipeline();
+        let pc = generate_period_constraints(&g, 1_000, ConstraintOptions::default());
+        assert!(pc.constraints.is_empty());
+        assert_eq!(pc.pairs_before_pruning, 0);
+    }
+
+    #[test]
+    fn multi_edges_are_handled() {
+        let mut g = RetimeGraph::new();
+        let a = g.add_vertex(VertexKind::Functional, 4, 1.0, None);
+        let b = g.add_vertex(VertexKind::Functional, 4, 1.0, None);
+        g.add_edge(a, b, 0);
+        g.add_edge(a, b, 2);
+        g.add_edge(b, a, 1);
+        let pc = generate_period_constraints(&g, 7, ConstraintOptions { prune: false });
+        // W(a,b) = 0 (via the first edge), D = 8 > 7 → bound −1.
+        let c = pc
+            .constraints
+            .iter()
+            .find(|c| c.u == a.index() && c.v == b.index())
+            .expect("constraint");
+        assert_eq!(c.bound, -1);
+    }
+
+    #[test]
+    fn unreachable_pairs_produce_no_constraints() {
+        let mut g = RetimeGraph::new();
+        let a = g.add_vertex(VertexKind::Functional, 9, 1.0, None);
+        let b = g.add_vertex(VertexKind::Functional, 9, 1.0, None);
+        // b → a only; nothing reaches b.
+        g.add_edge(b, a, 0);
+        let pc = generate_period_constraints(&g, 10, ConstraintOptions::default());
+        assert!(pc
+            .constraints
+            .iter()
+            .all(|c| !(c.u == a.index() && c.v == b.index())));
+    }
+}

@@ -1,0 +1,371 @@
+//! Min-period retiming: binary search over integer candidate periods with
+//! two feasibility oracles.
+//!
+//! * Host-free graphs use the Leiserson–Saxe **FEAS** relaxation — fast,
+//!   and sound because every violating vertex can be incremented.
+//! * Graphs with a host vertex use the **constraint oracle**: generate the
+//!   W/D period constraints for the candidate period and solve the
+//!   difference-constraint system with Bellman–Ford. FEAS is unsound
+//!   there: the host must not be incremented (it pins I/O latency and
+//!   does not propagate combinational signals), so a violating primary
+//!   output driver cannot legally be incremented past a zero-weight host
+//!   edge.
+
+use crate::constraints::{edge_constraints, generate_period_constraints, ConstraintOptions};
+use crate::graph::RetimeGraph;
+use lacr_mcmf::DifferenceConstraints;
+
+/// Result of [`min_period_retiming`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinPeriodResult {
+    /// The minimum feasible clock period (integer picoseconds).
+    pub period: u64,
+    /// A retiming vector achieving it.
+    pub retiming: Vec<i64>,
+}
+
+/// Returns a retiming achieving clock period `≤ target`, or `None` when no
+/// retiming can.
+///
+/// # Examples
+///
+/// ```
+/// use lacr_retime::{feasible_retiming, RetimeGraph, VertexKind};
+///
+/// let mut g = RetimeGraph::new();
+/// let a = g.add_vertex(VertexKind::Functional, 5, 1.0, None);
+/// let b = g.add_vertex(VertexKind::Functional, 5, 1.0, None);
+/// g.add_edge(a, b, 0);
+/// g.add_edge(b, a, 2);
+/// // Unretimed period is 10; one flop can move to cut the a→b path.
+/// let r = feasible_retiming(&g, 5).expect("5 is achievable");
+/// let w = g.retimed_weights(&r);
+/// assert_eq!(g.clock_period(&w), Some(5));
+/// assert!(feasible_retiming(&g, 4).is_none());
+/// ```
+pub fn feasible_retiming(graph: &RetimeGraph, target: u64) -> Option<Vec<i64>> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // No retiming helps a single vertex slower than the target.
+    if graph.vertex_ids().any(|v| graph.delay(v) > target) {
+        return None;
+    }
+    let r = if graph.host().is_some() {
+        constraint_feasible(graph, target)?
+    } else {
+        feas_loop(graph, target)?
+    };
+    debug_assert!({
+        let w = graph.retimed_weights(&r);
+        graph.weights_legal(&w) && graph.clock_period(&w).is_some_and(|p| p <= target)
+    });
+    Some(r)
+}
+
+/// The classic FEAS loop (host-free graphs only).
+fn feas_loop(graph: &RetimeGraph, target: u64) -> Option<Vec<i64>> {
+    let n = graph.num_vertices();
+    let mut r = vec![0i64; n];
+    // |V| rounds: the classic bound is |V| − 1 increments; one extra round
+    // performs the final check.
+    for _ in 0..=n {
+        let weights = graph.retimed_weights(&r);
+        debug_assert!(graph.weights_legal(&weights), "FEAS lost legality");
+        let arrivals = graph
+            .arrival_times(&weights)
+            .expect("legal retiming keeps the zero-weight subgraph acyclic");
+        let mut ok = true;
+        for (v, &a) in arrivals.iter().enumerate() {
+            if a > target {
+                r[v] += 1;
+                ok = false;
+            }
+        }
+        if ok {
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// Feasibility via the W/D constraint system (sound for host graphs).
+fn constraint_feasible(graph: &RetimeGraph, target: u64) -> Option<Vec<i64>> {
+    let pc = generate_period_constraints(graph, target, ConstraintOptions::default());
+    let mut cons = edge_constraints(graph);
+    cons.extend(pc.constraints.iter().copied());
+    DifferenceConstraints::new(graph.num_vertices(), cons).solve()
+}
+
+/// Computes the minimum feasible clock period and a retiming achieving it.
+///
+/// Binary-searches integer periods between the largest single-vertex delay
+/// (no retiming can beat it) and the unretimed period, using
+/// [`feasible_retiming`] as the oracle.
+///
+/// # Panics
+///
+/// Panics if the graph's zero-weight subgraph is cyclic (the circuit was
+/// invalid: some directed cycle carries no flip-flop).
+pub fn min_period_retiming(graph: &RetimeGraph) -> MinPeriodResult {
+    min_period_retiming_with_tolerance(graph, 0)
+}
+
+/// Like [`min_period_retiming`], but stops the binary search once the
+/// bracket `[infeasible, feasible]` is narrower than `tolerance_ps`,
+/// returning the feasible end. The result is at most `tolerance_ps` above
+/// the true optimum — useful on large interconnect graphs where each
+/// feasibility probe regenerates the W/D constraints.
+///
+/// # Panics
+///
+/// Panics if the graph's zero-weight subgraph is cyclic.
+pub fn min_period_retiming_with_tolerance(
+    graph: &RetimeGraph,
+    tolerance_ps: u64,
+) -> MinPeriodResult {
+    if graph.num_vertices() == 0 {
+        return MinPeriodResult {
+            period: 0,
+            retiming: Vec::new(),
+        };
+    }
+    let start = graph
+        .clock_period(&graph.weights())
+        .expect("valid circuit: every cycle must carry a flip-flop");
+    let mut lo = graph
+        .vertex_ids()
+        .map(|v| graph.delay(v))
+        .max()
+        .unwrap_or(0);
+    let mut hi = start;
+    let mut best = (hi, vec![0i64; graph.num_vertices()]);
+    while lo < hi && hi - lo > tolerance_ps {
+        let mid = lo + (hi - lo) / 2;
+        match feasible_retiming(graph, mid) {
+            Some(r) => {
+                best = (mid, r);
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    if lo < best.0 && tolerance_ps == 0 {
+        if let Some(r) = feasible_retiming(graph, lo) {
+            best = (lo, r);
+        }
+    }
+    MinPeriodResult {
+        period: best.0,
+        retiming: best.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::VertexKind;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn two_vertex_loop() -> RetimeGraph {
+        let mut g = RetimeGraph::new();
+        let a = g.add_vertex(VertexKind::Functional, 5, 1.0, None);
+        let b = g.add_vertex(VertexKind::Functional, 5, 1.0, None);
+        g.add_edge(a, b, 0);
+        g.add_edge(b, a, 2);
+        g
+    }
+
+    #[test]
+    fn feas_balances_two_vertex_loop() {
+        let g = two_vertex_loop();
+        let res = min_period_retiming(&g);
+        assert_eq!(res.period, 5);
+        let w = g.retimed_weights(&res.retiming);
+        assert_eq!(g.clock_period(&w), Some(5));
+    }
+
+    #[test]
+    fn feas_rejects_sub_delay_target() {
+        let g = two_vertex_loop();
+        assert!(feasible_retiming(&g, 4).is_none());
+    }
+
+    #[test]
+    fn min_period_of_already_optimal_is_identity_grade() {
+        let mut g = RetimeGraph::new();
+        let a = g.add_vertex(VertexKind::Functional, 3, 1.0, None);
+        let b = g.add_vertex(VertexKind::Functional, 3, 1.0, None);
+        g.add_edge(a, b, 1);
+        g.add_edge(b, a, 1);
+        let res = min_period_retiming(&g);
+        assert_eq!(res.period, 3);
+    }
+
+    #[test]
+    fn min_period_bounded_by_cycle_ratio() {
+        // Cycle of 4 vertices, delays 2 each, 2 flops total: the max
+        // delay-to-register ratio forces period ≥ ceil(8 / 2) = 4.
+        let mut g = RetimeGraph::new();
+        let vs: Vec<_> = (0..4)
+            .map(|_| g.add_vertex(VertexKind::Functional, 2, 1.0, None))
+            .collect();
+        g.add_edge(vs[0], vs[1], 2);
+        g.add_edge(vs[1], vs[2], 0);
+        g.add_edge(vs[2], vs[3], 0);
+        g.add_edge(vs[3], vs[0], 0);
+        let res = min_period_retiming(&g);
+        assert_eq!(res.period, 4);
+    }
+
+    #[test]
+    fn pipeline_with_host_keeps_latency() {
+        // host --2--> a --0--> b --0--> host, d(a)=d(b)=5.
+        let mut g = RetimeGraph::new();
+        let h = g.add_vertex(VertexKind::Host, 0, 1.0, None);
+        g.set_host(h);
+        let a = g.add_vertex(VertexKind::Functional, 5, 1.0, None);
+        let b = g.add_vertex(VertexKind::Functional, 5, 1.0, None);
+        g.add_edge(h, a, 2);
+        g.add_edge(a, b, 0);
+        g.add_edge(b, h, 0);
+        let res = min_period_retiming(&g);
+        assert_eq!(res.period, 5);
+        let w = g.retimed_weights(&res.retiming);
+        // Retiming preserves the h→a→b→h path-weight sum because both
+        // endpoints are the host.
+        assert_eq!(w.iter().sum::<i64>(), 2);
+    }
+
+    #[test]
+    fn combinational_io_path_bounds_period() {
+        // host →0→ a →0→ host with d(a) = 9: no register may be inserted
+        // without changing I/O latency, so the min period is 9 even though
+        // a registered side path exists.
+        let mut g = RetimeGraph::new();
+        let h = g.add_vertex(VertexKind::Host, 0, 1.0, None);
+        g.set_host(h);
+        let a = g.add_vertex(VertexKind::Functional, 9, 1.0, None);
+        g.add_edge(h, a, 0);
+        g.add_edge(a, h, 0);
+        let res = min_period_retiming(&g);
+        assert_eq!(res.period, 9);
+        assert!(feasible_retiming(&g, 8).is_none());
+    }
+
+    #[test]
+    fn host_graph_with_io_registers_can_pipeline() {
+        // host →1→ a →0→ b →1→ host: the two I/O registers can slide
+        // inward to cut the a→b path.
+        let mut g = RetimeGraph::new();
+        let h = g.add_vertex(VertexKind::Host, 0, 1.0, None);
+        g.set_host(h);
+        let a = g.add_vertex(VertexKind::Functional, 4, 1.0, None);
+        let b = g.add_vertex(VertexKind::Functional, 4, 1.0, None);
+        g.add_edge(h, a, 1);
+        g.add_edge(a, b, 0);
+        g.add_edge(b, h, 1);
+        let res = min_period_retiming(&g);
+        assert_eq!(res.period, 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = RetimeGraph::new();
+        let res = min_period_retiming(&g);
+        assert_eq!(res.period, 0);
+    }
+
+    #[test]
+    fn single_vertex_self_loop() {
+        let mut g = RetimeGraph::new();
+        let a = g.add_vertex(VertexKind::Functional, 7, 1.0, None);
+        g.add_edge(a, a, 1);
+        let res = min_period_retiming(&g);
+        assert_eq!(res.period, 7);
+    }
+
+    /// Reference check on random small graphs: FEAS feasibility must agree
+    /// with a brute-force search over retiming vectors in a small box.
+    #[test]
+    fn feas_agrees_with_brute_force_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for case in 0..40 {
+            let n = rng.gen_range(2..5usize);
+            let mut g = RetimeGraph::new();
+            let vs: Vec<_> = (0..n)
+                .map(|_| {
+                    g.add_vertex(VertexKind::Functional, rng.gen_range(1..6), 1.0, None)
+                })
+                .collect();
+            // Ring to guarantee every vertex is on a registered cycle.
+            for i in 0..n {
+                g.add_edge(vs[i], vs[(i + 1) % n], 1);
+            }
+            for _ in 0..rng.gen_range(0..4) {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                g.add_edge(vs[a], vs[b], rng.gen_range(1..3));
+            }
+            let unretimed = g.clock_period(&g.weights()).expect("valid");
+            for t in 1..=unretimed {
+                let feas = feasible_retiming(&g, t).is_some();
+                let brute = brute_force_feasible(&g, t);
+                assert_eq!(feas, brute, "case {case}: target {t}");
+            }
+        }
+    }
+
+    /// The two oracles agree on random *host* graphs (the constraint
+    /// oracle versus brute force).
+    #[test]
+    fn constraint_oracle_agrees_with_brute_force_on_host_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for case in 0..30 {
+            let n = rng.gen_range(2..4usize);
+            let mut g = RetimeGraph::new();
+            let h = g.add_vertex(VertexKind::Host, 0, 1.0, None);
+            g.set_host(h);
+            let vs: Vec<_> = (0..n)
+                .map(|_| {
+                    g.add_vertex(VertexKind::Functional, rng.gen_range(1..5), 1.0, None)
+                })
+                .collect();
+            g.add_edge(h, vs[0], rng.gen_range(0..3));
+            for i in 0..n - 1 {
+                g.add_edge(vs[i], vs[i + 1], rng.gen_range(0..2));
+            }
+            g.add_edge(vs[n - 1], h, rng.gen_range(0..2));
+            let unretimed = g.clock_period(&g.weights()).expect("valid");
+            for t in 1..=unretimed {
+                let feas = feasible_retiming(&g, t).is_some();
+                let brute = brute_force_feasible(&g, t);
+                assert_eq!(feas, brute, "case {case}: target {t}, graph {g:?}");
+            }
+        }
+    }
+
+    fn brute_force_feasible(g: &RetimeGraph, t: u64) -> bool {
+        // Search r ∈ [−4, 4]^(n−1) with r[0] = 0 (differences matter).
+        let n = g.num_vertices();
+        let mut r = vec![0i64; n];
+        fn rec(g: &RetimeGraph, t: u64, r: &mut Vec<i64>, i: usize) -> bool {
+            if i == r.len() {
+                let w = g.retimed_weights(r);
+                return g.weights_legal(&w)
+                    && matches!(g.clock_period(&w), Some(p) if p <= t);
+            }
+            for v in -4..=4 {
+                r[i] = v;
+                if rec(g, t, r, i + 1) {
+                    return true;
+                }
+            }
+            r[i] = 0;
+            false
+        }
+        rec(g, t, &mut r, 1)
+    }
+}

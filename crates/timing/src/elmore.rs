@@ -1,0 +1,87 @@
+//! General Elmore delay on RC ladders.
+//!
+//! The planner mostly uses the closed-form single-segment delay in
+//! [`crate::Technology`], but the repeater planner's dynamic program scores
+//! candidate segmentations with an explicit ladder model, provided here.
+
+/// One segment of an RC ladder: a series resistance followed by a shunt
+/// capacitance (lumped Π/2 element).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcSegment {
+    /// Series resistance (Ω).
+    pub res: f64,
+    /// Shunt capacitance at the far end of the segment (fF).
+    pub cap: f64,
+}
+
+impl RcSegment {
+    /// Creates a segment.
+    pub fn new(res: f64, cap: f64) -> Self {
+        Self { res, cap }
+    }
+}
+
+/// Elmore delay (ps) of an RC ladder driven through `driver_res` Ω into the
+/// chain of `segments`, terminated by `load_cap` fF at the far end.
+///
+/// Each capacitance is charged through all the resistance upstream of it:
+/// `T = Σ_i R_{0..i} · C_i` with `Ω·fF = 10⁻³ ps`.
+///
+/// # Examples
+///
+/// ```
+/// use lacr_timing::{rc_ladder_delay_ps, RcSegment};
+///
+/// // A single lumped segment reduces to (Rd + R)·(C + Cl) terms.
+/// let d = rc_ladder_delay_ps(100.0, &[RcSegment::new(50.0, 10.0)], 5.0);
+/// assert!((d - 1e-3 * (100.0 * 10.0 + 150.0 * 5.0 + 50.0 * 10.0)).abs() < 1e-9);
+/// ```
+pub fn rc_ladder_delay_ps(driver_res: f64, segments: &[RcSegment], load_cap: f64) -> f64 {
+    let mut upstream = driver_res;
+    let mut total = 0.0;
+    for seg in segments {
+        upstream += seg.res;
+        total += upstream * seg.cap;
+    }
+    total += upstream * load_cap;
+    1e-3 * total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ladder_is_driver_into_load() {
+        let d = rc_ladder_delay_ps(200.0, &[], 10.0);
+        assert!((d - 1e-3 * 200.0 * 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_is_monotone_in_segment_count() {
+        let seg = RcSegment::new(10.0, 2.0);
+        let d1 = rc_ladder_delay_ps(100.0, &[seg], 5.0);
+        let d2 = rc_ladder_delay_ps(100.0, &[seg, seg], 5.0);
+        let d3 = rc_ladder_delay_ps(100.0, &[seg, seg, seg], 5.0);
+        assert!(d1 < d2 && d2 < d3);
+    }
+
+    #[test]
+    fn splitting_a_wire_preserves_elmore_when_caps_split() {
+        // One lumped segment (R, C) vs two half segments (R/2, C/2) each:
+        // distributed model gives a *smaller* Elmore delay (C/2 charged
+        // through less upstream R).
+        let lumped = rc_ladder_delay_ps(0.0, &[RcSegment::new(100.0, 20.0)], 0.0);
+        let split = rc_ladder_delay_ps(
+            0.0,
+            &[RcSegment::new(50.0, 10.0), RcSegment::new(50.0, 10.0)],
+            0.0,
+        );
+        assert!(split < lumped);
+    }
+
+    #[test]
+    fn zero_everything_is_zero() {
+        assert_eq!(rc_ladder_delay_ps(0.0, &[], 0.0), 0.0);
+    }
+}

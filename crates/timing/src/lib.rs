@@ -1,0 +1,302 @@
+//! Technology parameters and interconnect delay models.
+//!
+//! The paper assumes a deep-submicron regime where global wire delay spans
+//! multiple clock cycles and repeaters must be inserted at most `L_max`
+//! apart for signal integrity. This crate provides:
+//!
+//! * [`Technology`] — a self-consistent 180 nm-class parameter set (the
+//!   paper states no absolute numbers; see `DESIGN.md`, substitution 3);
+//! * Elmore-model wire delays ([`Technology::wire_delay_ps`]) and the delay
+//!   of a repeater-driven segment ([`Technology::segment_delay_ps`]);
+//! * functional-unit delay/area scaling used to treat gate-level ISCAS89
+//!   netlists as "RT-level functional units with large area and delay"
+//!   exactly as the paper does (§5).
+//!
+//! All lengths are micrometres, delays picoseconds, resistances ohms and
+//! capacitances femtofarads, areas µm².
+
+mod elmore;
+
+pub use elmore::{rc_ladder_delay_ps, RcSegment};
+
+use serde::{Deserialize, Serialize};
+
+/// Process and library parameters used by the planner.
+///
+/// The defaults model a 180 nm-class process where a full-chip global wire
+/// takes several nanoseconds unbuffered — the regime that motivates the
+/// paper (wire delay up to "about ten clock cycles").
+///
+/// # Examples
+///
+/// ```
+/// use lacr_timing::Technology;
+///
+/// let tech = Technology::default();
+/// // Longer wires are slower, quadratically when unbuffered.
+/// let d1 = tech.wire_delay_ps(1_000.0);
+/// let d2 = tech.wire_delay_ps(2_000.0);
+/// assert!(d2 > 2.0 * d1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Wire resistance per micrometre (Ω/µm).
+    pub unit_res: f64,
+    /// Wire capacitance per micrometre (fF/µm).
+    pub unit_cap: f64,
+    /// Repeater intrinsic delay (ps).
+    pub repeater_delay_ps: f64,
+    /// Repeater output (drive) resistance (Ω).
+    pub repeater_res: f64,
+    /// Repeater input capacitance (fF).
+    pub repeater_cap: f64,
+    /// Repeater footprint (µm²).
+    pub repeater_area: f64,
+    /// Flip-flop footprint (µm²).
+    pub ff_area: f64,
+    /// Flip-flop clock-to-Q plus setup overhead charged to a stage (ps).
+    pub ff_overhead_ps: f64,
+    /// Maximum interval between consecutive repeaters, from the signal
+    /// integrity constraint (µm). The paper's `L_max`.
+    pub l_max: f64,
+    /// Side length of a routing tile (µm).
+    pub tile_size: f64,
+    /// Multiplier applied to raw gate delays to emulate "RT-level
+    /// functional units with large delay" (§5).
+    pub unit_delay_scale: f64,
+    /// Multiplier applied to raw gate areas to emulate "RT-level functional
+    /// units with large area" (§5).
+    pub unit_area_scale: f64,
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self {
+            unit_res: 0.075,     // Ω/µm, global metal
+            unit_cap: 0.118,     // fF/µm
+            repeater_delay_ps: 20.0,
+            repeater_res: 180.0, // Ω
+            repeater_cap: 23.0,  // fF
+            repeater_area: 2_000.0, // µm² (an RT-level repeater bank)
+            ff_area: 25_000.0,      // µm² (an RT-level register, not a single bit)
+            ff_overhead_ps: 80.0,
+            l_max: 2_000.0,  // µm
+            tile_size: 500.0, // µm
+            unit_delay_scale: 800.0,
+            unit_area_scale: 50_000.0,
+        }
+    }
+}
+
+impl Technology {
+    /// Creates the default technology; identical to [`Default::default`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Elmore delay (ps) of an unbuffered wire of length `len` µm driven by
+    /// a repeater-strength driver into a repeater-sized load:
+    /// `R_d (C_w + C_l) + R_w (C_w / 2 + C_l)` with `R_w = r·len`,
+    /// `C_w = c·len` — quadratic in length, which is what makes long global
+    /// wires need segmentation.
+    pub fn wire_delay_ps(&self, len: f64) -> f64 {
+        let rw = self.unit_res * len;
+        let cw = self.unit_cap * len;
+        // Ω·fF = 10⁻¹⁵ s = 10⁻³ ps, hence the 1e-3 factor.
+        1e-3 * (self.repeater_res * (cw + self.repeater_cap) + rw * (cw / 2.0 + self.repeater_cap))
+    }
+
+    /// Delay (ps) of one *interconnect unit*: a repeater plus the wire
+    /// segment of length `len` µm that it drives (§3.2 of the paper).
+    pub fn segment_delay_ps(&self, len: f64) -> f64 {
+        self.repeater_delay_ps + self.wire_delay_ps(len)
+    }
+
+    /// Delay (ps) charged to an RT-level functional unit whose raw
+    /// gate-level delay is `raw_ps`.
+    pub fn unit_delay_ps(&self, raw_ps: f64) -> f64 {
+        raw_ps * self.unit_delay_scale
+    }
+
+    /// Area (µm²) charged to an RT-level functional unit whose raw
+    /// gate-level area is `raw`.
+    pub fn unit_area(&self, raw: f64) -> f64 {
+        raw * self.unit_area_scale
+    }
+
+    /// Number of repeaters needed on a two-pin connection of length `len`
+    /// µm so that no interval exceeds [`Technology::l_max`].
+    ///
+    /// A connection of length `≤ l_max` needs none.
+    pub fn min_repeaters(&self, len: f64) -> usize {
+        if len <= self.l_max || self.l_max <= 0.0 {
+            0
+        } else {
+            (len / self.l_max).ceil() as usize - 1
+        }
+    }
+
+    /// Delay (ps) of a connection of length `len` µm segmented into the
+    /// minimum number of equal `L_max`-bounded spans, each driven by a
+    /// repeater (the first span is driven by the source unit, modelled with
+    /// repeater strength).
+    pub fn buffered_delay_ps(&self, len: f64) -> f64 {
+        let k = self.min_repeaters(len) + 1;
+        let seg = len / k as f64;
+        k as f64 * self.segment_delay_ps(seg)
+    }
+
+    /// Validates internal consistency, returning a list of human-readable
+    /// problems (empty when the technology is usable).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let positive = [
+            ("unit_res", self.unit_res),
+            ("unit_cap", self.unit_cap),
+            ("repeater_res", self.repeater_res),
+            ("repeater_cap", self.repeater_cap),
+            ("repeater_area", self.repeater_area),
+            ("ff_area", self.ff_area),
+            ("l_max", self.l_max),
+            ("tile_size", self.tile_size),
+            ("unit_delay_scale", self.unit_delay_scale),
+            ("unit_area_scale", self.unit_area_scale),
+        ];
+        for (name, v) in positive {
+            if !(v.is_finite() && v > 0.0) {
+                problems.push(format!("{name} must be positive, got {v}"));
+            }
+        }
+        for (name, v) in [
+            ("repeater_delay_ps", self.repeater_delay_ps),
+            ("ff_overhead_ps", self.ff_overhead_ps),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                problems.push(format!("{name} must be non-negative, got {v}"));
+            }
+        }
+        if self.l_max < self.tile_size {
+            problems.push(format!(
+                "l_max ({}) smaller than one tile ({}) cannot be honoured by tile-granular repeater planning",
+                self.l_max, self.tile_size
+            ));
+        }
+        problems
+    }
+}
+
+/// Quantises a delay in (fractional) picoseconds to the integer picosecond
+/// grid used by the retiming engine.
+///
+/// Rounding *up* keeps the quantised timing conservative: a path that meets
+/// the quantised period also meets the real one.
+///
+/// # Panics
+///
+/// Panics if `delay_ps` is negative, NaN or infinite.
+pub fn quantize_ps(delay_ps: f64) -> u64 {
+    assert!(
+        delay_ps >= 0.0 && delay_ps.is_finite(),
+        "bad delay {delay_ps}"
+    );
+    delay_ps.ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(Technology::default().validate().is_empty());
+    }
+
+    #[test]
+    fn wire_delay_is_superlinear() {
+        let t = Technology::default();
+        let d1 = t.wire_delay_ps(500.0);
+        let d4 = t.wire_delay_ps(2_000.0);
+        assert!(d4 > 4.0 * d1);
+    }
+
+    #[test]
+    fn wire_delay_zero_length_is_driver_only() {
+        let t = Technology::default();
+        let d = t.wire_delay_ps(0.0);
+        assert!((d - 1e-3 * t.repeater_res * t.repeater_cap).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_repeaters_thresholds() {
+        let t = Technology::default(); // l_max = 2000
+        assert_eq!(t.min_repeaters(0.0), 0);
+        assert_eq!(t.min_repeaters(1_999.0), 0);
+        assert_eq!(t.min_repeaters(2_000.0), 0);
+        assert_eq!(t.min_repeaters(2_001.0), 1);
+        assert_eq!(t.min_repeaters(4_000.0), 1);
+        assert_eq!(t.min_repeaters(4_001.0), 2);
+        assert_eq!(t.min_repeaters(10_000.0), 4);
+    }
+
+    #[test]
+    fn buffering_helps_long_wires() {
+        let t = Technology::default();
+        let unbuffered = t.wire_delay_ps(10_000.0);
+        let buffered = t.buffered_delay_ps(10_000.0);
+        assert!(
+            buffered < unbuffered,
+            "buffered {buffered} !< unbuffered {unbuffered}"
+        );
+    }
+
+    #[test]
+    fn buffered_delay_of_short_wire_is_one_segment() {
+        let t = Technology::default();
+        let d = t.buffered_delay_ps(1_000.0);
+        assert!((d - t.segment_delay_ps(1_000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_scaling_applies_multipliers() {
+        let t = Technology::default();
+        assert!((t.unit_delay_ps(10.0) - 10.0 * t.unit_delay_scale).abs() < 1e-12);
+        assert!((t.unit_area(3.0) - 3.0 * t.unit_area_scale).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantize_rounds_up() {
+        assert_eq!(quantize_ps(0.0), 0);
+        assert_eq!(quantize_ps(1.0), 1);
+        assert_eq!(quantize_ps(1.0001), 2);
+        assert_eq!(quantize_ps(41.9), 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantize_rejects_negative() {
+        let _ = quantize_ps(-1.0);
+    }
+
+    #[test]
+    fn validate_catches_bad_values() {
+        let t = Technology {
+            unit_res: 0.0,
+            ff_overhead_ps: -1.0,
+            ..Technology::default()
+        };
+        let p = t.validate();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn validate_flags_lmax_below_tile() {
+        let t = Technology {
+            l_max: 100.0,
+            ..Technology::default()
+        };
+        assert!(t
+            .validate()
+            .iter()
+            .any(|p| p.contains("cannot be honoured")));
+    }
+}

@@ -1,0 +1,167 @@
+//! `lacr` — command-line front end for the interconnect planner.
+//!
+//! ```text
+//! lacr list                      # available benchmark circuits
+//! lacr plan <circuit|file.bench> # plan one circuit, print the report
+//! lacr table1 [circuit ...]      # regenerate the paper's Table 1
+//! lacr fig2 <circuit> [out.svg]  # render the tile graph (Figure 2)
+//! lacr retime <file.bench> <out.bench> [period_ps]
+//!                                # min-area retime a .bench netlist
+//! ```
+
+use lacr::core::experiment::{format_table, run_circuit, run_experiment, ExperimentConfig};
+use lacr::core::planner::{build_physical_plan, plan_retimings, PlannerConfig};
+use lacr::core::render::{tile_ascii, tile_ascii_legend, tile_svg};
+use lacr::core::retimed_circuit;
+use lacr::netlist::{bench89, bench_format, stats::CircuitStats, Circuit};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("plan") => cmd_plan(args.get(1).map(String::as_str)),
+        Some("table1") => cmd_table1(&args[1..]),
+        Some("fig2") => cmd_fig2(args.get(1).map(String::as_str), args.get(2).map(String::as_str)),
+        Some("retime") => cmd_retime(&args[1..]),
+        _ => {
+            eprintln!("usage: lacr <list|plan|table1|fig2|retime> [args]");
+            eprintln!("  list                        available benchmark circuits");
+            eprintln!("  plan <circuit|file.bench>   run the planner on one circuit");
+            eprintln!("  table1 [circuit ...]        regenerate the paper's Table 1");
+            eprintln!("  fig2 <circuit> [out.svg]    render the tile graph");
+            eprintln!("  retime <in.bench> <out.bench> [period_ps]");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load_circuit(spec: &str) -> Result<Circuit, Box<dyn std::error::Error>> {
+    if spec.ends_with(".bench") {
+        let text = std::fs::read_to_string(spec)?;
+        let name = std::path::Path::new(spec)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("netlist")
+            .to_string();
+        let c = bench_format::parse(&name, &text)?;
+        let problems = c.validate();
+        if !problems.is_empty() {
+            return Err(format!("invalid netlist: {}", problems.join("; ")).into());
+        }
+        Ok(c)
+    } else {
+        Ok(bench89::generate(spec)?)
+    }
+}
+
+fn cmd_list() -> CliResult {
+    println!("synthetic ISCAS89-class circuits (lacr-netlist::bench89):");
+    for name in bench89::suite() {
+        let c = bench89::generate(name)?;
+        let s = CircuitStats::compute(&c);
+        println!(
+            "  {name:<7} {:>5} units  {:>4} flops  {:>3} PI  {:>3} PO",
+            s.logic_units, s.flops, s.inputs, s.outputs
+        );
+    }
+    println!("(any .bench file path is also accepted by `plan` and `retime`)");
+    Ok(())
+}
+
+fn cmd_plan(spec: Option<&str>) -> CliResult {
+    let spec = spec.ok_or("plan needs a circuit name or .bench path")?;
+    if spec.ends_with(".bench") {
+        let circuit = load_circuit(spec)?;
+        let config = PlannerConfig::default();
+        let plan = build_physical_plan(&circuit, &config, &[]);
+        let report = plan_retimings(&plan, &config)?;
+        println!(
+            "{}: T_init {:.2} ns, T_min {:.2} ns, T_clk {:.2} ns",
+            circuit.name(),
+            plan.t_init as f64 / 1000.0,
+            plan.t_min as f64 / 1000.0,
+            plan.t_clk as f64 / 1000.0
+        );
+        println!(
+            "min-area: N_FOA {}, N_F {}, N_FN {}",
+            report.min_area.result.n_foa, report.min_area.result.n_f, report.min_area.result.n_fn
+        );
+        println!(
+            "LAC     : N_FOA {}, N_F {}, N_FN {} ({} rounds)",
+            report.lac.result.n_foa,
+            report.lac.result.n_f,
+            report.lac.result.n_fn,
+            report.lac.result.n_wr
+        );
+    } else {
+        let row = run_circuit(spec, &PlannerConfig::default())?;
+        println!("{}", format_table(std::slice::from_ref(&row)));
+    }
+    Ok(())
+}
+
+fn cmd_table1(circuits: &[String]) -> CliResult {
+    let mut config = ExperimentConfig::default();
+    if !circuits.is_empty() {
+        config.circuits = circuits.to_vec();
+    }
+    let rows = run_experiment(&config);
+    println!("{}", format_table(&rows));
+    Ok(())
+}
+
+fn cmd_fig2(spec: Option<&str>, out: Option<&str>) -> CliResult {
+    let spec = spec.ok_or("fig2 needs a circuit name")?;
+    let circuit = load_circuit(spec)?;
+    let config = PlannerConfig::default();
+    let plan = build_physical_plan(&circuit, &config, &[]);
+    println!("{}", tile_ascii(&plan));
+    println!("{}", tile_ascii_legend(&plan));
+    if let Some(path) = out {
+        let report = plan_retimings(&plan, &config)?;
+        std::fs::write(path, tile_svg(&plan, Some(&report.lac.result.occupancy)))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_retime(args: &[String]) -> CliResult {
+    let input = args.first().ok_or("retime needs an input .bench path")?;
+    let output = args.get(1).ok_or("retime needs an output .bench path")?;
+    let circuit = load_circuit(input)?;
+    let config = PlannerConfig::default();
+    let plan = build_physical_plan(&circuit, &config, &[]);
+    let target: u64 = match args.get(2) {
+        Some(t) => t.parse()?,
+        None => plan.t_clk,
+    };
+    if target < plan.t_min {
+        return Err(format!(
+            "target {target} ps below the minimum feasible period {} ps",
+            plan.t_min
+        )
+        .into());
+    }
+    let report = lacr::core::plan_retimings_at(&plan, &config, target)?;
+    let retimed = retimed_circuit(&circuit, &plan.expanded, &report.lac.result.outcome.weights);
+    std::fs::write(output, bench_format::write(&retimed))?;
+    println!(
+        "retimed {} at {:.2} ns: {} flip-flops ({} in wires), {} area violations; wrote {output}",
+        circuit.name(),
+        target as f64 / 1000.0,
+        report.lac.result.n_f,
+        report.lac.result.n_fn,
+        report.lac.result.n_foa
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Integration tests of the `lacr` command-line binary.
+
+use std::process::Command;
+
+fn lacr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lacr"))
+}
+
+#[test]
+fn list_names_the_suite() {
+    let out = lacr().arg("list").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["s344", "s1423", "s5378"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = lacr().output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_circuit_is_a_clean_error() {
+    let out = lacr().args(["plan", "sXYZ"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+}
+
+#[test]
+fn plan_on_a_bench_file() {
+    let input = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/counter3.bench");
+    let out = lacr().args(["plan", input]).output().expect("runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("T_init"));
+    assert!(text.contains("LAC"));
+}
+
+#[test]
+fn retime_roundtrips_a_bench_file() {
+    let input = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/fir_tap.bench");
+    let dir = std::env::temp_dir().join("lacr_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let output = dir.join("fir_tap_retimed.bench");
+    let out = lacr()
+        .args(["retime", input, output.to_str().expect("utf8 path")])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The produced file must parse and validate.
+    let text = std::fs::read_to_string(&output).expect("output written");
+    let c = lacr::netlist::bench_format::parse("roundtrip", &text).expect("parses");
+    assert!(c.validate().is_empty(), "{:?}", c.validate());
+    assert!(c.num_flops() > 0);
+}
+
+#[test]
+fn fig2_prints_a_tile_map() {
+    let out = lacr().args(["fig2", "s344"]).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("legend"));
+}

@@ -1,0 +1,91 @@
+//! Shape tests for the paper's experimental claims (§5, Table 1) on a
+//! fast subset of the benchmark suite. These assert the *qualitative*
+//! results, not absolute numbers:
+//!
+//! * min-area retiming alone produces local-area violations on circuits
+//!   with tight blocks, and LAC-retiming reduces them sharply;
+//! * LAC needs only a handful of weighted min-area retimings (`N_wr`);
+//! * some flip-flops end up inside interconnects;
+//! * `T_min < T_init` (retiming headroom exists);
+//! * a second planning iteration after floorplan expansion removes the
+//!   leftover violations.
+
+use lacr::core::experiment::run_circuit;
+use lacr::core::planner::PlannerConfig;
+
+#[test]
+fn lac_sharply_reduces_violations_where_baseline_violates() {
+    let cfg = PlannerConfig::default();
+    // s382 and s713 are (deterministically) circuits where the baseline
+    // violates and LAC removes everything in one planning iteration.
+    for name in ["s382", "s713"] {
+        let row = run_circuit(name, &cfg).expect("plans");
+        assert!(
+            row.min_area.n_foa > 0,
+            "{name}: expected baseline violations, got none"
+        );
+        assert_eq!(row.lac.n_foa, 0, "{name}: LAC should reach zero violations");
+        assert_eq!(row.decrease_pct, Some(100.0));
+        assert!(row.second_iteration.is_none());
+    }
+}
+
+#[test]
+fn retiming_headroom_and_clock_targets() {
+    let cfg = PlannerConfig::default();
+    let row = run_circuit("s382", &cfg).expect("plans");
+    assert!(
+        row.t_min_ns < 0.8 * row.t_init_ns,
+        "expected substantial retiming headroom: Tmin {} vs Tinit {}",
+        row.t_min_ns,
+        row.t_init_ns
+    );
+    let expect_tclk = row.t_min_ns + 0.2 * (row.t_init_ns - row.t_min_ns);
+    assert!(
+        (row.t_clk_ns - expect_tclk).abs() < 0.01,
+        "T_clk formula: got {} expected {expect_tclk}",
+        row.t_clk_ns
+    );
+}
+
+#[test]
+fn some_flops_move_into_interconnects() {
+    let cfg = PlannerConfig::default();
+    let row = run_circuit("s713", &cfg).expect("plans");
+    assert!(
+        row.lac.n_fn > 0,
+        "LAC should park some flip-flops in wires on s713"
+    );
+    let frac = row.lac.n_fn as f64 / row.lac.n_f as f64;
+    assert!(
+        frac < 0.5,
+        "but most flip-flops stay between functional units (got {frac:.2})"
+    );
+}
+
+#[test]
+fn lac_uses_few_weighted_retimings() {
+    let cfg = PlannerConfig::default();
+    let row = run_circuit("s382", &cfg).expect("plans");
+    assert!(
+        row.n_wr <= 10,
+        "expected a handful of weighted retimings, got {}",
+        row.n_wr
+    );
+}
+
+#[test]
+fn flop_counts_never_explode() {
+    let cfg = PlannerConfig::default();
+    for name in ["s344", "s382"] {
+        let row = run_circuit(name, &cfg).expect("plans");
+        // LAC trades placement, not count: within a few percent of the
+        // min-area optimum.
+        assert!(
+            row.lac.n_f <= row.min_area.n_f + row.min_area.n_f / 10,
+            "{name}: LAC used {} flops vs baseline {}",
+            row.lac.n_f,
+            row.min_area.n_f
+        );
+    }
+}

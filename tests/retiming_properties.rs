@@ -1,0 +1,227 @@
+//! Property-based tests of the retiming stack: legality, optimality and
+//! invariance properties on randomly generated graphs.
+
+use lacr::mcmf::{solve_dual_program, Constraint, DifferenceConstraints};
+use lacr::retime::{
+    feasible_retiming, generate_period_constraints, min_area_retiming, min_period_retiming,
+    ConstraintOptions, RetimeGraph, VertexKind,
+};
+use proptest::prelude::*;
+
+/// A random strongly-registered graph: a ring with ≥1 flop per edge plus
+/// random chords. Every cycle is registered by construction.
+fn arb_graph() -> impl Strategy<Value = RetimeGraph> {
+    (
+        2usize..6,
+        prop::collection::vec((0usize..6, 0usize..6, 1i64..3), 0..6),
+        prop::collection::vec(1u64..8, 6),
+        prop::collection::vec(1i64..3, 6),
+    )
+        .prop_map(|(n, chords, delays, ring_w)| {
+            let mut g = RetimeGraph::new();
+            let vs: Vec<_> = (0..n)
+                .map(|i| g.add_vertex(VertexKind::Functional, delays[i], 1.0, None))
+                .collect();
+            for i in 0..n {
+                g.add_edge(vs[i], vs[(i + 1) % n], ring_w[i]);
+            }
+            for (a, b, w) in chords {
+                if a < n && b < n {
+                    g.add_edge(vs[a], vs[b], w);
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any retiming vector keeps every cycle's total weight unchanged
+    /// (checked on the ring, whose weight is directly computable).
+    #[test]
+    fn cycle_weight_invariance(g in arb_graph(), r in prop::collection::vec(-3i64..=3, 6)) {
+        let n = g.num_vertices();
+        let r = &r[..n];
+        let w0 = g.weights();
+        let w1 = g.retimed_weights(r);
+        // ring edges are the first n edges
+        let ring0: i64 = w0[..n].iter().sum();
+        let ring1: i64 = w1[..n].iter().sum();
+        prop_assert_eq!(ring0, ring1);
+    }
+
+    /// `min_period_retiming` returns a feasible retiming, and one below
+    /// its reported optimum does not exist.
+    #[test]
+    fn min_period_is_tight(g in arb_graph()) {
+        let res = min_period_retiming(&g);
+        let w = g.retimed_weights(&res.retiming);
+        prop_assert!(g.weights_legal(&w));
+        let p = g.clock_period(&w).expect("legal");
+        prop_assert!(p <= res.period);
+        if res.period > 0 {
+            prop_assert!(feasible_retiming(&g, res.period - 1).is_none());
+        }
+    }
+
+    /// Min-area retiming achieves the target and never increases the
+    /// flip-flop count beyond the unretimed circuit when the target equals
+    /// the unretimed period (r = 0 is a candidate).
+    #[test]
+    fn min_area_never_worse_than_identity(g in arb_graph()) {
+        let t0 = g.clock_period(&g.weights()).expect("valid");
+        let out = min_area_retiming(&g, t0).expect("t0 feasible");
+        prop_assert!(out.period <= t0);
+        prop_assert!(out.total_flops <= g.total_flops());
+    }
+
+    /// Constraint generation is sound and complete versus the oracle: a
+    /// target is Bellman-Ford-feasible exactly when some retiming meets it
+    /// (verified against the retimed clock period).
+    #[test]
+    fn constraints_characterise_feasibility(g in arb_graph(), slack in 0u64..6) {
+        let mp = min_period_retiming(&g);
+        let t = mp.period + slack;
+        let pc = generate_period_constraints(&g, t, ConstraintOptions::default());
+        let mut cons = lacr::retime::edge_constraints(&g);
+        cons.extend(pc.constraints.iter().copied());
+        let sys = DifferenceConstraints::new(g.num_vertices(), cons);
+        let r = sys.solve().expect("t >= minimum period must be feasible");
+        let w = g.retimed_weights(&r);
+        prop_assert!(g.weights_legal(&w));
+        prop_assert!(g.clock_period(&w).expect("legal") <= t);
+    }
+
+    /// Pruned and unpruned constraint systems accept exactly the same
+    /// retimings (on these small graphs, via solution cross-checking).
+    #[test]
+    fn pruning_is_equivalence_preserving(g in arb_graph(), slack in 0u64..4) {
+        let t = min_period_retiming(&g).period + slack;
+        let full = generate_period_constraints(&g, t, ConstraintOptions { prune: false });
+        let pruned = generate_period_constraints(&g, t, ConstraintOptions { prune: true });
+        prop_assert!(pruned.constraints.len() <= full.constraints.len());
+        let mut cons = lacr::retime::edge_constraints(&g);
+        cons.extend(pruned.constraints.iter().copied());
+        let sys = DifferenceConstraints::new(g.num_vertices(), cons);
+        if let Some(r) = sys.solve() {
+            for c in &full.constraints {
+                prop_assert!(
+                    r[c.u] - r[c.v] <= c.bound,
+                    "pruned solution violates dropped constraint"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The LP-dual solver agrees with brute force on random bounded
+    /// difference-constraint programs.
+    #[test]
+    fn dual_solver_is_optimal(
+        n in 2usize..5,
+        ring_bounds in prop::collection::vec(0i64..4, 5),
+        raw_cost in prop::collection::vec(-4i64..=4, 5),
+    ) {
+        let mut cons = Vec::new();
+        for (i, &b) in ring_bounds.iter().enumerate().take(n) {
+            cons.push(Constraint::new(i, (i + 1) % n, b));
+        }
+        let mut cost = raw_cost[..n].to_vec();
+        let s: i64 = cost.iter().sum();
+        cost[0] -= s;
+        let (r, obj) = solve_dual_program(n, &cost, &cons).expect("ring is bounded");
+        for c in &cons {
+            prop_assert!(r[c.u] - r[c.v] <= c.bound);
+        }
+        // brute force over a box that surely contains an optimum
+        let mut best = i64::MAX;
+        let bound: i64 = ring_bounds.iter().sum::<i64>() + 1;
+        let mut x = vec![0i64; n];
+        fn rec(
+            i: usize,
+            n: usize,
+            bound: i64,
+            x: &mut Vec<i64>,
+            cons: &[Constraint],
+            cost: &[i64],
+            best: &mut i64,
+        ) {
+            if i == n {
+                if cons.iter().all(|c| x[c.u] - x[c.v] <= c.bound) {
+                    let v: i64 = cost.iter().zip(x.iter()).map(|(&c, &y)| c * y).sum();
+                    *best = (*best).min(v);
+                }
+                return;
+            }
+            for v in -bound..=bound {
+                x[i] = v;
+                rec(i + 1, n, bound, x, cons, cost, best);
+            }
+            x[i] = 0;
+        }
+        // x[0] can stay 0: shifting all variables is objective-neutral
+        // because the costs sum to zero.
+        rec(1, n, bound, &mut x, &cons, &cost, &mut best);
+        prop_assert_eq!(obj, best);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Classic STA identity: the worst slack equals `target − period`
+    /// whenever the graph is non-empty (some path realises the period).
+    #[test]
+    fn worst_slack_is_target_minus_period(g in arb_graph(), slack in 0u64..10) {
+        use lacr::retime::analyze_timing;
+        let w = g.weights();
+        let period = g.clock_period(&w).expect("valid circuit");
+        let target = period + slack;
+        let report = analyze_timing(&g, &w, target).expect("acyclic");
+        prop_assert_eq!(report.period, period);
+        prop_assert_eq!(report.worst_slack(), target as i64 - period as i64);
+        prop_assert!(report.meets_target());
+        // Criticality values are well-formed.
+        let crit = lacr::retime::edge_criticality(&g, &w, target).expect("acyclic");
+        for c in crit {
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    /// The critical path's delays sum to the period and its edges are
+    /// unregistered.
+    #[test]
+    fn critical_path_realises_the_period(g in arb_graph()) {
+        use lacr::retime::critical_path;
+        let w = g.weights();
+        let period = g.clock_period(&w).expect("valid circuit");
+        let cp = critical_path(&g, &w);
+        let sum: u64 = cp.iter().map(|&v| g.delay(v)).sum();
+        prop_assert_eq!(sum, period);
+    }
+
+    /// Sharing-aware retiming never reports more shared registers than
+    /// the per-connection total of the same solution, and its optimum is
+    /// at most the shared score of the sum-model optimum.
+    #[test]
+    fn sharing_bounds(g in arb_graph()) {
+        use lacr::retime::{
+            generate_period_constraints, shared_min_area_retiming, shared_register_count,
+            weighted_min_area_retiming, ConstraintOptions,
+        };
+        let t = g.clock_period(&g.weights()).expect("valid circuit");
+        let pc = generate_period_constraints(&g, t, ConstraintOptions::default());
+        let ones = vec![1.0; g.num_vertices()];
+        let sum_opt = weighted_min_area_retiming(&g, &pc, &ones).expect("t feasible");
+        let shared = shared_min_area_retiming(&g, &pc, &ones).expect("t feasible");
+        prop_assert!(shared.shared_registers <= shared.outcome.total_flops);
+        prop_assert!(
+            shared.shared_registers <= shared_register_count(&g, &sum_opt.weights)
+        );
+        prop_assert!(shared.outcome.period <= t);
+    }
+}
