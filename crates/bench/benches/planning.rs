@@ -1,12 +1,12 @@
-//! Criterion benchmark of the end-to-end interconnect-planning pipeline
+//! Wall-clock benchmark of the end-to-end interconnect-planning pipeline
 //! (one full Table-1 cell: physical plan plus both retimers) on the
 //! smallest benchmark circuit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lacr_core::planner::{build_physical_plan, plan_retimings};
 use lacr_netlist::bench89;
+use lacr_prng::bench::Harness;
 
-fn bench_planning(c: &mut Criterion) {
+fn bench_planning(c: &mut Harness) {
     let config = lacr_bench::quick_planner();
     let circuit = bench89::generate("s344").expect("known circuit");
 
@@ -22,5 +22,5 @@ fn bench_planning(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_planning);
-criterion_main!(benches);
+lacr_prng::bench_group!(benches, bench_planning);
+lacr_prng::bench_main!(benches);

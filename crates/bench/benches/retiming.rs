@@ -1,17 +1,16 @@
-//! Criterion benchmarks of the retiming kernels that produce Table 1:
+//! Wall-clock benchmarks of the retiming kernels that produce Table 1:
 //! constraint generation, min-period retiming, one weighted min-area
 //! solve, and the full LAC loop, on a planned mid-size circuit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lacr_core::lac::{lac_retiming, LacConfig};
 use lacr_core::planner::{build_physical_plan, plan_constraints};
 use lacr_netlist::bench89;
+use lacr_prng::bench::Harness;
 use lacr_retime::{
-    generate_period_constraints, min_period_retiming, weighted_min_area_retiming,
-    ConstraintOptions,
+    generate_period_constraints, min_period_retiming, weighted_min_area_retiming, ConstraintOptions,
 };
 
-fn bench_retiming(c: &mut Criterion) {
+fn bench_retiming(c: &mut Harness) {
     let config = lacr_bench::quick_planner();
     let circuit = bench89::generate("s344").expect("known circuit");
     let plan = build_physical_plan(&circuit, &config, &[]);
@@ -22,9 +21,7 @@ fn bench_retiming(c: &mut Criterion) {
     let mut g = c.benchmark_group("retiming_s344");
     g.sample_size(10);
     g.bench_function("constraint_generation", |b| {
-        b.iter(|| {
-            generate_period_constraints(graph, plan.t_clk, ConstraintOptions::default())
-        })
+        b.iter(|| generate_period_constraints(graph, plan.t_clk, ConstraintOptions::default()))
     });
     g.bench_function("constraint_generation_unpruned", |b| {
         b.iter(|| {
@@ -44,5 +41,5 @@ fn bench_retiming(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_retiming);
-criterion_main!(benches);
+lacr_prng::bench_group!(benches, bench_retiming);
+lacr_prng::bench_main!(benches);

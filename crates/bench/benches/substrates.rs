@@ -1,8 +1,7 @@
-//! Criterion benchmarks of the substrate kernels: min-cost flow,
+//! Wall-clock benchmarks of the substrate kernels: min-cost flow,
 //! partitioning, sequence-pair packing + annealing, global routing and the
 //! repeater DP.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lacr_floorplan::anneal::{floorplan, FloorplanConfig};
 use lacr_floorplan::seqpair::SequencePair;
 use lacr_floorplan::slicing::floorplan_slicing;
@@ -11,16 +10,16 @@ use lacr_floorplan::{BlockSpec, Floorplan};
 use lacr_mcmf::{solve_dual_program, Constraint};
 use lacr_netlist::bench89;
 use lacr_partition::{partition, PartitionConfig};
+use lacr_prng::bench::Harness;
+use lacr_prng::Rng;
 use lacr_repeater::insert_repeaters;
 use lacr_route::{route, NetPins, RouteConfig};
 use lacr_timing::Technology;
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
 
-fn bench_flow(c: &mut Criterion) {
+fn bench_flow(c: &mut Harness) {
     // A ring + chords constraint system with a balanced cost vector.
     let n = 400usize;
-    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let mut rng = Rng::seed_from_u64(17);
     let mut cons = Vec::new();
     for i in 0..n {
         cons.push(Constraint::new(i, (i + 1) % n, rng.gen_range(0..4)));
@@ -40,7 +39,7 @@ fn bench_flow(c: &mut Criterion) {
     });
 }
 
-fn bench_partition(c: &mut Criterion) {
+fn bench_partition(c: &mut Harness) {
     let circuit = bench89::generate("s953").expect("known circuit");
     c.bench_function("partition_s953_8way", |b| {
         b.iter(|| {
@@ -55,7 +54,7 @@ fn bench_partition(c: &mut Criterion) {
     });
 }
 
-fn bench_floorplan(c: &mut Criterion) {
+fn bench_floorplan(c: &mut Harness) {
     let blocks: Vec<BlockSpec> = (0..12)
         .map(|i| BlockSpec::soft(1e6 + 2e5 * i as f64))
         .collect();
@@ -92,8 +91,8 @@ fn bench_floorplan(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_route(c: &mut Criterion) {
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
+fn bench_route(c: &mut Harness) {
+    let mut rng = Rng::seed_from_u64(7);
     let (nx, ny) = (16usize, 16usize);
     let nets: Vec<NetPins> = (0..200)
         .map(|_| NetPins {
@@ -108,7 +107,7 @@ fn bench_route(c: &mut Criterion) {
     });
 }
 
-fn bench_repeater(c: &mut Criterion) {
+fn bench_repeater(c: &mut Harness) {
     let fp = Floorplan {
         blocks: vec![],
         chip_w: 16_000.0,
@@ -125,7 +124,7 @@ fn bench_repeater(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
+lacr_prng::bench_group!(
     benches,
     bench_flow,
     bench_partition,
@@ -133,4 +132,4 @@ criterion_group!(
     bench_route,
     bench_repeater
 );
-criterion_main!(benches);
+lacr_prng::bench_main!(benches);

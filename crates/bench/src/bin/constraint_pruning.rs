@@ -11,9 +11,7 @@
 //! ```
 
 use lacr_core::planner::build_physical_plan;
-use lacr_retime::{
-    generate_period_constraints, weighted_min_area_retiming, ConstraintOptions,
-};
+use lacr_retime::{generate_period_constraints, weighted_min_area_retiming, ConstraintOptions};
 use std::time::Instant;
 
 fn main() {
@@ -59,7 +57,10 @@ fn main() {
             }
         }
         if flops.len() == 2 && flops[0] != flops[1] {
-            println!("  WARNING: pruning changed the optimum ({} vs {})", flops[0], flops[1]);
+            println!(
+                "  WARNING: pruning changed the optimum ({} vs {})",
+                flops[0], flops[1]
+            );
         }
     }
 }

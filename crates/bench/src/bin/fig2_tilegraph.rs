@@ -14,7 +14,9 @@ use lacr_core::render::{congestion_ascii, tile_ascii, tile_ascii_legend, tile_sv
 use std::fs;
 
 fn main() {
-    let circuit_name = std::env::args().nth(1).unwrap_or_else(|| "s953".to_string());
+    let circuit_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "s953".to_string());
     let config = lacr_bench::experiment_planner();
     let circuit = match lacr_netlist::bench89::generate(&circuit_name) {
         Ok(c) => c,

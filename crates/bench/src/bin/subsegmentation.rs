@@ -41,6 +41,7 @@ fn main() {
                 expand: ExpandOptions {
                     units_per_span: subs,
                     conservative_delays: conservative,
+                    ..base.expand
                 },
                 ..base.clone()
             };
@@ -48,7 +49,11 @@ fn main() {
             match plan_retimings(&plan, &config) {
                 Ok(report) => println!(
                     "{name:<8} {subs:>5} {:>12} | {:>8} {:>9.2} {:>9.2} | {:>6} {:>6}",
-                    if conservative { "conservative" } else { "exact" },
+                    if conservative {
+                        "conservative"
+                    } else {
+                        "exact"
+                    },
                     plan.expanded.graph.num_vertices(),
                     plan.t_min as f64 / 1000.0,
                     plan.t_clk as f64 / 1000.0,

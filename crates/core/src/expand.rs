@@ -18,7 +18,10 @@
 //! flexibility can be introduced if we further divide the interconnect
 //! segment between two repeaters into several interconnect units", at the
 //! cost of conservative fixed delays) is exposed through
-//! [`ExpandOptions::units_per_span`].
+//! [`ExpandOptions::units_per_span`], and
+//! [`ExpandOptions::tile_crossing_units`] additionally splits each span
+//! at tile boundaries so every tile a route traverses is a usable
+//! flip-flop site under the fanin-placement rule.
 
 use lacr_floorplan::tiles::{CapacityLedger, TileGrid};
 use lacr_netlist::{Circuit, UnitId, UnitKind};
@@ -39,6 +42,15 @@ pub struct ExpandOptions {
     /// under all possible ways of inserting flip-flops and assign that
     /// delay to the segment") instead of the proportional share.
     pub conservative_delays: bool,
+    /// Additionally split every repeater span at tile boundaries, so each
+    /// tile a route passes through contributes at least one interconnect
+    /// unit. Without this, a span's single unit sits at its driving
+    /// repeater and — under the fanin-placement rule — every flip-flop on
+    /// a short wire is chargeable only to the *driver's* tile, even when
+    /// the wire crosses into tiles with spare capacity. Splitting at
+    /// crossings exposes every traversed tile as a flip-flop site, which
+    /// is what lets LAC retiming relocate flip-flops along the wire.
+    pub tile_crossing_units: bool,
 }
 
 impl Default for ExpandOptions {
@@ -46,6 +58,7 @@ impl Default for ExpandOptions {
         Self {
             units_per_span: 1,
             conservative_delays: false,
+            tile_crossing_units: false,
         }
     }
 }
@@ -147,37 +160,64 @@ pub fn expand(
             let mut first = true;
             for seg in &ins.segments {
                 let span_delay = technology.segment_delay_ps(seg.length_um);
-                let subs = options.units_per_span;
-                for k in 0..subs {
-                    // Tile of the sub-unit: the cell at its proportional
-                    // position along the span.
-                    let span_cells = (seg.length_um / grid.tile_size()).round() as usize;
-                    let offset = span_cells * k / subs;
-                    let idx = (seg.start_index + offset).min(path.len() - 1);
-                    let tile = grid.tile_of_cell(path[idx]);
-                    let delay = if subs == 1 || options.conservative_delays {
-                        quantize_ps(span_delay)
-                    } else {
-                        quantize_ps(span_delay / subs as f64)
-                    };
-                    // The ε area premium (1/1024, below one quantisation
-                    // unit per flip-flop) makes min-area retiming break
-                    // its ties lexicographically: first minimise the
-                    // flip-flop count, then prefer flip-flops at
-                    // functional-unit outputs over flip-flops parked in
-                    // wires, which is where a physical design would put
-                    // them when timing does not force otherwise.
-                    let v = graph.add_vertex(
-                        VertexKind::Interconnect,
-                        delay,
-                        1.0 + 1.0 / 1024.0,
-                        Some(tile.index()),
-                    );
-                    num_interconnect_units += 1;
-                    let w = if first { i64::from(sink.flops) } else { 0 };
-                    chain.push(graph.add_edge(prev, v, w));
-                    first = false;
-                    prev = v;
+                let span_cells = ((seg.length_um / grid.tile_size()).round() as usize).max(1);
+                let end = (seg.start_index + span_cells).min(path.len() - 1);
+                // The span's cells, `path[start..=end]`, split into runs of
+                // cells sharing a tile (a single run when tile-crossing
+                // segmentation is off), each run then sub-segmented
+                // `units_per_span` ways.
+                let mut runs: Vec<(usize, usize)> = Vec::new();
+                if options.tile_crossing_units {
+                    let mut run_start = seg.start_index;
+                    let mut run_tile = grid.tile_of_cell(path[run_start]);
+                    for i in seg.start_index + 1..=end {
+                        let t = grid.tile_of_cell(path[i]);
+                        if t != run_tile {
+                            runs.push((run_start, i - run_start));
+                            run_start = i;
+                            run_tile = t;
+                        }
+                    }
+                    runs.push((run_start, end + 1 - run_start));
+                } else {
+                    runs.push((seg.start_index, span_cells));
+                }
+                let total_cells: usize = runs.iter().map(|&(_, n)| n).sum();
+                for &(run_start, run_cells) in &runs {
+                    let run_delay = span_delay * run_cells as f64 / total_cells as f64;
+                    let subs = options.units_per_span;
+                    for k in 0..subs {
+                        // Tile of the sub-unit: the cell at its
+                        // proportional position along the run.
+                        let offset = run_cells * k / subs;
+                        let idx = (run_start + offset).min(path.len() - 1);
+                        let tile = grid.tile_of_cell(path[idx]);
+                        let delay = if options.conservative_delays {
+                            quantize_ps(span_delay)
+                        } else if subs == 1 {
+                            quantize_ps(run_delay)
+                        } else {
+                            quantize_ps(run_delay / subs as f64)
+                        };
+                        // The ε area premium (1/1024, below one quantisation
+                        // unit per flip-flop) makes min-area retiming break
+                        // its ties lexicographically: first minimise the
+                        // flip-flop count, then prefer flip-flops at
+                        // functional-unit outputs over flip-flops parked in
+                        // wires, which is where a physical design would put
+                        // them when timing does not force otherwise.
+                        let v = graph.add_vertex(
+                            VertexKind::Interconnect,
+                            delay,
+                            1.0 + 1.0 / 1024.0,
+                            Some(tile.index()),
+                        );
+                        num_interconnect_units += 1;
+                        let w = if first { i64::from(sink.flops) } else { 0 };
+                        chain.push(graph.add_edge(prev, v, w));
+                        first = false;
+                        prev = v;
+                    }
                 }
             }
             chain.push(graph.add_edge(prev, to_v, 0));
@@ -265,10 +305,7 @@ mod tests {
         assert!(ed.num_repeaters >= 2, "repeaters {}", ed.num_repeaters);
         assert_eq!(ed.num_interconnect_units, ed.num_repeaters + 1);
         // host + 2 logic + units
-        assert_eq!(
-            ed.graph.num_vertices(),
-            3 + ed.num_interconnect_units
-        );
+        assert_eq!(ed.graph.num_vertices(), 3 + ed.num_interconnect_units);
         // flops preserved
         assert_eq!(ed.graph.total_flops(), 2);
         // the two original flops sit on the first chain edge
@@ -280,10 +317,7 @@ mod tests {
             .map(|e| ed.graph.edge(e))
             .find(|e| e.weight == 2)
             .expect("initial flops on first chain edge");
-        assert_eq!(
-            ed.graph.kind(first_chain_edge.to),
-            VertexKind::Interconnect
-        );
+        assert_eq!(ed.graph.kind(first_chain_edge.to), VertexKind::Interconnect);
         assert_ne!(first_chain_edge.to, host);
     }
 
@@ -304,16 +338,9 @@ mod tests {
         );
         // a→g1 and g2→z are same-cell: direct edges to/from host.
         let host = ed.graph.host().unwrap();
-        let direct: Vec<_> = ed
-            .graph
-            .out_edges(host)
-            .map(|e| ed.graph.edge(e))
-            .collect();
+        let direct: Vec<_> = ed.graph.out_edges(host).map(|e| ed.graph.edge(e)).collect();
         assert_eq!(direct.len(), 1);
-        assert_eq!(
-            ed.graph.kind(direct[0].to),
-            VertexKind::Functional
-        );
+        assert_eq!(ed.graph.kind(direct[0].to), VertexKind::Functional);
     }
 
     #[test]
@@ -343,6 +370,7 @@ mod tests {
             &ExpandOptions {
                 units_per_span: 2,
                 conservative_delays: true,
+                ..ExpandOptions::default()
             },
         );
         assert_eq!(fine.num_interconnect_units, 2 * base.num_interconnect_units);
@@ -354,6 +382,64 @@ mod tests {
                 .sum()
         };
         assert!(sum(&fine.graph) >= sum(&base.graph));
+    }
+
+    #[test]
+    fn tile_crossing_units_cover_every_traversed_tile() {
+        let (c, grid, unit_cell, routing) = setup();
+        let tech = Technology::default();
+        let mut ledger = CapacityLedger::new(&grid);
+        let ed = expand(
+            &c,
+            &tech,
+            &grid,
+            &mut ledger,
+            &unit_cell,
+            &routing,
+            10.0,
+            &ExpandOptions {
+                tile_crossing_units: true,
+                ..ExpandOptions::default()
+            },
+        );
+        // On the open 10×1 grid every cell is its own channel tile, so the
+        // g1→g2 route (cells 0..=9) must yield a unit in every tile of
+        // cells 0..9 — each one a flip-flop site for LAC retiming.
+        let unit_tiles: std::collections::HashSet<usize> = ed
+            .graph
+            .vertex_ids()
+            .filter(|&v| ed.graph.kind(v) == VertexKind::Interconnect)
+            .filter_map(|v| ed.graph.tile(v))
+            .collect();
+        for cell in 0..9 {
+            let t = grid.tile_of_cell(cell).index();
+            assert!(unit_tiles.contains(&t), "no unit in tile of cell {cell}");
+        }
+        // Segmentation refines the chain but conserves wire delay: the
+        // total interconnect delay matches the unsplit expansion's up to
+        // one quantisation unit per extra vertex.
+        let mut ledger2 = CapacityLedger::new(&grid);
+        let base = expand(
+            &c,
+            &tech,
+            &grid,
+            &mut ledger2,
+            &unit_cell,
+            &routing,
+            10.0,
+            &ExpandOptions::default(),
+        );
+        let sum = |g: &RetimeGraph| -> u64 {
+            g.vertex_ids()
+                .filter(|&v| g.kind(v) == VertexKind::Interconnect)
+                .map(|v| g.delay(v))
+                .sum()
+        };
+        let extra = (ed.num_interconnect_units - base.num_interconnect_units) as u64;
+        assert!(sum(&ed.graph).abs_diff(sum(&base.graph)) <= extra);
+        // Flip-flops and repeater commitments are unchanged.
+        assert_eq!(ed.graph.total_flops(), base.graph.total_flops());
+        assert_eq!(ed.num_repeaters, base.num_repeaters);
     }
 
     #[test]
@@ -394,8 +480,6 @@ mod tests {
         let fresh = CapacityLedger::new(&grid);
         let before: f64 = grid.tile_ids().map(|t| fresh.remaining(t)).sum();
         let after: f64 = grid.tile_ids().map(|t| with_ledger.remaining(t)).sum();
-        assert!(
-            (before - after - ed.num_repeaters as f64 * tech.repeater_area).abs() < 1e-6
-        );
+        assert!((before - after - ed.num_repeaters as f64 * tech.repeater_area).abs() < 1e-6);
     }
 }

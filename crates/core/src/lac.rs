@@ -18,8 +18,11 @@
 //! keeps the total run time in the same order as a single min-area
 //! retiming.
 
+use lacr_mcmf::Constraint;
+use lacr_prng::Rng;
 use lacr_retime::{
-    MinAreaSolver, PeriodConstraints, RetimeError, RetimeGraph, RetimingOutcome, VertexKind,
+    edge_constraints, EdgeId, MinAreaSolver, PeriodConstraints, RetimeError, RetimeGraph,
+    RetimingOutcome, VertexId, VertexKind,
 };
 
 /// Parameters of the LAC loop.
@@ -125,11 +128,7 @@ pub fn flops_in_interconnect(graph: &RetimeGraph, weights: &[i64]) -> i64 {
 
 /// Wraps an existing retiming outcome with LAC metrics (used to score the
 /// min-area baseline against the same tile capacities).
-pub fn score_outcome(
-    graph: &RetimeGraph,
-    outcome: RetimingOutcome,
-    caps_ff: &[f64],
-) -> LacResult {
+pub fn score_outcome(graph: &RetimeGraph, outcome: RetimingOutcome, caps_ff: &[f64]) -> LacResult {
     let occupancy = TileOccupancy::compute(graph, &outcome.weights, caps_ff);
     LacResult {
         n_foa: occupancy.total_violations(),
@@ -139,6 +138,473 @@ pub fn score_outcome(
         history: vec![occupancy.total_violations()],
         occupancy,
         outcome,
+    }
+}
+
+/// Per-vertex view of the difference-constraint system `r(u) − r(v) ≤ b`,
+/// for O(deg) legality checks of single-vertex retiming moves.
+struct ConstraintIndex {
+    /// `by_u[x]`: constraints `r(x) − r(other) ≤ bound`.
+    by_u: Vec<Vec<(usize, i64)>>,
+    /// `by_v[x]`: constraints `r(other) − r(x) ≤ bound`.
+    by_v: Vec<Vec<(usize, i64)>>,
+}
+
+impl ConstraintIndex {
+    fn new(n: usize, constraints: &[Constraint]) -> Self {
+        let mut by_u = vec![Vec::new(); n];
+        let mut by_v = vec![Vec::new(); n];
+        for c in constraints {
+            by_u[c.u].push((c.v, c.bound));
+            by_v[c.v].push((c.u, c.bound));
+        }
+        Self { by_u, by_v }
+    }
+
+    /// Would `r[x] += 1` keep every constraint satisfied?
+    fn can_increment(&self, r: &[i64], x: usize) -> bool {
+        self.by_u[x].iter().all(|&(v, b)| r[x] + 1 - r[v] <= b)
+    }
+
+    /// Would `r[x] -= 1` keep every constraint satisfied?
+    fn can_decrement(&self, r: &[i64], x: usize) -> bool {
+        self.by_v[x].iter().all(|&(u, b)| r[u] - (r[x] - 1) <= b)
+    }
+}
+
+/// One applied slide step, for rollback: `(vertex, delta)`.
+type SlideStep = (usize, i64);
+
+/// Working state of the flip-flop placement legaliser.
+struct Legalizer<'g> {
+    graph: &'g RetimeGraph,
+    /// Integer per-tile capacities `⌊caps_ff⌋`.
+    cap: Vec<i64>,
+    /// Single in/out edge of chain-interior interconnect vertices.
+    only_in: Vec<Option<EdgeId>>,
+    only_out: Vec<Option<EdgeId>>,
+    r: Vec<i64>,
+    weights: Vec<i64>,
+    counts: Vec<i64>,
+}
+
+/// Flip-flop placement legalisation: clears residual local-area violations
+/// a weighted min-area round leaves behind. A weighted retiming always
+/// lands on an extreme point of the constraint polytope, and near a tight
+/// packing every extreme point over- or under-shoots, so a few excess
+/// flip-flops remain that only *local* moves can place. Two move kinds,
+/// each a sequence of single-vertex retimings validated against the full
+/// constraint system (edge legality + clock period):
+///
+/// * **chain slides** — a flip-flop on a connection chain slides along the
+///   chain (the route the wire actually takes) into any tile with spare
+///   capacity; interconnect units have exactly one fanin and fanout, so
+///   the total flip-flop count never changes;
+/// * **cluster moves** — when a chain never leaves the overfull tile, the
+///   flip-flop can only escape by retiming a functional endpoint of its
+///   connection. A unit retiming of a vertex *set* S (`r(S) ± 1`) moves
+///   flip-flops across S's boundary only: every boundary edge that loses a
+///   flip-flop must carry one, and every constraint that tightens must
+///   have slack. Growing S from a seed gate by closure — absorb the far
+///   endpoint of any flop-less losing edge and of any tight constraint —
+///   always yields a legal composite move (or hits the host / a size cap
+///   and is abandoned). Single-gate retimings, chain re-staging and
+///   multi-fanin pull-throughs all arise as special cases.
+fn legalize_flop_placement(
+    graph: &RetimeGraph,
+    cons: &ConstraintIndex,
+    caps_ff: &[f64],
+    outcome: &mut RetimingOutcome,
+) {
+    // Single in/out edge of every interconnect vertex (chains are linear).
+    let n = graph.num_vertices();
+    let mut only_in = vec![None; n];
+    let mut only_out = vec![None; n];
+    for v in graph.vertex_ids() {
+        if graph.kind(v) == VertexKind::Interconnect {
+            let ins: Vec<_> = graph.in_edges(v).collect();
+            let outs: Vec<_> = graph.out_edges(v).collect();
+            if ins.len() == 1 && outs.len() == 1 {
+                only_in[v.index()] = Some(ins[0]);
+                only_out[v.index()] = Some(outs[0]);
+            }
+        }
+    }
+
+    let weights = std::mem::take(&mut outcome.weights);
+    let counts = TileOccupancy::compute(graph, &weights, caps_ff).counts;
+    let mut lg = Legalizer {
+        graph,
+        cap: caps_ff.iter().map(|c| c.floor().max(0.0) as i64).collect(),
+        only_in,
+        only_out,
+        r: std::mem::take(&mut outcome.retiming),
+        weights,
+        counts,
+    };
+
+    lg.slide_pass(cons);
+
+    // Cluster moves, explored with a small beam search; a flip-flop
+    // budget keeps N_F within a few percent of the optimum.
+    //
+    // A single move often trades one violation for another (the freed
+    // flip-flops land on chains that are also tight), so greedy descent
+    // dead-ends: reaching zero can require passing through states whose
+    // violation count is temporarily worse. The beam keeps the BEAM_WIDTH
+    // best unexplored states per depth, never revisits a state
+    // (fingerprint tabu), and returns the best state seen anywhere.
+    let budget = {
+        let flops: i64 = lg.weights.iter().sum();
+        flops + (flops / 20).max(2)
+    };
+    const BEAM_WIDTH: usize = 4;
+    const MAX_DEPTH: usize = 24;
+    const MAX_CANDIDATES: usize = 64;
+    // FNV-style fingerprint of the retiming vector, for the tabu set.
+    fn fingerprint(r: &[i64]) -> u64 {
+        r.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &x| {
+            (h ^ x as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+    }
+    type State = (i64, Vec<i64>, Vec<i64>, Vec<i64>);
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(fingerprint(&lg.r));
+    let mut best: State = (
+        lg.total_excess(),
+        lg.r.clone(),
+        lg.weights.clone(),
+        lg.counts.clone(),
+    );
+    let mut beam: Vec<State> = vec![best.clone()];
+    for _depth in 0..MAX_DEPTH {
+        if best.0 == 0 {
+            break;
+        }
+        let mut frontier: Vec<State> = Vec::new();
+        for (_, r0, w0, c0) in &beam {
+            lg.r = r0.clone();
+            lg.weights = w0.clone();
+            lg.counts = c0.clone();
+
+            // Seeds: the two endpoints of every connection holding a
+            // flip-flop charged to an overfull tile. Retiming the source
+            // side up (a cluster grown from it) frees the flip-flop
+            // backwards onto the source's fanins; retiming the sink side
+            // down pulls it forwards onto the sink's fanouts.
+            let mut candidates: Vec<(usize, bool)> = Vec::new();
+            for ei in 0..graph.num_edges() {
+                let e = EdgeId(ei as u32);
+                if lg.weights[ei] == 0 || !lg.overfull(graph.tile(graph.edge(e).from)) {
+                    continue;
+                }
+                candidates.push((lg.connection_source(e).index(), true));
+                candidates.push((lg.connection_sink(e).index(), false));
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            candidates.truncate(MAX_CANDIDATES);
+
+            for (seed, up) in candidates {
+                if lg.try_cluster_move(cons, seed, up, budget) {
+                    lg.slide_pass(cons);
+                    let fp = fingerprint(&lg.r);
+                    if seen.insert(fp) {
+                        frontier.push((
+                            lg.total_excess(),
+                            lg.r.clone(),
+                            lg.weights.clone(),
+                            lg.counts.clone(),
+                        ));
+                    }
+                }
+                lg.r = r0.clone();
+                lg.weights = w0.clone();
+                lg.counts = c0.clone();
+            }
+        }
+        if frontier.is_empty() {
+            break;
+        }
+        frontier.sort_by_key(|(excess, ..)| *excess);
+        frontier.truncate(BEAM_WIDTH);
+        if frontier[0].0 < best.0 {
+            best = frontier[0].clone();
+        }
+        beam = frontier;
+    }
+    let (_, r, weights, counts) = best;
+    lg.r = r;
+    lg.weights = weights;
+    lg.counts = counts;
+
+    outcome.total_flops = lg.weights.iter().sum();
+    outcome.period = graph
+        .clock_period(&lg.weights)
+        .expect("legalised weights stay acyclic on zero-weight subgraph");
+    outcome.retiming = lg.r;
+    outcome.weights = lg.weights;
+}
+
+impl Legalizer<'_> {
+    fn total_excess(&self) -> i64 {
+        self.counts
+            .iter()
+            .zip(&self.cap)
+            .map(|(&c, &k)| (c - k).max(0))
+            .sum()
+    }
+
+    fn overfull(&self, t: Option<usize>) -> bool {
+        t.is_some_and(|t| self.counts[t] > self.cap[t])
+    }
+
+    /// The functional (or host) vertex driving the connection `e` lies on,
+    /// found by walking upstream through the chain's interconnect units.
+    fn connection_source(&self, e: EdgeId) -> VertexId {
+        let mut tail = self.graph.edge(e).from;
+        while let Some(prev) = self.only_in[tail.index()] {
+            tail = self.graph.edge(prev).from;
+        }
+        tail
+    }
+
+    /// The functional (or host) vertex the connection `e` lies on feeds,
+    /// found by walking downstream through the chain's interconnect units.
+    fn connection_sink(&self, e: EdgeId) -> VertexId {
+        let mut head = self.graph.edge(e).to;
+        while let Some(next) = self.only_out[head.index()] {
+            head = self.graph.edge(next).to;
+        }
+        head
+    }
+
+    /// Grows the closure of `{seed}` for a legal unit retiming of a whole
+    /// vertex set (`r[S] += 1` when `increment`, else `r[S] -= 1`):
+    ///
+    /// * a boundary edge that would lose a flip-flop but carries none
+    ///   forces its far endpoint into S (edges inside S never change);
+    /// * a constraint that would tighten and is already tight forces its
+    ///   far endpoint into S (constraints inside S never change).
+    ///
+    /// Returns the membership mask, or `None` when the closure exceeds
+    /// `max_size` or swallows the whole graph (a no-op shift). The host may
+    /// join S: weights and constraints only depend on retiming differences,
+    /// and moves through the host are how flip-flops reach the pad ring.
+    fn grow_cluster(
+        &self,
+        cons: &ConstraintIndex,
+        seed: usize,
+        increment: bool,
+        max_size: usize,
+    ) -> Option<Vec<bool>> {
+        let mut in_s = vec![false; self.graph.num_vertices()];
+        let mut queue = vec![seed];
+        in_s[seed] = true;
+        let mut size = 1usize;
+        while let Some(x) = queue.pop() {
+            if size > max_size.min(self.graph.num_vertices() - 1) {
+                return None;
+            }
+            let v = VertexId(x as u32);
+            let mut absorb = Vec::new();
+            if increment {
+                for e in self.graph.out_edges(v) {
+                    if self.weights[e.index()] == 0 {
+                        absorb.push(self.graph.edge(e).to.index());
+                    }
+                }
+                for &(y, b) in &cons.by_u[x] {
+                    if self.r[x] - self.r[y] >= b {
+                        absorb.push(y);
+                    }
+                }
+            } else {
+                for e in self.graph.in_edges(v) {
+                    if self.weights[e.index()] == 0 {
+                        absorb.push(self.graph.edge(e).from.index());
+                    }
+                }
+                for &(y, b) in &cons.by_v[x] {
+                    if self.r[y] - self.r[x] >= b {
+                        absorb.push(y);
+                    }
+                }
+            }
+            for y in absorb {
+                if !in_s[y] {
+                    in_s[y] = true;
+                    queue.push(y);
+                    size += 1;
+                }
+            }
+        }
+        Some(in_s)
+    }
+
+    /// Grows a cluster from `seed` and applies its unit retiming unless it
+    /// would exceed the flip-flop `budget`. `true` iff applied.
+    fn try_cluster_move(
+        &mut self,
+        cons: &ConstraintIndex,
+        seed: usize,
+        increment: bool,
+        budget: i64,
+    ) -> bool {
+        let max_cluster = self.graph.num_vertices();
+        let Some(in_s) = self.grow_cluster(cons, seed, increment, max_cluster) else {
+            return false;
+        };
+        let d: i64 = if increment { 1 } else { -1 };
+        let mut flop_delta = 0i64;
+        for e in self.graph.edges() {
+            match (in_s[e.from.index()], in_s[e.to.index()]) {
+                (true, false) => flop_delta -= d,
+                (false, true) => flop_delta += d,
+                _ => {}
+            }
+        }
+        if self.weights.iter().sum::<i64>() + flop_delta > budget {
+            return false;
+        }
+        for (x, &m) in in_s.iter().enumerate() {
+            if m {
+                self.r[x] += d;
+            }
+        }
+        for (ei, e) in self.graph.edges().iter().enumerate() {
+            let delta = match (in_s[e.from.index()], in_s[e.to.index()]) {
+                (true, false) => -d,
+                (false, true) => d,
+                _ => continue,
+            };
+            self.weights[ei] += delta;
+            debug_assert!(self.weights[ei] >= 0, "cluster closure guarantees legality");
+            if let Some(t) = self.graph.tile(e.from) {
+                self.counts[t] += delta;
+            }
+        }
+        true
+    }
+
+    /// Runs chain slides to exhaustion: every flip-flop charged to an
+    /// overfull tile is offered a slide towards spare capacity, until a
+    /// full sweep makes no progress.
+    fn slide_pass(&mut self, cons: &ConstraintIndex) {
+        loop {
+            let mut progress = false;
+            for t in 0..self.cap.len() {
+                while self.counts[t] > self.cap[t] {
+                    let mut moved = false;
+                    for ei in 0..self.graph.num_edges() {
+                        if self.counts[t] <= self.cap[t] {
+                            break;
+                        }
+                        let tail = self.graph.edges()[ei].from;
+                        if self.weights[ei] > 0
+                            && self.graph.tile(tail) == Some(t)
+                            && self.slide_flop(cons, EdgeId(ei as u32), t)
+                        {
+                            moved = true;
+                        }
+                    }
+                    progress |= moved;
+                    if !moved {
+                        break;
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+}
+
+impl Legalizer<'_> {
+    /// Tries to move one flip-flop off edge `e` (charged to overfull tile
+    /// `from_tile`) by sliding it downstream, then upstream, along its
+    /// connection chain until it lands in a tile with spare capacity.
+    /// Applies the move and returns `true` on success; leaves all state
+    /// untouched and returns `false` otherwise.
+    fn slide_flop(&mut self, cons: &ConstraintIndex, e: EdgeId, from_tile: usize) -> bool {
+        // Downstream: repeatedly decrement the head of the flop's edge.
+        let mut log: Vec<SlideStep> = Vec::new();
+        let mut cur = e;
+        loop {
+            let head = self.graph.edge(cur).to;
+            let x = head.index();
+            let (Some(_), Some(eout)) = (self.only_in[x], self.only_out[x]) else {
+                break;
+            };
+            if self.weights[cur.index()] < 1 || !cons.can_decrement(&self.r, x) {
+                break;
+            }
+            self.r[x] -= 1;
+            self.weights[cur.index()] -= 1;
+            self.weights[eout.index()] += 1;
+            let dst = self.graph.tile(head).expect("interconnect units are tiled");
+            if let Some(t) = self.graph.tile(self.graph.edge(cur).from) {
+                self.counts[t] -= 1;
+            }
+            self.counts[dst] += 1;
+            log.push((x, -1));
+            if dst != from_tile && self.counts[dst] <= self.cap[dst] {
+                return true;
+            }
+            cur = eout;
+        }
+        self.rollback(&log);
+
+        // Upstream: repeatedly increment the tail of the flop's edge.
+        let mut log: Vec<SlideStep> = Vec::new();
+        let mut cur = e;
+        loop {
+            let tail = self.graph.edge(cur).from;
+            let x = tail.index();
+            let (Some(ein), Some(_)) = (self.only_in[x], self.only_out[x]) else {
+                break;
+            };
+            if self.weights[cur.index()] < 1 || !cons.can_increment(&self.r, x) {
+                break;
+            }
+            self.r[x] += 1;
+            self.weights[cur.index()] -= 1;
+            self.weights[ein.index()] += 1;
+            let own = self.graph.tile(tail).expect("interconnect units are tiled");
+            self.counts[own] -= 1;
+            let pred = self.graph.edge(ein).from;
+            let dst = self.graph.tile(pred);
+            if let Some(t) = dst {
+                self.counts[t] += 1;
+            }
+            log.push((x, 1));
+            if let Some(t) = dst {
+                if t != from_tile && self.counts[t] <= self.cap[t] {
+                    return true;
+                }
+            }
+            cur = ein;
+        }
+        self.rollback(&log);
+        false
+    }
+
+    /// Reverts a partial slide (most recent step first).
+    fn rollback(&mut self, log: &[SlideStep]) {
+        for &(x, d) in log.iter().rev() {
+            let (ein, eout) = (self.only_in[x].unwrap(), self.only_out[x].unwrap());
+            self.r[x] -= d;
+            // d = +1 slid a flop out→in; undo restores it.
+            self.weights[eout.index()] += d;
+            self.weights[ein.index()] -= d;
+            if let Some(t) = self.graph.tile(self.graph.edge(eout).from) {
+                self.counts[t] += d;
+            }
+            if let Some(t) = self.graph.tile(self.graph.edge(ein).from) {
+                self.counts[t] -= d;
+            }
+        }
     }
 }
 
@@ -173,6 +639,12 @@ pub fn lac_retiming(
         }
     }
     let mut solver = MinAreaSolver::new(graph, period_constraints)?;
+    // The full constraint system (edge legality + clock period), indexed
+    // per vertex so the chain-slide legaliser can validate single-vertex
+    // moves in O(deg).
+    let mut all_cons = edge_constraints(graph);
+    all_cons.extend(period_constraints.constraints.iter().copied());
+    let cons_index = ConstraintIndex::new(graph.num_vertices(), &all_cons);
     let mut tile_weight = vec![1.0f64; num_tiles];
     let mut best: Option<LacResult> = None;
     let mut history = Vec::new();
@@ -183,24 +655,42 @@ pub fn lac_retiming(
         rounds += 1;
         // Tile weight times the vertex's base area, so the expansion's
         // ε tie-break (prefer flip-flops at functional outputs over wires)
-        // persists underneath the LAC re-weighting.
+        // persists underneath the LAC re-weighting. A tiny deterministic
+        // per-vertex perturbation (< 1/1024, strictly below the ε premium)
+        // breaks the LP's degeneracy: same-tile vertices otherwise share
+        // one price, so re-weighting jumps between extreme points that
+        // move whole tiles' worth of flip-flops at once instead of
+        // migrating them one at a time. The perturbation is seeded from
+        // the tile-weight vector itself: every re-weighting round then
+        // lands on a fresh extreme point of the optimal face rather than
+        // retrying the corner the legaliser already got stuck on, while
+        // rounds with unchanged weights (e.g. α = 0) stay bit-identical.
+        let wfp = tile_weight.iter().fold(0x9E37_79B9_7F4A_7C15u64, |h, &w| {
+            (h ^ w.to_bits()).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        let mut jitter = Rng::seed_from_u64(wfp);
         let areas: Vec<f64> = graph
             .vertex_ids()
-            .map(|v| match graph.tile(v) {
-                Some(t) => tile_weight[t] * graph.area(v),
-                None => graph.area(v),
+            .map(|v| {
+                let perturb = 1.0 + (jitter.next_u64() >> 52) as f64 / 4_194_304.0;
+                match graph.tile(v) {
+                    Some(t) => tile_weight[t] * graph.area(v) * perturb,
+                    None => graph.area(v) * perturb,
+                }
             })
             .collect();
-        let outcome = solver.solve(&areas)?;
+        let mut outcome = solver.solve(&areas)?;
+        // Flip-flop placement repair: the weighted solve lands on an
+        // extreme point; slide residual excess flops along their
+        // connection chains into tiles with spare capacity.
+        legalize_flop_placement(graph, &cons_index, caps_ff, &mut outcome);
         let occupancy = TileOccupancy::compute(graph, &outcome.weights, caps_ff);
         let n_foa = occupancy.total_violations();
         history.push(n_foa);
 
         let improved = match &best {
             None => true,
-            Some(b) => {
-                n_foa < b.n_foa || (n_foa == b.n_foa && outcome.total_flops < b.n_f)
-            }
+            Some(b) => n_foa < b.n_foa || (n_foa == b.n_foa && outcome.total_flops < b.n_f),
         };
         if improved {
             best = Some(LacResult {
@@ -233,8 +723,14 @@ pub fn lac_retiming(
             } else {
                 0.0
             };
-            tile_weight[t] *= (1.0 - config.alpha) + config.alpha * ratio;
-            tile_weight[t] = tile_weight[t].clamp(1e-3, 1e6);
+            // Monotone ratchet: only ever raise a tile's weight. Letting
+            // under-utilised tiles decay below 1 makes their vertices
+            // cheaper than the ε interconnect premium and floods wires
+            // with flip-flops.
+            let factor = (1.0 - config.alpha) + config.alpha * ratio;
+            if factor > 1.0 {
+                tile_weight[t] = (tile_weight[t] * factor).min(1e6);
+            }
         }
     }
 

@@ -36,9 +36,9 @@ pub mod writeback;
 
 pub use expand::{expand, ExpandOptions, ExpandedDesign};
 pub use lac::{lac_retiming, score_outcome, LacConfig, LacResult, TileOccupancy};
-pub use writeback::retimed_circuit;
 pub use planner::{
     build_physical_plan, growth_from_violations, plan_retimings, plan_retimings_at,
-    plan_with_iterations, FloorplanEngine, IteratedPlan, PhysicalPlan, PlanReport,
-    PlannerConfig, TimedRun,
+    plan_with_iterations, FloorplanEngine, IteratedPlan, PhysicalPlan, PlanReport, PlannerConfig,
+    TimedRun,
 };
+pub use writeback::retimed_circuit;

@@ -116,7 +116,13 @@ impl Default for PlannerConfig {
             clock_slack_frac: 0.2,
             t_min_tolerance_frac: 0.0,
             lac: LacConfig::default(),
-            expand: ExpandOptions::default(),
+            // Tile-crossing segmentation: every tile a route passes
+            // through is a flip-flop site, which LAC retiming needs to
+            // relocate flip-flops along wires into tiles with slack.
+            expand: ExpandOptions {
+                tile_crossing_units: true,
+                ..ExpandOptions::default()
+            },
             constraints: ConstraintOptions::default(),
             seed: 0x1acc,
         }
@@ -237,8 +243,11 @@ pub fn build_physical_plan(
             .partial_cmp(&(unit_area[a] + initial_ff_area[a]))
             .expect("finite areas")
     });
-    let hard: std::collections::HashSet<usize> =
-        by_area.iter().take(config.num_hard_blocks).copied().collect();
+    let hard: std::collections::HashSet<usize> = by_area
+        .iter()
+        .take(config.num_hard_blocks)
+        .copied()
+        .collect();
     let specs: Vec<BlockSpec> = (0..nb)
         .map(|b| {
             let base = (unit_area[b] + initial_ff_area[b]) * (1.0 + config.block_slack)
@@ -343,18 +352,13 @@ pub fn build_physical_plan(
         // connections' chains, and re-route most-critical-first.
         let weights = expanded.graph.weights();
         if let Some(period) = expanded.graph.clock_period(&weights) {
-            if let Some(crit) =
-                lacr_retime::edge_criticality(&expanded.graph, &weights, period)
-            {
+            if let Some(crit) = lacr_retime::edge_criticality(&expanded.graph, &weights, period) {
                 let mut conn_idx = 0usize;
                 let mut net_priority = vec![0.0f64; circuit.num_nets()];
                 for (ni, net) in circuit.nets().iter().enumerate() {
                     for _ in &net.sinks {
                         let chain = &expanded.connection_chains[conn_idx];
-                        let worst = chain
-                            .iter()
-                            .map(|e| crit[e.index()])
-                            .fold(0.0f64, f64::max);
+                        let worst = chain.iter().map(|e| crit[e.index()]).fold(0.0f64, f64::max);
                         net_priority[ni] = net_priority[ni].max(worst);
                         conn_idx += 1;
                     }
@@ -365,8 +369,7 @@ pub fn build_physical_plan(
                         .partial_cmp(&net_priority[a])
                         .expect("finite criticality")
                 });
-                let permuted: Vec<NetPins> =
-                    order.iter().map(|&i| net_pins[i].clone()).collect();
+                let permuted: Vec<NetPins> = order.iter().map(|&i| net_pins[i].clone()).collect();
                 let rerouted = route(grid.nx(), grid.ny(), &permuted, &config.route);
                 let mut nets = vec![None; circuit.num_nets()];
                 for (k, &i) in order.iter().enumerate() {
@@ -388,8 +391,7 @@ pub fn build_physical_plan(
     let tolerance = (t_init as f64 * config.t_min_tolerance_frac).round() as u64;
     let mp = min_period_retiming_with_tolerance(&expanded.graph, tolerance);
     let t_min = mp.period;
-    let t_clk =
-        t_min + ((t_init - t_min) as f64 * config.clock_slack_frac).round() as u64;
+    let t_clk = t_min + ((t_init - t_min) as f64 * config.clock_slack_frac).round() as u64;
 
     PhysicalPlan {
         partitioning,
@@ -535,13 +537,9 @@ pub fn plan_with_iterations(
     let plan1 = build_physical_plan(circuit, config, &[]);
     let report1 = plan_retimings(&plan1, config)?;
     let second_n_foa = if report1.lac.result.n_foa > 0 {
-        let growth =
-            growth_from_violations(&plan1, &report1.lac.result, &config.technology, 1.5);
+        let growth = growth_from_violations(&plan1, &report1.lac.result, &config.technology, 1.5);
         let plan2 = build_physical_plan(circuit, config, &growth);
-        Some(
-            plan_retimings_at(&plan2, config, plan1.t_clk)
-                .map(|r| r.lac.result.n_foa),
-        )
+        Some(plan_retimings_at(&plan2, config, plan1.t_clk).map(|r| r.lac.result.n_foa))
     } else {
         None
     };
@@ -577,10 +575,7 @@ mod tests {
         // flop conservation through expansion
         assert_eq!(plan.expanded.graph.total_flops() as u64, c.num_flops());
         // caps cover all tiles + pad
-        assert_eq!(
-            plan.expanded.caps_ff.len(),
-            plan.grid.num_tiles() + 1
-        );
+        assert_eq!(plan.expanded.caps_ff.len(), plan.grid.num_tiles() + 1);
     }
 
     #[test]
@@ -601,8 +596,7 @@ mod tests {
         let cfg = quick_config();
         let plan = build_physical_plan(&c, &cfg, &[]);
         let report = plan_retimings(&plan, &cfg).unwrap();
-        let growth =
-            growth_from_violations(&plan, &report.lac.result, &cfg.technology, 1.5);
+        let growth = growth_from_violations(&plan, &report.lac.result, &cfg.technology, 1.5);
         assert_eq!(growth.len(), plan.partitioning.blocks.len());
         let has_violations = report.lac.result.n_foa > 0;
         let has_growth = growth.iter().any(|&g| g > 0.0);
@@ -763,7 +757,10 @@ mod timing_driven_tests {
         let p2 = build_physical_plan(&c, &td, &[]);
         // Same circuit, same invariants.
         assert_eq!(p2.routing.nets.len(), c.num_nets());
-        assert_eq!(p2.expanded.graph.total_flops(), p1.expanded.graph.total_flops());
+        assert_eq!(
+            p2.expanded.graph.total_flops(),
+            p1.expanded.graph.total_flops()
+        );
         for (ni, net) in c.nets().iter().enumerate() {
             for (si, s) in net.sinks.iter().enumerate() {
                 let path = &p2.routing.nets[ni].sink_paths[si];

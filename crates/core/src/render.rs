@@ -24,9 +24,7 @@ pub fn tile_ascii(plan: &PhysicalPlan) -> String {
             let ch = match grid.kind(t) {
                 TileKind::Channel => '.',
                 TileKind::Hard(_) => '#',
-                TileKind::Soft(b) => {
-                    (b'a' + (b % 26) as u8) as char
-                }
+                TileKind::Soft(b) => (b'a' + (b % 26) as u8) as char,
             };
             out.push(ch);
         }
@@ -39,7 +37,11 @@ pub fn tile_ascii(plan: &PhysicalPlan) -> String {
 pub fn tile_ascii_legend(plan: &PhysicalPlan) -> String {
     let mut out = String::from("legend: '.' channel/dead space, '#' hard block");
     let nb = plan.partitioning.blocks.len();
-    let _ = write!(out, ", 'a'..'{}' soft blocks", (b'a' + ((nb - 1) % 26) as u8) as char);
+    let _ = write!(
+        out,
+        ", 'a'..'{}' soft blocks",
+        (b'a' + ((nb - 1) % 26) as u8) as char
+    );
     out
 }
 
@@ -119,9 +121,7 @@ pub fn tile_svg(plan: &PhysicalPlan, occupancy: Option<&TileOccupancy>) -> Strin
 /// `' ' . : + * # @` (空 < 20 % … ≥ 120 % = overflow).
 pub fn congestion_ascii(plan: &PhysicalPlan, capacity: u32) -> String {
     let grid = &plan.grid;
-    let cong = plan
-        .routing
-        .cell_congestion(grid.num_cells(), capacity);
+    let cong = plan.routing.cell_congestion(grid.num_cells(), capacity);
     let mut out = String::new();
     for cy in (0..grid.ny()).rev() {
         for cx in 0..grid.nx() {

@@ -24,12 +24,12 @@ use lacr_netlist::Circuit;
 /// Panics if `expanded` was not built from `circuit` (chain/connection
 /// count mismatch) or `weights` does not match the expanded graph, or if
 /// any chain weight is negative or exceeds `u32::MAX`.
-pub fn retimed_circuit(
-    circuit: &Circuit,
-    expanded: &ExpandedDesign,
-    weights: &[i64],
-) -> Circuit {
-    assert_eq!(weights.len(), expanded.graph.num_edges(), "weights mismatch");
+pub fn retimed_circuit(circuit: &Circuit, expanded: &ExpandedDesign, weights: &[i64]) -> Circuit {
+    assert_eq!(
+        weights.len(),
+        expanded.graph.num_edges(),
+        "weights mismatch"
+    );
     let num_connections: usize = circuit.nets().iter().map(|n| n.sinks.len()).sum();
     assert_eq!(
         expanded.connection_chains.len(),

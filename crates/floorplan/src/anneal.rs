@@ -2,8 +2,7 @@
 
 use crate::seqpair::SequencePair;
 use crate::{BlockSpec, Floorplan, PlacedBlock};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use lacr_prng::{Rng, SliceRandom};
 
 /// Aspect-ratio choices explored for soft blocks.
 const SOFT_ASPECTS: [f64; 5] = [0.5, 0.75, 1.0, 4.0 / 3.0, 2.0];
@@ -61,16 +60,13 @@ pub fn floorplan(blocks: &[BlockSpec], nets: &[Vec<usize>], config: &FloorplanCo
             chip_h: 0.0,
         };
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut sp = SequencePair::identity(n);
     sp.s1.shuffle(&mut rng);
     sp.s2.shuffle(&mut rng);
     // Aspect state: index into SOFT_ASPECTS for soft blocks; for hard
     // blocks, 0 = as-given, 1 = rotated.
-    let mut aspect: Vec<usize> = blocks
-        .iter()
-        .map(|b| if b.hard { 0 } else { 2 })
-        .collect();
+    let mut aspect: Vec<usize> = blocks.iter().map(|b| if b.hard { 0 } else { 2 }).collect();
 
     let dims = |aspect: &[usize]| -> (Vec<f64>, Vec<f64>) {
         let mut w = Vec::with_capacity(n);
@@ -179,7 +175,11 @@ pub fn floorplan(blocks: &[BlockSpec], nets: &[Vec<usize>], config: &FloorplanCo
         let (area, hpwl, ..) = evaluate(&cand_sp, &cand_aspect);
         let cand_cost = cost_of(area, hpwl);
         let accept = cand_cost <= cur_cost
-            || rng.gen_bool(((cur_cost - cand_cost) / temp.max(1e-12)).exp().clamp(0.0, 1.0));
+            || rng.gen_bool(
+                ((cur_cost - cand_cost) / temp.max(1e-12))
+                    .exp()
+                    .clamp(0.0, 1.0),
+            );
         if accept {
             sp = cand_sp;
             aspect = cand_aspect;

@@ -35,10 +35,8 @@ pub mod shapes;
 pub mod slicing;
 pub mod tiles;
 
-use serde::{Deserialize, Serialize};
-
 /// Input description of one circuit block.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockSpec {
     /// Required area (µm², already including any whitespace budget).
     pub area: f64,
@@ -84,7 +82,7 @@ impl BlockSpec {
 }
 
 /// One placed block of a floorplan.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlacedBlock {
     /// Lower-left corner x.
     pub x: f64,
@@ -111,7 +109,7 @@ impl PlacedBlock {
 }
 
 /// A computed floorplan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Floorplan {
     /// Placed blocks, in input order.
     pub blocks: Vec<PlacedBlock>,
@@ -279,15 +277,37 @@ mod tests {
     fn spread_opens_channels_without_overlap() {
         let fp = Floorplan {
             blocks: vec![
-                PlacedBlock { x: 0.0, y: 0.0, w: 5.0, h: 5.0, hard: false },
-                PlacedBlock { x: 5.0, y: 0.0, w: 5.0, h: 5.0, hard: false },
-                PlacedBlock { x: 0.0, y: 5.0, w: 10.0, h: 5.0, hard: true },
+                PlacedBlock {
+                    x: 0.0,
+                    y: 0.0,
+                    w: 5.0,
+                    h: 5.0,
+                    hard: false,
+                },
+                PlacedBlock {
+                    x: 5.0,
+                    y: 0.0,
+                    w: 5.0,
+                    h: 5.0,
+                    hard: false,
+                },
+                PlacedBlock {
+                    x: 0.0,
+                    y: 5.0,
+                    w: 10.0,
+                    h: 5.0,
+                    hard: true,
+                },
             ],
             chip_w: 10.0,
             chip_h: 10.0,
         };
         let spread = fp.spread(0.2);
-        assert!(spread.validate(1e-9).is_empty(), "{:?}", spread.validate(1e-9));
+        assert!(
+            spread.validate(1e-9).is_empty(),
+            "{:?}",
+            spread.validate(1e-9)
+        );
         assert!(spread.utilization() < fp.utilization());
         // gap appeared between the two bottom blocks
         assert!(spread.blocks[1].x > spread.blocks[0].x + spread.blocks[0].w);
@@ -298,7 +318,13 @@ mod tests {
     #[test]
     fn spread_zero_is_identity() {
         let fp = Floorplan {
-            blocks: vec![PlacedBlock { x: 1.0, y: 2.0, w: 3.0, h: 4.0, hard: false }],
+            blocks: vec![PlacedBlock {
+                x: 1.0,
+                y: 2.0,
+                w: 3.0,
+                h: 4.0,
+                hard: false,
+            }],
             chip_w: 10.0,
             chip_h: 10.0,
         };

@@ -113,8 +113,16 @@ fn combine(op: Element, left: &Curve, right: &Curve) -> Curve {
 /// Internal tree mirroring the Polish expression, with curves attached.
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { block: usize, curve: Curve },
-    Cut { op: Element, left: Box<Node>, right: Box<Node>, curve: Curve },
+    Leaf {
+        block: usize,
+        curve: Curve,
+    },
+    Cut {
+        op: Element,
+        left: Box<Node>,
+        right: Box<Node>,
+        curve: Curve,
+    },
 }
 
 impl Node {
@@ -270,8 +278,7 @@ pub fn optimal_slicing_floorplan(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
-    use rand_chacha::ChaCha8Rng;
+    use lacr_prng::Rng;
 
     #[test]
     fn two_blocks_optimal_orientation() {
@@ -289,8 +296,9 @@ mod tests {
 
     #[test]
     fn optimal_beats_or_matches_every_uniform_aspect() {
-        let blocks: Vec<BlockSpec> =
-            (0..7).map(|i| BlockSpec::soft(40.0 + 13.0 * i as f64)).collect();
+        let blocks: Vec<BlockSpec> = (0..7)
+            .map(|i| BlockSpec::soft(40.0 + 13.0 * i as f64))
+            .collect();
         let expr = PolishExpression::initial(7);
         let fp = optimal_slicing_floorplan(&expr, &blocks, |w, h| w * h);
         let best = fp.chip_w * fp.chip_h;
@@ -310,7 +318,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_small_trees() {
-        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut rng = Rng::seed_from_u64(77);
         for _case in 0..20 {
             let n = rng.gen_range(2..5usize);
             let blocks: Vec<BlockSpec> = (0..n)
@@ -370,11 +378,7 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let fp = optimal_slicing_floorplan(
-            &PolishExpression::initial(0),
-            &[],
-            |w, h| w * h,
-        );
+        let fp = optimal_slicing_floorplan(&PolishExpression::initial(0), &[], |w, h| w * h);
         assert!(fp.blocks.is_empty());
     }
 }

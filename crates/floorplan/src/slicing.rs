@@ -16,8 +16,7 @@
 //! compares packing quality against the sequence-pair engine.
 
 use crate::{BlockSpec, Floorplan, PlacedBlock};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use lacr_prng::Rng;
 
 /// One element of a Polish expression (postfix).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,14 +131,7 @@ impl PolishExpression {
         let (chip_w, chip_h) = dims(&root, widths, heights);
         let mut pos = vec![(0.0, 0.0); n];
         // Recursive coordinate assignment.
-        fn place(
-            node: &Node,
-            x: f64,
-            y: f64,
-            w: &[f64],
-            h: &[f64],
-            pos: &mut Vec<(f64, f64)>,
-        ) {
+        fn place(node: &Node, x: f64, y: f64, w: &[f64], h: &[f64], pos: &mut Vec<(f64, f64)>) {
             match node {
                 Node::Leaf(b) => pos[*b] = (x, y),
                 Node::Cut(op, left, right, ..) => {
@@ -206,7 +198,7 @@ pub fn floorplan_slicing(
             chip_h: b.height,
         };
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x511c);
+    let mut rng = Rng::seed_from_u64(config.seed ^ 0x511c);
     let mut expr = PolishExpression::initial(n);
     let mut aspect: Vec<usize> = blocks.iter().map(|b| if b.hard { 0 } else { 2 }).collect();
 
@@ -293,7 +285,11 @@ pub fn floorplan_slicing(
         let (area, hpwl) = evaluate(&cand, &cand_aspect);
         let cand_cost = cost_of(area, hpwl);
         let accept = cand_cost <= cur_cost
-            || rng.gen_bool(((cur_cost - cand_cost) / temp.max(1e-12)).exp().clamp(0.0, 1.0));
+            || rng.gen_bool(
+                ((cur_cost - cand_cost) / temp.max(1e-12))
+                    .exp()
+                    .clamp(0.0, 1.0),
+            );
         if accept {
             expr = cand;
             aspect = cand_aspect;
@@ -325,7 +321,7 @@ pub fn floorplan_slicing(
 }
 
 /// M1: swap two adjacent operands.
-fn move_m1(expr: &mut PolishExpression, rng: &mut ChaCha8Rng) -> bool {
+fn move_m1(expr: &mut PolishExpression, rng: &mut Rng) -> bool {
     let operand_positions: Vec<usize> = expr
         .elements
         .iter()
@@ -344,7 +340,7 @@ fn move_m1(expr: &mut PolishExpression, rng: &mut ChaCha8Rng) -> bool {
 
 /// M2: complement a maximal chain of operators starting at a random
 /// operator.
-fn move_m2(expr: &mut PolishExpression, rng: &mut ChaCha8Rng) -> bool {
+fn move_m2(expr: &mut PolishExpression, rng: &mut Rng) -> bool {
     let op_positions: Vec<usize> = expr
         .elements
         .iter()
@@ -376,7 +372,7 @@ fn move_m2(expr: &mut PolishExpression, rng: &mut ChaCha8Rng) -> bool {
 /// M3: swap an adjacent operand/operator pair, keeping the expression
 /// ballot-valid and normalized. Returns `false` (no-op) if the chosen
 /// swap would be invalid.
-fn move_m3(expr: &mut PolishExpression, rng: &mut ChaCha8Rng, n: usize) -> bool {
+fn move_m3(expr: &mut PolishExpression, rng: &mut Rng, n: usize) -> bool {
     let len = expr.elements.len();
     let candidates: Vec<usize> = (0..len - 1)
         .filter(|&i| {
@@ -451,7 +447,7 @@ mod tests {
 
     #[test]
     fn moves_preserve_validity_under_stress() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let n = 8;
         let mut e = PolishExpression::initial(n);
         for step in 0..5_000 {
@@ -470,7 +466,7 @@ mod tests {
 
     #[test]
     fn packs_never_overlap_after_random_walks() {
-        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         let n = 6;
         let w: Vec<f64> = (0..n).map(|i| 2.0 + i as f64).collect();
         let h: Vec<f64> = (0..n).map(|i| 5.0 - 0.5 * i as f64).collect();

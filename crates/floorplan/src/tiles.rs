@@ -297,7 +297,11 @@ impl CapacityLedger {
 
     /// Total overdraw across tiles (µm²).
     pub fn total_overflow(&self) -> f64 {
-        self.remaining.iter().filter(|r| **r < 0.0).map(|r| -*r).sum()
+        self.remaining
+            .iter()
+            .filter(|r| **r < 0.0)
+            .map(|r| -*r)
+            .sum()
     }
 }
 

@@ -154,10 +154,8 @@ mod tests {
 
     #[test]
     fn negative_cycle_detected() {
-        let sys = DifferenceConstraints::new(
-            2,
-            [Constraint::new(0, 1, -1), Constraint::new(1, 0, 0)],
-        );
+        let sys =
+            DifferenceConstraints::new(2, [Constraint::new(0, 1, -1), Constraint::new(1, 0, 0)]);
         assert!(sys.solve().is_none());
         assert!(!sys.is_feasible());
     }
@@ -200,10 +198,8 @@ mod tests {
 
     #[test]
     fn solution_is_shifted_to_zero_minimum() {
-        let sys = DifferenceConstraints::new(
-            2,
-            [Constraint::new(0, 1, -5), Constraint::new(1, 0, 10)],
-        );
+        let sys =
+            DifferenceConstraints::new(2, [Constraint::new(0, 1, -5), Constraint::new(1, 0, 10)]);
         let r = sys.solve().unwrap();
         assert_eq!(*r.iter().min().unwrap(), 0);
     }

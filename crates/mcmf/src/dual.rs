@@ -81,8 +81,7 @@ impl DualSolver {
         let feas = DifferenceConstraints::new(num_vars, constraints.iter().copied());
         let potentials = feas.solve().ok_or(DualError::Infeasible)?;
 
-        let mut merged: HashMap<(usize, usize), i64> =
-            HashMap::with_capacity(constraints.len());
+        let mut merged: HashMap<(usize, usize), i64> = HashMap::with_capacity(constraints.len());
         for c in constraints {
             if c.u == c.v {
                 continue; // non-negative self-bound, vacuous
@@ -310,12 +309,11 @@ impl DualSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
-    use rand_chacha::ChaCha8Rng;
+    use lacr_prng::Rng;
 
     #[test]
     fn matches_one_shot_solver_on_random_instances() {
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for case in 0..50 {
             let n = rng.gen_range(2..6usize);
             // A ring of constraints keeps everything bounded.
@@ -369,7 +367,10 @@ mod tests {
     #[test]
     fn infeasible_constraints_rejected_up_front() {
         let cons = [Constraint::new(0, 1, -2), Constraint::new(1, 0, 1)];
-        assert_eq!(DualSolver::new(2, &cons).unwrap_err(), DualError::Infeasible);
+        assert_eq!(
+            DualSolver::new(2, &cons).unwrap_err(),
+            DualError::Infeasible
+        );
     }
 
     #[test]

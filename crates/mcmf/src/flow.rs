@@ -310,7 +310,14 @@ impl MinCostFlow {
     }
 }
 
-fn push_arc(arcs: &mut Vec<HalfArc>, adj: &mut [Vec<usize>], from: usize, to: usize, cap: i64, cost: i64) {
+fn push_arc(
+    arcs: &mut Vec<HalfArc>,
+    adj: &mut [Vec<usize>],
+    from: usize,
+    to: usize,
+    cap: i64,
+    cost: i64,
+) {
     let fwd = arcs.len();
     let bwd = fwd + 1;
     arcs.push(HalfArc {

@@ -160,9 +160,7 @@ pub fn solve_dual_program(
     }
     let sol = match flow.solve() {
         Ok(s) => s,
-        Err(FlowError::Infeasible | FlowError::NegativeCycle) => {
-            return Err(DualError::Unbounded)
-        }
+        Err(FlowError::Infeasible | FlowError::NegativeCycle) => return Err(DualError::Unbounded),
     };
 
     // Complementary slackness: with potentials π from the final shortest

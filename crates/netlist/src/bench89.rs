@@ -6,13 +6,12 @@
 //! with the same names and approximately the same unit/flip-flop/PI/PO
 //! counts, matched fanin statistics, and a guaranteed-well-formed
 //! sequential structure (every directed cycle carries at least one
-//! flip-flop). Generation is fully deterministic (ChaCha8 seeded by the
+//! flip-flop). Generation is fully deterministic (seeded by the
 //! benchmark name), so results are reproducible across runs and machines.
 //! Real `.bench` files can be substituted via [`crate::bench_format`].
 
 use crate::{Circuit, Sink, Unit, UnitId};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use lacr_prng::{Rng, SliceRandom};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -107,8 +106,8 @@ fn table() -> Vec<GenSpec> {
 /// Names of the whole synthetic suite, in Table-1 order.
 pub fn suite() -> Vec<&'static str> {
     vec![
-        "s344", "s382", "s526", "s641", "s713", "s838", "s953", "s1196", "s1269", "s1423",
-        "s5378", "s298", "s420", "s510", "s820", "s832", "s1488", "s1494",
+        "s344", "s382", "s526", "s641", "s713", "s838", "s953", "s1196", "s1269", "s1423", "s5378",
+        "s298", "s420", "s510", "s820", "s832", "s1488", "s1494",
     ]
 }
 
@@ -159,7 +158,7 @@ pub fn generate(name: &str) -> Result<Circuit, UnknownBenchmarkError> {
 /// Panics if `units`, `inputs` or `outputs` is zero.
 pub fn generate_spec(spec: &GenSpec) -> Circuit {
     assert!(spec.units > 0 && spec.inputs > 0 && spec.outputs > 0);
-    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ 0x1acc_0de5_eed0_0001);
+    let mut rng = Rng::seed_from_u64(spec.seed ^ 0x1acc_0de5_eed0_0001);
     let mut c = Circuit::new(spec.name.clone());
 
     let pis: Vec<UnitId> = (0..spec.inputs)
@@ -183,7 +182,9 @@ pub fn generate_spec(spec: &GenSpec) -> Circuit {
     for (i, &g) in logic.iter().enumerate() {
         let fanin = *[1usize, 2, 2, 2, 3].choose(&mut rng).expect("nonempty");
         for _ in 0..fanin {
-            let from = if i == 0 || rng.gen_bool((spec.inputs as f64 / (i + spec.inputs) as f64).min(0.9)) {
+            let from = if i == 0
+                || rng.gen_bool((spec.inputs as f64 / (i + spec.inputs) as f64).min(0.9))
+            {
                 *pis.choose(&mut rng).expect("nonempty pis")
             } else {
                 logic[rng.gen_range(0..i)]
@@ -226,7 +227,10 @@ pub fn generate_spec(spec: &GenSpec) -> Circuit {
     // Group by driver into nets.
     let mut by_driver: HashMap<UnitId, Vec<Sink>> = HashMap::new();
     for (from, to, flops) in conns {
-        by_driver.entry(from).or_default().push(Sink::new(to, flops));
+        by_driver
+            .entry(from)
+            .or_default()
+            .push(Sink::new(to, flops));
     }
     let mut drivers: Vec<UnitId> = by_driver.keys().copied().collect();
     drivers.sort();

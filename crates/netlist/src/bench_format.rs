@@ -107,10 +107,7 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
         if let Some(rest) = line.strip_prefix("INPUT") {
             let sig = strip_parens(rest)
                 .ok_or_else(|| err(line_no, format!("malformed INPUT line {line:?}")))?;
-            if defs
-                .insert(sig.to_string(), Def::Input)
-                .is_some()
-            {
+            if defs.insert(sig.to_string(), Def::Input).is_some() {
                 return Err(err(line_no, format!("signal {sig:?} defined twice")));
             }
             inputs.push(sig.to_string());

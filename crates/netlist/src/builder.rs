@@ -79,7 +79,10 @@ impl CircuitBuilder {
         let mut circuit = self.circuit;
         let mut by_driver: HashMap<UnitId, Vec<Sink>> = HashMap::new();
         for (from, to, flops) in self.connections {
-            by_driver.entry(from).or_default().push(Sink::new(to, flops));
+            by_driver
+                .entry(from)
+                .or_default()
+                .push(Sink::new(to, flops));
         }
         let mut drivers: Vec<UnitId> = by_driver.keys().copied().collect();
         drivers.sort();
@@ -248,7 +251,11 @@ mod tests {
     fn tree_shapes() {
         for leaves in [1usize, 2, 3, 7, 8, 13] {
             let c = reduction_tree(leaves, 1.0);
-            assert!(c.validate().is_empty(), "leaves {leaves}: {:?}", c.validate());
+            assert!(
+                c.validate().is_empty(),
+                "leaves {leaves}: {:?}",
+                c.validate()
+            );
             assert_eq!(c.num_flops(), 1, "leaves {leaves}");
         }
     }

@@ -1,11 +1,10 @@
 //! The core circuit data structure.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a functional unit within one [`Circuit`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UnitId(pub u32);
 
 impl UnitId {
@@ -22,7 +21,7 @@ impl fmt::Display for UnitId {
 }
 
 /// Identifier of a net within one [`Circuit`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetId(pub u32);
 
 impl NetId {
@@ -39,7 +38,7 @@ impl fmt::Display for NetId {
 }
 
 /// The role of a functional unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnitKind {
     /// Primary input (no fanin inside the circuit).
     Input,
@@ -52,7 +51,7 @@ pub enum UnitKind {
 }
 
 /// One RT-level functional unit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Unit {
     /// Human-readable name (unique within a circuit).
     pub name: String,
@@ -98,7 +97,7 @@ impl Unit {
 
 /// One sink of a net: the receiving unit and the number of flip-flops on
 /// the connection from the net's driver to this sink.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sink {
     /// Receiving unit.
     pub unit: UnitId,
@@ -114,7 +113,7 @@ impl Sink {
 }
 
 /// A multi-pin net: one driver, one or more sinks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Net {
     /// Driving unit.
     pub driver: UnitId,
@@ -159,7 +158,7 @@ pub struct Edge {
 /// assert_eq!(c.num_flops(), 1);
 /// assert!(c.validate().is_empty());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Circuit {
     name: String,
     units: Vec<Unit>,

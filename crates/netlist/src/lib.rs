@@ -28,8 +28,8 @@
 //! ```
 
 pub mod bench89;
-pub mod builder;
 pub mod bench_format;
+pub mod builder;
 pub mod stats;
 pub mod verilog;
 

@@ -87,7 +87,12 @@ impl CircuitStats {
             } else {
                 logic_fanin as f64 / logic_units as f64
             },
-            max_fanout: circuit.nets().iter().map(|n| n.sinks.len()).max().unwrap_or(0),
+            max_fanout: circuit
+                .nets()
+                .iter()
+                .map(|n| n.sinks.len())
+                .max()
+                .unwrap_or(0),
             comb_depth,
         }
     }

@@ -330,7 +330,9 @@ pub fn parse(text: &str) -> Result<Circuit, ParseVerilogError> {
 
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -345,7 +347,13 @@ pub fn write(circuit: &Circuit) -> String {
     let sanitize = |s: &str| -> String {
         let cleaned: String = s
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
             format!("s_{cleaned}")
@@ -362,7 +370,12 @@ pub fn write(circuit: &Circuit) -> String {
     let out_port = |i: usize| format!("po_{i}");
     let mut ports: Vec<String> = inputs.clone();
     ports.extend((0..n_outputs).map(out_port));
-    let _ = writeln!(out, "module {} ({});", sanitize(circuit.name()), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        sanitize(circuit.name()),
+        ports.join(", ")
+    );
     for i in &inputs {
         let _ = writeln!(out, "  input {i};");
     }

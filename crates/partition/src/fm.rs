@@ -1,8 +1,7 @@
 //! A Fiduccia–Mattheyses bipartitioner over one group of units.
 
 use lacr_netlist::{Circuit, UnitId};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use lacr_prng::{Rng, SliceRandom};
 use std::collections::{BinaryHeap, HashMap};
 
 /// Splits `group` into two halves of roughly equal area, minimising the
@@ -80,7 +79,7 @@ pub fn bipartition(
     }
 
     // Initial random area-balanced split.
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut order: Vec<usize> = (0..m).collect();
     order.shuffle(&mut rng);
     let mut side = vec![false; m]; // false = left, true = right
@@ -101,14 +100,7 @@ pub fn bipartition(
     }
 
     for _ in 0..passes {
-        if !fm_pass(
-            &nets,
-            &nets_of,
-            &areas,
-            &mut side,
-            max_side,
-            total_area,
-        ) {
+        if !fm_pass(&nets, &nets_of, &areas, &mut side, max_side, total_area) {
             break;
         }
     }
@@ -245,10 +237,7 @@ mod tests {
         // cluster A: 0-3 chained densely; cluster B: 4-7.
         for base in [0usize, 4] {
             for i in base..base + 3 {
-                c.add_net(
-                    us[i],
-                    vec![Sink::new(us[i + 1], 1), Sink::new(us[base], 1)],
-                );
+                c.add_net(us[i], vec![Sink::new(us[i + 1], 1), Sink::new(us[base], 1)]);
             }
         }
         // one bridge net
@@ -256,7 +245,12 @@ mod tests {
         let all: Vec<UnitId> = c.unit_ids().collect();
         let (l, r) = bipartition(&c, &all, 0.2, 8, 3);
         assert!(!l.is_empty() && !r.is_empty());
-        assert!(l.len() >= 3 && r.len() >= 3, "split {}/{}", l.len(), r.len());
+        assert!(
+            l.len() >= 3 && r.len() >= 3,
+            "split {}/{}",
+            l.len(),
+            r.len()
+        );
         let cut = c
             .nets()
             .iter()

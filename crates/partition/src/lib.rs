@@ -125,8 +125,7 @@ pub fn partition(circuit: &Circuit, config: &PartitionConfig) -> Partitioning {
         }
         let group = groups.swap_remove(idx);
         seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
-        let (left, right) = if config.fm_passes > 0 && group.len() >= config.multilevel_threshold
-        {
+        let (left, right) = if config.fm_passes > 0 && group.len() >= config.multilevel_threshold {
             multilevel_bipartition(
                 circuit,
                 &group,

@@ -9,8 +9,7 @@
 
 use crate::fm::bipartition;
 use lacr_netlist::{Circuit, UnitId};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use lacr_prng::{Rng, SliceRandom};
 use std::collections::HashMap;
 
 /// A coarsened hypergraph level.
@@ -86,7 +85,7 @@ pub fn multilevel_bipartition(
     }];
 
     // Coarsen until small or progress stalls.
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc0a5);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xc0a5);
     loop {
         let cur = levels.last().expect("at least level 0");
         let n = cur.groups.len();
@@ -139,7 +138,7 @@ pub fn multilevel_bipartition(
 }
 
 /// Heavy-edge matching: vertices sharing many small nets merge first.
-fn coarsen(level: &Level, rng: &mut ChaCha8Rng) -> Level {
+fn coarsen(level: &Level, rng: &mut Rng) -> Level {
     let n = level.groups.len();
     // Pairwise connectivity scores from nets (small nets weigh more).
     let mut score: HashMap<(usize, usize), f64> = HashMap::new();
@@ -214,11 +213,15 @@ fn coarsen(level: &Level, rng: &mut ChaCha8Rng) -> Level {
             nets.push(coarse);
         }
     }
-    Level { groups, nets, areas }
+    Level {
+        groups,
+        nets,
+        areas,
+    }
 }
 
 /// Random area-balanced initial split of a level.
-fn initial_split(level: &Level, rng: &mut ChaCha8Rng, _tol: f64) -> Vec<bool> {
+fn initial_split(level: &Level, rng: &mut Rng, _tol: f64) -> Vec<bool> {
     let n = level.groups.len();
     let total: f64 = level.areas.iter().sum();
     let mut order: Vec<usize> = (0..n).collect();

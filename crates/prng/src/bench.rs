@@ -1,0 +1,283 @@
+//! A minimal wall-clock benchmark harness, replacing `criterion` for this
+//! workspace's `harness = false` bench targets.
+//!
+//! Design goals: zero dependencies, stable output format, and a fast
+//! smoke mode. `cargo bench` passes `--bench` to the target, which
+//! selects full measurement (auto-calibrated iteration counts, several
+//! samples, min/median/mean in ns per iteration). Any other invocation —
+//! notably `cargo test --benches` — runs each benchmark exactly once, so
+//! benches stay compile- and smoke-checked by the test suite without
+//! burning minutes of CI time.
+//!
+//! ```no_run
+//! use lacr_prng::bench::{Bencher, Harness};
+//!
+//! fn bench_sum(c: &mut Harness) {
+//!     c.bench_function("sum_1k", |b: &mut Bencher| {
+//!         b.iter(|| (0..1000u64).sum::<u64>())
+//!     });
+//! }
+//!
+//! lacr_prng::bench_group!(benches, bench_sum);
+//! lacr_prng::bench_main!(benches);
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+/// Default number of measured samples per benchmark.
+const DEFAULT_SAMPLES: usize = 15;
+
+/// Measures one benchmark body; handed to the closure by
+/// [`Harness::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `body` the harness-chosen number of times and records the
+    /// total elapsed time. The return value is passed through
+    /// [`std::hint::black_box`] so the work is not optimised away.
+    pub fn iter<T>(&mut self, mut body: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One benchmark's aggregated measurements.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+}
+
+/// The top-level harness: registers and runs benchmarks, then prints a
+/// summary table.
+pub struct Harness {
+    full: bool,
+    sample_size: usize,
+    records: Vec<Record>,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments: full measurement when
+    /// `--bench` is present (what `cargo bench` passes), smoke mode (one
+    /// iteration per benchmark) otherwise.
+    pub fn from_args() -> Self {
+        let full = std::env::args().any(|a| a == "--bench");
+        Self {
+            full,
+            sample_size: DEFAULT_SAMPLES,
+            records: Vec::new(),
+        }
+    }
+
+    /// Runs one benchmark. The closure must call [`Bencher::iter`]
+    /// exactly once.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        if !self.full {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{name}: smoke ok ({:?})", b.elapsed);
+            return;
+        }
+        // Calibrate: time a single iteration, then choose a count that
+        // fills roughly one sample target.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let min_ns = samples_ns[0];
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        println!(
+            "{name}: min {} / median {} / mean {}  ({iters} iters x {} samples)",
+            fmt_ns(min_ns),
+            fmt_ns(median_ns),
+            fmt_ns(mean_ns),
+            samples_ns.len()
+        );
+        self.records.push(Record {
+            name: name.to_string(),
+            min_ns,
+            median_ns,
+            mean_ns,
+        });
+    }
+
+    /// Starts a named group; mirrors criterion's `benchmark_group`.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Prints the final summary table (full mode only).
+    pub fn final_summary(&self) {
+        if !self.full || self.records.is_empty() {
+            return;
+        }
+        let width = self.records.iter().map(|r| r.name.len()).max().unwrap_or(0);
+        println!(
+            "\n{:<width$}  {:>12}  {:>12}  {:>12}",
+            "benchmark", "min", "median", "mean"
+        );
+        for r in &self.records {
+            println!(
+                "{:<width$}  {:>12}  {:>12}  {:>12}",
+                r.name,
+                fmt_ns(r.min_ns),
+                fmt_ns(r.median_ns),
+                fmt_ns(r.mean_ns)
+            );
+        }
+    }
+}
+
+/// A named benchmark group with an optional per-group sample size;
+/// mirrors criterion's group API surface used in this repo.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl Group<'_> {
+    /// Overrides the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark inside the group (reported as `group/name`).
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full_name = format!("{}/{name}", self.name);
+        let saved = self.harness.sample_size;
+        if let Some(n) = self.sample_size {
+            self.harness.sample_size = n;
+        }
+        self.harness.bench_function(&full_name, f);
+        self.harness.sample_size = saved;
+        self
+    }
+
+    /// Ends the group (no-op; mirrors criterion).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! bench_group {
+    ($group:ident, $($fun:path),+ $(,)?) => {
+        fn $group(harness: &mut $crate::bench::Harness) {
+            $( $fun(harness); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::bench::Harness::from_args();
+            $( $group(&mut harness); )+
+            harness.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut h = Harness {
+            full: false,
+            sample_size: DEFAULT_SAMPLES,
+            records: Vec::new(),
+        };
+        let mut calls = 0u32;
+        h.bench_function("probe", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+        assert!(h.records.is_empty());
+    }
+
+    #[test]
+    fn full_mode_records_statistics() {
+        let mut h = Harness {
+            full: true,
+            sample_size: 3,
+            records: Vec::new(),
+        };
+        h.bench_function("tiny", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        assert_eq!(h.records.len(), 1);
+        let r = &h.records[0];
+        assert!(r.min_ns <= r.median_ns && r.min_ns <= r.mean_ns * 1.0000001);
+        h.final_summary();
+    }
+
+    #[test]
+    fn groups_prefix_names_and_restore_sample_size() {
+        let mut h = Harness {
+            full: true,
+            sample_size: 4,
+            records: Vec::new(),
+        };
+        {
+            let mut g = h.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function("inner", |b| b.iter(|| ()));
+            g.finish();
+        }
+        assert_eq!(h.sample_size, 4);
+        assert_eq!(h.records[0].name, "grp/inner");
+    }
+
+    #[test]
+    fn ns_formatting_picks_sane_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.340 us");
+        assert_eq!(fmt_ns(12_340_000.0), "12.340 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -166,8 +166,7 @@ pub fn min_period_retiming_with_tolerance(
 mod tests {
     use super::*;
     use crate::graph::VertexKind;
-    use rand::prelude::*;
-    use rand_chacha::ChaCha8Rng;
+    use lacr_prng::Rng;
 
     fn two_vertex_loop() -> RetimeGraph {
         let mut g = RetimeGraph::new();
@@ -291,14 +290,12 @@ mod tests {
     /// with a brute-force search over retiming vectors in a small box.
     #[test]
     fn feas_agrees_with_brute_force_on_random_graphs() {
-        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         for case in 0..40 {
             let n = rng.gen_range(2..5usize);
             let mut g = RetimeGraph::new();
             let vs: Vec<_> = (0..n)
-                .map(|_| {
-                    g.add_vertex(VertexKind::Functional, rng.gen_range(1..6), 1.0, None)
-                })
+                .map(|_| g.add_vertex(VertexKind::Functional, rng.gen_range(1..6), 1.0, None))
                 .collect();
             // Ring to guarantee every vertex is on a registered cycle.
             for i in 0..n {
@@ -322,16 +319,14 @@ mod tests {
     /// oracle versus brute force).
     #[test]
     fn constraint_oracle_agrees_with_brute_force_on_host_graphs() {
-        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut rng = Rng::seed_from_u64(99);
         for case in 0..30 {
             let n = rng.gen_range(2..4usize);
             let mut g = RetimeGraph::new();
             let h = g.add_vertex(VertexKind::Host, 0, 1.0, None);
             g.set_host(h);
             let vs: Vec<_> = (0..n)
-                .map(|_| {
-                    g.add_vertex(VertexKind::Functional, rng.gen_range(1..5), 1.0, None)
-                })
+                .map(|_| g.add_vertex(VertexKind::Functional, rng.gen_range(1..5), 1.0, None))
                 .collect();
             g.add_edge(h, vs[0], rng.gen_range(0..3));
             for i in 0..n - 1 {
@@ -354,8 +349,7 @@ mod tests {
         fn rec(g: &RetimeGraph, t: u64, r: &mut Vec<i64>, i: usize) -> bool {
             if i == r.len() {
                 let w = g.retimed_weights(r);
-                return g.weights_legal(&w)
-                    && matches!(g.clock_period(&w), Some(p) if p <= t);
+                return g.weights_legal(&w) && matches!(g.clock_period(&w), Some(p) if p <= t);
             }
             for v in -4..=4 {
                 r[i] = v;

@@ -234,9 +234,8 @@ impl RetimeGraph {
     /// vertex-delay path through zero-weight edges. Returns `None` when the
     /// zero-weight subgraph is cyclic (illegal for a valid circuit).
     pub fn clock_period(&self, weights: &[i64]) -> Option<u64> {
-        self.arrival_times(weights).map(|arr| {
-            arr.into_iter().max().unwrap_or(0)
-        })
+        self.arrival_times(weights)
+            .map(|arr| arr.into_iter().max().unwrap_or(0))
     }
 
     /// Combinational arrival time `Δ(v)` of every vertex under the given
@@ -308,9 +307,7 @@ impl RetimeGraph {
             let unit = circuit.unit(uid);
             let v = match unit.kind {
                 UnitKind::Input | UnitKind::Output => host,
-                UnitKind::Logic => {
-                    g.add_vertex(VertexKind::Functional, delay_of(unit), 1.0, None)
-                }
+                UnitKind::Logic => g.add_vertex(VertexKind::Functional, delay_of(unit), 1.0, None),
             };
             map.insert(uid, v);
         }
@@ -324,9 +321,7 @@ impl RetimeGraph {
 
     /// Builds a retiming graph from a circuit using raw unit delays rounded
     /// up to whole picoseconds.
-    pub fn from_circuit(
-        circuit: &Circuit,
-    ) -> (Self, HashMap<lacr_netlist::UnitId, VertexId>) {
+    pub fn from_circuit(circuit: &Circuit) -> (Self, HashMap<lacr_netlist::UnitId, VertexId>) {
         Self::from_circuit_with(circuit, |u| u.delay_ps.ceil() as u64)
     }
 }

@@ -9,14 +9,16 @@
 //! `fi(v) − fo(v)` exactly as the paper derives. Both reduce to the same
 //! LP dual, solved by [`lacr_mcmf::solve_dual_program`].
 
-use crate::constraints::{edge_constraints, generate_period_constraints, ConstraintOptions, PeriodConstraints};
+use crate::constraints::{
+    edge_constraints, generate_period_constraints, ConstraintOptions, PeriodConstraints,
+};
 use crate::graph::RetimeGraph;
 use lacr_mcmf::{Constraint, DualError, DualSolver};
 use std::fmt;
 
 /// Fixed-point scale used to quantise real-valued area weights to integer
 /// milli-units so the flow problem stays integral.
-const AREA_SCALE: f64 = 1024.0;
+const AREA_SCALE: f64 = 4194304.0;
 
 /// Error from the min-area retiming entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -254,8 +256,7 @@ pub fn weighted_flop_cost(graph: &RetimeGraph, weights: &[i64], areas: &[f64]) -
 mod tests {
     use super::*;
     use crate::graph::VertexKind;
-    use rand::prelude::*;
-    use rand_chacha::ChaCha8Rng;
+    use lacr_prng::Rng;
 
     /// host→a→b→host pipeline, two flops on the front edge.
     fn pipeline() -> RetimeGraph {
@@ -342,7 +343,7 @@ mod tests {
     /// Optimality cross-check against brute force on random small graphs.
     #[test]
     fn min_area_is_optimal_on_random_small_graphs() {
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for case in 0..60 {
             let n = rng.gen_range(2..5usize);
             let mut g = RetimeGraph::new();
@@ -398,7 +399,7 @@ mod tests {
     /// Weighted optimality cross-check with random positive weights.
     #[test]
     fn weighted_min_area_is_optimal_on_random_small_graphs() {
-        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         for case in 0..40 {
             let n = rng.gen_range(2..4usize);
             let mut g = RetimeGraph::new();
@@ -425,14 +426,7 @@ mod tests {
         let n = g.num_vertices();
         let mut r = vec![0i64; n];
         let mut best = f64::INFINITY;
-        fn rec(
-            g: &RetimeGraph,
-            t: u64,
-            areas: &[f64],
-            r: &mut Vec<i64>,
-            i: usize,
-            best: &mut f64,
-        ) {
+        fn rec(g: &RetimeGraph, t: u64, areas: &[f64], r: &mut Vec<i64>, i: usize, best: &mut f64) {
             if i == r.len() {
                 let w = g.retimed_weights(r);
                 if g.weights_legal(&w) {

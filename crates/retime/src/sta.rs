@@ -136,9 +136,7 @@ pub fn analyze_timing(graph: &RetimeGraph, weights: &[i64], target: u64) -> Opti
             required[v] = req.min(target as i64);
         }
     }
-    let slack: Vec<i64> = (0..n)
-        .map(|v| required[v] - arrival[v] as i64)
-        .collect();
+    let slack: Vec<i64> = (0..n).map(|v| required[v] - arrival[v] as i64).collect();
     Some(TimingReport {
         target,
         arrival,
@@ -166,9 +164,7 @@ pub fn critical_path(graph: &RetimeGraph, weights: &[i64]) -> Vec<VertexId> {
     }
     let host = graph.host();
     // End at a maximum-arrival vertex, walk backwards greedily.
-    let end = (0..n)
-        .max_by_key(|&v| arrival[v])
-        .expect("non-empty");
+    let end = (0..n).max_by_key(|&v| arrival[v]).expect("non-empty");
     let mut path = vec![VertexId(end as u32)];
     let mut cur = VertexId(end as u32);
     loop {

@@ -116,15 +116,13 @@ pub fn verify_retiming(
     outcome: &RetimingOutcome,
     target: u64,
 ) -> Result<(), VerifyError> {
-    if outcome.retiming.len() != graph.num_vertices()
-        || outcome.weights.len() != graph.num_edges()
+    if outcome.retiming.len() != graph.num_vertices() || outcome.weights.len() != graph.num_edges()
     {
         return Err(VerifyError::ShapeMismatch);
     }
     // 1. Weight consistency and non-negativity.
     for (i, e) in graph.edges().iter().enumerate() {
-        let expected =
-            e.weight + outcome.retiming[e.to.index()] - outcome.retiming[e.from.index()];
+        let expected = e.weight + outcome.retiming[e.to.index()] - outcome.retiming[e.from.index()];
         if outcome.weights[i] != expected {
             return Err(VerifyError::WeightInconsistent {
                 edge: i,
@@ -299,7 +297,10 @@ mod tests {
             total_flops: 2,
             period: 7,
         };
-        assert_eq!(verify_retiming(&g, &out, 7), Err(VerifyError::ShapeMismatch));
+        assert_eq!(
+            verify_retiming(&g, &out, 7),
+            Err(VerifyError::ShapeMismatch)
+        );
     }
 
     #[test]

@@ -149,9 +149,7 @@ pub fn route(nx: usize, ny: usize, nets: &[NetPins], config: &RouteConfig) -> Ro
             *history.entry(*k).or_insert(0.0) += config.history_penalty;
         }
         for (i, net) in nets.iter().enumerate() {
-            let uses_over = tree_edges(&routed[i])
-                .iter()
-                .any(|k| over.contains(k));
+            let uses_over = tree_edges(&routed[i]).iter().any(|k| over.contains(k));
             if !uses_over {
                 continue;
             }
@@ -162,10 +160,7 @@ pub fn route(nx: usize, ny: usize, nets: &[NetPins], config: &RouteConfig) -> Ro
         }
     }
 
-    let wirelength = routed
-        .iter()
-        .map(|r| tree_edges(r).len())
-        .sum();
+    let wirelength = routed.iter().map(|r| tree_edges(r).len()).sum();
     let overflow = usage
         .values()
         .map(|&u| u.saturating_sub(config.edge_capacity))
@@ -477,8 +472,14 @@ mod tests {
     #[test]
     fn edge_usage_reflects_traffic() {
         let nets = vec![
-            NetPins { driver: 0, sinks: vec![2] },
-            NetPins { driver: 0, sinks: vec![2] },
+            NetPins {
+                driver: 0,
+                sinks: vec![2],
+            },
+            NetPins {
+                driver: 0,
+                sinks: vec![2],
+            },
         ];
         let r = route(3, 1, &nets, &RouteConfig::default());
         // Both nets use edges (0,1) and (1,2) — unless congestion split

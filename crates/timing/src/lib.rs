@@ -19,8 +19,6 @@ mod elmore;
 
 pub use elmore::{rc_ladder_delay_ps, RcSegment};
 
-use serde::{Deserialize, Serialize};
-
 /// Process and library parameters used by the planner.
 ///
 /// The defaults model a 180 nm-class process where a full-chip global wire
@@ -38,7 +36,7 @@ use serde::{Deserialize, Serialize};
 /// let d2 = tech.wire_delay_ps(2_000.0);
 /// assert!(d2 > 2.0 * d1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Technology {
     /// Wire resistance per micrometre (Ω/µm).
     pub unit_res: f64,
@@ -72,15 +70,15 @@ pub struct Technology {
 impl Default for Technology {
     fn default() -> Self {
         Self {
-            unit_res: 0.075,     // Ω/µm, global metal
-            unit_cap: 0.118,     // fF/µm
+            unit_res: 0.075, // Ω/µm, global metal
+            unit_cap: 0.118, // fF/µm
             repeater_delay_ps: 20.0,
-            repeater_res: 180.0, // Ω
-            repeater_cap: 23.0,  // fF
+            repeater_res: 180.0,    // Ω
+            repeater_cap: 23.0,     // fF
             repeater_area: 2_000.0, // µm² (an RT-level repeater bank)
             ff_area: 25_000.0,      // µm² (an RT-level register, not a single bit)
             ff_overhead_ps: 80.0,
-            l_max: 2_000.0,  // µm
+            l_max: 2_000.0,   // µm
             tile_size: 500.0, // µm
             unit_delay_scale: 800.0,
             unit_area_scale: 50_000.0,

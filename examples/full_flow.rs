@@ -9,8 +9,7 @@
 //! ```
 
 use lacr::core::planner::{
-    build_physical_plan, growth_from_violations, plan_retimings, plan_retimings_at,
-    PlannerConfig,
+    build_physical_plan, growth_from_violations, plan_retimings, plan_retimings_at, PlannerConfig,
 };
 use lacr::core::render::{tile_ascii, tile_ascii_legend};
 use lacr::netlist::bench89;
@@ -75,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.violating_vertices().len()
         );
         let cp = critical_path(g, &w0);
-        let wires = cp.iter().filter(|&&v| g.kind(v) == VertexKind::Interconnect).count();
+        let wires = cp
+            .iter()
+            .filter(|&&v| g.kind(v) == VertexKind::Interconnect)
+            .count();
         println!(
             "critical path: {} vertices ({} interconnect units), {:.2} ns",
             cp.len(),
@@ -105,10 +107,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if report.lac.result.n_foa > 0 {
         println!("\n== floorplan expansion & second planning iteration =============");
-        let growth =
-            growth_from_violations(&plan, &report.lac.result, &config.technology, 1.5);
+        let growth = growth_from_violations(&plan, &report.lac.result, &config.technology, 1.5);
         let grown: f64 = growth.iter().sum();
-        println!("expanding congested blocks by {:.2} mm² in total", grown / 1e6);
+        println!(
+            "expanding congested blocks by {:.2} mm² in total",
+            grown / 1e6
+        );
         let plan2 = build_physical_plan(&circuit, &config, &growth);
         match plan_retimings_at(&plan2, &config, plan.t_clk) {
             Ok(second) => println!(

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let unretimed = g.clock_period(&g.weights()).expect("valid circuit");
     let mp = min_period_retiming(&g);
     println!("unretimed period: {unretimed} ps");
-    println!("min-period retiming reaches {} ps with r = {:?}", mp.period, mp.retiming);
+    println!(
+        "min-period retiming reaches {} ps with r = {:?}",
+        mp.period, mp.retiming
+    );
 
     // Min-area at the optimum period.
     let out = min_area_retiming(&g, mp.period)?;

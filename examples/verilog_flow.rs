@@ -63,6 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let back = verilog::parse(&out)?;
     assert_eq!(back.num_flops() as i64, report.lac.result.n_f);
     assert!(back.validate().is_empty());
-    println!("-- re-parsed OK: {} flip-flops conserved -----------------------", back.num_flops());
+    println!(
+        "-- re-parsed OK: {} flip-flops conserved -----------------------",
+        back.num_flops()
+    );
     Ok(())
 }

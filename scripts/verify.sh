@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repository verification: exactly what CI runs, runnable offline.
+#
+#   scripts/verify.sh          # build + tests + format check
+#   scripts/verify.sh --quick  # skip the slow integration suites
+#
+# The workspace has no external dependencies, so --offline always works.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+case "${1:-}" in
+    --quick) QUICK=1 ;;
+    "") ;;
+    *)
+        echo "error: unknown option '${1}' (usage: scripts/verify.sh [--quick])" >&2
+        exit 2
+        ;;
+esac
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release (warnings are errors)"
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --offline --workspace
+
+if [[ "$QUICK" == 1 ]]; then
+    echo "==> cargo test (lib/unit tests only)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test --release --offline --workspace --lib
+else
+    echo "==> cargo test (full workspace)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test --release --offline --workspace
+fi
+
+echo "==> verify OK"

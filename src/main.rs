@@ -22,7 +22,10 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(),
         Some("plan") => cmd_plan(args.get(1).map(String::as_str)),
         Some("table1") => cmd_table1(&args[1..]),
-        Some("fig2") => cmd_fig2(args.get(1).map(String::as_str), args.get(2).map(String::as_str)),
+        Some("fig2") => cmd_fig2(
+            args.get(1).map(String::as_str),
+            args.get(2).map(String::as_str),
+        ),
         Some("retime") => cmd_retime(&args[1..]),
         _ => {
             eprintln!("usage: lacr <list|plan|table1|fig2|retime> [args]");

@@ -155,7 +155,11 @@ fn self_loop_retiming() {
 /// plannable.
 #[test]
 fn extreme_generator_specs_plan() {
-    for (units, flops, pi, po) in [(1usize, 1usize, 1usize, 1usize), (5, 20, 1, 1), (40, 1, 12, 12)] {
+    for (units, flops, pi, po) in [
+        (1usize, 1usize, 1usize, 1usize),
+        (5, 20, 1, 1),
+        (40, 1, 12, 12),
+    ] {
         let spec = GenSpec::new(format!("x{units}_{flops}"), units, flops, pi, po, 99);
         let c = lacr::netlist::bench89::generate_spec(&spec);
         assert!(c.validate().is_empty(), "{:?}", c.validate());

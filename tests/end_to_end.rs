@@ -41,7 +41,10 @@ fn pipeline_invariants_hold_on_several_circuits() {
         }
 
         // Timing ordering and flop conservation through expansion.
-        assert!(plan.t_min <= plan.t_clk && plan.t_clk <= plan.t_init, "{name}");
+        assert!(
+            plan.t_min <= plan.t_clk && plan.t_clk <= plan.t_init,
+            "{name}"
+        );
         assert_eq!(
             plan.expanded.graph.total_flops() as u64,
             circuit.num_flops(),
@@ -99,7 +102,10 @@ fn iterated_planning_reduces_or_resolves_violations() {
         None => assert_eq!(first, 0, "no second iteration only when clean"),
         Some(Ok(second)) => {
             assert!(first > 0);
-            assert!(second <= first, "expansion made things worse: {first} -> {second}");
+            assert!(
+                second <= first,
+                "expansion made things worse: {first} -> {second}"
+            );
         }
         Some(Err(_)) => {
             // The paper's s1269 case: frozen T_clk infeasible after the
@@ -118,7 +124,10 @@ fn planning_is_deterministic_end_to_end() {
     assert_eq!(a.lac.result.n_foa, b.lac.result.n_foa);
     assert_eq!(a.lac.result.n_f, b.lac.result.n_f);
     assert_eq!(a.lac.result.outcome.weights, b.lac.result.outcome.weights);
-    assert_eq!(a.min_area.result.outcome.weights, b.min_area.result.outcome.weights);
+    assert_eq!(
+        a.min_area.result.outcome.weights,
+        b.min_area.result.outcome.weights
+    );
 }
 
 #[test]

@@ -1,50 +1,49 @@
 //! Property-based tests of the retiming stack: legality, optimality and
 //! invariance properties on randomly generated graphs.
+//!
+//! Driven by the in-repo seeded property harness ([`lacr_prng::properties!`]):
+//! every case is deterministic and a failure reports its replay seed.
 
 use lacr::mcmf::{solve_dual_program, Constraint, DifferenceConstraints};
 use lacr::retime::{
     feasible_retiming, generate_period_constraints, min_area_retiming, min_period_retiming,
     ConstraintOptions, RetimeGraph, VertexKind,
 };
-use proptest::prelude::*;
+use lacr_prng::{prop_assert, prop_assert_eq, Rng};
 
 /// A random strongly-registered graph: a ring with ≥1 flop per edge plus
 /// random chords. Every cycle is registered by construction.
-fn arb_graph() -> impl Strategy<Value = RetimeGraph> {
-    (
-        2usize..6,
-        prop::collection::vec((0usize..6, 0usize..6, 1i64..3), 0..6),
-        prop::collection::vec(1u64..8, 6),
-        prop::collection::vec(1i64..3, 6),
-    )
-        .prop_map(|(n, chords, delays, ring_w)| {
-            let mut g = RetimeGraph::new();
-            let vs: Vec<_> = (0..n)
-                .map(|i| g.add_vertex(VertexKind::Functional, delays[i], 1.0, None))
-                .collect();
-            for i in 0..n {
-                g.add_edge(vs[i], vs[(i + 1) % n], ring_w[i]);
-            }
-            for (a, b, w) in chords {
-                if a < n && b < n {
-                    g.add_edge(vs[a], vs[b], w);
-                }
-            }
-            g
-        })
+fn arb_graph(rng: &mut Rng) -> RetimeGraph {
+    let n = rng.gen_range(2usize..6);
+    let mut g = RetimeGraph::new();
+    let vs: Vec<_> = (0..n)
+        .map(|_| g.add_vertex(VertexKind::Functional, rng.gen_range(1u64..8), 1.0, None))
+        .collect();
+    for i in 0..n {
+        g.add_edge(vs[i], vs[(i + 1) % n], rng.gen_range(1i64..3));
+    }
+    for _ in 0..rng.gen_range(0..6usize) {
+        let a = rng.gen_range(0..6usize);
+        let b = rng.gen_range(0..6usize);
+        let w = rng.gen_range(1i64..3);
+        if a < n && b < n {
+            g.add_edge(vs[a], vs[b], w);
+        }
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+lacr_prng::properties! {
+    cases = 64;
 
     /// Any retiming vector keeps every cycle's total weight unchanged
     /// (checked on the ring, whose weight is directly computable).
-    #[test]
-    fn cycle_weight_invariance(g in arb_graph(), r in prop::collection::vec(-3i64..=3, 6)) {
+    fn cycle_weight_invariance(rng) {
+        let g = arb_graph(rng);
         let n = g.num_vertices();
-        let r = &r[..n];
+        let r: Vec<i64> = (0..n).map(|_| rng.gen_range(-3i64..=3)).collect();
         let w0 = g.weights();
-        let w1 = g.retimed_weights(r);
+        let w1 = g.retimed_weights(&r);
         // ring edges are the first n edges
         let ring0: i64 = w0[..n].iter().sum();
         let ring1: i64 = w1[..n].iter().sum();
@@ -53,8 +52,8 @@ proptest! {
 
     /// `min_period_retiming` returns a feasible retiming, and one below
     /// its reported optimum does not exist.
-    #[test]
-    fn min_period_is_tight(g in arb_graph()) {
+    fn min_period_is_tight(rng) {
+        let g = arb_graph(rng);
         let res = min_period_retiming(&g);
         let w = g.retimed_weights(&res.retiming);
         prop_assert!(g.weights_legal(&w));
@@ -68,8 +67,8 @@ proptest! {
     /// Min-area retiming achieves the target and never increases the
     /// flip-flop count beyond the unretimed circuit when the target equals
     /// the unretimed period (r = 0 is a candidate).
-    #[test]
-    fn min_area_never_worse_than_identity(g in arb_graph()) {
+    fn min_area_never_worse_than_identity(rng) {
+        let g = arb_graph(rng);
         let t0 = g.clock_period(&g.weights()).expect("valid");
         let out = min_area_retiming(&g, t0).expect("t0 feasible");
         prop_assert!(out.period <= t0);
@@ -79,8 +78,9 @@ proptest! {
     /// Constraint generation is sound and complete versus the oracle: a
     /// target is Bellman-Ford-feasible exactly when some retiming meets it
     /// (verified against the retimed clock period).
-    #[test]
-    fn constraints_characterise_feasibility(g in arb_graph(), slack in 0u64..6) {
+    fn constraints_characterise_feasibility(rng) {
+        let g = arb_graph(rng);
+        let slack = rng.gen_range(0u64..6);
         let mp = min_period_retiming(&g);
         let t = mp.period + slack;
         let pc = generate_period_constraints(&g, t, ConstraintOptions::default());
@@ -95,8 +95,9 @@ proptest! {
 
     /// Pruned and unpruned constraint systems accept exactly the same
     /// retimings (on these small graphs, via solution cross-checking).
-    #[test]
-    fn pruning_is_equivalence_preserving(g in arb_graph(), slack in 0u64..4) {
+    fn pruning_is_equivalence_preserving(rng) {
+        let g = arb_graph(rng);
+        let slack = rng.gen_range(0u64..4);
         let t = min_period_retiming(&g).period + slack;
         let full = generate_period_constraints(&g, t, ConstraintOptions { prune: false });
         let pruned = generate_period_constraints(&g, t, ConstraintOptions { prune: true });
@@ -115,22 +116,19 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+lacr_prng::properties! {
+    cases = 48;
 
     /// The LP-dual solver agrees with brute force on random bounded
     /// difference-constraint programs.
-    #[test]
-    fn dual_solver_is_optimal(
-        n in 2usize..5,
-        ring_bounds in prop::collection::vec(0i64..4, 5),
-        raw_cost in prop::collection::vec(-4i64..=4, 5),
-    ) {
+    fn dual_solver_is_optimal(rng) {
+        let n = rng.gen_range(2usize..5);
+        let ring_bounds: Vec<i64> = (0..n).map(|_| rng.gen_range(0i64..4)).collect();
         let mut cons = Vec::new();
-        for (i, &b) in ring_bounds.iter().enumerate().take(n) {
+        for (i, &b) in ring_bounds.iter().enumerate() {
             cons.push(Constraint::new(i, (i + 1) % n, b));
         }
-        let mut cost = raw_cost[..n].to_vec();
+        let mut cost: Vec<i64> = (0..n).map(|_| rng.gen_range(-4i64..=4)).collect();
         let s: i64 = cost.iter().sum();
         cost[0] -= s;
         let (r, obj) = solve_dual_program(n, &cost, &cons).expect("ring is bounded");
@@ -170,14 +168,15 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+lacr_prng::properties! {
+    cases = 64;
 
     /// Classic STA identity: the worst slack equals `target − period`
     /// whenever the graph is non-empty (some path realises the period).
-    #[test]
-    fn worst_slack_is_target_minus_period(g in arb_graph(), slack in 0u64..10) {
+    fn worst_slack_is_target_minus_period(rng) {
         use lacr::retime::analyze_timing;
+        let g = arb_graph(rng);
+        let slack = rng.gen_range(0u64..10);
         let w = g.weights();
         let period = g.clock_period(&w).expect("valid circuit");
         let target = period + slack;
@@ -194,9 +193,9 @@ proptest! {
 
     /// The critical path's delays sum to the period and its edges are
     /// unregistered.
-    #[test]
-    fn critical_path_realises_the_period(g in arb_graph()) {
+    fn critical_path_realises_the_period(rng) {
         use lacr::retime::critical_path;
+        let g = arb_graph(rng);
         let w = g.weights();
         let period = g.clock_period(&w).expect("valid circuit");
         let cp = critical_path(&g, &w);
@@ -207,12 +206,12 @@ proptest! {
     /// Sharing-aware retiming never reports more shared registers than
     /// the per-connection total of the same solution, and its optimum is
     /// at most the shared score of the sum-model optimum.
-    #[test]
-    fn sharing_bounds(g in arb_graph()) {
+    fn sharing_bounds(rng) {
         use lacr::retime::{
             generate_period_constraints, shared_min_area_retiming, shared_register_count,
             weighted_min_area_retiming, ConstraintOptions,
         };
+        let g = arb_graph(rng);
         let t = g.clock_period(&g.weights()).expect("valid circuit");
         let pc = generate_period_constraints(&g, t, ConstraintOptions::default());
         let ones = vec![1.0; g.num_vertices()];

@@ -1,5 +1,8 @@
 //! Property-based tests of the physical-design substrates: floorplanning,
 //! tiling, routing, repeater planning, partitioning and netlist I/O.
+//!
+//! Driven by the in-repo seeded property harness ([`lacr_prng::properties!`]):
+//! every case is deterministic and a failure reports its replay seed.
 
 use lacr::floorplan::seqpair::SequencePair;
 use lacr::floorplan::tiles::{CapacityLedger, TileGrid, TileGridConfig};
@@ -9,27 +12,21 @@ use lacr::partition::{partition, PartitionConfig};
 use lacr::repeater::{insert_repeaters, plan_positions};
 use lacr::route::{route, NetPins, RouteConfig};
 use lacr::timing::Technology;
-use proptest::prelude::*;
+use lacr_prng::{prop_assert, prop_assert_eq};
 
-fn arb_perm(n: usize) -> impl Strategy<Value = Vec<usize>> {
-    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+lacr_prng::properties! {
+    cases = 64;
 
     /// Sequence-pair packing never overlaps blocks and never exceeds the
     /// reported chip bounding box.
-    #[test]
-    fn seqpair_packs_legally(
-        s1 in arb_perm(6),
-        s2 in arb_perm(6),
-        dims in prop::collection::vec((1.0f64..20.0, 1.0f64..20.0), 6),
-    ) {
-        let sp = SequencePair { s1, s2 };
+    fn seqpair_packs_legally(rng) {
+        let sp = SequencePair {
+            s1: rng.permutation(6),
+            s2: rng.permutation(6),
+        };
         prop_assert!(sp.is_valid());
-        let w: Vec<f64> = dims.iter().map(|d| d.0).collect();
-        let h: Vec<f64> = dims.iter().map(|d| d.1).collect();
+        let w: Vec<f64> = (0..6).map(|_| rng.gen_range(1.0f64..20.0)).collect();
+        let h: Vec<f64> = (0..6).map(|_| rng.gen_range(1.0f64..20.0)).collect();
         let (pos, cw, ch) = sp.pack(&w, &h);
         for i in 0..6 {
             prop_assert!(pos[i].0 + w[i] <= cw + 1e-9);
@@ -43,13 +40,14 @@ proptest! {
     }
 
     /// Routing always produces adjacent-cell paths with correct endpoints.
-    #[test]
-    fn routed_paths_are_valid(
-        seed_nets in prop::collection::vec((0usize..36, prop::collection::vec(0usize..36, 1..4)), 1..8),
-    ) {
-        let nets: Vec<NetPins> = seed_nets
-            .into_iter()
-            .map(|(driver, sinks)| NetPins { driver, sinks })
+    fn routed_paths_are_valid(rng) {
+        let nets: Vec<NetPins> = (0..rng.gen_range(1..8usize))
+            .map(|_| NetPins {
+                driver: rng.gen_range(0..36usize),
+                sinks: (0..rng.gen_range(1..4usize))
+                    .map(|_| rng.gen_range(0..36usize))
+                    .collect(),
+            })
             .collect();
         let r = route(6, 6, &nets, &RouteConfig::default());
         for (ni, net) in nets.iter().enumerate() {
@@ -68,8 +66,9 @@ proptest! {
 
     /// The repeater DP always honours the interval bound and places the
     /// minimum count under uniform costs.
-    #[test]
-    fn repeater_dp_honours_interval(len in 2usize..40, interval in 1usize..8) {
+    fn repeater_dp_honours_interval(rng) {
+        let len = rng.gen_range(2usize..40);
+        let interval = rng.gen_range(1usize..8);
         let pos = plan_positions(len, interval, |_| 1.0).expect("satisfiable");
         let mut drivers = vec![0usize];
         drivers.extend(&pos);
@@ -83,8 +82,9 @@ proptest! {
     }
 
     /// Partitioning covers every unit exactly once for any block count.
-    #[test]
-    fn partition_is_a_cover(k in 1usize..10, seed in 0u64..50) {
+    fn partition_is_a_cover(rng) {
+        let k = rng.gen_range(1usize..10);
+        let seed = rng.gen_range(0u64..50);
         let c = bench89::generate("s344").expect("known");
         let p = partition(&c, &PartitionConfig { num_blocks: k, seed, ..Default::default() });
         let mut seen = vec![0u32; c.num_units()];
@@ -97,20 +97,23 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+lacr_prng::properties! {
+    cases = 32;
 
     /// Every cell of a tile grid maps to a tile, capacities are
     /// non-negative, and the ledger's arithmetic is exact.
-    #[test]
-    fn tile_grid_is_total(
-        blocks in prop::collection::vec((0.0f64..3000.0, 0.0f64..3000.0, 400.0f64..2000.0, 400.0f64..2000.0), 0..4),
-    ) {
-        // Blocks may overlap in this synthetic input; keep only
+    fn tile_grid_is_total(rng) {
+        // Candidate blocks may overlap in this synthetic input; keep only
         // non-overlapping prefixes to stay a legal floorplan.
         let mut placed: Vec<PlacedBlock> = Vec::new();
-        'outer: for (x, y, w, h) in blocks {
-            let cand = PlacedBlock { x, y, w, h, hard: false };
+        'outer: for _ in 0..rng.gen_range(0..4usize) {
+            let cand = PlacedBlock {
+                x: rng.gen_range(0.0f64..3000.0),
+                y: rng.gen_range(0.0f64..3000.0),
+                w: rng.gen_range(400.0f64..2000.0),
+                h: rng.gen_range(400.0f64..2000.0),
+                hard: false,
+            };
             for b in &placed {
                 let ow = (b.x + b.w).min(cand.x + cand.w) - b.x.max(cand.x);
                 let oh = (b.y + b.h).min(cand.y + cand.h) - b.y.max(cand.y);
@@ -136,8 +139,8 @@ proptest! {
 
     /// Repeater insertion spans exactly the routed length and drains
     /// exactly `count × repeater_area` from the ledger.
-    #[test]
-    fn repeater_insertion_conserves_length(len in 2usize..30) {
+    fn repeater_insertion_conserves_length(rng) {
+        let len = rng.gen_range(2usize..30);
         let fp = Floorplan { blocks: vec![], chip_w: len as f64 * 500.0, chip_h: 500.0 };
         let grid = TileGrid::build(&fp, &[], &TileGridConfig::default());
         let mut ledger = CapacityLedger::new(&grid);
@@ -158,8 +161,10 @@ proptest! {
 
     /// `.bench` write→parse round-trips preserve flop and I/O counts for
     /// generated circuits.
-    #[test]
-    fn bench_roundtrip_preserves_structure(units in 3usize..25, flops in 1usize..10, seed in 0u64..30) {
+    fn bench_roundtrip_preserves_structure(rng) {
+        let units = rng.gen_range(3usize..25);
+        let flops = rng.gen_range(1usize..10);
+        let seed = rng.gen_range(0u64..30);
         let spec = bench89::GenSpec::new("prop", units, flops, 2, 2, seed);
         let c = bench89::generate_spec(&spec);
         let text = bench_format::write(&c);
