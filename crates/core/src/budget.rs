@@ -1,0 +1,86 @@
+//! Wall-clock and iteration budgets for the planning pipeline.
+//!
+//! A [`Budget`] is threaded from `PlannerConfig` into every unbounded
+//! search loop — the floorplan annealer's move loop, the router's
+//! rip-up passes, the LAC re-weight rounds — so an expired budget makes
+//! each stage return its best-so-far result (tagged with a
+//! `Degradation`) instead of running open-ended.
+
+use std::time::{Duration, Instant};
+
+/// Resource limits for one planning run. The default is unlimited, which
+/// preserves the historical behaviour exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline. Stages poll it and stop early (keeping their
+    /// best-so-far result) once it passes.
+    pub deadline: Option<Instant>,
+    /// Cap on LAC re-weight rounds, applied on top of `LacConfig::
+    /// max_rounds` (the smaller of the two wins).
+    pub max_rounds: Option<usize>,
+}
+
+impl Budget {
+    /// No limits (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A deadline `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self {
+            deadline: Some(Instant::now() + timeout),
+            max_rounds: None,
+        }
+    }
+
+    /// Whether the wall-clock deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The earlier of this budget's deadline and `other` (either may be
+    /// absent). Used to merge the planner-level deadline into stage
+    /// configs without overriding a tighter stage-local one.
+    pub fn min_deadline(&self, other: Option<Instant>) -> Option<Instant> {
+        match (self.deadline, other) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        assert!(!Budget::unlimited().expired());
+        assert_eq!(Budget::default(), Budget::unlimited());
+    }
+
+    #[test]
+    fn zero_timeout_expires_immediately() {
+        assert!(Budget::with_timeout(Duration::ZERO).expired());
+    }
+
+    #[test]
+    fn generous_timeout_not_yet_expired() {
+        assert!(!Budget::with_timeout(Duration::from_secs(3600)).expired());
+    }
+
+    #[test]
+    fn min_deadline_picks_earlier() {
+        let now = Instant::now();
+        let later = now + Duration::from_secs(10);
+        let b = Budget {
+            deadline: Some(now),
+            max_rounds: None,
+        };
+        assert_eq!(b.min_deadline(Some(later)), Some(now));
+        assert_eq!(b.min_deadline(None), Some(now));
+        assert_eq!(Budget::unlimited().min_deadline(Some(later)), Some(later));
+        assert_eq!(Budget::unlimited().min_deadline(None), None);
+    }
+}

@@ -23,9 +23,10 @@
 //! at tile boundaries so every tile a route traverses is a usable
 //! flip-flop site under the fanin-placement rule.
 
+use crate::error::{PlanError, PlanErrorKind, Stage};
 use lacr_floorplan::tiles::{CapacityLedger, TileGrid};
 use lacr_netlist::{Circuit, UnitId, UnitKind};
-use lacr_repeater::insert_repeaters;
+use lacr_repeater::try_insert_repeaters;
 use lacr_retime::{RetimeGraph, VertexId, VertexKind};
 use lacr_route::Routing;
 use lacr_timing::{quantize_ps, Technology};
@@ -101,7 +102,8 @@ pub struct ExpandedDesign {
 /// # Panics
 ///
 /// Panics if `routing` does not match the circuit's nets or
-/// `options.units_per_span == 0`.
+/// `options.units_per_span == 0`. [`try_expand`] reports the same
+/// conditions as typed errors instead.
 #[allow(clippy::too_many_arguments)] // the planner's one assembly point
 pub fn expand(
     circuit: &Circuit,
@@ -113,9 +115,57 @@ pub fn expand(
     pad_ff_capacity: f64,
     options: &ExpandOptions,
 ) -> ExpandedDesign {
-    assert_eq!(routing.nets.len(), circuit.num_nets(), "routing mismatch");
-    assert!(options.units_per_span >= 1, "units_per_span must be >= 1");
-    assert_eq!(unit_cell.len(), circuit.num_units());
+    try_expand(
+        circuit,
+        technology,
+        grid,
+        ledger,
+        unit_cell,
+        routing,
+        pad_ff_capacity,
+        options,
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`expand`]: routing/circuit mismatches come back
+/// as a [`PlanError`] at [`Stage::Expand`], and an unsatisfiable repeater
+/// interval as one at [`Stage::Repeater`].
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] when `routing` or `unit_cell` is not parallel
+/// to the circuit, `options.units_per_span == 0`, or repeater insertion
+/// fails for some routed path.
+#[allow(clippy::too_many_arguments)]
+pub fn try_expand(
+    circuit: &Circuit,
+    technology: &Technology,
+    grid: &TileGrid,
+    ledger: &mut CapacityLedger,
+    unit_cell: &[usize],
+    routing: &Routing,
+    pad_ff_capacity: f64,
+    options: &ExpandOptions,
+) -> Result<ExpandedDesign, PlanError> {
+    let mismatch = |msg: String| PlanError::new(Stage::Expand, PlanErrorKind::Expand(msg));
+    if routing.nets.len() != circuit.num_nets() {
+        return Err(mismatch(format!(
+            "routing has {} nets for a circuit with {}",
+            routing.nets.len(),
+            circuit.num_nets()
+        )));
+    }
+    if options.units_per_span == 0 {
+        return Err(mismatch("units_per_span must be >= 1".into()));
+    }
+    if unit_cell.len() != circuit.num_units() {
+        return Err(mismatch(format!(
+            "unit_cell has {} entries for {} units",
+            unit_cell.len(),
+            circuit.num_units()
+        )));
+    }
 
     let pad_tile = grid.num_tiles();
     let mut graph = RetimeGraph::new();
@@ -142,12 +192,19 @@ pub fn expand(
 
     for (ni, net) in circuit.nets().iter().enumerate() {
         let routed = &routing.nets[ni];
-        assert_eq!(routed.sink_paths.len(), net.sinks.len());
+        if routed.sink_paths.len() != net.sinks.len() {
+            return Err(mismatch(format!(
+                "net {ni}: routing has {} sink paths for {} sinks",
+                routed.sink_paths.len(),
+                net.sinks.len()
+            )));
+        }
         let from_v = unit_vertex[&net.driver];
         for (si, sink) in net.sinks.iter().enumerate() {
             let to_v = unit_vertex[&sink.unit];
             let path = &routed.sink_paths[si];
-            let ins = insert_repeaters(path, grid, ledger, technology);
+            let ins = try_insert_repeaters(path, grid, ledger, technology)
+                .map_err(|e| PlanError::new(Stage::Repeater, PlanErrorKind::Repeater(e)))?;
             num_repeaters += ins.repeater_cells.len();
             if ins.segments.is_empty() {
                 // Same-cell connection: negligible wire, direct edge.
@@ -231,7 +288,7 @@ pub fn expand(
         .collect();
     caps_ff.push(pad_ff_capacity);
 
-    ExpandedDesign {
+    Ok(ExpandedDesign {
         graph,
         unit_vertex,
         num_interconnect_units,
@@ -239,7 +296,7 @@ pub fn expand(
         pad_tile,
         caps_ff,
         connection_chains,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -440,6 +497,63 @@ mod tests {
         // Flip-flops and repeater commitments are unchanged.
         assert_eq!(ed.graph.total_flops(), base.graph.total_flops());
         assert_eq!(ed.num_repeaters, base.num_repeaters);
+    }
+
+    #[test]
+    fn try_expand_reports_mismatches_as_typed_errors() {
+        let (c, grid, unit_cell, routing) = setup();
+        let tech = Technology::default();
+
+        let mut ledger = CapacityLedger::new(&grid);
+        let empty_routing = lacr_route::Routing {
+            nets: vec![],
+            wirelength: 0,
+            overflow: 0,
+            max_usage: 0,
+            edge_usage: vec![],
+        };
+        let err = try_expand(
+            &c,
+            &tech,
+            &grid,
+            &mut ledger,
+            &unit_cell,
+            &empty_routing,
+            10.0,
+            &ExpandOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.stage, Stage::Expand);
+        assert!(err.to_string().contains("0 nets"), "{err}");
+
+        let err = try_expand(
+            &c,
+            &tech,
+            &grid,
+            &mut ledger,
+            &unit_cell,
+            &routing,
+            10.0,
+            &ExpandOptions {
+                units_per_span: 0,
+                ..ExpandOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("units_per_span"), "{err}");
+
+        let err = try_expand(
+            &c,
+            &tech,
+            &grid,
+            &mut ledger,
+            &unit_cell[..2],
+            &routing,
+            10.0,
+            &ExpandOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("2 entries"), "{err}");
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct LacConfig {
     pub n_max: usize,
     /// Hard cap on total weighted retimings (safety bound).
     pub max_rounds: usize,
+    /// Optional wall-clock deadline: once passed, the loop stops after
+    /// the current round and returns its best-so-far result with
+    /// [`LacResult::timed_out`] set.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for LacConfig {
@@ -43,6 +47,7 @@ impl Default for LacConfig {
             alpha: 0.2,
             n_max: 10,
             max_rounds: 60,
+            deadline: None,
         }
     }
 }
@@ -90,6 +95,39 @@ impl TileOccupancy {
     pub fn total_violations(&self) -> i64 {
         self.violations.iter().sum()
     }
+
+    /// The tiles still overflowing, as `(tile index, excess flip-flops)`
+    /// pairs — the per-tile diagnostic attached to degraded plans.
+    pub fn overflowing_tiles(&self) -> Vec<(usize, i64)> {
+        self.violations
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v > 0)
+            .map(|(t, &v)| (t, v))
+            .collect()
+    }
+
+    /// One-line human-readable overflow report, e.g.
+    /// `"3 flip-flops over capacity in 2 tiles: tile 4 (+2), tile 7 (+1)"`.
+    pub fn overflow_summary(&self) -> String {
+        let over = self.overflowing_tiles();
+        if over.is_empty() {
+            return "no tile overflow".into();
+        }
+        let detail: Vec<String> = over
+            .iter()
+            .take(8)
+            .map(|(t, v)| format!("tile {t} (+{v})"))
+            .collect();
+        let ellipsis = if over.len() > 8 { ", …" } else { "" };
+        format!(
+            "{} flip-flops over capacity in {} tile(s): {}{}",
+            self.total_violations(),
+            over.len(),
+            detail.join(", "),
+            ellipsis
+        )
+    }
 }
 
 /// Result of [`lac_retiming`] (or of scoring a plain min-area retiming
@@ -111,6 +149,18 @@ pub struct LacResult {
     pub occupancy: TileOccupancy,
     /// `N_FOA` of each round, for convergence analysis.
     pub history: Vec<i64>,
+    /// Whether the loop stopped on an expired deadline rather than on
+    /// convergence (the result is the best seen up to that point).
+    pub timed_out: bool,
+}
+
+impl LacResult {
+    /// Ranking key for comparing outcomes: fewer violations first, then
+    /// fewer flip-flops. Any legal plan (`n_foa == 0`) ranks strictly
+    /// above every fallback that still overflows.
+    pub fn score_key(&self) -> (i64, i64) {
+        (self.n_foa, self.n_f)
+    }
 }
 
 /// Counts flip-flops sitting inside interconnects: weight on edges whose
@@ -138,6 +188,7 @@ pub fn score_outcome(graph: &RetimeGraph, outcome: RetimingOutcome, caps_ff: &[f
         history: vec![occupancy.total_violations()],
         occupancy,
         outcome,
+        timed_out: false,
     }
 }
 
@@ -650,8 +701,20 @@ pub fn lac_retiming(
     let mut history = Vec::new();
     let mut stale = 0usize;
     let mut rounds = 0usize;
+    let mut timed_out = false;
 
     while rounds < config.max_rounds {
+        // Deadline check: after at least one round has produced a result,
+        // an expired budget stops the loop and returns best-so-far. The
+        // first round always runs so the caller gets *some* retiming.
+        if best.is_some()
+            && config
+                .deadline
+                .is_some_and(|d| std::time::Instant::now() >= d)
+        {
+            timed_out = true;
+            break;
+        }
         rounds += 1;
         // Tile weight times the vertex's base area, so the expansion's
         // ε tie-break (prefer flip-flops at functional outputs over wires)
@@ -679,7 +742,14 @@ pub fn lac_retiming(
                 }
             })
             .collect();
-        let mut outcome = solver.solve(&areas)?;
+        let mut outcome = match solver.solve(&areas) {
+            Ok(o) => o,
+            // A solver failure on a later re-weight round degrades to the
+            // best-so-far result instead of throwing away earlier rounds;
+            // only a first-round failure is a hard error.
+            Err(_) if best.is_some() => break,
+            Err(e) => return Err(e),
+        };
         // Flip-flop placement repair: the weighted solve lands on an
         // extreme point; slide residual excess flops along their
         // connection chains into tiles with spare capacity.
@@ -701,6 +771,7 @@ pub fn lac_retiming(
                 occupancy: occupancy.clone(),
                 outcome,
                 history: Vec::new(),
+                timed_out: false,
             });
             stale = 0;
         } else {
@@ -737,6 +808,7 @@ pub fn lac_retiming(
     let mut result = best.expect("at least one round ran");
     result.n_wr = rounds;
     result.history = history;
+    result.timed_out = timed_out;
     Ok(result)
 }
 
@@ -844,6 +916,7 @@ mod tests {
             alpha: 0.0,
             n_max: 3,
             max_rounds: 50,
+            ..Default::default()
         };
         let res = lac_retiming(&g, &pc, &tight_caps, &cfg).unwrap();
         assert_eq!(res.n_foa, 1); // one flop must exist somewhere
@@ -860,8 +933,51 @@ mod tests {
             alpha: 0.5,
             n_max: 1_000,
             max_rounds: 2,
+            ..Default::default()
         };
         let res = lac_retiming(&g, &pc, &caps, &cfg).unwrap();
         assert_eq!(res.n_wr, 2);
+    }
+
+    #[test]
+    fn expired_deadline_returns_best_so_far_as_timed_out() {
+        let (g, _) = ring_graph();
+        let caps = vec![0.0, 0.0]; // unavoidable violation keeps the loop busy
+        let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+        let cfg = LacConfig {
+            deadline: Some(std::time::Instant::now()),
+            ..Default::default()
+        };
+        let res = lac_retiming(&g, &pc, &caps, &cfg).unwrap();
+        // The first round always runs; the second never starts.
+        assert_eq!(res.n_wr, 1);
+        assert!(res.timed_out);
+        assert_eq!(res.n_f, 1);
+    }
+
+    #[test]
+    fn overflow_summary_names_tiles() {
+        let occ = TileOccupancy {
+            counts: vec![3, 0, 2],
+            violations: vec![2, 0, 1],
+        };
+        assert_eq!(occ.overflowing_tiles(), vec![(0, 2), (2, 1)]);
+        let s = occ.overflow_summary();
+        assert!(s.contains("tile 0 (+2)"), "{s}");
+        assert!(s.contains("tile 2 (+1)"), "{s}");
+        let clean = TileOccupancy {
+            counts: vec![1],
+            violations: vec![0],
+        };
+        assert_eq!(clean.overflow_summary(), "no tile overflow");
+    }
+
+    #[test]
+    fn score_key_ranks_legal_above_overflowing() {
+        let (g, caps) = ring_graph();
+        let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+        let legal = lac_retiming(&g, &pc, &caps, &LacConfig::default()).unwrap();
+        let squeezed = lac_retiming(&g, &pc, &[0.0, 0.0], &LacConfig::default()).unwrap();
+        assert!(legal.score_key() < squeezed.score_key());
     }
 }

@@ -27,6 +27,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod budget;
+pub mod error;
 pub mod expand;
 pub mod experiment;
 pub mod lac;
@@ -34,11 +36,14 @@ pub mod planner;
 pub mod render;
 pub mod writeback;
 
-pub use expand::{expand, ExpandOptions, ExpandedDesign};
+pub use budget::Budget;
+pub use error::{Degradation, PlanError, PlanErrorKind, Stage};
+pub use expand::{expand, try_expand, ExpandOptions, ExpandedDesign};
 pub use lac::{lac_retiming, score_outcome, LacConfig, LacResult, TileOccupancy};
 pub use planner::{
     build_physical_plan, growth_from_violations, plan_retimings, plan_retimings_at,
-    plan_with_iterations, FloorplanEngine, IteratedPlan, PhysicalPlan, PlanReport, PlannerConfig,
-    TimedRun,
+    plan_with_iterations, try_build_physical_plan, try_plan_retimings, try_plan_retimings_at,
+    try_plan_with_iterations, FloorplanEngine, IteratedPlan, PhysicalPlan, PlanReport,
+    PlannerConfig, TimedRun,
 };
-pub use writeback::retimed_circuit;
+pub use writeback::{retimed_circuit, try_retimed_circuit};

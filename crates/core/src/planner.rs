@@ -6,19 +6,20 @@
 //! (§5: "we expand those congested soft blocks and channel, and then
 //! perform another iteration of interconnect planning").
 
-use crate::expand::{expand, ExpandOptions, ExpandedDesign};
+use crate::budget::Budget;
+use crate::error::{Degradation, PlanError, PlanErrorKind, Stage};
+use crate::expand::{try_expand, ExpandOptions, ExpandedDesign};
 use crate::lac::{lac_retiming, score_outcome, LacConfig, LacResult};
-use lacr_floorplan::anneal::{floorplan, FloorplanConfig};
-use lacr_floorplan::slicing::floorplan_slicing;
+use lacr_floorplan::anneal::FloorplanConfig;
 use lacr_floorplan::tiles::{CapacityLedger, TileGrid, TileGridConfig, TileKind};
-use lacr_floorplan::{BlockSpec, Floorplan};
+use lacr_floorplan::{try_floorplan, try_floorplan_slicing, BlockSpec, Floorplan};
 use lacr_netlist::{Circuit, UnitKind};
 use lacr_partition::{partition, PartitionConfig, Partitioning};
 use lacr_retime::{
-    generate_period_constraints, min_period_retiming_with_tolerance, ConstraintOptions,
-    PeriodConstraints, RetimeError,
+    feasible_min_area_fallback, generate_period_constraints, min_period_retiming_with_tolerance,
+    ConstraintOptions, PeriodConstraints, RetimeError,
 };
-use lacr_route::{route, NetPins, RouteConfig, Routing};
+use lacr_route::{try_route, NetPins, RouteConfig, Routing};
 use lacr_timing::Technology;
 use std::time::{Duration, Instant};
 
@@ -93,6 +94,70 @@ pub struct PlannerConfig {
     pub constraints: ConstraintOptions,
     /// Master seed for partitioning and floorplanning.
     pub seed: u64,
+    /// Wall-clock / round budget for the whole run. Unlimited by default.
+    /// The deadline is merged (earliest wins) into the floorplan, route
+    /// and LAC stage configs; an expired budget degrades the plan to
+    /// best-so-far results instead of aborting.
+    pub budget: Budget,
+}
+
+impl PlannerConfig {
+    /// Checks the numeric parameters for usability. Returns problems;
+    /// empty means valid. [`try_build_physical_plan`] rejects invalid
+    /// configs with [`PlanErrorKind::InvalidConfig`].
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut frac = |name: &str, v: f64| {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                problems.push(format!("{name} {v} outside [0, 1]"));
+            }
+        };
+        frac("channel_utilization", self.channel_utilization);
+        frac("clock_slack_frac", self.clock_slack_frac);
+        frac("lac.alpha", self.lac.alpha);
+        let mut nonneg = |name: &str, v: f64| {
+            if !(v.is_finite() && v >= 0.0) {
+                problems.push(format!("{name} {v} is not a finite non-negative number"));
+            }
+        };
+        nonneg("block_slack", self.block_slack);
+        nonneg("channel_spread", self.channel_spread);
+        nonneg("hard_site_area", self.hard_site_area);
+        nonneg("pad_ff_per_io", self.pad_ff_per_io);
+        nonneg("t_min_tolerance_frac", self.t_min_tolerance_frac);
+        nonneg(
+            "floorplan.wirelength_weight",
+            self.floorplan.wirelength_weight,
+        );
+        nonneg(
+            "floorplan.initial_temp_frac",
+            self.floorplan.initial_temp_frac,
+        );
+        nonneg("route.overflow_penalty", self.route.overflow_penalty);
+        nonneg("route.history_penalty", self.route.history_penalty);
+        if !(self.floorplan.cooling.is_finite()
+            && self.floorplan.cooling > 0.0
+            && self.floorplan.cooling <= 1.0)
+        {
+            problems.push(format!(
+                "floorplan.cooling {} outside (0, 1]",
+                self.floorplan.cooling
+            ));
+        }
+        if self.num_blocks == Some(0) {
+            problems.push("num_blocks must be at least 1".into());
+        }
+        if self.lac.max_rounds == 0 {
+            problems.push("lac.max_rounds must be at least 1".into());
+        }
+        if self.lac.n_max == 0 {
+            problems.push("lac.n_max must be at least 1".into());
+        }
+        if self.expand.units_per_span == 0 {
+            problems.push("expand.units_per_span must be at least 1".into());
+        }
+        problems
+    }
 }
 
 impl Default for PlannerConfig {
@@ -125,6 +190,7 @@ impl Default for PlannerConfig {
             },
             constraints: ConstraintOptions::default(),
             seed: 0x1acc,
+            budget: Budget::default(),
         }
     }
 }
@@ -151,6 +217,17 @@ pub struct PhysicalPlan {
     pub t_min: u64,
     /// The target period for this planning run (ps).
     pub t_clk: u64,
+    /// Quality losses absorbed while building the plan (expired budget,
+    /// residual routing overflow, skipped `T_min` search). Empty for a
+    /// pristine plan.
+    pub degradations: Vec<Degradation>,
+}
+
+impl PhysicalPlan {
+    /// Whether any stage degraded while building this plan.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
 }
 
 /// One timed retiming run.
@@ -175,9 +252,18 @@ pub struct PlanReport {
     pub pairs_before_pruning: usize,
     /// Time to generate the period constraints (shared by both runs).
     pub constraint_time: Duration,
+    /// Quality losses absorbed during retiming (fallback solver taken,
+    /// LAC budget expiry, residual capacity violations). Empty for a
+    /// pristine report.
+    pub degradations: Vec<Degradation>,
 }
 
 impl PlanReport {
+    /// Whether any retiming stage degraded.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+
     /// The paper's headline metric: percentage decrease of `N_FOA` from
     /// min-area to LAC. `None` when the baseline has no violations.
     pub fn n_foa_decrease_pct(&self) -> Option<f64> {
@@ -197,14 +283,67 @@ impl PlanReport {
 ///
 /// # Panics
 ///
-/// Panics if `growth` is non-empty but does not have one entry per block.
+/// Panics on any input [`try_build_physical_plan`] rejects — malformed
+/// circuit/technology/config, or a `growth` vector that does not have one
+/// entry per block.
 pub fn build_physical_plan(
     circuit: &Circuit,
     config: &PlannerConfig,
     growth: &[f64],
 ) -> PhysicalPlan {
+    try_build_physical_plan(circuit, config, growth).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`build_physical_plan`]: every input defect comes
+/// back as a stage-tagged [`PlanError`], and budget expiry degrades the
+/// plan ([`PhysicalPlan::degradations`]) instead of running unbounded.
+pub fn try_build_physical_plan(
+    circuit: &Circuit,
+    config: &PlannerConfig,
+    growth: &[f64],
+) -> Result<PhysicalPlan, PlanError> {
     let tech = &config.technology;
-    debug_assert!(tech.validate().is_empty(), "{:?}", tech.validate());
+    let problems = tech.validate();
+    if !problems.is_empty() {
+        return Err(PlanError::new(
+            Stage::Validate,
+            PlanErrorKind::InvalidTechnology(problems),
+        ));
+    }
+    let problems = circuit.validate();
+    if !problems.is_empty() {
+        return Err(PlanError::new(
+            Stage::Validate,
+            PlanErrorKind::InvalidCircuit(problems),
+        ));
+    }
+    let problems = config.validate();
+    if !problems.is_empty() {
+        return Err(PlanError::new(
+            Stage::Validate,
+            PlanErrorKind::InvalidConfig(problems),
+        ));
+    }
+    if let Some(g) = growth.iter().find(|g| !(g.is_finite() && **g >= 0.0)) {
+        return Err(PlanError::new(
+            Stage::Validate,
+            PlanErrorKind::InvalidConfig(vec![format!(
+                "growth entry {g} is not a finite non-negative number"
+            )]),
+        ));
+    }
+
+    let budget = &config.budget;
+    let mut degradations: Vec<Degradation> = Vec::new();
+    // The first stage observed past the deadline; later stages still run
+    // (each bounded by the same deadline) but the plan is tagged once.
+    let mut deadline_hit: Option<Stage> = None;
+    let check_deadline = |stage: Stage, hit: &mut Option<Stage>| {
+        if hit.is_none() && budget.expired() {
+            *hit = Some(stage);
+        }
+    };
+
     let logic_units = circuit.units_of_kind(UnitKind::Logic).count();
     let num_blocks = config
         .num_blocks
@@ -219,7 +358,16 @@ pub fn build_physical_plan(
         },
     );
     let nb = partitioning.blocks.len();
-    assert!(growth.is_empty() || growth.len() == nb);
+    if !growth.is_empty() && growth.len() != nb {
+        return Err(PlanError::new(
+            Stage::Partition,
+            PlanErrorKind::GrowthMismatch {
+                expected: nb,
+                got: growth.len(),
+            },
+        ));
+    }
+    check_deadline(Stage::Partition, &mut deadline_hit);
 
     // Block area requirements: scaled functional units plus the *initial*
     // flip-flops (charged to the block of their fanin unit) plus slack.
@@ -239,20 +387,38 @@ pub fn build_physical_plan(
     // The largest `num_hard_blocks` partitions become hard macros.
     let mut by_area: Vec<usize> = (0..nb).collect();
     by_area.sort_by(|&a, &b| {
-        (unit_area[b] + initial_ff_area[b])
-            .partial_cmp(&(unit_area[a] + initial_ff_area[a]))
-            .expect("finite areas")
+        (unit_area[b] + initial_ff_area[b]).total_cmp(&(unit_area[a] + initial_ff_area[a]))
     });
     let hard: std::collections::HashSet<usize> = by_area
         .iter()
         .take(config.num_hard_blocks)
         .copied()
         .collect();
-    let specs: Vec<BlockSpec> = (0..nb)
+    let block_area: Vec<f64> = (0..nb)
         .map(|b| {
             let base = (unit_area[b] + initial_ff_area[b]) * (1.0 + config.block_slack)
                 + growth.get(b).copied().unwrap_or(0.0);
-            let area = base.max(tech.tile_size * tech.tile_size * 0.25);
+            base.max(tech.tile_size * tech.tile_size * 0.25)
+        })
+        .collect();
+    // Technology::validate checks each scale individually, but the
+    // *products* (unit area × scale, flops × ff_area) can still overflow
+    // to infinity — or underflow to zero for subnormal scales — on
+    // extreme-yet-finite inputs. Either would panic `BlockSpec::soft`
+    // and poison every stage after it.
+    if let Some(b) = (0..nb).find(|&b| !(block_area[b] > 0.0 && block_area[b].is_finite())) {
+        return Err(PlanError::new(
+            Stage::Validate,
+            PlanErrorKind::InvalidConfig(vec![format!(
+                "block {b} area is not positive and finite ({:.3e} µm² logic + {:.3e} µm² \
+                 flip-flops): technology scales and circuit areas combine out of range",
+                unit_area[b], initial_ff_area[b]
+            )]),
+        ));
+    }
+    let specs: Vec<BlockSpec> = (0..nb)
+        .map(|b| {
+            let area = block_area[b];
             if hard.contains(&b) {
                 let side = area.sqrt();
                 BlockSpec::hard(side, side)
@@ -280,14 +446,35 @@ pub fn build_physical_plan(
 
     let fp_config = FloorplanConfig {
         seed: config.seed ^ 0xf00d,
+        deadline: budget.min_deadline(config.floorplan.deadline),
         ..config.floorplan.clone()
     };
     let fp = match config.floorplan_engine {
-        FloorplanEngine::SequencePair => floorplan(&specs, &block_nets, &fp_config),
-        FloorplanEngine::Slicing => floorplan_slicing(&specs, &block_nets, &fp_config),
+        FloorplanEngine::SequencePair => try_floorplan(&specs, &block_nets, &fp_config),
+        FloorplanEngine::Slicing => try_floorplan_slicing(&specs, &block_nets, &fp_config),
     }
+    .map_err(|e| PlanError::new(Stage::Floorplan, PlanErrorKind::Floorplan(e)))?
     .spread(config.channel_spread);
     debug_assert!(fp.validate(1e-6).is_empty(), "{:?}", fp.validate(1e-6));
+    check_deadline(Stage::Floorplan, &mut deadline_hit);
+
+    // A tiny (yet positive and finite, so `Technology::validate`-clean)
+    // tile_size against a large chip yields a cell count that overflows
+    // `usize` and would abort on allocation. 2^24 cells is far beyond any
+    // realistic planning instance; refuse rather than thrash.
+    let cells_x = (fp.chip_w / tech.tile_size).ceil().max(1.0);
+    let cells_y = (fp.chip_h / tech.tile_size).ceil().max(1.0);
+    const MAX_GRID_CELLS: f64 = (1u64 << 24) as f64;
+    if !(cells_x * cells_y).is_finite() || cells_x * cells_y > MAX_GRID_CELLS {
+        return Err(PlanError::new(
+            Stage::Floorplan,
+            PlanErrorKind::InvalidConfig(vec![format!(
+                "tile grid of {cells_x:.0} x {cells_y:.0} cells (chip {:.3e} x {:.3e} µm, \
+                 tile_size {:.3e} µm) exceeds the 2^24-cell sanity bound",
+                fp.chip_w, fp.chip_h, tech.tile_size
+            )]),
+        ));
+    }
 
     let grid = TileGrid::build(
         &fp,
@@ -327,13 +514,19 @@ pub fn build_physical_plan(
                 .collect(),
         })
         .collect();
-    let mut routing = route(grid.nx(), grid.ny(), &net_pins, &config.route);
+    let route_config = RouteConfig {
+        deadline: budget.min_deadline(config.route.deadline),
+        ..config.route.clone()
+    };
+    let mut routing = try_route(grid.nx(), grid.ny(), &net_pins, &route_config)
+        .map_err(|e| PlanError::new(Stage::Route, PlanErrorKind::Route(e)))?;
+    check_deadline(Stage::Route, &mut deadline_hit);
 
     let io_count = circuit.units_of_kind(UnitKind::Input).count()
         + circuit.units_of_kind(UnitKind::Output).count();
     let build_expansion = |routing: &Routing| {
         let mut ledger = CapacityLedger::new(&grid);
-        expand(
+        try_expand(
             circuit,
             tech,
             &grid,
@@ -344,9 +537,9 @@ pub fn build_physical_plan(
             &config.expand,
         )
     };
-    let mut expanded = build_expansion(&routing);
+    let mut expanded = build_expansion(&routing)?;
 
-    if config.timing_driven_route {
+    if config.timing_driven_route && !budget.expired() {
         // Second pass: analyse the first-pass graph at its own unretimed
         // period, score each net by the worst criticality across its
         // connections' chains, and re-route most-critical-first.
@@ -364,13 +557,10 @@ pub fn build_physical_plan(
                     }
                 }
                 let mut order: Vec<usize> = (0..circuit.num_nets()).collect();
-                order.sort_by(|&a, &b| {
-                    net_priority[b]
-                        .partial_cmp(&net_priority[a])
-                        .expect("finite criticality")
-                });
+                order.sort_by(|&a, &b| net_priority[b].total_cmp(&net_priority[a]));
                 let permuted: Vec<NetPins> = order.iter().map(|&i| net_pins[i].clone()).collect();
-                let rerouted = route(grid.nx(), grid.ny(), &permuted, &config.route);
+                let rerouted = try_route(grid.nx(), grid.ny(), &permuted, &route_config)
+                    .map_err(|e| PlanError::new(Stage::Route, PlanErrorKind::Route(e)))?;
                 let mut nets = vec![None; circuit.num_nets()];
                 for (k, &i) in order.iter().enumerate() {
                     nets[i] = Some(rerouted.nets[k].clone());
@@ -379,21 +569,60 @@ pub fn build_physical_plan(
                     nets: nets.into_iter().map(|n| n.expect("permutation")).collect(),
                     ..rerouted
                 };
-                expanded = build_expansion(&routing);
+                expanded = build_expansion(&routing)?;
             }
         }
+    } else if config.timing_driven_route {
+        degradations.push(Degradation::new(
+            Stage::Route,
+            "wall-clock budget expired: timing-driven re-route skipped",
+        ));
+    }
+
+    if routing.overflow > 0 {
+        degradations.push(Degradation::new(
+            Stage::Route,
+            format!(
+                "routing overflow of {} track-unit(s) remains after rip-up \
+                 (max edge usage {} of capacity {})",
+                routing.overflow, routing.max_usage, config.route.edge_capacity
+            ),
+        ));
     }
 
     let t_init = expanded
         .graph
         .clock_period(&expanded.graph.weights())
-        .expect("valid circuit: every cycle registered");
-    let tolerance = (t_init as f64 * config.t_min_tolerance_frac).round() as u64;
-    let mp = min_period_retiming_with_tolerance(&expanded.graph, tolerance);
-    let t_min = mp.period;
-    let t_clk = t_min + ((t_init - t_min) as f64 * config.clock_slack_frac).round() as u64;
+        .ok_or_else(|| PlanError::new(Stage::Timing, PlanErrorKind::CombinationalCycle))?;
+    let (t_min, t_clk) = if budget.expired() {
+        // No time left for the T_min binary search: plan at the initial
+        // period, which any legal retiming (including the identity)
+        // satisfies.
+        degradations.push(Degradation::new(
+            Stage::Timing,
+            "wall-clock budget expired: T_min search skipped, T_clk = T_init",
+        ));
+        (t_init, t_init)
+    } else {
+        let tolerance = (t_init as f64 * config.t_min_tolerance_frac).round() as u64;
+        let mp = min_period_retiming_with_tolerance(&expanded.graph, tolerance);
+        let t_min = mp.period;
+        let t_clk = t_min + ((t_init - t_min) as f64 * config.clock_slack_frac).round() as u64;
+        (t_min, t_clk)
+    };
+    check_deadline(Stage::Timing, &mut deadline_hit);
 
-    PhysicalPlan {
+    if let Some(stage) = deadline_hit {
+        degradations.insert(
+            0,
+            Degradation::new(
+                stage,
+                "wall-clock budget expired here; stages ran on best-so-far results",
+            ),
+        );
+    }
+
+    Ok(PhysicalPlan {
         partitioning,
         floorplan: fp,
         grid,
@@ -403,7 +632,8 @@ pub fn build_physical_plan(
         t_init,
         t_min,
         t_clk,
-    }
+        degradations,
+    })
 }
 
 /// Generates the period constraints for a plan's target period.
@@ -432,8 +662,82 @@ pub fn plan_retimings_at(
     config: &PlannerConfig,
     t_clk: u64,
 ) -> Result<PlanReport, RetimeError> {
+    try_plan_retimings_at(plan, config, t_clk).map_err(RetimeError::from)
+}
+
+/// Fallible, fail-soft variant of [`plan_retimings`].
+pub fn try_plan_retimings(
+    plan: &PhysicalPlan,
+    config: &PlannerConfig,
+) -> Result<PlanReport, PlanError> {
+    try_plan_retimings_at(plan, config, plan.t_clk)
+}
+
+/// Runs both retimers with the full degradation ladder:
+///
+/// 1. the min-area baseline falls back to a Bellman-Ford feasible
+///    retiming if the min-cost-flow dual solve fails unexpectedly;
+/// 2. a LAC run that errors mid-loop falls back to the min-area result;
+/// 3. residual capacity violations and LAC budget expiry are reported as
+///    [`PlanReport::degradations`] with per-tile overflow diagnostics.
+///
+/// Only a genuinely infeasible target period remains a hard error.
+pub fn try_plan_retimings_at(
+    plan: &PhysicalPlan,
+    config: &PlannerConfig,
+    t_clk: u64,
+) -> Result<PlanReport, PlanError> {
     let graph = &plan.expanded.graph;
     let caps = &plan.expanded.caps_ff;
+    let budget = &config.budget;
+    let mut degradations: Vec<Degradation> = Vec::new();
+
+    // Ladder rung 0: the budget is already spent and the target is no
+    // tighter than the initial period, so the identity retiming is legal
+    // by construction. Return it scored instead of starting the W/D
+    // constraint generation — on a budget-truncated floorplan the
+    // expanded graph can be enormous, and constraint generation alone
+    // would burn minutes the caller explicitly refused to grant.
+    if budget.expired() && t_clk >= plan.t_init {
+        let weights: Vec<i64> = graph.edges().iter().map(|e| e.weight).collect();
+        let identity = lacr_retime::RetimingOutcome {
+            total_flops: weights.iter().sum(),
+            retiming: vec![0; graph.num_vertices()],
+            period: plan.t_init,
+            weights,
+        };
+        let mut result = score_outcome(graph, identity, caps);
+        result.n_wr = 0;
+        result.timed_out = true;
+        degradations.push(Degradation::new(
+            Stage::MinArea,
+            "wall-clock budget expired before retiming; identity retiming kept",
+        ));
+        if result.n_foa > 0 {
+            degradations.push(Degradation::new(
+                Stage::Lac,
+                format!(
+                    "{} flip-flop(s) still violate local area constraints: {}",
+                    result.n_foa,
+                    result.occupancy.overflow_summary()
+                ),
+            ));
+        }
+        return Ok(PlanReport {
+            min_area: TimedRun {
+                result: result.clone(),
+                elapsed: Duration::ZERO,
+            },
+            lac: TimedRun {
+                result,
+                elapsed: Duration::ZERO,
+            },
+            num_period_constraints: 0,
+            pairs_before_pruning: 0,
+            constraint_time: Duration::ZERO,
+            degradations,
+        });
+    }
 
     let t0 = Instant::now();
     let pc = generate_period_constraints(graph, t_clk, config.constraints);
@@ -445,16 +749,79 @@ pub fn plan_retimings_at(
     // implementation of [13] would.
     let t1 = Instant::now();
     let base_areas: Vec<f64> = graph.vertex_ids().map(|v| graph.area(v)).collect();
-    let base = lacr_retime::weighted_min_area_retiming(graph, &pc, &base_areas)?;
+    let base = match lacr_retime::weighted_min_area_retiming(graph, &pc, &base_areas) {
+        Ok(base) => base,
+        Err(e @ RetimeError::PeriodInfeasible { .. }) => {
+            return Err(PlanError::new(Stage::MinArea, PlanErrorKind::Retime(e)));
+        }
+        Err(RetimeError::Internal(msg)) => {
+            match feasible_min_area_fallback(graph, t_clk) {
+                // Ladder rung 1: the dual solve failed, but Bellman-Ford can
+                // still prove feasibility and hand back a legal retiming.
+                Some(fallback) => {
+                    degradations.push(Degradation::new(
+                    Stage::MinArea,
+                    format!("min-cost-flow solve failed ({msg}); Bellman-Ford feasible retiming used"),
+                ));
+                    fallback
+                }
+                None => {
+                    return Err(PlanError::new(
+                        Stage::MinArea,
+                        PlanErrorKind::Retime(RetimeError::PeriodInfeasible { target: t_clk }),
+                    ));
+                }
+            }
+        }
+    };
     let min_area = TimedRun {
         result: score_outcome(graph, base, caps),
         elapsed: t1.elapsed() + constraint_time,
     };
 
+    let lac_config = LacConfig {
+        deadline: budget.min_deadline(config.lac.deadline),
+        max_rounds: budget
+            .max_rounds
+            .map_or(config.lac.max_rounds, |m| config.lac.max_rounds.min(m)),
+        ..config.lac
+    };
     let t2 = Instant::now();
-    let lac = lac_retiming(graph, &pc, caps, &config.lac)?;
+    let lac_result = match lac_retiming(graph, &pc, caps, &lac_config) {
+        Ok(result) => result,
+        // Ladder rung 2: LAC could not finish a single round; the scored
+        // min-area result is still a legal plan for the same period.
+        Err(e) => {
+            degradations.push(Degradation::new(
+                Stage::Lac,
+                format!("LAC retiming failed ({e}); min-area result reused"),
+            ));
+            min_area.result.clone()
+        }
+    };
+    if lac_result.timed_out {
+        degradations.push(Degradation::new(
+            Stage::Lac,
+            format!(
+                "wall-clock budget expired after {} re-weight round(s); best round kept",
+                lac_result.n_wr
+            ),
+        ));
+    }
+    if lac_result.n_foa > 0 {
+        // Ladder rung 3: the result is legal but not fully legalized;
+        // report exactly which tiles still overflow.
+        degradations.push(Degradation::new(
+            Stage::Lac,
+            format!(
+                "{} flip-flop(s) still violate local area constraints: {}",
+                lac_result.n_foa,
+                lac_result.occupancy.overflow_summary()
+            ),
+        ));
+    }
     let lac = TimedRun {
-        result: lac,
+        result: lac_result,
         elapsed: t2.elapsed() + constraint_time,
     };
 
@@ -464,6 +831,7 @@ pub fn plan_retimings_at(
         num_period_constraints: pc.constraints.len(),
         pairs_before_pruning: pc.pairs_before_pruning,
         constraint_time,
+        degradations,
     })
 }
 
@@ -534,11 +902,20 @@ pub fn plan_with_iterations(
     circuit: &Circuit,
     config: &PlannerConfig,
 ) -> Result<IteratedPlan, RetimeError> {
-    let plan1 = build_physical_plan(circuit, config, &[]);
-    let report1 = plan_retimings(&plan1, config)?;
-    let second_n_foa = if report1.lac.result.n_foa > 0 {
+    try_plan_with_iterations(circuit, config).map_err(RetimeError::from)
+}
+
+/// Fallible variant of [`plan_with_iterations`] returning the typed
+/// [`PlanError`] for first-iteration failures.
+pub fn try_plan_with_iterations(
+    circuit: &Circuit,
+    config: &PlannerConfig,
+) -> Result<IteratedPlan, PlanError> {
+    let plan1 = try_build_physical_plan(circuit, config, &[])?;
+    let report1 = try_plan_retimings(&plan1, config)?;
+    let second_n_foa = if report1.lac.result.n_foa > 0 && !config.budget.expired() {
         let growth = growth_from_violations(&plan1, &report1.lac.result, &config.technology, 1.5);
-        let plan2 = build_physical_plan(circuit, config, &growth);
+        let plan2 = try_build_physical_plan(circuit, config, &growth)?;
         Some(plan_retimings_at(&plan2, config, plan1.t_clk).map(|r| r.lac.result.n_foa))
     } else {
         None

@@ -9,6 +9,7 @@
 //! replaced by the sum of the retimed weights along its interconnect
 //! chain.
 
+use crate::error::{PlanError, PlanErrorKind, Stage};
 use crate::expand::ExpandedDesign;
 use lacr_netlist::Circuit;
 
@@ -24,30 +25,52 @@ use lacr_netlist::Circuit;
 /// Panics if `expanded` was not built from `circuit` (chain/connection
 /// count mismatch) or `weights` does not match the expanded graph, or if
 /// any chain weight is negative or exceeds `u32::MAX`.
+/// [`try_retimed_circuit`] reports the same conditions as typed errors.
 pub fn retimed_circuit(circuit: &Circuit, expanded: &ExpandedDesign, weights: &[i64]) -> Circuit {
-    assert_eq!(
-        weights.len(),
-        expanded.graph.num_edges(),
-        "weights mismatch"
-    );
+    try_retimed_circuit(circuit, expanded, weights).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`retimed_circuit`].
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] at [`Stage::Writeback`] when `weights` is not
+/// parallel to the expanded graph, `expanded` was built from a different
+/// circuit, or a chain's total weight falls outside `0..=u32::MAX`.
+pub fn try_retimed_circuit(
+    circuit: &Circuit,
+    expanded: &ExpandedDesign,
+    weights: &[i64],
+) -> Result<Circuit, PlanError> {
+    let fail = |msg: String| PlanError::new(Stage::Writeback, PlanErrorKind::Writeback(msg));
+    if weights.len() != expanded.graph.num_edges() {
+        return Err(fail(format!(
+            "weights mismatch: {} weights for {} graph edges",
+            weights.len(),
+            expanded.graph.num_edges()
+        )));
+    }
     let num_connections: usize = circuit.nets().iter().map(|n| n.sinks.len()).sum();
-    assert_eq!(
-        expanded.connection_chains.len(),
-        num_connections,
-        "expansion does not belong to this circuit"
-    );
+    if expanded.connection_chains.len() != num_connections {
+        return Err(fail(format!(
+            "expansion does not belong to this circuit: {} chains for {} connections",
+            expanded.connection_chains.len(),
+            num_connections
+        )));
+    }
 
     let mut out = circuit.clone();
     let mut chain_iter = expanded.connection_chains.iter();
     for ni in 0..out.num_nets() {
         let num_sinks = out.net(lacr_netlist::NetId(ni as u32)).sinks.len();
         for si in 0..num_sinks {
-            let chain = chain_iter.next().expect("chain per connection");
+            let chain = chain_iter.next().expect("chain count checked above");
             let flops: i64 = chain.iter().map(|e| weights[e.index()]).sum();
-            assert!(
-                (0..=i64::from(u32::MAX)).contains(&flops),
-                "illegal chain weight {flops}"
-            );
+            if !(0..=i64::from(u32::MAX)).contains(&flops) {
+                return Err(fail(format!(
+                    "net {ni} sink {si}: illegal chain weight {flops}"
+                )));
+            }
             out.net_mut(lacr_netlist::NetId(ni as u32)).sinks[si].flops = flops as u32;
         }
     }
@@ -56,7 +79,7 @@ pub fn retimed_circuit(circuit: &Circuit, expanded: &ExpandedDesign, weights: &[
         weights.iter().sum::<i64>(),
         "flip-flop conservation through write-back"
     );
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -129,5 +152,25 @@ mod tests {
         let circuit = bench89::generate("s344").unwrap();
         let plan = build_physical_plan(&circuit, &cfg, &[]);
         let _ = retimed_circuit(&circuit, &plan.expanded, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn try_writeback_reports_typed_errors() {
+        let cfg = quick();
+        let circuit = bench89::generate("s344").unwrap();
+        let plan = build_physical_plan(&circuit, &cfg, &[]);
+
+        let err = try_retimed_circuit(&circuit, &plan.expanded, &[0, 1, 2]).unwrap_err();
+        assert_eq!(err.stage, crate::error::Stage::Writeback);
+        assert!(err.to_string().contains("weights mismatch"), "{err}");
+
+        let negative = vec![-1i64; plan.expanded.graph.num_edges()];
+        let err = try_retimed_circuit(&circuit, &plan.expanded, &negative).unwrap_err();
+        assert!(err.to_string().contains("illegal chain weight"), "{err}");
+
+        let other = bench89::generate("s382").unwrap();
+        let err = try_retimed_circuit(&other, &plan.expanded, &plan.expanded.graph.weights())
+            .unwrap_err();
+        assert!(err.to_string().contains("does not belong"), "{err}");
     }
 }

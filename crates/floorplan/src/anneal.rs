@@ -20,6 +20,10 @@ pub struct FloorplanConfig {
     pub cooling: f64,
     /// PRNG seed.
     pub seed: u64,
+    /// Optional wall-clock deadline. The annealer polls it periodically
+    /// and, once expired, stops early and returns the best layout found
+    /// so far (never worse than the initial packing).
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for FloorplanConfig {
@@ -30,9 +34,14 @@ impl Default for FloorplanConfig {
             initial_temp_frac: 0.3,
             cooling: 0.95,
             seed: 0x00f1_0011,
+            deadline: None,
         }
     }
 }
+
+/// How many annealing moves run between deadline polls; polling
+/// `Instant::now()` every move would dominate small evaluations.
+pub(crate) const DEADLINE_POLL_INTERVAL: usize = 64;
 
 /// Computes a floorplan for `blocks`. `nets` lists, per net, the indices
 /// of the blocks it touches (used for the half-perimeter wirelength term);
@@ -132,6 +141,13 @@ pub fn floorplan(blocks: &[BlockSpec], nets: &[Vec<usize>], config: &FloorplanCo
     let cool_every = (config.moves / 100).max(1);
 
     for step in 0..config.moves {
+        if step % DEADLINE_POLL_INTERVAL == 0 {
+            if let Some(deadline) = config.deadline {
+                if std::time::Instant::now() >= deadline {
+                    break; // budget expired: keep the best layout so far
+                }
+            }
+        }
         let mut cand_sp = sp.clone();
         let mut cand_aspect = aspect.clone();
         match rng.gen_range(0..4u32) {

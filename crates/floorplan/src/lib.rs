@@ -35,6 +35,74 @@ pub mod shapes;
 pub mod slicing;
 pub mod tiles;
 
+/// Typed failure of floorplan construction: the input block list is
+/// unusable. The annealing engines themselves always produce *some*
+/// layout for valid specs, so malformed specs are the only failure mode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FloorplanError {
+    /// A block spec has a non-positive/non-finite area or dimension.
+    InvalidBlock {
+        /// Index of the offending block in the input slice.
+        index: usize,
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidBlock { index, reason } => {
+                write!(f, "block {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}
+
+/// Checks every [`BlockSpec`] for positive, finite area and dimensions.
+/// Returns the first defect found (blocks are checked in order, so the
+/// reported index is deterministic).
+pub fn validate_specs(blocks: &[BlockSpec]) -> Result<(), FloorplanError> {
+    for (index, b) in blocks.iter().enumerate() {
+        let reason = if !(b.area.is_finite() && b.area > 0.0) {
+            Some(format!("area {} is not positive and finite", b.area))
+        } else if !(b.width.is_finite() && b.width > 0.0) {
+            Some(format!("width {} is not positive and finite", b.width))
+        } else if !(b.height.is_finite() && b.height > 0.0) {
+            Some(format!("height {} is not positive and finite", b.height))
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            return Err(FloorplanError::InvalidBlock { index, reason });
+        }
+    }
+    Ok(())
+}
+
+/// Fallible front door for [`anneal::floorplan`]: validates the specs
+/// and only then runs the annealer (which cannot fail on valid input).
+pub fn try_floorplan(
+    blocks: &[BlockSpec],
+    nets: &[Vec<usize>],
+    config: &anneal::FloorplanConfig,
+) -> Result<Floorplan, FloorplanError> {
+    validate_specs(blocks)?;
+    Ok(anneal::floorplan(blocks, nets, config))
+}
+
+/// Fallible front door for [`slicing::floorplan_slicing`].
+pub fn try_floorplan_slicing(
+    blocks: &[BlockSpec],
+    nets: &[Vec<usize>],
+    config: &slicing::SlicingConfig,
+) -> Result<Floorplan, FloorplanError> {
+    validate_specs(blocks)?;
+    Ok(slicing::floorplan_slicing(blocks, nets, config))
+}
+
 /// Input description of one circuit block.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockSpec {
@@ -335,5 +403,58 @@ mod tests {
     #[should_panic]
     fn zero_area_soft_block_panics() {
         let _ = BlockSpec::soft(0.0);
+    }
+
+    #[test]
+    fn validate_specs_flags_bad_blocks() {
+        let mut bad = BlockSpec::soft(100.0);
+        bad.area = f64::NAN;
+        let specs = [BlockSpec::soft(50.0), bad];
+        let err = validate_specs(&specs).unwrap_err();
+        let FloorplanError::InvalidBlock { index, reason } = err;
+        assert_eq!(index, 1);
+        assert!(reason.contains("area"), "{reason}");
+
+        let mut zero_w = BlockSpec::hard(4.0, 4.0);
+        zero_w.width = 0.0;
+        assert!(validate_specs(&[zero_w]).is_err());
+        assert!(validate_specs(&[BlockSpec::soft(1.0)]).is_ok());
+        assert!(validate_specs(&[]).is_ok());
+    }
+
+    #[test]
+    fn try_floorplan_rejects_then_accepts() {
+        let mut bad = BlockSpec::soft(100.0);
+        bad.area = -5.0;
+        let cfg = anneal::FloorplanConfig {
+            moves: 50,
+            ..Default::default()
+        };
+        assert!(try_floorplan(&[bad], &[], &cfg).is_err());
+        assert!(try_floorplan_slicing(&[bad], &[], &cfg).is_err());
+        let good = [BlockSpec::soft(100.0), BlockSpec::soft(60.0)];
+        assert_eq!(try_floorplan(&good, &[], &cfg).unwrap().blocks.len(), 2);
+        assert_eq!(
+            try_floorplan_slicing(&good, &[], &cfg)
+                .unwrap()
+                .blocks
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_valid_layout() {
+        let specs: Vec<BlockSpec> = (0..8).map(|i| BlockSpec::soft(90.0 + i as f64)).collect();
+        let cfg = anneal::FloorplanConfig {
+            moves: 1_000_000,
+            deadline: Some(std::time::Instant::now()),
+            ..Default::default()
+        };
+        // Both engines must bail out early yet produce a legal floorplan.
+        let fp = anneal::floorplan(&specs, &[], &cfg);
+        assert!(fp.validate(1e-6).is_empty(), "{:?}", fp.validate(1e-6));
+        let fp = slicing::floorplan_slicing(&specs, &[], &cfg);
+        assert!(fp.validate(1e-6).is_empty(), "{:?}", fp.validate(1e-6));
     }
 }

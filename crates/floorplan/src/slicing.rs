@@ -261,6 +261,13 @@ pub fn floorplan_slicing(
     let cool_every = (config.moves / 100).max(1);
 
     for step in 0..config.moves {
+        if step % crate::anneal::DEADLINE_POLL_INTERVAL == 0 {
+            if let Some(deadline) = config.deadline {
+                if std::time::Instant::now() >= deadline {
+                    break; // budget expired: keep the best layout so far
+                }
+            }
+        }
         let mut cand = expr.clone();
         let mut cand_aspect = aspect.clone();
         let kind = rng.gen_range(0..4u32);

@@ -74,8 +74,11 @@ enum Def {
 /// # Errors
 ///
 /// Returns [`ParseBenchError`] on malformed lines, references to undefined
-/// signals, duplicate definitions, or all-DFF loops (a cycle made solely of
-/// flip-flops has no functional unit to attach them to).
+/// signals, duplicate definitions (including duplicate `OUTPUT` markers),
+/// an empty netlist, or all-DFF loops (a cycle made solely of flip-flops
+/// has no functional unit to attach them to). Every error carries the
+/// 1-based line number of the offending definition (0 only for
+/// whole-file problems such as an empty netlist).
 ///
 /// # Examples
 ///
@@ -93,9 +96,12 @@ enum Def {
 /// # Ok::<(), lacr_netlist::bench_format::ParseBenchError>(())
 /// ```
 pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
-    let mut defs: HashMap<String, Def> = HashMap::new();
+    // Each definition remembers its 1-based source line, so errors found
+    // during resolution (undefined signals, DFF-only cycles) can still
+    // point at a concrete line.
+    let mut defs: HashMap<String, (Def, usize)> = HashMap::new();
     let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
     let mut order: Vec<String> = Vec::new(); // gate instantiation order
 
     for (ln, raw) in text.lines().enumerate() {
@@ -107,14 +113,20 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
         if let Some(rest) = line.strip_prefix("INPUT") {
             let sig = strip_parens(rest)
                 .ok_or_else(|| err(line_no, format!("malformed INPUT line {line:?}")))?;
-            if defs.insert(sig.to_string(), Def::Input).is_some() {
+            if defs
+                .insert(sig.to_string(), (Def::Input, line_no))
+                .is_some()
+            {
                 return Err(err(line_no, format!("signal {sig:?} defined twice")));
             }
             inputs.push(sig.to_string());
         } else if let Some(rest) = line.strip_prefix("OUTPUT") {
             let sig = strip_parens(rest)
                 .ok_or_else(|| err(line_no, format!("malformed OUTPUT line {line:?}")))?;
-            outputs.push(sig.to_string());
+            if outputs.iter().any(|(s, _)| s == sig) {
+                return Err(err(line_no, format!("output {sig:?} defined twice")));
+            }
+            outputs.push((sig.to_string(), line_no));
         } else if let Some(eq) = line.find('=') {
             let lhs = line[..eq].trim();
             let rhs = line[eq + 1..].trim();
@@ -145,7 +157,7 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
             } else {
                 Def::Gate { kind, inputs: ins }
             };
-            if defs.insert(lhs.to_string(), def).is_some() {
+            if defs.insert(lhs.to_string(), (def, line_no)).is_some() {
                 return Err(err(line_no, format!("signal {lhs:?} defined twice")));
             }
             order.push(lhs.to_string());
@@ -155,27 +167,30 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
     }
 
     // Resolve a signal through any chain of DFFs to its combinational or
-    // primary-input source, counting flip-flops.
-    let resolve = |sig: &str| -> Result<(String, u32), ParseBenchError> {
+    // primary-input source, counting flip-flops. `ref_line` is the line
+    // that referenced the signal, used for errors with no better anchor.
+    let resolve = |sig: &str, ref_line: usize| -> Result<(String, u32), ParseBenchError> {
         let mut cur = sig.to_string();
         let mut flops = 0u32;
         let mut hops = 0usize;
+        let mut last_line = ref_line;
         loop {
             match defs.get(&cur) {
-                Some(Def::Dff { input }) => {
+                Some((Def::Dff { input }, def_line)) => {
                     flops += 1;
+                    last_line = *def_line;
                     cur = input.clone();
                     hops += 1;
                     if hops > defs.len() {
                         return Err(err(
-                            0,
+                            last_line,
                             format!("cycle of DFFs with no logic through {sig:?}"),
                         ));
                     }
                 }
                 Some(_) => return Ok((cur, flops)),
                 None => {
-                    return Err(err(0, format!("undefined signal {cur:?}")));
+                    return Err(err(last_line, format!("undefined signal {cur:?}")));
                 }
             }
         }
@@ -188,14 +203,14 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
         unit_of.insert(sig.clone(), id);
     }
     for sig in &order {
-        if let Some(Def::Gate { kind, .. }) = defs.get(sig) {
+        if let Some((Def::Gate { kind, .. }, _)) = defs.get(sig) {
             let (delay, area) = gate_params(kind);
             let id = circuit.add_unit(Unit::logic(sig.clone(), delay, area));
             unit_of.insert(sig.clone(), id);
         }
     }
     let mut output_units: HashMap<String, UnitId> = HashMap::new();
-    for sig in &outputs {
+    for (sig, _) in &outputs {
         let id = circuit.add_unit(Unit::output(format!("out:{sig}")));
         output_units.insert(sig.clone(), id);
     }
@@ -203,23 +218,23 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
     // Gather connections grouped by driving unit.
     let mut fanout: HashMap<UnitId, Vec<Sink>> = HashMap::new();
     for sig in &order {
-        if let Some(Def::Gate { inputs: ins, .. }) = defs.get(sig) {
+        if let Some((Def::Gate { inputs: ins, .. }, def_line)) = defs.get(sig) {
             let to = unit_of[sig];
             for in_sig in ins {
-                let (src, flops) = resolve(in_sig)?;
+                let (src, flops) = resolve(in_sig, *def_line)?;
                 let from = *unit_of
                     .get(&src)
-                    .ok_or_else(|| err(0, format!("undefined signal {src:?}")))?;
+                    .ok_or_else(|| err(*def_line, format!("undefined signal {src:?}")))?;
                 fanout.entry(from).or_default().push(Sink::new(to, flops));
             }
         }
     }
-    for sig in &outputs {
+    for (sig, out_line) in &outputs {
         let to = output_units[sig];
-        let (src, flops) = resolve(sig)?;
+        let (src, flops) = resolve(sig, *out_line)?;
         let from = *unit_of
             .get(&src)
-            .ok_or_else(|| err(0, format!("undefined signal {src:?}")))?;
+            .ok_or_else(|| err(*out_line, format!("undefined signal {src:?}")))?;
         fanout.entry(from).or_default().push(Sink::new(to, flops));
     }
 
@@ -228,6 +243,9 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
     for d in drivers {
         let sinks = fanout.remove(&d).expect("key present");
         circuit.add_net(d, sinks);
+    }
+    if circuit.num_units() == 0 {
+        return Err(err(0, "empty netlist: no signals defined"));
     }
     Ok(circuit)
 }
@@ -427,6 +445,60 @@ a = BUF(a)
             c2.units_of_kind(UnitKind::Output).count()
         );
         assert!(c2.validate().is_empty(), "{:?}", c2.validate());
+    }
+
+    #[test]
+    fn empty_file_is_an_error_not_an_empty_circuit() {
+        for src in ["", "\n\n", "# only a comment\n", "   \n#x\n  \n"] {
+            let e = parse("empty", src).unwrap_err();
+            assert!(e.message.contains("empty netlist"), "{src:?}: {e}");
+            assert_eq!(e.line, 0, "whole-file problem carries line 0");
+        }
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_and_number_correctly() {
+        let src = SMALL.replace('\n', "\r\n");
+        let c = parse("crlf", &src).expect("CRLF text parses");
+        assert_eq!(c.num_flops(), 1);
+        assert!(c.validate().is_empty());
+        // Errors under CRLF still cite the right 1-based line.
+        let bad = "INPUT(a)\r\nOUTPUT(z)\r\ngarbage\r\nz = BUF(a)\r\n";
+        let e = parse("crlf-bad", bad).unwrap_err();
+        assert!(e.message.contains("unrecognised"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn duplicate_output_cites_its_line() {
+        let src = "\nINPUT(a)\nOUTPUT(z)\nOUTPUT(z)\nz = BUF(a)\n";
+        let e = parse("dup-out", src).unwrap_err();
+        assert!(e.message.contains("output \"z\" defined twice"), "{e}");
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn dff_self_loop_cites_the_dff_line() {
+        let src = "\nINPUT(a)\nOUTPUT(z)\nq = DFF(q)\nz = NAND(a, q)\n";
+        let e = parse("dff-self", src).unwrap_err();
+        assert!(e.message.contains("cycle of DFFs"), "{e}");
+        assert_eq!(e.line, 4, "points at the self-looping DFF");
+    }
+
+    #[test]
+    fn trailing_garbage_cites_its_line() {
+        let src = "INPUT(a)\nOUTPUT(z)\nz = BUF(a)\nthis is not bench\n";
+        let e = parse("trailing", src).unwrap_err();
+        assert!(e.message.contains("unrecognised"), "{e}");
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn undefined_signal_cites_the_referencing_line() {
+        let src = "\nINPUT(a)\nOUTPUT(z)\nz = BUF(ghost)\n";
+        let e = parse("undef", src).unwrap_err();
+        assert!(e.message.contains("undefined"), "{e}");
+        assert_eq!(e.line, 4);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Seeded fault injection for robustness testing.
+//!
+//! [`FaultPlan`] wraps an [`Rng`] with mutators that produce *hostile*
+//! inputs deterministically from a seed: corrupted `.bench` text,
+//! absurd floating-point parameter values, and uniform fault-kind
+//! selection. The fault-injection suite (`crates/core/tests/
+//! fault_injection.rs`) drives the whole planning pipeline with these
+//! and asserts that every seed yields either a clean plan or a typed
+//! error — never a panic. Keeping the mutators here (next to the
+//! property driver) means a failing seed printed by `properties!`
+//! replays the exact same fault.
+
+use crate::Rng;
+
+/// Representative pathological floating-point values: zeros, negatives,
+/// non-finite values, and magnitude extremes that overflow or underflow
+/// derived quantities (areas, delays, capacities).
+const ABSURD_F64: [f64; 9] = [
+    0.0,
+    -0.0,
+    -1.0,
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    1e308,
+    5e-324,
+    -1e9,
+];
+
+/// A seeded plan of input faults. Every method consumes randomness from
+/// the wrapped generator, so a `FaultPlan` built from the same seed
+/// always injects the same faults in the same order.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: Rng,
+}
+
+impl FaultPlan {
+    /// Builds a fault plan from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Builds a fault plan whose seed is drawn from `rng` — the usual way
+    /// to get one inside a `properties!` case.
+    pub fn from_rng(rng: &mut Rng) -> Self {
+        Self::new(rng.next_u64())
+    }
+
+    /// Direct access to the underlying generator (for structure-level
+    /// faults the text/value helpers do not cover).
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// A pathological floating-point value: zero, negative, NaN, ±∞, or a
+    /// magnitude extreme.
+    pub fn absurd_f64(&mut self) -> f64 {
+        ABSURD_F64[self.rng.gen_range(0..ABSURD_F64.len())]
+    }
+
+    /// Either keeps `value` or replaces it with [`Self::absurd_f64`],
+    /// with probability `p_fault` of injecting.
+    pub fn maybe_absurd(&mut self, value: f64, p_fault: f64) -> f64 {
+        if self.rng.gen_bool(p_fault) {
+            self.absurd_f64()
+        } else {
+            value
+        }
+    }
+
+    /// Applies 1–3 line-level corruptions to `text`: deleting,
+    /// duplicating, truncating, or garbling lines; inserting garbage
+    /// lines; switching to CRLF line endings; appending trailing garbage.
+    /// The result is valid UTF-8 but usually not a valid `.bench` file.
+    pub fn corrupt_text(&mut self, text: &str) -> String {
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut crlf = false;
+        let mutations = self.rng.gen_range(1..=3usize);
+        for _ in 0..mutations {
+            match self.rng.gen_range(0..7u32) {
+                0 if !lines.is_empty() => {
+                    let i = self.rng.gen_range(0..lines.len());
+                    lines.remove(i);
+                }
+                1 if !lines.is_empty() => {
+                    let i = self.rng.gen_range(0..lines.len());
+                    let dup = lines[i].clone();
+                    lines.insert(i, dup);
+                }
+                2 if !lines.is_empty() => {
+                    // Truncate a line mid-way (on a char boundary).
+                    let i = self.rng.gen_range(0..lines.len());
+                    let n = lines[i].chars().count();
+                    if n > 1 {
+                        let keep = self.rng.gen_range(0..n);
+                        lines[i] = lines[i].chars().take(keep).collect();
+                    }
+                }
+                3 if !lines.is_empty() => {
+                    // Garble: strip the structural characters the parser
+                    // keys on.
+                    let i = self.rng.gen_range(0..lines.len());
+                    let victim = *self
+                        .rng
+                        .choose(&['(', ')', '=', ','])
+                        .expect("non-empty choices");
+                    lines[i] = lines[i].replace(victim, "");
+                }
+                4 => {
+                    let pos = self.rng.gen_range(0..=lines.len());
+                    let garbage = *self
+                        .rng
+                        .choose(&["@@@ not bench @@@", "G999 == AND", "INPUT", "((("])
+                        .expect("non-empty choices");
+                    lines.insert(pos, garbage.to_string());
+                }
+                5 => crlf = true,
+                _ => lines.push("trailing garbage here".to_string()),
+            }
+        }
+        let sep = if crlf { "\r\n" } else { "\n" };
+        let mut out = lines.join(sep);
+        out.push_str(sep);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_faults() {
+        let text = "INPUT(a)\nOUTPUT(z)\nz = BUF(a)\n";
+        let a = FaultPlan::new(7).corrupt_text(text);
+        let b = FaultPlan::new(7).corrupt_text(text);
+        assert_eq!(a, b);
+        assert_ne!(FaultPlan::new(7).absurd_f64().to_bits(), {
+            let mut fp = FaultPlan::new(8);
+            fp.rng().next_u64() // different stream
+        });
+    }
+
+    #[test]
+    fn corrupt_text_changes_something_eventually() {
+        let text = "INPUT(a)\nOUTPUT(z)\nz = BUF(a)\n";
+        let changed = (0..32).any(|s| FaultPlan::new(s).corrupt_text(text) != text);
+        assert!(changed, "no seed corrupted the text");
+    }
+
+    #[test]
+    fn absurd_values_cover_nonfinite() {
+        let mut fp = FaultPlan::new(3);
+        let vals: Vec<f64> = (0..256).map(|_| fp.absurd_f64()).collect();
+        assert!(vals.iter().any(|v| v.is_nan()));
+        assert!(vals.iter().any(|v| v.is_infinite()));
+        assert!(vals.iter().any(|v| *v <= 0.0));
+    }
+
+    #[test]
+    fn maybe_absurd_respects_probability_extremes() {
+        let mut fp = FaultPlan::new(11);
+        assert_eq!(fp.maybe_absurd(42.0, 0.0), 42.0);
+        let injected = fp.maybe_absurd(42.0, 1.0);
+        assert!(ABSURD_F64.iter().any(|a| a.to_bits() == injected.to_bits()));
+    }
+}

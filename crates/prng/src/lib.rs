@@ -8,7 +8,7 @@
 //! the build needs no network access (the previous `rand`/`rand_chacha`
 //! dependency could not be fetched in a hermetic environment).
 //!
-//! Three pieces live here:
+//! Four pieces live here:
 //!
 //! * [`Rng`] — a SplitMix64-seeded xoshiro256++ generator exposing
 //!   exactly the surface the codebase uses: [`Rng::seed_from_u64`],
@@ -19,11 +19,15 @@
 //! * [`mod@prop`] — a minimal property-testing driver with failure-seed
 //!   reporting and single-seed replay (replaces `proptest`);
 //! * [`mod@bench`] — a minimal wall-clock benchmark harness (replaces
-//!   `criterion`).
+//!   `criterion`);
+//! * [`mod@fault`] — seeded input mutators ([`FaultPlan`]) for the
+//!   fail-soft fault-injection suites.
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 
+pub use fault::FaultPlan;
 pub use prop::run_property;
 
 /// Multiplier from the SplitMix64 reference implementation.

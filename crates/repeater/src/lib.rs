@@ -21,6 +21,36 @@
 use lacr_floorplan::tiles::{CapacityLedger, TileGrid};
 use lacr_timing::Technology;
 
+/// Typed failure of repeater insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepeaterError {
+    /// The routed path has no cells at all.
+    EmptyPath,
+    /// `L_max` is shorter than one tile, so no spacing of repeaters can
+    /// satisfy the interval constraint.
+    IntervalUnsatisfiable {
+        /// The technology's maximum unbuffered interval (µm).
+        l_max: f64,
+        /// The grid's tile size (µm).
+        tile_size: f64,
+    },
+}
+
+impl std::fmt::Display for RepeaterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyPath => write!(f, "routed path is empty"),
+            Self::IntervalUnsatisfiable { l_max, tile_size } => write!(
+                f,
+                "l_max {l_max} µm is below one tile ({tile_size} µm): \
+                 no repeater spacing can satisfy the interval constraint"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RepeaterError {}
+
 /// One interconnect unit: a wire span and the cell of the driver (source
 /// unit or repeater) that drives it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,27 +163,42 @@ pub fn plan_positions(
 /// # Panics
 ///
 /// Panics if `path` is empty or `technology.l_max < grid.tile_size()`
-/// (such a technology fails [`Technology::validate`]).
+/// (such a technology fails [`Technology::validate`]). Use
+/// [`try_insert_repeaters`] for a fallible variant.
 pub fn insert_repeaters(
     path: &[usize],
     grid: &TileGrid,
     ledger: &mut CapacityLedger,
     technology: &Technology,
 ) -> InsertionResult {
-    assert!(!path.is_empty(), "empty path");
+    try_insert_repeaters(path, grid, ledger, technology).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`insert_repeaters`]: returns [`RepeaterError`]
+/// instead of panicking on an empty path or an unsatisfiable `L_max`.
+pub fn try_insert_repeaters(
+    path: &[usize],
+    grid: &TileGrid,
+    ledger: &mut CapacityLedger,
+    technology: &Technology,
+) -> Result<InsertionResult, RepeaterError> {
+    if path.is_empty() {
+        return Err(RepeaterError::EmptyPath);
+    }
     let ts = grid.tile_size();
-    let max_interval = (technology.l_max / ts).floor() as usize;
-    assert!(
-        max_interval >= 1,
-        "l_max {} below one tile {}",
-        technology.l_max,
-        ts
-    );
+    let max_interval = if technology.l_max.is_finite() && technology.l_max >= ts {
+        (technology.l_max / ts).floor() as usize
+    } else {
+        return Err(RepeaterError::IntervalUnsatisfiable {
+            l_max: technology.l_max,
+            tile_size: ts,
+        });
+    };
     if path.len() == 1 {
-        return InsertionResult {
+        return Ok(InsertionResult {
             repeater_cells: Vec::new(),
             segments: Vec::new(),
-        };
+        });
     }
 
     let positions = {
@@ -197,10 +242,10 @@ pub fn insert_repeaters(
             driven_by_repeater: k > 0,
         });
     }
-    InsertionResult {
+    Ok(InsertionResult {
         repeater_cells,
         segments,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -303,6 +348,24 @@ mod tests {
     #[test]
     fn dp_exact_fit_needs_no_repeater() {
         assert_eq!(plan_positions(5, 4, |_| 1.0), Some(vec![]));
+    }
+
+    #[test]
+    fn try_insert_rejects_bad_inputs_with_typed_errors() {
+        let grid = open_grid(4, 1);
+        let mut ledger = CapacityLedger::new(&grid);
+        let tech = Technology::default();
+        assert_eq!(
+            try_insert_repeaters(&[], &grid, &mut ledger, &tech),
+            Err(RepeaterError::EmptyPath)
+        );
+        let mut tiny = tech.clone();
+        tiny.l_max = grid.tile_size() / 2.0;
+        let err = try_insert_repeaters(&[0, 1], &grid, &mut ledger, &tiny).unwrap_err();
+        assert!(matches!(err, RepeaterError::IntervalUnsatisfiable { .. }));
+        let mut nan = tech.clone();
+        nan.l_max = f64::NAN;
+        assert!(try_insert_repeaters(&[0, 1], &grid, &mut ledger, &nan).is_err());
     }
 
     #[test]

@@ -54,8 +54,8 @@ pub use feas::{
 };
 pub use graph::{EdgeId, GraphEdge, RetimeGraph, VertexId, VertexKind};
 pub use minarea::{
-    min_area_retiming, weighted_flop_cost, weighted_min_area_retiming, MinAreaSolver, RetimeError,
-    RetimingOutcome,
+    feasible_min_area_fallback, min_area_retiming, weighted_flop_cost, weighted_min_area_retiming,
+    MinAreaSolver, RetimeError, RetimingOutcome,
 };
 pub use sharing::{shared_min_area_retiming, shared_register_count, SharedRetimingOutcome};
 pub use sta::{analyze_timing, critical_path, edge_criticality, TimingReport};

@@ -240,6 +240,25 @@ impl<'g> MinAreaSolver<'g> {
     }
 }
 
+/// Degradation-ladder fallback: a *feasible* (not area-minimal) retiming
+/// at `target`, computed by the Bellman-Ford-based FEAS solver instead of
+/// min-cost flow. Used when the dual solve fails unexpectedly — the plan
+/// keeps a legal, period-meeting retiming rather than aborting.
+///
+/// Returns `None` when no retiming meets `target` (the caller should then
+/// surface [`RetimeError::PeriodInfeasible`]).
+pub fn feasible_min_area_fallback(graph: &RetimeGraph, target: u64) -> Option<RetimingOutcome> {
+    let retiming = crate::feas::feasible_retiming(graph, target)?;
+    let weights = graph.retimed_weights(&retiming);
+    let period = graph.clock_period(&weights)?;
+    Some(RetimingOutcome {
+        total_flops: weights.iter().sum(),
+        retiming,
+        weights,
+        period,
+    })
+}
+
 /// The weighted flip-flop cost `Σ_e A(tail(e)) · w(e)` of an edge-weight
 /// assignment — the objective the weighted retiming minimises.
 pub fn weighted_flop_cost(graph: &RetimeGraph, weights: &[i64], areas: &[f64]) -> f64 {
@@ -449,6 +468,16 @@ mod tests {
         }
         rec(g, t, areas, &mut r, 1, &mut best);
         best
+    }
+
+    #[test]
+    fn fallback_matches_feasibility_and_verifies() {
+        let g = pipeline();
+        let out = feasible_min_area_fallback(&g, 5).expect("5 feasible");
+        assert!(out.period <= 5);
+        assert!(g.weights_legal(&out.weights));
+        assert_eq!(out.weights, g.retimed_weights(&out.retiming));
+        assert!(feasible_min_area_fallback(&g, 4).is_none());
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct RouteConfig {
     pub overflow_penalty: f64,
     /// History cost increment per pass for edges that overflowed.
     pub history_penalty: f64,
+    /// Optional wall-clock deadline, checked before each rip-up pass.
+    /// Once expired, remaining passes are skipped and the current
+    /// (possibly overflowing) routing is returned.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for RouteConfig {
@@ -62,9 +66,43 @@ impl Default for RouteConfig {
             passes: 3,
             overflow_penalty: 8.0,
             history_penalty: 2.0,
+            deadline: None,
         }
     }
 }
+
+/// Typed failure of routing: the net list does not fit the grid. Routing
+/// itself never fails — congested routes come back with overflow > 0
+/// rather than an error — so bad pin indices are the only failure mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A net references a cell index outside the `nx × ny` grid.
+    PinOutOfRange {
+        /// Index of the offending net in the input slice.
+        net: usize,
+        /// The out-of-range cell index.
+        pin: usize,
+        /// Number of cells on the grid (`nx · ny`).
+        num_cells: usize,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PinOutOfRange {
+                net,
+                pin,
+                num_cells,
+            } => write!(
+                f,
+                "net {net}: pin cell {pin} outside the {num_cells}-cell grid"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// One routed net.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,12 +155,32 @@ fn edge_key(a: usize, b: usize) -> (usize, usize) {
 ///
 /// # Panics
 ///
-/// Panics if any pin index is out of range.
+/// Panics if any pin index is out of range. Use [`try_route`] for a
+/// fallible variant.
 pub fn route(nx: usize, ny: usize, nets: &[NetPins], config: &RouteConfig) -> Routing {
+    try_route(nx, ny, nets, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`route`]: returns [`RouteError`] instead of
+/// panicking when a pin index does not fit the grid.
+pub fn try_route(
+    nx: usize,
+    ny: usize,
+    nets: &[NetPins],
+    config: &RouteConfig,
+) -> Result<Routing, RouteError> {
     let num_cells = nx * ny;
-    for n in nets {
-        assert!(n.driver < num_cells, "driver out of range");
-        assert!(n.sinks.iter().all(|&s| s < num_cells), "sink out of range");
+    for (i, n) in nets.iter().enumerate() {
+        let bad = std::iter::once(n.driver)
+            .chain(n.sinks.iter().copied())
+            .find(|&p| p >= num_cells);
+        if let Some(pin) = bad {
+            return Err(RouteError::PinOutOfRange {
+                net: i,
+                pin,
+                num_cells,
+            });
+        }
     }
     let mut usage: HashMap<(usize, usize), u32> = HashMap::new();
     let mut history: HashMap<(usize, usize), f64> = HashMap::new();
@@ -137,6 +195,11 @@ pub fn route(nx: usize, ny: usize, nets: &[NetPins], config: &RouteConfig) -> Ro
 
     // Rip-up and re-route nets that use overflowed edges.
     for _ in 0..config.passes {
+        if let Some(deadline) = config.deadline {
+            if std::time::Instant::now() >= deadline {
+                break; // budget expired: return the routing as-is
+            }
+        }
         let over: HashSet<(usize, usize)> = usage
             .iter()
             .filter(|(_, &u)| u > config.edge_capacity)
@@ -169,13 +232,13 @@ pub fn route(nx: usize, ny: usize, nets: &[NetPins], config: &RouteConfig) -> Ro
     let mut edge_usage: Vec<((usize, usize), u32)> =
         usage.into_iter().filter(|&(_, u)| u > 0).collect();
     edge_usage.sort_unstable();
-    Routing {
+    Ok(Routing {
         nets: routed,
         wirelength,
         overflow,
         max_usage,
         edge_usage,
-    }
+    })
 }
 
 /// The undirected edges of a routed net's tree.
@@ -467,6 +530,47 @@ mod tests {
             sinks: vec![99],
         }];
         let _ = route(3, 3, &nets, &RouteConfig::default());
+    }
+
+    #[test]
+    fn try_route_reports_offending_pin() {
+        let nets = vec![
+            NetPins {
+                driver: 0,
+                sinks: vec![1],
+            },
+            NetPins {
+                driver: 0,
+                sinks: vec![99],
+            },
+        ];
+        let err = try_route(3, 3, &nets, &RouteConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::PinOutOfRange {
+                net: 1,
+                pin: 99,
+                num_cells: 9
+            }
+        );
+        assert!(err.to_string().contains("99"), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_skips_ripup_but_routes() {
+        let nets = vec![NetPins {
+            driver: 0,
+            sinks: vec![1],
+        }];
+        let cfg = RouteConfig {
+            edge_capacity: 0,
+            passes: 1_000_000,
+            deadline: Some(std::time::Instant::now()),
+            ..Default::default()
+        };
+        let r = route(2, 1, &nets, &cfg);
+        assert_eq!(r.nets[0].sink_paths[0], vec![0, 1]);
+        assert!(r.overflow >= 1);
     }
 
     #[test]

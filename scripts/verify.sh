@@ -3,20 +3,54 @@
 #
 #   scripts/verify.sh          # build + tests + format check
 #   scripts/verify.sh --quick  # skip the slow integration suites
+#   scripts/verify.sh --faults # fault-injection suite + no-panic CLI smoke
 #
 # The workspace has no external dependencies, so --offline always works.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
+FAULTS=0
 case "${1:-}" in
     --quick) QUICK=1 ;;
+    --faults) FAULTS=1 ;;
     "") ;;
     *)
-        echo "error: unknown option '${1}' (usage: scripts/verify.sh [--quick])" >&2
+        echo "error: unknown option '${1}' (usage: scripts/verify.sh [--quick|--faults])" >&2
         exit 2
         ;;
 esac
+
+if [[ "$FAULTS" == 1 ]]; then
+    echo "==> cargo build --release (warnings are errors)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --offline --workspace
+
+    echo "==> fault-injection suite (seeded hostile inputs, catch_unwind-audited)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" \
+        cargo test --release --offline -p lacr-core --test fault_injection
+
+    echo "==> degradation-ladder suite"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" \
+        cargo test --release --offline -p lacr-core --test degradation
+
+    echo "==> no-panic CLI smoke: every bench89 circuit under a tight budget"
+    LACR_BIN=target/release/lacr
+    for circuit in $("$LACR_BIN" list | awk '/^  s/ {print $1}'); do
+        # Exit 0 (clean) and 3 (degraded) are both acceptable under a
+        # 50ms budget; anything else — especially a panic (101/134) — is
+        # a verification failure.
+        status=0
+        "$LACR_BIN" plan "$circuit" --budget-ms 50 >/dev/null 2>&1 || status=$?
+        if [[ "$status" != 0 && "$status" != 3 ]]; then
+            echo "error: lacr plan $circuit --budget-ms 50 exited $status" >&2
+            exit 1
+        fi
+        echo "    $circuit: exit $status"
+    done
+
+    echo "==> faults OK"
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

@@ -2,25 +2,33 @@
 //!
 //! ```text
 //! lacr list                      # available benchmark circuits
-//! lacr plan <circuit|file.bench> # plan one circuit, print the report
+//! lacr plan <circuit|file.bench> [--budget-ms N]
+//!                                # plan one circuit, print the report
 //! lacr table1 [circuit ...]      # regenerate the paper's Table 1
 //! lacr fig2 <circuit> [out.svg]  # render the tile graph (Figure 2)
 //! lacr retime <file.bench> <out.bench> [period_ps]
 //!                                # min-area retime a .bench netlist
 //! ```
+//!
+//! Exit codes: 0 success, 1 error (one-line diagnostic on stderr),
+//! 2 usage, 3 the run finished but the plan is *degraded* (budget
+//! expiry, fallback solver, residual overflow — reasons on stderr).
 
 use lacr::core::experiment::{format_table, run_circuit, run_experiment, ExperimentConfig};
-use lacr::core::planner::{build_physical_plan, plan_retimings, PlannerConfig};
+use lacr::core::planner::{
+    try_build_physical_plan, try_plan_retimings, try_plan_retimings_at, PlannerConfig,
+};
 use lacr::core::render::{tile_ascii, tile_ascii_legend, tile_svg};
-use lacr::core::retimed_circuit;
+use lacr::core::{try_retimed_circuit, Budget, Degradation};
 use lacr::netlist::{bench89, bench_format, stats::CircuitStats, Circuit};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
-        Some("plan") => cmd_plan(args.get(1).map(String::as_str)),
+        Some("plan") => cmd_plan(&args[1..]),
         Some("table1") => cmd_table1(&args[1..]),
         Some("fig2") => cmd_fig2(
             args.get(1).map(String::as_str),
@@ -30,15 +38,24 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: lacr <list|plan|table1|fig2|retime> [args]");
             eprintln!("  list                        available benchmark circuits");
-            eprintln!("  plan <circuit|file.bench>   run the planner on one circuit");
+            eprintln!("  plan <circuit|file.bench> [--budget-ms N]");
+            eprintln!("                              run the planner on one circuit");
             eprintln!("  table1 [circuit ...]        regenerate the paper's Table 1");
             eprintln!("  fig2 <circuit> [out.svg]    render the tile graph");
             eprintln!("  retime <in.bench> <out.bench> [period_ps]");
+            eprintln!("exit codes: 0 ok, 1 error, 2 usage, 3 degraded plan");
             return ExitCode::from(2);
         }
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(degradations) if degradations.is_empty() => ExitCode::SUCCESS,
+        Ok(degradations) => {
+            eprintln!("plan is degraded:");
+            for d in &degradations {
+                eprintln!("  {d}");
+            }
+            ExitCode::from(3)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -46,20 +63,22 @@ fn main() -> ExitCode {
     }
 }
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
+/// Success carries the degradation notes of the run (empty → exit 0,
+/// otherwise they are printed and the process exits 3).
+type CliResult = Result<Vec<Degradation>, Box<dyn std::error::Error>>;
 
 fn load_circuit(spec: &str) -> Result<Circuit, Box<dyn std::error::Error>> {
     if spec.ends_with(".bench") {
-        let text = std::fs::read_to_string(spec)?;
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
         let name = std::path::Path::new(spec)
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("netlist")
             .to_string();
-        let c = bench_format::parse(&name, &text)?;
+        let c = bench_format::parse(&name, &text).map_err(|e| format!("{spec}: {e}"))?;
         let problems = c.validate();
         if !problems.is_empty() {
-            return Err(format!("invalid netlist: {}", problems.join("; ")).into());
+            return Err(format!("{spec}: invalid netlist: {}", problems.join("; ")).into());
         }
         Ok(c)
     } else {
@@ -78,16 +97,45 @@ fn cmd_list() -> CliResult {
         );
     }
     println!("(any .bench file path is also accepted by `plan` and `retime`)");
-    Ok(())
+    Ok(Vec::new())
 }
 
-fn cmd_plan(spec: Option<&str>) -> CliResult {
-    let spec = spec.ok_or("plan needs a circuit name or .bench path")?;
+/// Parses `plan` arguments: a circuit spec plus an optional
+/// `--budget-ms N` wall-clock budget.
+fn parse_plan_args(args: &[String]) -> Result<(String, Budget), Box<dyn std::error::Error>> {
+    let mut spec: Option<String> = None;
+    let mut budget = Budget::unlimited();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--budget-ms" {
+            let ms: u64 = it
+                .next()
+                .ok_or("--budget-ms needs a value in milliseconds")?
+                .parse()
+                .map_err(|e| format!("--budget-ms: {e}"))?;
+            budget = Budget::with_timeout(Duration::from_millis(ms));
+        } else if spec.is_none() {
+            spec = Some(a.clone());
+        } else {
+            return Err(format!("unexpected argument {a:?}").into());
+        }
+    }
+    Ok((
+        spec.ok_or("plan needs a circuit name or .bench path")?,
+        budget,
+    ))
+}
+
+fn cmd_plan(args: &[String]) -> CliResult {
+    let (spec, budget) = parse_plan_args(args)?;
+    let config = PlannerConfig {
+        budget,
+        ..PlannerConfig::default()
+    };
     if spec.ends_with(".bench") {
-        let circuit = load_circuit(spec)?;
-        let config = PlannerConfig::default();
-        let plan = build_physical_plan(&circuit, &config, &[]);
-        let report = plan_retimings(&plan, &config)?;
+        let circuit = load_circuit(&spec)?;
+        let plan = try_build_physical_plan(&circuit, &config, &[])?;
+        let report = try_plan_retimings(&plan, &config)?;
         println!(
             "{}: T_init {:.2} ns, T_min {:.2} ns, T_clk {:.2} ns",
             circuit.name(),
@@ -106,11 +154,32 @@ fn cmd_plan(spec: Option<&str>) -> CliResult {
             report.lac.result.n_fn,
             report.lac.result.n_wr
         );
+        let mut notes = plan.degradations.clone();
+        notes.extend(report.degradations.iter().cloned());
+        Ok(notes)
     } else {
-        let row = run_circuit(spec, &PlannerConfig::default())?;
-        println!("{}", format_table(std::slice::from_ref(&row)));
+        let circuit = bench89::generate(&spec)?;
+        let plan = try_build_physical_plan(&circuit, &config, &[])?;
+        let report = try_plan_retimings(&plan, &config)?;
+        let mut notes = plan.degradations.clone();
+        notes.extend(report.degradations.iter().cloned());
+        if notes.is_empty() {
+            // Pristine run: print the paper-style table row (which
+            // re-plans internally with the same deterministic seed).
+            let row = run_circuit(&spec, &config)?;
+            println!("{}", format_table(std::slice::from_ref(&row)));
+        } else {
+            println!(
+                "{}: T_init {:.2} ns, T_clk {:.2} ns, LAC N_FOA {} ({} rounds)",
+                circuit.name(),
+                plan.t_init as f64 / 1000.0,
+                plan.t_clk as f64 / 1000.0,
+                report.lac.result.n_foa,
+                report.lac.result.n_wr
+            );
+        }
+        Ok(notes)
     }
-    Ok(())
 }
 
 fn cmd_table1(circuits: &[String]) -> CliResult {
@@ -120,22 +189,25 @@ fn cmd_table1(circuits: &[String]) -> CliResult {
     }
     let rows = run_experiment(&config);
     println!("{}", format_table(&rows));
-    Ok(())
+    Ok(Vec::new())
 }
 
 fn cmd_fig2(spec: Option<&str>, out: Option<&str>) -> CliResult {
     let spec = spec.ok_or("fig2 needs a circuit name")?;
     let circuit = load_circuit(spec)?;
     let config = PlannerConfig::default();
-    let plan = build_physical_plan(&circuit, &config, &[]);
+    let plan = try_build_physical_plan(&circuit, &config, &[])?;
     println!("{}", tile_ascii(&plan));
     println!("{}", tile_ascii_legend(&plan));
+    let mut notes = plan.degradations.clone();
     if let Some(path) = out {
-        let report = plan_retimings(&plan, &config)?;
-        std::fs::write(path, tile_svg(&plan, Some(&report.lac.result.occupancy)))?;
+        let report = try_plan_retimings(&plan, &config)?;
+        std::fs::write(path, tile_svg(&plan, Some(&report.lac.result.occupancy)))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
+        notes.extend(report.degradations.iter().cloned());
     }
-    Ok(())
+    Ok(notes)
 }
 
 fn cmd_retime(args: &[String]) -> CliResult {
@@ -143,7 +215,7 @@ fn cmd_retime(args: &[String]) -> CliResult {
     let output = args.get(1).ok_or("retime needs an output .bench path")?;
     let circuit = load_circuit(input)?;
     let config = PlannerConfig::default();
-    let plan = build_physical_plan(&circuit, &config, &[]);
+    let plan = try_build_physical_plan(&circuit, &config, &[])?;
     let target: u64 = match args.get(2) {
         Some(t) => t.parse()?,
         None => plan.t_clk,
@@ -155,9 +227,11 @@ fn cmd_retime(args: &[String]) -> CliResult {
         )
         .into());
     }
-    let report = lacr::core::plan_retimings_at(&plan, &config, target)?;
-    let retimed = retimed_circuit(&circuit, &plan.expanded, &report.lac.result.outcome.weights);
-    std::fs::write(output, bench_format::write(&retimed))?;
+    let report = try_plan_retimings_at(&plan, &config, target)?;
+    let retimed =
+        try_retimed_circuit(&circuit, &plan.expanded, &report.lac.result.outcome.weights)?;
+    std::fs::write(output, bench_format::write(&retimed))
+        .map_err(|e| format!("cannot write {output}: {e}"))?;
     println!(
         "retimed {} at {:.2} ns: {} flip-flops ({} in wires), {} area violations; wrote {output}",
         circuit.name(),
@@ -166,5 +240,7 @@ fn cmd_retime(args: &[String]) -> CliResult {
         report.lac.result.n_fn,
         report.lac.result.n_foa
     );
-    Ok(())
+    let mut notes = plan.degradations.clone();
+    notes.extend(report.degradations.iter().cloned());
+    Ok(notes)
 }

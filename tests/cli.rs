@@ -54,16 +54,86 @@ fn retime_roundtrips_a_bench_file() {
         .args(["retime", input, output.to_str().expect("utf8 path")])
         .output()
         .expect("runs");
+    // Exit 0 (pristine) or 3 (degraded-but-complete, e.g. a residual
+    // tile overflow on this deliberately tiny floorplan) both write the
+    // retimed netlist; anything else is a hard failure.
+    let code = out.status.code();
     assert!(
-        out.status.success(),
-        "stderr: {}",
+        code == Some(0) || code == Some(3),
+        "exit {code:?}, stderr: {}",
         String::from_utf8_lossy(&out.stderr)
     );
+    if code == Some(3) {
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("degraded"),
+            "exit 3 must explain itself on stderr"
+        );
+    }
     // The produced file must parse and validate.
     let text = std::fs::read_to_string(&output).expect("output written");
     let c = lacr::netlist::bench_format::parse("roundtrip", &text).expect("parses");
     assert!(c.validate().is_empty(), "{:?}", c.validate());
     assert!(c.num_flops() > 0);
+}
+
+#[test]
+fn missing_file_is_a_one_line_diagnostic_with_path() {
+    let out = lacr()
+        .args(["plan", "/no/such/dir/ghost.bench"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read"), "{err}");
+    assert!(err.contains("/no/such/dir/ghost.bench"), "{err}");
+    assert_eq!(err.lines().count(), 1, "one-line diagnostic: {err}");
+}
+
+#[test]
+fn malformed_bench_cites_path_and_line() {
+    let dir = std::env::temp_dir().join("lacr_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("broken.bench");
+    std::fs::write(&path, "INPUT(a)\nOUTPUT(z)\ngarbage\n").expect("write");
+    let out = lacr()
+        .args(["plan", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("broken.bench"), "{err}");
+    assert!(err.contains("line 3"), "{err}");
+}
+
+#[test]
+fn expired_budget_exits_3_with_degradation_reasons() {
+    let input = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/counter3.bench");
+    let out = lacr()
+        .args(["plan", input, "--budget-ms", "0"])
+        .output()
+        .expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("degraded"), "{err}");
+    assert!(err.contains("budget"), "{err}");
+    // The plan itself still printed.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("T_init"), "{text}");
+}
+
+#[test]
+fn budget_flag_rejects_garbage() {
+    let out = lacr()
+        .args(["plan", "s344", "--budget-ms", "soon"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--budget-ms"));
 }
 
 #[test]
