@@ -14,6 +14,8 @@ use lacr_core::planner::{build_physical_plan, plan_constraints};
 
 fn main() {
     let mut circuits: Vec<String> = std::env::args().skip(1).collect();
+    let obs = lacr_bench::ObsOptions::from_args(&mut circuits);
+    obs.install();
     if circuits.is_empty() {
         circuits = vec!["s1196".into(), "s1423".into()];
     }
@@ -27,7 +29,7 @@ fn main() {
         let circuit = match lacr_netlist::bench89::generate(name) {
             Ok(c) => c,
             Err(e) => {
-                eprintln!("{e}");
+                lacr_obs::diag!("{e}");
                 continue;
             }
         };

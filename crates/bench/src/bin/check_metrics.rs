@@ -1,0 +1,404 @@
+//! Validates a JSONL metrics file produced by `--metrics-out`.
+//!
+//! Checks, line by line:
+//!
+//! 1. every line is one syntactically valid JSON object;
+//! 2. every record carries a known `"t"` type tag;
+//! 3. `span_open` / `span_close` records balance like parentheses, with
+//!    matching names and depths (no orphaned opens at end of file);
+//! 4. the final line is the `summary` record.
+//!
+//! ```text
+//! cargo run --release -p lacr-bench --bin check_metrics <file.jsonl>
+//! ```
+//!
+//! Exits 0 on success (one confirmation line on stdout), 1 with the
+//! offending line number on stderr otherwise.
+
+use std::process::ExitCode;
+
+/// A minimal JSON value — just enough structure for validation.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON parser over a byte slice.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected {lit:?} at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|()| Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null").map(|()| Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected , or }} got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek().ok_or("unterminated escape")? {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape \\{}", char::from(other))),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 character (already validated by &str).
+                    let rest = &self.bytes[self.pos..];
+                    let ch_len = std::str::from_utf8(rest)
+                        .map_err(|e| e.to_string())?
+                        .chars()
+                        .next()
+                        .ok_or("unterminated string")?
+                        .len_utf8();
+                    s.push_str(std::str::from_utf8(&rest[..ch_len]).unwrap());
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+}
+
+/// Parses one complete JSON document, rejecting trailing garbage.
+fn parse_json(line: &str) -> Result<Json, String> {
+    let mut p = Parser::new(line);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after value at {}", p.pos));
+    }
+    Ok(v)
+}
+
+const KNOWN_TYPES: &[&str] = &[
+    "span_open",
+    "span_close",
+    "counter",
+    "gauge",
+    "hist",
+    "event",
+    "summary",
+];
+
+/// Validates the whole stream; returns (records, spans) on success.
+fn check_stream(text: &str) -> Result<(usize, usize), String> {
+    let mut open_spans: Vec<(String, u64)> = Vec::new();
+    let mut records = 0usize;
+    let mut spans = 0usize;
+    let mut saw_summary = false;
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if saw_summary {
+            return Err(format!("line {ln}: records after the summary line"));
+        }
+        let v = parse_json(line).map_err(|e| format!("line {ln}: {e}"))?;
+        records += 1;
+        let t = v
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {ln}: missing \"t\" tag"))?;
+        if !KNOWN_TYPES.contains(&t) {
+            return Err(format!("line {ln}: unknown record type {t:?}"));
+        }
+        match t {
+            "span_open" => {
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {ln}: span_open without name"))?;
+                let depth = v
+                    .get("depth")
+                    .and_then(Json::as_num)
+                    .ok_or(format!("line {ln}: span_open without depth"))?;
+                if depth as usize != open_spans.len() {
+                    return Err(format!(
+                        "line {ln}: span_open depth {depth} but {} spans are open",
+                        open_spans.len()
+                    ));
+                }
+                open_spans.push((name.to_string(), depth as u64));
+            }
+            "span_close" => {
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {ln}: span_close without name"))?;
+                let (open_name, _) = open_spans
+                    .pop()
+                    .ok_or(format!("line {ln}: span_close with no open span"))?;
+                if open_name != name {
+                    return Err(format!(
+                        "line {ln}: span_close {name:?} does not match open {open_name:?}"
+                    ));
+                }
+                spans += 1;
+            }
+            "summary" => saw_summary = true,
+            _ => {}
+        }
+    }
+    if let Some((name, _)) = open_spans.last() {
+        return Err(format!("end of file with span {name:?} still open"));
+    }
+    if !saw_summary {
+        return Err("no summary record (stream truncated?)".to_string());
+    }
+    Ok((records, spans))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: check_metrics <file.jsonl>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_stream(&text) {
+        Ok((records, spans)) => {
+            println!("{path}: ok — {records} records, {spans} spans, summary present");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(
+            parse_json("\"a\\n\\u0041\"").unwrap(),
+            Json::Str("a\nA".into())
+        );
+        let v = parse_json("{\"a\":[1,2],\"b\":{\"c\":\"d\"}}").unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)]))
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("d"));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn accepts_a_well_formed_stream() {
+        let stream = "\
+{\"t\":\"span_open\",\"us\":1,\"name\":\"a\",\"depth\":0,\"attrs\":{}}
+{\"t\":\"counter\",\"us\":2,\"name\":\"c\",\"delta\":1,\"total\":1}
+{\"t\":\"span_close\",\"us\":3,\"name\":\"a\",\"depth\":0,\"incl_us\":2,\"excl_us\":2}
+{\"t\":\"summary\"}
+";
+        assert_eq!(check_stream(stream).unwrap(), (4, 1));
+    }
+
+    #[test]
+    fn rejects_orphaned_open_and_mismatched_close() {
+        let orphan = "{\"t\":\"span_open\",\"us\":1,\"name\":\"a\",\"depth\":0,\"attrs\":{}}\n{\"t\":\"summary\"}\n";
+        assert!(check_stream(orphan).unwrap_err().contains("still open"));
+        let mismatch = "\
+{\"t\":\"span_open\",\"us\":1,\"name\":\"a\",\"depth\":0,\"attrs\":{}}
+{\"t\":\"span_close\",\"us\":2,\"name\":\"b\",\"depth\":0,\"incl_us\":1,\"excl_us\":1}
+{\"t\":\"summary\"}
+";
+        assert!(check_stream(mismatch)
+            .unwrap_err()
+            .contains("does not match"));
+    }
+
+    #[test]
+    fn requires_summary_last() {
+        assert!(check_stream("").unwrap_err().contains("no summary"));
+        let after = "{\"t\":\"summary\"}\n{\"t\":\"event\",\"us\":1,\"name\":\"x\",\"attrs\":{}}\n";
+        assert!(check_stream(after)
+            .unwrap_err()
+            .contains("after the summary"));
+    }
+}

@@ -16,6 +16,8 @@ use std::time::Instant;
 
 fn main() {
     let mut circuits: Vec<String> = std::env::args().skip(1).collect();
+    let obs = lacr_bench::ObsOptions::from_args(&mut circuits);
+    obs.install();
     if circuits.is_empty() {
         circuits = vec!["s641".into(), "s953".into(), "s1196".into()];
     }
@@ -28,7 +30,7 @@ fn main() {
         let circuit = match lacr_netlist::bench89::generate(name) {
             Ok(c) => c,
             Err(e) => {
-                eprintln!("{e}");
+                lacr_obs::diag!("{e}");
                 continue;
             }
         };

@@ -14,14 +14,15 @@ use lacr_core::render::{congestion_ascii, tile_ascii, tile_ascii_legend, tile_sv
 use std::fs;
 
 fn main() {
-    let circuit_name = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "s953".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = lacr_bench::ObsOptions::from_args(&mut args);
+    obs.install();
+    let circuit_name = args.first().cloned().unwrap_or_else(|| "s953".to_string());
     let config = lacr_bench::experiment_planner();
     let circuit = match lacr_netlist::bench89::generate(&circuit_name) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("{e}");
+            lacr_obs::diag!("{e}");
             std::process::exit(1);
         }
     };
@@ -44,14 +45,14 @@ fn main() {
     let report = match plan_retimings(&plan, &config) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("retiming failed: {e}");
+            lacr_obs::diag!("retiming failed: {e}");
             std::process::exit(1);
         }
     };
     let svg = tile_svg(&plan, Some(&report.lac.result.occupancy));
     let path = "target/fig2_tilegraph.svg";
     if let Err(e) = fs::write(path, svg) {
-        eprintln!("could not write {path}: {e}");
+        lacr_obs::diag!("could not write {path}: {e}");
         std::process::exit(1);
     }
     println!(

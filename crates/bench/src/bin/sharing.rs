@@ -16,6 +16,8 @@ use lacr_retime::{shared_min_area_retiming, shared_register_count, weighted_min_
 
 fn main() {
     let mut circuits: Vec<String> = std::env::args().skip(1).collect();
+    let obs = lacr_bench::ObsOptions::from_args(&mut circuits);
+    obs.install();
     if circuits.is_empty() {
         circuits = vec!["s344".into(), "s641".into(), "s953".into()];
     }
@@ -28,7 +30,7 @@ fn main() {
         let circuit = match lacr_netlist::bench89::generate(name) {
             Ok(c) => c,
             Err(e) => {
-                eprintln!("{e}");
+                lacr_obs::diag!("{e}");
                 continue;
             }
         };
@@ -39,14 +41,14 @@ fn main() {
         let sum_opt = match weighted_min_area_retiming(graph, &pc, &areas) {
             Ok(o) => o,
             Err(e) => {
-                eprintln!("{name}: {e}");
+                lacr_obs::diag!("{name}: {e}");
                 continue;
             }
         };
         let shared_opt = match shared_min_area_retiming(graph, &pc, &areas) {
             Ok(o) => o,
             Err(e) => {
-                eprintln!("{name}: {e}");
+                lacr_obs::diag!("{name}: {e}");
                 continue;
             }
         };

@@ -2,16 +2,24 @@
 //! paper's generation handles), with large-circuit settings: a 2 %
 //! `T_min` search tolerance and a tighter LAC round budget.
 //!
+//! Writes a machine-readable perf record to `BENCH_stress.json` (stage
+//! timings come from the observability report when a sink is installed).
+//!
 //! ```text
-//! cargo run --release -p lacr-bench --bin stress [circuit]
+//! cargo run --release -p lacr-bench --bin stress \
+//!     [--quiet] [--trace] [--metrics-out m.jsonl] [circuit]
 //! ```
 
+use lacr_bench::{write_bench_record, ObsOptions};
 use lacr_core::lac::LacConfig;
 use lacr_core::planner::{build_physical_plan, plan_retimings, PlannerConfig};
 use std::time::Instant;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "s5378".into());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = ObsOptions::from_args(&mut args);
+    obs.install();
+    let name = args.first().cloned().unwrap_or_else(|| "s5378".into());
     let config = PlannerConfig {
         t_min_tolerance_frac: 0.02,
         lac: LacConfig {
@@ -24,7 +32,7 @@ fn main() {
     let circuit = match lacr_netlist::bench89::generate(&name) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("{e}");
+            lacr_obs::diag!("{e}");
             std::process::exit(1);
         }
     };
@@ -35,6 +43,7 @@ fn main() {
     );
     let t0 = Instant::now();
     let plan = build_physical_plan(&circuit, &config, &[]);
+    let plan_s = t0.elapsed().as_secs_f64();
     println!(
         "physical plan in {:?}: V={} E={} wires={} repeaters={}",
         t0.elapsed(),
@@ -50,6 +59,7 @@ fn main() {
         plan.t_clk as f64 / 1000.0
     );
     let t1 = Instant::now();
+    let mut retime_fields = String::new();
     match plan_retimings(&plan, &config) {
         Ok(report) => {
             println!(
@@ -61,8 +71,30 @@ fn main() {
                 report.lac.result.n_f,
                 report.lac.result.n_fn,
             );
+            retime_fields = format!(
+                ",\"base_n_foa\":{},\"lac_n_foa\":{},\"n_wr\":{}",
+                report.min_area.result.n_foa, report.lac.result.n_foa, report.lac.result.n_wr
+            );
         }
-        Err(e) => eprintln!("retiming failed: {e}"),
+        Err(e) => lacr_obs::diag!("retiming failed: {e}"),
     }
     println!("total {:?}", t0.elapsed());
+    match write_bench_record(
+        "stress",
+        &[
+            ("circuit", format!("\"{name}\"")),
+            ("wall_s", format!("{:.3}", t0.elapsed().as_secs_f64())),
+            (
+                "stages",
+                format!(
+                    "{{\"plan_s\":{plan_s:.3},\"retime_s\":{:.3}{retime_fields}}}",
+                    t1.elapsed().as_secs_f64()
+                ),
+            ),
+        ],
+    ) {
+        Ok(path) => lacr_obs::diag!("perf record written to {path}"),
+        Err(e) => lacr_obs::diag!("cannot write perf record: {e}"),
+    }
+    lacr_obs::finish();
 }

@@ -20,6 +20,8 @@ use lacr_core::planner::{build_physical_plan, plan_retimings, PlannerConfig};
 
 fn main() {
     let mut circuits: Vec<String> = std::env::args().skip(1).collect();
+    let obs = lacr_bench::ObsOptions::from_args(&mut circuits);
+    obs.install();
     if circuits.is_empty() {
         circuits = vec!["s953".into(), "s1196".into()];
     }
@@ -32,7 +34,7 @@ fn main() {
         let circuit = match lacr_netlist::bench89::generate(name) {
             Ok(c) => c,
             Err(e) => {
-                eprintln!("{e}");
+                lacr_obs::diag!("{e}");
                 continue;
             }
         };

@@ -3,14 +3,23 @@
 //! (`N_FOA`, `N_F`, `N_FN`, `N_wr`, execution times, `N_FOA` decrease, and
 //! the second planning iteration's `N_FOA` in parentheses).
 //!
+//! Also writes a machine-readable perf record to `BENCH_table1.json`,
+//! with one entry per circuit (its metrics plus the observability
+//! aggregates of its planning run when a sink is installed).
+//!
 //! ```text
-//! cargo run --release -p lacr-bench --bin table1 [circuit ...]
+//! cargo run --release -p lacr-bench --bin table1 \
+//!     [--quiet] [--trace] [--metrics-out m.jsonl] [circuit ...]
 //! ```
 
-use lacr_core::experiment::{format_table, run_experiment, ExperimentConfig};
+use lacr_bench::{write_bench_record, ObsOptions};
+use lacr_core::experiment::{format_table, run_circuit, ExperimentConfig};
+use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = ObsOptions::from_args(&mut args);
+    obs.install();
     let mut config = ExperimentConfig {
         planner: lacr_bench::experiment_planner(),
         ..Default::default()
@@ -18,11 +27,36 @@ fn main() {
     if !args.is_empty() {
         config.circuits = args;
     }
-    eprintln!(
-        "[table1] planning {} circuits (this reruns the full pipeline per circuit)...",
+    lacr_obs::diag!(
+        "table1: planning {} circuits (this reruns the full pipeline per circuit)...",
         config.circuits.len()
     );
-    let rows = run_experiment(&config);
+    let t0 = Instant::now();
+    let mut rows = Vec::new();
+    let mut circuit_records = Vec::new();
+    for name in &config.circuits {
+        let started = Instant::now();
+        match run_circuit(name, &config.planner) {
+            Ok(row) => {
+                // Per-circuit perf record: reading the aggregates here and
+                // resetting them scopes each entry to one circuit's run.
+                let obs_json = lacr_obs::take_snapshot()
+                    .map(|r| format!(",\"obs\":{}", r.to_json()))
+                    .unwrap_or_default();
+                circuit_records.push(format!(
+                    "{{\"circuit\":\"{name}\",\"wall_s\":{:.3},\"t_clk_ns\":{:.2},\
+                     \"base_n_foa\":{},\"lac_n_foa\":{},\"n_wr\":{}{obs_json}}}",
+                    started.elapsed().as_secs_f64(),
+                    row.t_clk_ns,
+                    row.min_area.n_foa,
+                    row.lac.n_foa,
+                    row.n_wr,
+                ));
+                rows.push(row);
+            }
+            Err(e) => lacr_obs::diag!("{name}: {e}"),
+        }
+    }
     println!("{}", format_table(&rows));
     println!(
         "shape checks: LAC beats or matches the baseline on every circuit: {}",
@@ -37,4 +71,15 @@ fn main() {
     println!(
         "second planning iteration resolved {resolved}/{unresolved} circuits that kept violations"
     );
+    match write_bench_record(
+        "table1",
+        &[
+            ("wall_s", format!("{:.3}", t0.elapsed().as_secs_f64())),
+            ("circuits", format!("[{}]", circuit_records.join(","))),
+        ],
+    ) {
+        Ok(path) => lacr_obs::diag!("perf record written to {path}"),
+        Err(e) => lacr_obs::diag!("cannot write perf record: {e}"),
+    }
+    lacr_obs::finish();
 }

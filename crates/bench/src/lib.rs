@@ -16,6 +16,79 @@
 //! routing, repeater DP), `planning` (end-to-end planning of one circuit).
 
 use lacr_core::planner::PlannerConfig;
+use std::io::Write as _;
+
+/// Observability flags shared by every artifact binary: `--quiet`
+/// silences the `[lacr]` stderr diagnostics, `--trace` streams spans to
+/// stderr, `--metrics-out <path>` writes the full JSONL record stream.
+#[derive(Debug, Default)]
+pub struct ObsOptions {
+    /// Suppress `[lacr]` diagnostics on stderr.
+    pub quiet: bool,
+    /// Stream spans/counters to stderr as they happen.
+    pub trace: bool,
+    /// Write every record to this JSONL file.
+    pub metrics_out: Option<String>,
+}
+
+impl ObsOptions {
+    /// Extracts the observability flags from `args`, removing them so
+    /// only the binary's own positional arguments remain.
+    pub fn from_args(args: &mut Vec<String>) -> Self {
+        let mut opts = Self::default();
+        let mut rest = Vec::with_capacity(args.len());
+        let mut it = std::mem::take(args).into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quiet" => opts.quiet = true,
+                "--trace" => opts.trace = true,
+                "--metrics-out" => opts.metrics_out = it.next(),
+                _ => rest.push(a),
+            }
+        }
+        *args = rest;
+        opts
+    }
+
+    /// Installs the requested diagnostics level and sink. When both
+    /// `--metrics-out` and `--trace` are given the JSONL file wins (one
+    /// sink at a time).
+    pub fn install(&self) {
+        if self.quiet {
+            lacr_obs::set_diag_level(lacr_obs::DiagLevel::Silent);
+        }
+        if let Some(path) = &self.metrics_out {
+            match lacr_obs::sink::JsonlSink::create(path) {
+                Ok(sink) => lacr_obs::init(Box::new(sink)),
+                Err(e) => lacr_obs::diag!("cannot open {path}: {e}"),
+            }
+        } else if self.trace {
+            lacr_obs::init(Box::new(lacr_obs::sink::StderrSink));
+        }
+    }
+}
+
+/// Writes a machine-readable perf record to `BENCH_<bench>.json`.
+///
+/// `fields` are pre-rendered JSON fragments (`("wall_s", "1.25")`,
+/// `("rows", "[...]")`); the aggregated observability report — when a
+/// sink is installed — is appended under `"obs"`. Returns the path
+/// written.
+pub fn write_bench_record(bench: &str, fields: &[(&str, String)]) -> std::io::Result<String> {
+    let path = format!("BENCH_{bench}.json");
+    let mut body = String::new();
+    body.push_str(&format!("{{\"bench\":\"{bench}\""));
+    for (k, v) in fields {
+        body.push_str(&format!(",\"{k}\":{v}"));
+    }
+    if let Some(report) = lacr_obs::snapshot() {
+        body.push_str(&format!(",\"obs\":{}", report.to_json()));
+    }
+    body.push_str("}\n");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(body.as_bytes())?;
+    Ok(path)
+}
 
 /// The planner configuration every artifact binary uses, identical to the
 /// library default so numbers printed by different binaries agree.
@@ -38,6 +111,17 @@ pub fn quick_planner() -> PlannerConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn obs_flags_are_stripped_from_args() {
+        let mut args: Vec<String> = ["s344", "--quiet", "--metrics-out", "m.jsonl", "s1423"]
+            .map(String::from)
+            .to_vec();
+        let o = ObsOptions::from_args(&mut args);
+        assert!(o.quiet && !o.trace);
+        assert_eq!(o.metrics_out.as_deref(), Some("m.jsonl"));
+        assert_eq!(args, ["s344", "s1423"]);
+    }
 
     #[test]
     fn configs_are_buildable() {

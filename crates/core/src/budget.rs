@@ -5,22 +5,72 @@
 //! rip-up passes, the LAC re-weight rounds — so an expired budget makes
 //! each stage return its best-so-far result (tagged with a
 //! `Degradation`) instead of running open-ended.
+//!
+//! # Determinism
+//!
+//! [`Budget::expired`] is *sticky*: the first poll that observes the
+//! deadline in the past latches the budget as expired, and every later
+//! poll returns `true` without consulting the clock again. Stages poll
+//! only at round boundaries (annealer cooling steps, router rip-up
+//! passes, LAC re-weight rounds), never per inner move. Together these
+//! two rules make the degradation path a monotone function of *which
+//! round boundary* first saw the deadline pass — tracing overhead can
+//! shift that boundary, but it can never make the pipeline flip back
+//! and forth between "expired" and "not expired" decisions within one
+//! run, which previously produced inconsistent degradation reports
+//! under `--trace`. Every clock poll is counted and surfaced as the
+//! `budget.deadline_checks` counter.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Interior latch shared by all clones of one [`Budget`].
+#[derive(Debug, Default)]
+struct BudgetState {
+    /// Set once the deadline has been observed in the past; never reset.
+    expired: AtomicBool,
+    /// Number of times the wall clock was actually polled.
+    checks: AtomicU64,
+}
 
 /// Resource limits for one planning run. The default is unlimited, which
 /// preserves the historical behaviour exactly.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Cloning a `Budget` shares its expiry latch: once any clone observes
+/// the deadline pass, every clone reports expired.
+#[derive(Debug, Clone, Default)]
 pub struct Budget {
-    /// Wall-clock deadline. Stages poll it and stop early (keeping their
-    /// best-so-far result) once it passes.
+    /// Wall-clock deadline. Stages poll it at round boundaries and stop
+    /// early (keeping their best-so-far result) once it passes.
     pub deadline: Option<Instant>,
     /// Cap on LAC re-weight rounds, applied on top of `LacConfig::
     /// max_rounds` (the smaller of the two wins).
     pub max_rounds: Option<usize>,
+    state: Arc<BudgetState>,
 }
 
+impl PartialEq for Budget {
+    /// Budgets compare by their limits; the runtime latch state is not
+    /// part of the value.
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.max_rounds == other.max_rounds
+    }
+}
+
+impl Eq for Budget {}
+
 impl Budget {
+    /// A budget with an explicit deadline and round cap (either may be
+    /// absent).
+    pub fn new(deadline: Option<Instant>, max_rounds: Option<usize>) -> Self {
+        Self {
+            deadline,
+            max_rounds,
+            state: Arc::default(),
+        }
+    }
+
     /// No limits (the default).
     pub fn unlimited() -> Self {
         Self::default()
@@ -28,15 +78,36 @@ impl Budget {
 
     /// A deadline `timeout` from now.
     pub fn with_timeout(timeout: Duration) -> Self {
-        Self {
-            deadline: Some(Instant::now() + timeout),
-            max_rounds: None,
-        }
+        Self::new(Some(Instant::now() + timeout), None)
     }
 
     /// Whether the wall-clock deadline has passed.
+    ///
+    /// Sticky: the first `true` latches, so later calls return `true`
+    /// without polling the clock. Each real clock poll increments the
+    /// `budget.deadline_checks` counter.
     pub fn expired(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.state.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.state.checks.fetch_add(1, Ordering::Relaxed);
+        lacr_obs::counter!("budget.deadline_checks", 1);
+        if Instant::now() >= deadline {
+            self.state.expired.store(true, Ordering::Relaxed);
+            lacr_obs::event!("budget.expired", checks = self.checks());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of times the wall clock has actually been polled via
+    /// [`Budget::expired`] (latched short-circuits are not counted).
+    pub fn checks(&self) -> u64 {
+        self.state.checks.load(Ordering::Relaxed)
     }
 
     /// The earlier of this budget's deadline and `other` (either may be
@@ -56,8 +127,11 @@ mod tests {
 
     #[test]
     fn unlimited_never_expires() {
-        assert!(!Budget::unlimited().expired());
+        let b = Budget::unlimited();
+        assert!(!b.expired());
         assert_eq!(Budget::default(), Budget::unlimited());
+        // No deadline means the clock is never polled.
+        assert_eq!(b.checks(), 0);
     }
 
     #[test]
@@ -71,13 +145,40 @@ mod tests {
     }
 
     #[test]
+    fn expiry_is_sticky_and_shared_between_clones() {
+        // A deadline in the past: the first poll latches.
+        let b = Budget::new(Some(Instant::now() - Duration::from_secs(1)), None);
+        let clone = b.clone();
+        assert!(b.expired());
+        assert!(clone.expired(), "clones share the latch");
+        assert!(b.expired(), "stays expired");
+        // Only the first poll touched the clock; the latched calls did not.
+        assert_eq!(b.checks(), 1);
+    }
+
+    #[test]
+    fn checks_count_real_polls_only() {
+        let b = Budget::with_timeout(Duration::from_secs(3600));
+        for _ in 0..5 {
+            assert!(!b.expired());
+        }
+        assert_eq!(b.checks(), 5);
+    }
+
+    #[test]
+    fn equality_ignores_latch_state() {
+        let past = Instant::now() - Duration::from_secs(1);
+        let a = Budget::new(Some(past), Some(3));
+        let b = Budget::new(Some(past), Some(3));
+        assert!(a.expired());
+        assert_eq!(a, b, "latched vs fresh budgets with equal limits");
+    }
+
+    #[test]
     fn min_deadline_picks_earlier() {
         let now = Instant::now();
         let later = now + Duration::from_secs(10);
-        let b = Budget {
-            deadline: Some(now),
-            max_rounds: None,
-        };
+        let b = Budget::new(Some(now), None);
         assert_eq!(b.min_deadline(Some(later)), Some(now));
         assert_eq!(b.min_deadline(None), Some(now));
         assert_eq!(Budget::unlimited().min_deadline(Some(later)), Some(later));

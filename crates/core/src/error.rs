@@ -192,12 +192,20 @@ pub struct Degradation {
 }
 
 impl Degradation {
-    /// Builds a degradation note.
+    /// Builds a degradation note. Every rung of the degradation ladder
+    /// passes through here, so construction doubles as the structured
+    /// `degradation` observability event.
     pub fn new(stage: Stage, reason: impl Into<String>) -> Self {
-        Self {
+        let d = Self {
             stage,
             reason: reason.into(),
-        }
+        };
+        lacr_obs::event!(
+            "degradation",
+            stage = d.stage.to_string(),
+            reason = d.reason.as_str()
+        );
+        d
     }
 }
 

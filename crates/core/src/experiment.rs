@@ -119,7 +119,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> Vec<TableRow> {
         .filter_map(|name| match run_circuit(name, &config.planner) {
             Ok(row) => Some(row),
             Err(e) => {
-                eprintln!("[lacr] {name}: {e}");
+                lacr_obs::diag!("{name}: {e}");
                 None
             }
         })

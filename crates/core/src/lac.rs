@@ -703,19 +703,27 @@ pub fn lac_retiming(
     let mut rounds = 0usize;
     let mut timed_out = false;
 
+    let mut prev_counts: Option<Vec<i64>> = None;
     while rounds < config.max_rounds {
         // Deadline check: after at least one round has produced a result,
         // an expired budget stops the loop and returns best-so-far. The
         // first round always runs so the caller gets *some* retiming.
-        if best.is_some()
-            && config
+        // Polling only at this round boundary keeps the degradation path
+        // deterministic under tracing.
+        if best.is_some() {
+            if config.deadline.is_some() {
+                lacr_obs::counter!("budget.deadline_checks", 1);
+            }
+            if config
                 .deadline
                 .is_some_and(|d| std::time::Instant::now() >= d)
-        {
-            timed_out = true;
-            break;
+            {
+                timed_out = true;
+                break;
+            }
         }
         rounds += 1;
+        let _round_span = lacr_obs::span!("lac.round", round = rounds);
         // Tile weight times the vertex's base area, so the expansion's
         // ε tie-break (prefer flip-flops at functional outputs over wires)
         // persists underneath the LAC re-weighting. A tiny deterministic
@@ -762,6 +770,35 @@ pub fn lac_retiming(
             None => true,
             Some(b) => n_foa < b.n_foa || (n_foa == b.n_foa && outcome.total_flops < b.n_f),
         };
+        // Per-tile occupancy churn against the previous round: how many
+        // tiles changed and by how much in total.
+        if lacr_obs::is_enabled() {
+            let (tiles_changed, abs_delta) = match &prev_counts {
+                Some(prev) => {
+                    occupancy
+                        .counts
+                        .iter()
+                        .zip(prev)
+                        .fold((0u64, 0u64), |(n, s), (&a, &b)| {
+                            let d = (a - b).unsigned_abs();
+                            (n + u64::from(d != 0), s + d)
+                        })
+                }
+                None => (0, 0),
+            };
+            lacr_obs::counter!("lac.rounds", 1);
+            lacr_obs::counter!("lac.occupancy_delta", abs_delta);
+            lacr_obs::histogram!("lac.round_n_foa", n_foa.max(0) as u64);
+            lacr_obs::event!(
+                "lac.round_result",
+                round = rounds,
+                n_foa = n_foa,
+                flops = outcome.total_flops,
+                improved = improved,
+                tiles_changed = tiles_changed
+            );
+            prev_counts = Some(occupancy.counts.clone());
+        }
         if improved {
             best = Some(LacResult {
                 n_foa,
@@ -784,6 +821,7 @@ pub fn lac_retiming(
         // Re-weight every tile by its utilisation (Step 6 of the paper's
         // algorithm). Tiles with zero capacity but non-zero occupancy get
         // a strong push.
+        let mut ratcheted = 0_u64;
         for t in 0..num_tiles {
             let ac = occupancy.counts[t] as f64;
             let cap = caps_ff[t];
@@ -801,8 +839,14 @@ pub fn lac_retiming(
             let factor = (1.0 - config.alpha) + config.alpha * ratio;
             if factor > 1.0 {
                 tile_weight[t] = (tile_weight[t] * factor).min(1e6);
+                ratcheted += 1;
             }
         }
+        lacr_obs::counter!("lac.tiles_ratcheted", ratcheted);
+        lacr_obs::gauge!(
+            "lac.max_tile_weight",
+            tile_weight.iter().fold(1.0f64, |a, &b| a.max(b))
+        );
     }
 
     let mut result = best.expect("at least one round ran");

@@ -349,6 +349,11 @@ pub fn try_build_physical_plan(
         .num_blocks
         .unwrap_or_else(|| (logic_units / 40).clamp(4, 20));
 
+    let span_partition = lacr_obs::span!(
+        "plan.partition",
+        units = circuit.num_units(),
+        blocks = num_blocks
+    );
     let partitioning = partition(
         circuit,
         &PartitionConfig {
@@ -368,6 +373,8 @@ pub fn try_build_physical_plan(
         ));
     }
     check_deadline(Stage::Partition, &mut deadline_hit);
+    drop(span_partition);
+    let span_floorplan = lacr_obs::span!("plan.floorplan", blocks = nb);
 
     // Block area requirements: scaled functional units plus the *initial*
     // flip-flops (charged to the block of their fanin unit) plus slack.
@@ -457,6 +464,8 @@ pub fn try_build_physical_plan(
     .spread(config.channel_spread);
     debug_assert!(fp.validate(1e-6).is_empty(), "{:?}", fp.validate(1e-6));
     check_deadline(Stage::Floorplan, &mut deadline_hit);
+    drop(span_floorplan);
+    let span_route = lacr_obs::span!("plan.route", nets = circuit.num_nets());
 
     // A tiny (yet positive and finite, so `Technology::validate`-clean)
     // tile_size against a large chip yields a cell count that overflows
@@ -521,10 +530,12 @@ pub fn try_build_physical_plan(
     let mut routing = try_route(grid.nx(), grid.ny(), &net_pins, &route_config)
         .map_err(|e| PlanError::new(Stage::Route, PlanErrorKind::Route(e)))?;
     check_deadline(Stage::Route, &mut deadline_hit);
+    drop(span_route);
 
     let io_count = circuit.units_of_kind(UnitKind::Input).count()
         + circuit.units_of_kind(UnitKind::Output).count();
     let build_expansion = |routing: &Routing| {
+        let _span = lacr_obs::span!("plan.expand", nets = circuit.num_nets());
         let mut ledger = CapacityLedger::new(&grid);
         try_expand(
             circuit,
@@ -590,6 +601,7 @@ pub fn try_build_physical_plan(
         ));
     }
 
+    let span_timing = lacr_obs::span!("plan.timing");
     let t_init = expanded
         .graph
         .clock_period(&expanded.graph.weights())
@@ -611,6 +623,10 @@ pub fn try_build_physical_plan(
         (t_min, t_clk)
     };
     check_deadline(Stage::Timing, &mut deadline_hit);
+    drop(span_timing);
+    lacr_obs::gauge!("plan.t_init", t_init);
+    lacr_obs::gauge!("plan.t_min", t_min);
+    lacr_obs::gauge!("plan.t_clk", t_clk);
 
     if let Some(stage) = deadline_hit {
         degradations.insert(
@@ -740,7 +756,13 @@ pub fn try_plan_retimings_at(
     }
 
     let t0 = Instant::now();
+    let span_constraints = lacr_obs::span!(
+        "plan.constraints",
+        vertices = graph.num_vertices(),
+        t_clk = t_clk
+    );
     let pc = generate_period_constraints(graph, t_clk, config.constraints);
+    drop(span_constraints);
     let constraint_time = t0.elapsed();
 
     // Min-area baseline: the graph's base areas (uniform, with the ε
@@ -748,6 +770,7 @@ pub fn try_plan_retimings_at(
     // solve. Shares the generated constraints, exactly as an
     // implementation of [13] would.
     let t1 = Instant::now();
+    let span_minarea = lacr_obs::span!("plan.minarea", constraints = pc.constraints.len());
     let base_areas: Vec<f64> = graph.vertex_ids().map(|v| graph.area(v)).collect();
     let base = match lacr_retime::weighted_min_area_retiming(graph, &pc, &base_areas) {
         Ok(base) => base,
@@ -778,6 +801,8 @@ pub fn try_plan_retimings_at(
         result: score_outcome(graph, base, caps),
         elapsed: t1.elapsed() + constraint_time,
     };
+    drop(span_minarea);
+    lacr_obs::gauge!("minarea.n_foa", min_area.result.n_foa);
 
     let lac_config = LacConfig {
         deadline: budget.min_deadline(config.lac.deadline),
@@ -787,6 +812,7 @@ pub fn try_plan_retimings_at(
         ..config.lac
     };
     let t2 = Instant::now();
+    let span_lac = lacr_obs::span!("plan.lac", max_rounds = lac_config.max_rounds);
     let lac_result = match lac_retiming(graph, &pc, caps, &lac_config) {
         Ok(result) => result,
         // Ladder rung 2: LAC could not finish a single round; the scored
@@ -820,6 +846,9 @@ pub fn try_plan_retimings_at(
             ),
         ));
     }
+    drop(span_lac);
+    lacr_obs::gauge!("lac.n_foa", lac_result.n_foa);
+    lacr_obs::gauge!("lac.n_wr", lac_result.n_wr);
     let lac = TimedRun {
         result: lac_result,
         elapsed: t2.elapsed() + constraint_time,

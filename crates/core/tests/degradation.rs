@@ -145,10 +145,7 @@ fn lac_budget_round_cap_is_respected() {
     config.technology.ff_area = 1e6; // keep violations alive so LAC loops
     config.pad_ff_per_io = 0.0;
     config.lac.max_rounds = 40;
-    config.budget = Budget {
-        deadline: None,
-        max_rounds: Some(2),
-    };
+    config.budget = Budget::new(None, Some(2));
     let circuit = bench89::generate("s344").unwrap();
     let plan = try_build_physical_plan(&circuit, &config, &[]).expect("plan builds");
     let report = try_plan_retimings(&plan, &config).expect("retiming succeeds");

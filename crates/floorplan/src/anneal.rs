@@ -39,9 +39,10 @@ impl Default for FloorplanConfig {
     }
 }
 
-/// How many annealing moves run between deadline polls; polling
-/// `Instant::now()` every move would dominate small evaluations.
-pub(crate) const DEADLINE_POLL_INTERVAL: usize = 64;
+// Deadline polling happens once per *cooling round* (`moves / 100`
+// moves), never mid-round: a poll between individual moves would let
+// tracing overhead shift which move the deadline lands on, making
+// `rounds_completed` differ between traced and untraced runs.
 
 /// Computes a floorplan for `blocks`. `nets` lists, per net, the indices
 /// of the blocks it touches (used for the half-perimeter wirelength term);
@@ -140,14 +141,22 @@ pub fn floorplan(blocks: &[BlockSpec], nets: &[Vec<usize>], config: &FloorplanCo
     let mut temp = cur_cost * config.initial_temp_frac;
     let cool_every = (config.moves / 100).max(1);
 
+    let _span = lacr_obs::span!("floorplan.anneal", blocks = n, moves = config.moves);
+    lacr_obs::gauge!("floorplan.initial_temp", temp);
+    let mut tried = 0_u64;
+    let mut accepted = 0_u64;
+
     for step in 0..config.moves {
-        if step % DEADLINE_POLL_INTERVAL == 0 {
+        if step % cool_every == 0 {
+            // Round boundary: the only place the deadline is consulted.
             if let Some(deadline) = config.deadline {
+                lacr_obs::counter!("budget.deadline_checks", 1);
                 if std::time::Instant::now() >= deadline {
                     break; // budget expired: keep the best layout so far
                 }
             }
         }
+        tried += 1;
         let mut cand_sp = sp.clone();
         let mut cand_aspect = aspect.clone();
         match rng.gen_range(0..4u32) {
@@ -197,6 +206,7 @@ pub fn floorplan(blocks: &[BlockSpec], nets: &[Vec<usize>], config: &FloorplanCo
                     .clamp(0.0, 1.0),
             );
         if accept {
+            accepted += 1;
             sp = cand_sp;
             aspect = cand_aspect;
             cur_cost = cand_cost;
@@ -206,8 +216,13 @@ pub fn floorplan(blocks: &[BlockSpec], nets: &[Vec<usize>], config: &FloorplanCo
         }
         if step % cool_every == cool_every - 1 {
             temp *= config.cooling;
+            lacr_obs::gauge!("floorplan.temp", temp);
         }
     }
+
+    lacr_obs::counter!("floorplan.moves_tried", tried);
+    lacr_obs::counter!("floorplan.moves_accepted", accepted);
+    lacr_obs::gauge!("floorplan.final_temp", temp);
 
     let (_, _, pos, w, h) = evaluate(&best.0, &best.1);
     let mut chip_w = 0.0f64;

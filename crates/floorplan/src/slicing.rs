@@ -260,14 +260,21 @@ pub fn floorplan_slicing(
     let mut temp = cur_cost * config.initial_temp_frac;
     let cool_every = (config.moves / 100).max(1);
 
+    let _span = lacr_obs::span!("floorplan.slicing", blocks = n, moves = config.moves);
+    let mut tried = 0_u64;
+    let mut accepted = 0_u64;
     for step in 0..config.moves {
-        if step % crate::anneal::DEADLINE_POLL_INTERVAL == 0 {
+        if step % cool_every == 0 {
+            // As in `anneal`: the deadline is consulted only at cooling
+            // round boundaries so expiry is deterministic under tracing.
             if let Some(deadline) = config.deadline {
+                lacr_obs::counter!("budget.deadline_checks", 1);
                 if std::time::Instant::now() >= deadline {
                     break; // budget expired: keep the best layout so far
                 }
             }
         }
+        tried += 1;
         let mut cand = expr.clone();
         let mut cand_aspect = aspect.clone();
         let kind = rng.gen_range(0..4u32);
@@ -298,6 +305,7 @@ pub fn floorplan_slicing(
                     .clamp(0.0, 1.0),
             );
         if accept {
+            accepted += 1;
             expr = cand;
             aspect = cand_aspect;
             cur_cost = cand_cost;
@@ -309,6 +317,8 @@ pub fn floorplan_slicing(
             temp *= config.cooling;
         }
     }
+    lacr_obs::counter!("floorplan.slicing.moves_tried", tried);
+    lacr_obs::counter!("floorplan.slicing.moves_accepted", accepted);
 
     let (w, h) = dims(&best.1);
     let (pos, chip_w, chip_h) = best.0.pack(&w, &h);

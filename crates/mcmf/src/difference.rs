@@ -83,6 +83,8 @@ impl DifferenceConstraints {
         let mut dist = vec![0i64; n];
         // Bellman–Ford with early exit; the virtual source is simulated by
         // the all-zeros initialisation.
+        let mut relaxations = 0_u64;
+        let mut feasible = true;
         for round in 0..n {
             let mut changed = false;
             for c in &self.constraints {
@@ -90,14 +92,20 @@ impl DifferenceConstraints {
                 if cand < dist[c.u] {
                     dist[c.u] = cand;
                     changed = true;
+                    relaxations += 1;
                 }
             }
             if !changed {
                 break;
             }
             if round == n - 1 && changed {
-                return None; // negative cycle
+                feasible = false; // negative cycle
+                break;
             }
+        }
+        lacr_obs::counter!("mcmf.bf_relaxations", relaxations);
+        if !feasible {
+            return None;
         }
         // One extra scan to be safe against the boundary case n == 1 etc.
         if self

@@ -249,7 +249,16 @@ impl DualSolver {
         let nn = self.adj.len();
         let mut dist = vec![i64::MAX; nn];
         let mut prev_arc = vec![usize::MAX; nn];
+        // SSP statistics, accumulated locally (the loop is hot) and
+        // flushed as counters on both exits.
+        let mut ssp_iters = 0_u64;
+        let mut pot_updates = 0_u64;
+        let flush = |ssp_iters: u64, pot_updates: u64| {
+            lacr_obs::counter!("mcmf.ssp_iterations", ssp_iters);
+            lacr_obs::counter!("mcmf.potential_updates", pot_updates);
+        };
         while remaining > 0 {
+            ssp_iters += 1;
             dist.iter_mut().for_each(|d| *d = i64::MAX);
             prev_arc.iter_mut().for_each(|p| *p = usize::MAX);
             dist[s] = 0;
@@ -280,10 +289,15 @@ impl DualSolver {
                 }
             }
             if dist_t == i64::MAX {
+                flush(ssp_iters, pot_updates);
                 return Err(DualError::Unbounded);
             }
             for (p, &d) in self.pi.iter_mut().zip(&dist) {
-                *p += d.min(dist_t);
+                let delta = d.min(dist_t);
+                if delta != 0 {
+                    pot_updates += 1;
+                }
+                *p += delta;
             }
             let mut bottleneck = remaining;
             let mut v = t;
@@ -302,6 +316,7 @@ impl DualSolver {
             }
             remaining -= bottleneck;
         }
+        flush(ssp_iters, pot_updates);
         Ok(())
     }
 }

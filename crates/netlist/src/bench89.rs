@@ -158,6 +158,7 @@ pub fn generate(name: &str) -> Result<Circuit, UnknownBenchmarkError> {
 /// Panics if `units`, `inputs` or `outputs` is zero.
 pub fn generate_spec(spec: &GenSpec) -> Circuit {
     assert!(spec.units > 0 && spec.inputs > 0 && spec.outputs > 0);
+    let _span = lacr_obs::span!("netlist.generate", units = spec.units, flops = spec.flops);
     let mut rng = Rng::seed_from_u64(spec.seed ^ 0x1acc_0de5_eed0_0001);
     let mut c = Circuit::new(spec.name.clone());
 

@@ -96,6 +96,7 @@ enum Def {
 /// # Ok::<(), lacr_netlist::bench_format::ParseBenchError>(())
 /// ```
 pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
+    let _span = lacr_obs::span!("netlist.parse_bench", bytes = text.len());
     // Each definition remembers its 1-based source line, so errors found
     // during resolution (undefined signals, DFF-only cycles) can still
     // point at a concrete line.

@@ -1,0 +1,611 @@
+//! Zero-dependency observability for the whole planning pipeline.
+//!
+//! The planner is a stack of iterative searches — annealer moves, rip-up
+//! routing passes, min-cost-flow augmentations, LAC re-weight rounds —
+//! and tuning any of them needs to see where wall-clock goes and how
+//! many iterations each stage burns. This crate provides that without
+//! pulling in `tracing`/`metrics`/`serde`: like [`lacr-prng`], it is
+//! dependency-free by design so the workspace stays hermetic.
+//!
+//! Four pieces live here:
+//!
+//! * **Spans** — [`span!`] opens an RAII-timed region
+//!   (`let _g = span!("lac.round", round = r);`). Nested spans track
+//!   *exclusive* time (inclusive minus time spent in child spans) via a
+//!   thread-local stack, so a self-time profile falls out of the
+//!   aggregates.
+//! * **Metrics** — [`counter!`] (monotonic sums), [`gauge!`] (last
+//!   value wins) and [`histogram!`] (power-of-two buckets, see
+//!   [`Histogram`]).
+//! * **Sinks** — every span open/close, counter update and event is
+//!   forwarded to a pluggable [`Sink`]: [`NullSink`] (aggregation
+//!   only), [`StderrSink`] (`--trace` pretty-printer), [`JsonlSink`]
+//!   (`--metrics-out` machine-readable stream) or [`CaptureSink`]
+//!   (tests).
+//! * **Diagnostics** — [`diag!`] replaces ad-hoc `eprintln!` progress
+//!   messages: uniformly `[lacr]`-prefixed, and silenced wholesale by
+//!   [`set_diag_level`]`(DiagLevel::Silent)` (the CLI's `--quiet`).
+//!
+//! The tracer is *globally* installed ([`init`] / [`finish`]) and
+//! thread-safe (one mutexed collector). When no sink is installed every
+//! macro reduces to a single relaxed atomic load, so instrumentation
+//! left in hot loops costs nothing in normal runs.
+
+pub mod hist;
+pub mod report;
+pub mod sink;
+
+pub use hist::Histogram;
+pub use report::{Report, SpanStat};
+pub use sink::{json_escape, CaptureSink, JsonlSink, NullSink, Record, Sink, StderrSink};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// A typed attribute value attached to spans and events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    Uint(u64),
+    /// Floating point.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Uint(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl Value {
+    /// Renders the value as a JSON fragment (numbers and booleans bare,
+    /// strings escaped and quoted; non-finite floats become `null`).
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Uint(v) => v.to_string(),
+            Value::Float(v) if v.is_finite() => v.to_string(),
+            Value::Float(_) => "null".to_string(),
+            Value::Bool(v) => v.to_string(),
+            Value::Str(v) => format!("\"{}\"", json_escape(v)),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($($ty:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$ty> for Value {
+            fn from(v: $ty) -> Self { Value::$variant(v as $conv) }
+        })*
+    };
+}
+value_from!(
+    i32 => Int as i64,
+    i64 => Int as i64,
+    u32 => Uint as u64,
+    u64 => Uint as u64,
+    usize => Uint as u64,
+    f32 => Float as f64,
+    f64 => Float as f64,
+);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global collector
+// ---------------------------------------------------------------------
+
+/// Fast-path flag: `true` iff a collector is installed. Every macro
+/// checks this first, so disabled instrumentation costs one relaxed
+/// atomic load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Collector {
+    sink: Box<dyn Sink + Send>,
+    start: Instant,
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, i64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Collector {
+    fn new(sink: Box<dyn Sink + Send>) -> Self {
+        Self {
+            sink,
+            start: Instant::now(),
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    fn ts_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn snapshot(&self) -> Report {
+        Report::build(&self.spans, &self.counters, &self.gauges, &self.hists)
+    }
+
+    fn clear(&mut self) {
+        self.spans.clear();
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+    }
+}
+
+fn cell() -> &'static Mutex<Option<Collector>> {
+    static CELL: OnceLock<Mutex<Option<Collector>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(None))
+}
+
+fn lock() -> MutexGuard<'static, Option<Collector>> {
+    // A panic while holding the lock must not wedge every later run.
+    cell().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether a collector is installed. The macros check this before
+/// evaluating any attribute expressions.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the global collector and enables the macros.
+/// Replaces (and finishes) any previously installed collector.
+pub fn init(sink: Box<dyn Sink + Send>) {
+    let mut guard = lock();
+    if let Some(mut old) = guard.take() {
+        let report = old.snapshot();
+        old.sink.summary(&report);
+        old.sink.flush();
+    }
+    *guard = Some(Collector::new(sink));
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Uninstalls the collector: emits the summary record to the sink,
+/// flushes it, and returns the aggregated [`Report`] (`None` if no
+/// collector was installed).
+pub fn finish() -> Option<Report> {
+    let mut guard = lock();
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut collector = guard.take()?;
+    let report = collector.snapshot();
+    collector.sink.summary(&report);
+    collector.sink.flush();
+    Some(report)
+}
+
+/// Clones the current aggregates without uninstalling the collector.
+pub fn snapshot() -> Option<Report> {
+    lock().as_ref().map(Collector::snapshot)
+}
+
+/// Returns the current aggregates and resets them to zero, keeping the
+/// sink installed. Bench drivers use this to carve per-circuit records
+/// out of one long-lived collector.
+pub fn take_snapshot() -> Option<Report> {
+    let mut guard = lock();
+    let collector = guard.as_mut()?;
+    let report = collector.snapshot();
+    collector.clear();
+    Some(report)
+}
+
+/// Adds `delta` to the named counter (and forwards the update to the
+/// sink). Prefer the [`counter!`] macro, which short-circuits when
+/// disabled.
+pub fn add_counter(name: &str, delta: i64) {
+    let mut guard = lock();
+    let Some(c) = guard.as_mut() else { return };
+    let total = {
+        let e = c.counters.entry(name.to_string()).or_insert(0);
+        *e += delta;
+        *e
+    };
+    let ts = c.ts_us();
+    c.sink.record(
+        ts,
+        &Record::Counter {
+            name: name.to_string(),
+            delta,
+            total,
+        },
+    );
+}
+
+/// Sets the named gauge (last value wins). Prefer [`gauge!`].
+pub fn set_gauge(name: &str, value: f64) {
+    let mut guard = lock();
+    let Some(c) = guard.as_mut() else { return };
+    c.gauges.insert(name.to_string(), value);
+    let ts = c.ts_us();
+    c.sink.record(
+        ts,
+        &Record::Gauge {
+            name: name.to_string(),
+            value,
+        },
+    );
+}
+
+/// Records `value` into the named power-of-two histogram. Prefer
+/// [`histogram!`].
+pub fn record_hist(name: &str, value: u64) {
+    let mut guard = lock();
+    let Some(c) = guard.as_mut() else { return };
+    c.hists.entry(name.to_string()).or_default().record(value);
+    let ts = c.ts_us();
+    c.sink.record(
+        ts,
+        &Record::Hist {
+            name: name.to_string(),
+            value,
+        },
+    );
+}
+
+/// Emits a point-in-time structured event. Prefer [`event!`].
+pub fn emit_event(name: &str, attrs: &[(&'static str, Value)]) {
+    let mut guard = lock();
+    let Some(c) = guard.as_mut() else { return };
+    let ts = c.ts_us();
+    c.sink.record(
+        ts,
+        &Record::Event {
+            name: name.to_string(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread stack of open spans: each frame accumulates the
+    /// inclusive time of its direct children, so a closing span can
+    /// compute its exclusive time as `inclusive - children`.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII span guard: created by [`span!`], records inclusive and
+/// exclusive wall-clock time into the aggregates when dropped.
+#[must_use = "a span measures the region it is alive for; bind it to a variable"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// A no-op span (what [`span!`] returns when tracing is disabled).
+    pub fn disabled() -> Self {
+        Span {
+            name: "",
+            start: None,
+        }
+    }
+
+    /// Opens a span: pushes a frame on the thread-local stack and
+    /// forwards a `span_open` record to the sink.
+    pub fn enter(name: &'static str, attrs: &[(&'static str, Value)]) -> Self {
+        if !is_enabled() {
+            return Self::disabled();
+        }
+        let depth = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(0);
+            s.len() - 1
+        });
+        {
+            let mut guard = lock();
+            if let Some(c) = guard.as_mut() {
+                let ts = c.ts_us();
+                c.sink.record(
+                    ts,
+                    &Record::SpanOpen {
+                        name: name.to_string(),
+                        depth,
+                        attrs: attrs
+                            .iter()
+                            .map(|(k, v)| (k.to_string(), v.clone()))
+                            .collect(),
+                    },
+                );
+            }
+        }
+        Span {
+            name,
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let incl_ns = start.elapsed().as_nanos() as u64;
+        let (child_ns, depth) = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let child = s.pop().unwrap_or(0);
+            if let Some(parent) = s.last_mut() {
+                *parent += incl_ns;
+            }
+            (child, s.len())
+        });
+        let excl_ns = incl_ns.saturating_sub(child_ns);
+        let mut guard = lock();
+        let Some(c) = guard.as_mut() else { return };
+        let stat = c.spans.entry(self.name.to_string()).or_default();
+        stat.count += 1;
+        stat.incl_ns += incl_ns;
+        stat.excl_ns += excl_ns;
+        let ts = c.ts_us();
+        c.sink.record(
+            ts,
+            &Record::SpanClose {
+                name: self.name.to_string(),
+                depth,
+                incl_us: incl_ns / 1_000,
+                excl_us: excl_ns / 1_000,
+            },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Opens an RAII-timed span: `let _g = span!("plan.route");` or with
+/// attributes, `let _g = span!("lac.round", round = r, n_foa = n);`.
+/// Attribute expressions are not evaluated when tracing is disabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::is_enabled() {
+            $crate::Span::enter($name, &[$((stringify!($k), $crate::Value::from($v))),*])
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+}
+
+/// Adds to a monotonic counter: `counter!("mcmf.ssp_iterations", n);`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $delta:expr) => {
+        if $crate::is_enabled() {
+            $crate::add_counter($name, ($delta) as i64);
+        }
+    };
+}
+
+/// Sets a gauge (last value wins): `gauge!("route.overflow", ov);`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        if $crate::is_enabled() {
+            $crate::set_gauge($name, ($value) as f64);
+        }
+    };
+}
+
+/// Records a sample into a power-of-two histogram:
+/// `histogram!("route.net_len", len);`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $value:expr) => {
+        if $crate::is_enabled() {
+            $crate::record_hist($name, ($value) as u64);
+        }
+    };
+}
+
+/// Emits a point-in-time structured event:
+/// `event!("degradation", stage = "lac", reason = msg);`.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::is_enabled() {
+            $crate::emit_event($name, &[$((stringify!($k), $crate::Value::from($v))),*]);
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics (always-on progress/warning channel)
+// ---------------------------------------------------------------------
+
+/// How chatty the human-facing diagnostic channel is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum DiagLevel {
+    /// Print nothing (`--quiet`).
+    Silent = 0,
+    /// Print progress and warnings (the default).
+    Normal = 1,
+}
+
+static DIAG_LEVEL: AtomicU8 = AtomicU8::new(DiagLevel::Normal as u8);
+
+/// Sets the global diagnostic level. The CLI maps `--quiet` to
+/// [`DiagLevel::Silent`].
+pub fn set_diag_level(level: DiagLevel) {
+    DIAG_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether [`diag!`] currently prints.
+#[inline]
+pub fn diag_on() -> bool {
+    DIAG_LEVEL.load(Ordering::Relaxed) >= DiagLevel::Normal as u8
+}
+
+#[doc(hidden)]
+pub fn diag_print(args: std::fmt::Arguments<'_>) {
+    eprintln!("[lacr] {args}");
+}
+
+/// Prints a uniformly `[lacr]`-prefixed diagnostic line to stderr,
+/// unless the level is [`DiagLevel::Silent`]. This is the replacement
+/// for ad-hoc `eprintln!` progress messages: formatting is skipped
+/// entirely when silenced.
+#[macro_export]
+macro_rules! diag {
+    ($($arg:tt)*) => {
+        if $crate::diag_on() {
+            $crate::diag_print(core::format_args!($($arg)*));
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// Test support
+// ---------------------------------------------------------------------
+
+/// Runs `f` with a [`CaptureSink`] installed and returns `f`'s result,
+/// the captured records, and the final report. Captures are serialized
+/// by an internal mutex so parallel tests do not interleave their
+/// global collectors.
+pub fn run_captured<T>(f: impl FnOnce() -> T) -> (T, Vec<(u64, Record)>, Report) {
+    static CAPTURE_GATE: Mutex<()> = Mutex::new(());
+    let _gate = CAPTURE_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let (sink, store) = CaptureSink::new();
+    init(Box::new(sink));
+    let out = f();
+    let report = finish().expect("collector was installed");
+    let records = store.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    (out, records, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_capture_records_nothing() {
+        let (_, records, report) = run_captured(|| {
+            // Disabled guards are inert and safe to drop.
+            drop(Span::disabled());
+        });
+        assert!(records.is_empty());
+        assert!(report.spans.is_empty());
+        assert!(report.counters.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_and_events_aggregate() {
+        let ((), records, report) = run_captured(|| {
+            counter!("a.count", 2);
+            counter!("a.count", 3);
+            gauge!("a.gauge", 1.5);
+            gauge!("a.gauge", 2.5);
+            event!("hello", who = "world", n = 3_u64);
+        });
+        assert_eq!(report.counter("a.count"), Some(5));
+        assert_eq!(report.gauge("a.gauge"), Some(2.5));
+        let ev = records
+            .iter()
+            .find_map(|(_, r)| match r {
+                Record::Event { name, attrs } if name == "hello" => Some(attrs.clone()),
+                _ => None,
+            })
+            .expect("event captured");
+        assert_eq!(ev[0], ("who".to_string(), Value::Str("world".into())));
+        assert_eq!(ev[1], ("n".to_string(), Value::Uint(3)));
+    }
+
+    #[test]
+    fn nested_spans_account_exclusive_time() {
+        let ((), _, report) = run_captured(|| {
+            let _outer = span!("outer");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _inner = span!("inner");
+                std::thread::sleep(std::time::Duration::from_millis(8));
+            }
+        });
+        let outer = report.span("outer").expect("outer recorded");
+        let inner = report.span("inner").expect("inner recorded");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Inner has no children: exclusive == inclusive.
+        assert_eq!(inner.incl_ns, inner.excl_ns);
+        // Outer's inclusive covers the inner span; its exclusive does not.
+        assert!(outer.incl_ns >= inner.incl_ns);
+        assert_eq!(outer.excl_ns, outer.incl_ns - inner.incl_ns);
+        // Exclusive times partition the total wall-clock.
+        assert_eq!(outer.excl_ns + inner.excl_ns, outer.incl_ns);
+    }
+
+    #[test]
+    fn sibling_spans_both_charge_the_parent() {
+        let ((), _, report) = run_captured(|| {
+            let _p = span!("p");
+            for _ in 0..2 {
+                let _c = span!("c");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+        let p = report.span("p").expect("p");
+        let c = report.span("c").expect("c");
+        assert_eq!(c.count, 2);
+        assert_eq!(p.excl_ns, p.incl_ns - c.incl_ns);
+    }
+
+    #[test]
+    fn take_snapshot_resets_aggregates() {
+        let ((), _, report) = run_captured(|| {
+            counter!("x", 7);
+            let mid = take_snapshot().expect("installed");
+            assert_eq!(mid.counter("x"), Some(7));
+            counter!("x", 1);
+        });
+        assert_eq!(report.counter("x"), Some(1));
+    }
+
+    #[test]
+    fn value_json_fragments() {
+        assert_eq!(Value::from(3_i64).to_json(), "3");
+        assert_eq!(Value::from(true).to_json(), "true");
+        assert_eq!(Value::from(f64::NAN).to_json(), "null");
+        assert_eq!(Value::from("a\"b").to_json(), "\"a\\\"b\"");
+    }
+}

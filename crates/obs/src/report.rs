@@ -1,0 +1,237 @@
+//! Aggregated results: the self-time report.
+//!
+//! The collector folds every span close and metric update into compact
+//! aggregates; [`Report`] is their snapshot. Its two renderings are the
+//! CLI's `--report` self-time table (stages ranked by exclusive time,
+//! whose column sums to ≈ the instrumented wall-clock) and the JSON
+//! object embedded in the JSONL summary line and `BENCH_*.json` perf
+//! records.
+
+use crate::hist::Histogram;
+use crate::sink::json_escape;
+use std::collections::BTreeMap;
+
+/// Aggregate timing of one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span closed.
+    pub count: u64,
+    /// Total inclusive nanoseconds.
+    pub incl_ns: u64,
+    /// Total exclusive (inclusive minus children) nanoseconds.
+    pub excl_ns: u64,
+}
+
+/// A snapshot of every aggregate the collector holds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Span stats by name.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, i64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+impl Report {
+    pub(crate) fn build(
+        spans: &BTreeMap<String, SpanStat>,
+        counters: &BTreeMap<String, i64>,
+        gauges: &BTreeMap<String, f64>,
+        hists: &BTreeMap<String, Histogram>,
+    ) -> Self {
+        Self {
+            spans: spans.clone(),
+            counters: counters.clone(),
+            gauges: gauges.clone(),
+            hists: hists.clone(),
+        }
+    }
+
+    /// The stat of a span name, if it ever closed.
+    pub fn span(&self, name: &str) -> Option<SpanStat> {
+        self.spans.get(name).copied()
+    }
+
+    /// A counter's total, if it was ever incremented.
+    pub fn counter(&self, name: &str) -> Option<i64> {
+        self.counters.get(name).copied()
+    }
+
+    /// A gauge's last value, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Sum of exclusive time over all spans — the instrumented
+    /// wall-clock (nanoseconds). Because every span's exclusive time
+    /// excludes its children, nested spans never double-count.
+    pub fn total_excl_ns(&self) -> u64 {
+        self.spans.values().map(|s| s.excl_ns).sum()
+    }
+
+    /// Renders the `--report` self-time table: one row per span name,
+    /// ranked by exclusive time, with the share of the instrumented
+    /// total. Exclusive times sum to ≈ the top-level spans' inclusive
+    /// wall-clock.
+    pub fn self_time_table(&self) -> String {
+        let mut rows: Vec<(&String, &SpanStat)> = self.spans.iter().collect();
+        rows.sort_by(|a, b| b.1.excl_ns.cmp(&a.1.excl_ns).then(a.0.cmp(b.0)));
+        let total = self.total_excl_ns().max(1);
+        let name_w = rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(std::iter::once("span".len()))
+            .max()
+            .unwrap_or(4);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>7}  {:>12}  {:>12}  {:>6}\n",
+            "span", "count", "incl ms", "excl ms", "excl%"
+        ));
+        for (name, s) in &rows {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>7}  {:>12.3}  {:>12.3}  {:>5.1}%\n",
+                name,
+                s.count,
+                s.incl_ns as f64 / 1e6,
+                s.excl_ns as f64 / 1e6,
+                100.0 * s.excl_ns as f64 / total as f64
+            ));
+        }
+        out.push_str(&format!(
+            "{:<name_w$}  {:>7}  {:>12}  {:>12.3}  100.0%",
+            "total",
+            "",
+            "",
+            total as f64 / 1e6
+        ));
+        out
+    }
+
+    /// The report's fields as a JSON fragment (no surrounding braces),
+    /// ready to splice into a summary line or perf record.
+    pub fn json_fields(&self) -> String {
+        let spans = self
+            .spans
+            .iter()
+            .map(|(n, s)| {
+                format!(
+                    "\"{}\":{{\"count\":{},\"incl_us\":{},\"excl_us\":{}}}",
+                    json_escape(n),
+                    s.count,
+                    s.incl_ns / 1_000,
+                    s.excl_ns / 1_000
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| format!("\"{}\":{v}", json_escape(n)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(n, v)| {
+                let v = crate::Value::Float(*v).to_json();
+                format!("\"{}\":{v}", json_escape(n))
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let hists = self
+            .hists
+            .iter()
+            .map(|(n, h)| format!("\"{}\":{}", json_escape(n), h.to_json()))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "\"spans\":{{{spans}}},\"counters\":{{{counters}}},\
+             \"gauges\":{{{gauges}}},\"hists\":{{{hists}}}"
+        )
+    }
+
+    /// The report as one standalone JSON object.
+    pub fn to_json(&self) -> String {
+        format!("{{{}}}", self.json_fields())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut spans = BTreeMap::new();
+        spans.insert(
+            "plan.route".to_string(),
+            SpanStat {
+                count: 1,
+                incl_ns: 3_000_000,
+                excl_ns: 2_000_000,
+            },
+        );
+        spans.insert(
+            "plan.lac".to_string(),
+            SpanStat {
+                count: 4,
+                incl_ns: 9_000_000,
+                excl_ns: 9_000_000,
+            },
+        );
+        let mut counters = BTreeMap::new();
+        counters.insert("route.ripup_passes".to_string(), 7);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("lac.alpha".to_string(), 0.5);
+        let mut hists = BTreeMap::new();
+        let mut h = Histogram::new();
+        h.record(5);
+        hists.insert("net_len".to_string(), h);
+        Report::build(&spans, &counters, &gauges, &hists)
+    }
+
+    #[test]
+    fn table_ranks_by_exclusive_time() {
+        let r = sample();
+        let table = r.self_time_table();
+        let lac = table.find("plan.lac").unwrap();
+        let route = table.find("plan.route").unwrap();
+        assert!(
+            lac < route,
+            "lac (9ms excl) must rank above route:\n{table}"
+        );
+        assert!(table.contains("excl%"));
+        assert!(table.ends_with("100.0%"), "{table}");
+        assert_eq!(r.total_excl_ns(), 11_000_000);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let r = sample();
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"route.ripup_passes\":7"));
+        assert!(json.contains("\"lac.alpha\":0.5"));
+        assert!(json.contains("\"plan.lac\":{\"count\":4"));
+        assert!(json.contains("\"net_len\":{\"count\":1"));
+    }
+
+    #[test]
+    fn accessors() {
+        let r = sample();
+        assert_eq!(r.counter("route.ripup_passes"), Some(7));
+        assert_eq!(r.counter("missing"), None);
+        assert_eq!(r.gauge("lac.alpha"), Some(0.5));
+        assert_eq!(r.span("plan.route").unwrap().count, 1);
+        assert_eq!(r.hist("net_len").unwrap().count(), 1);
+    }
+}

@@ -103,10 +103,16 @@ impl Partitioning {
 /// Panics if `config.num_blocks == 0`.
 pub fn partition(circuit: &Circuit, config: &PartitionConfig) -> Partitioning {
     assert!(config.num_blocks > 0, "need at least one block");
+    let _span = lacr_obs::span!(
+        "partition.recursive",
+        units = circuit.num_units(),
+        blocks = config.num_blocks
+    );
     let n = circuit.num_units();
     let all: Vec<UnitId> = circuit.unit_ids().collect();
     let mut groups: Vec<Vec<UnitId>> = vec![all];
 
+    let mut bisections = 0_u64;
     let mut seed = config.seed;
     while groups.len() < config.num_blocks {
         // Split the group with the largest area (ties: most units).
@@ -142,9 +148,11 @@ pub fn partition(circuit: &Circuit, config: &PartitionConfig) -> Partitioning {
                 seed,
             )
         };
+        bisections += 1;
         groups.push(left);
         groups.push(right);
     }
+    lacr_obs::counter!("partition.bisections", bisections);
 
     let mut block_of = vec![usize::MAX; n];
     let blocks: Vec<Block> = groups

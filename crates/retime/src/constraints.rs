@@ -76,6 +76,7 @@ pub fn generate_period_constraints(
     options: ConstraintOptions,
 ) -> PeriodConstraints {
     let n = graph.num_vertices();
+    let _span = lacr_obs::span!("retime.wd_build", vertices = n, target = target);
     let mut constraints = Vec::new();
     let mut pairs = 0usize;
     // Paths must not pass *through* the host: the environment registers
@@ -165,6 +166,8 @@ pub fn generate_period_constraints(
             }
         }
     }
+    lacr_obs::counter!("retime.period_pairs", pairs);
+    lacr_obs::counter!("retime.constraints_emitted", constraints.len());
     PeriodConstraints {
         target,
         constraints,

@@ -48,6 +48,7 @@ pub fn feasible_retiming(graph: &RetimeGraph, target: u64) -> Option<Vec<i64>> {
     if n == 0 {
         return Some(Vec::new());
     }
+    lacr_obs::counter!("retime.feas_probes", 1);
     // No retiming helps a single vertex slower than the target.
     if graph.vertex_ids().any(|v| graph.delay(v) > target) {
         return None;
@@ -131,6 +132,11 @@ pub fn min_period_retiming_with_tolerance(
             retiming: Vec::new(),
         };
     }
+    let _span = lacr_obs::span!(
+        "retime.min_period",
+        vertices = graph.num_vertices(),
+        tolerance_ps = tolerance_ps,
+    );
     let start = graph
         .clock_period(&graph.weights())
         .expect("valid circuit: every cycle must carry a flip-flop");

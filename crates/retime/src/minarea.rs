@@ -199,6 +199,7 @@ impl<'g> MinAreaSolver<'g> {
     pub fn solve(&mut self, areas: &[f64]) -> Result<RetimingOutcome, RetimeError> {
         let graph = self.graph;
         let n = graph.num_vertices();
+        let _span = lacr_obs::span!("retime.minarea_solve", vertices = n);
         assert_eq!(areas.len(), n);
         assert!(
             areas.iter().all(|a| *a > 0.0 && a.is_finite()),

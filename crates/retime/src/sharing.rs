@@ -104,6 +104,7 @@ pub fn shared_min_area_retiming(
     areas: &[f64],
 ) -> Result<SharedRetimingOutcome, RetimeError> {
     let n = graph.num_vertices();
+    let _span = lacr_obs::span!("retime.sharing_solve", vertices = n);
     assert_eq!(areas.len(), n);
     assert!(
         areas.iter().all(|a| *a > 0.0 && a.is_finite()),

@@ -182,6 +182,7 @@ pub fn try_route(
             });
         }
     }
+    let _span = lacr_obs::span!("route.global", nets = nets.len(), cells = num_cells);
     let mut usage: HashMap<(usize, usize), u32> = HashMap::new();
     let mut history: HashMap<(usize, usize), f64> = HashMap::new();
     let mut routed: Vec<RoutedNet> = Vec::with_capacity(nets.len());
@@ -193,9 +194,14 @@ pub fn try_route(
         routed.push(r);
     }
 
-    // Rip-up and re-route nets that use overflowed edges.
-    for _ in 0..config.passes {
+    // Rip-up and re-route nets that use overflowed edges. The deadline
+    // is consulted once per pass boundary only, so budget expiry is
+    // deterministic under tracing.
+    let mut nets_rerouted = 0_u64;
+    let mut ripup_passes = 0_u64;
+    for pass in 0..config.passes {
         if let Some(deadline) = config.deadline {
+            lacr_obs::counter!("budget.deadline_checks", 1);
             if std::time::Instant::now() >= deadline {
                 break; // budget expired: return the routing as-is
             }
@@ -208,6 +214,8 @@ pub fn try_route(
         if over.is_empty() {
             break;
         }
+        ripup_passes += 1;
+        lacr_obs::event!("route.pass", pass = pass, overflowed_edges = over.len(),);
         for k in &over {
             *history.entry(*k).or_insert(0.0) += config.history_penalty;
         }
@@ -216,12 +224,17 @@ pub fn try_route(
             if !uses_over {
                 continue;
             }
+            nets_rerouted += 1;
             remove_usage(&mut usage, &routed[i]);
             let r = route_one(nx, ny, net, &usage, &history, config);
             add_usage(&mut usage, &r);
             routed[i] = r;
         }
     }
+    // Always emitted (a clean first pass reports 0), so the metric key
+    // is present in every run's record stream.
+    lacr_obs::counter!("route.ripup_passes", ripup_passes);
+    lacr_obs::counter!("route.nets_rerouted", nets_rerouted);
 
     let wirelength = routed.iter().map(|r| tree_edges(r).len()).sum();
     let overflow = usage
@@ -229,6 +242,8 @@ pub fn try_route(
         .map(|&u| u.saturating_sub(config.edge_capacity))
         .sum();
     let max_usage = usage.values().copied().max().unwrap_or(0);
+    lacr_obs::gauge!("route.overflow", overflow);
+    lacr_obs::gauge!("route.max_usage", max_usage);
     let mut edge_usage: Vec<((usize, usize), u32)> =
         usage.into_iter().filter(|&(_, u)| u > 0).collect();
     edge_usage.sort_unstable();

@@ -179,6 +179,13 @@ impl Technology {
                 self.l_max, self.tile_size
             ));
         }
+        lacr_obs::event!(
+            "timing.technology",
+            l_max = self.l_max,
+            tile_size = self.tile_size,
+            repeater_delay_ps = self.repeater_delay_ps,
+            problems = problems.len()
+        );
         problems
     }
 }

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Repository verification: exactly what CI runs, runnable offline.
 #
-#   scripts/verify.sh          # build + tests + format check
-#   scripts/verify.sh --quick  # skip the slow integration suites
-#   scripts/verify.sh --faults # fault-injection suite + no-panic CLI smoke
+#   scripts/verify.sh           # build + tests + format check
+#   scripts/verify.sh --quick   # skip the slow integration suites
+#   scripts/verify.sh --faults  # fault-injection suite + no-panic CLI smoke
+#   scripts/verify.sh --metrics # observability smoke: JSONL stream validated
 #
 # The workspace has no external dependencies, so --offline always works.
 set -euo pipefail
@@ -11,15 +12,43 @@ cd "$(dirname "$0")/.."
 
 QUICK=0
 FAULTS=0
+METRICS=0
 case "${1:-}" in
     --quick) QUICK=1 ;;
     --faults) FAULTS=1 ;;
+    --metrics) METRICS=1 ;;
     "") ;;
     *)
-        echo "error: unknown option '${1}' (usage: scripts/verify.sh [--quick|--faults])" >&2
+        echo "error: unknown option '${1}' (usage: scripts/verify.sh [--quick|--faults|--metrics])" >&2
         exit 2
         ;;
 esac
+
+if [[ "$METRICS" == 1 ]]; then
+    echo "==> cargo build --release (warnings are errors)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --offline --workspace
+
+    echo "==> lacr run s344 --metrics-out (JSONL stream + self-time report)"
+    mkdir -p target/metrics
+    status=0
+    target/release/lacr run s344 --metrics-out target/metrics/s344.jsonl --report \
+        >target/metrics/s344.report.txt || status=$?
+    # 0 (clean) and 3 (degraded-but-finished) both produce a full stream.
+    if [[ "$status" != 0 && "$status" != 3 ]]; then
+        echo "error: lacr run s344 exited $status" >&2
+        exit 1
+    fi
+    grep -q "^total" target/metrics/s344.report.txt || {
+        echo "error: self-time report missing its total row" >&2
+        exit 1
+    }
+
+    echo "==> check_metrics (JSONL syntax, span balance, summary record)"
+    target/release/check_metrics target/metrics/s344.jsonl
+
+    echo "==> metrics OK (artifacts in target/metrics/)"
+    exit 0
+fi
 
 if [[ "$FAULTS" == 1 ]]; then
     echo "==> cargo build --release (warnings are errors)"

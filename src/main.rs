@@ -4,11 +4,18 @@
 //! lacr list                      # available benchmark circuits
 //! lacr plan <circuit|file.bench> [--budget-ms N]
 //!                                # plan one circuit, print the report
+//! lacr run <circuit|file.bench> [--budget-ms N]
+//!                                # same as plan (canonical observability entry)
 //! lacr table1 [circuit ...]      # regenerate the paper's Table 1
 //! lacr fig2 <circuit> [out.svg]  # render the tile graph (Figure 2)
 //! lacr retime <file.bench> <out.bench> [period_ps]
 //!                                # min-area retime a .bench netlist
 //! ```
+//!
+//! Global flags (any command): `--trace` streams pipeline spans to
+//! stderr, `--metrics-out <path>` writes the JSONL record stream,
+//! `--report` prints the per-stage self-time table after the run, and
+//! `--quiet` silences `[lacr]` diagnostics.
 //!
 //! Exit codes: 0 success, 1 error (one-line diagnostic on stderr),
 //! 2 usage, 3 the run finished but the plan is *degraded* (budget
@@ -24,11 +31,74 @@ use lacr::netlist::{bench89, bench_format, stats::CircuitStats, Circuit};
 use std::process::ExitCode;
 use std::time::Duration;
 
+/// Observability flags accepted by every command, stripped from the
+/// argument list before command dispatch.
+#[derive(Debug, Default)]
+struct ObsFlags {
+    quiet: bool,
+    trace: bool,
+    report: bool,
+    metrics_out: Option<String>,
+}
+
+impl ObsFlags {
+    fn from_args(args: &mut Vec<String>) -> Result<Self, String> {
+        let mut flags = Self::default();
+        let mut rest = Vec::with_capacity(args.len());
+        let mut it = std::mem::take(args).into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quiet" => flags.quiet = true,
+                "--trace" => flags.trace = true,
+                "--report" => flags.report = true,
+                "--metrics-out" => {
+                    flags.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
+                }
+                _ => rest.push(a),
+            }
+        }
+        *args = rest;
+        Ok(flags)
+    }
+
+    /// Installs the diagnostics level and one sink: the JSONL file when
+    /// `--metrics-out` is given, live stderr tracing for `--trace`, and a
+    /// null sink when only `--report` asks for aggregation.
+    fn install(&self) -> Result<(), String> {
+        if self.quiet {
+            lacr::obs::set_diag_level(lacr::obs::DiagLevel::Silent);
+        }
+        if let Some(path) = &self.metrics_out {
+            let sink =
+                lacr::obs::sink::JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+            lacr::obs::init(Box::new(sink));
+        } else if self.trace {
+            lacr::obs::init(Box::new(lacr::obs::sink::StderrSink));
+        } else if self.report {
+            lacr::obs::init(Box::new(lacr::obs::sink::NullSink));
+        }
+        Ok(())
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = match ObsFlags::from_args(&mut args) {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = obs.install() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
-        Some("plan") => cmd_plan(&args[1..]),
+        // `run` is the canonical observability entry point; it plans one
+        // circuit exactly like `plan` (kept as an alias for scripts).
+        Some("plan") | Some("run") => cmd_plan(&args[1..]),
         Some("table1") => cmd_table1(&args[1..]),
         Some("fig2") => cmd_fig2(
             args.get(1).map(String::as_str),
@@ -36,23 +106,35 @@ fn main() -> ExitCode {
         ),
         Some("retime") => cmd_retime(&args[1..]),
         _ => {
-            eprintln!("usage: lacr <list|plan|table1|fig2|retime> [args]");
+            eprintln!("usage: lacr <list|plan|run|table1|fig2|retime> [args]");
             eprintln!("  list                        available benchmark circuits");
             eprintln!("  plan <circuit|file.bench> [--budget-ms N]");
             eprintln!("                              run the planner on one circuit");
+            eprintln!("  run <circuit|file.bench> [--budget-ms N]");
+            eprintln!("                              alias of plan");
             eprintln!("  table1 [circuit ...]        regenerate the paper's Table 1");
             eprintln!("  fig2 <circuit> [out.svg]    render the tile graph");
             eprintln!("  retime <in.bench> <out.bench> [period_ps]");
+            eprintln!("global flags: --trace --metrics-out <path> --report --quiet");
             eprintln!("exit codes: 0 ok, 1 error, 2 usage, 3 degraded plan");
             return ExitCode::from(2);
         }
     };
+    // Flush the sink (writing the JSONL summary line, if any) and print
+    // the self-time table when asked.
+    let obs_report = lacr::obs::finish();
+    if obs.report {
+        match obs_report {
+            Some(r) => print!("{}", r.self_time_table()),
+            None => eprintln!("--report: no observability data collected"),
+        }
+    }
     match result {
         Ok(degradations) if degradations.is_empty() => ExitCode::SUCCESS,
         Ok(degradations) => {
-            eprintln!("plan is degraded:");
+            lacr::obs::diag!("plan is degraded:");
             for d in &degradations {
-                eprintln!("  {d}");
+                lacr::obs::diag!("  {d}");
             }
             ExitCode::from(3)
         }
