@@ -6,7 +6,13 @@
 //! 2. every record carries a known `"t"` type tag;
 //! 3. `span_open` / `span_close` records balance like parentheses, with
 //!    matching names and depths (no orphaned opens at end of file);
-//! 4. the final line is the `summary` record.
+//! 4. the final line is the `summary` record;
+//! 5. the `lacr-par` contract holds: every `par.region` span carries
+//!    numeric `items`/`threads` attributes, `par.tasks` / `par.steal`
+//!    counters only fire inside an open `par.region` span, and the
+//!    summed `par.tasks` deltas equal the summed region `items` (a
+//!    `par.steal` counter is optional — single-threaded regions never
+//!    emit one).
 //!
 //! ```text
 //! cargo run --release -p lacr-bench --bin check_metrics <file.jsonl>
@@ -246,12 +252,16 @@ const KNOWN_TYPES: &[&str] = &[
     "summary",
 ];
 
-/// Validates the whole stream; returns (records, spans) on success.
-fn check_stream(text: &str) -> Result<(usize, usize), String> {
+/// Validates the whole stream; returns (records, spans, parallel
+/// regions) on success.
+fn check_stream(text: &str) -> Result<(usize, usize, usize), String> {
     let mut open_spans: Vec<(String, u64)> = Vec::new();
     let mut records = 0usize;
     let mut spans = 0usize;
     let mut saw_summary = false;
+    let mut par_regions = 0usize;
+    let mut par_items = 0u64;
+    let mut par_tasks = 0u64;
     for (ln, line) in text.lines().enumerate() {
         let ln = ln + 1;
         if line.trim().is_empty() {
@@ -285,6 +295,24 @@ fn check_stream(text: &str) -> Result<(usize, usize), String> {
                         open_spans.len()
                     ));
                 }
+                if name == "par.region" {
+                    let attrs = v
+                        .get("attrs")
+                        .ok_or(format!("line {ln}: par.region without attrs"))?;
+                    let items = attrs
+                        .get("items")
+                        .and_then(Json::as_num)
+                        .ok_or(format!("line {ln}: par.region without numeric items"))?;
+                    let threads = attrs
+                        .get("threads")
+                        .and_then(Json::as_num)
+                        .ok_or(format!("line {ln}: par.region without numeric threads"))?;
+                    if threads < 1.0 {
+                        return Err(format!("line {ln}: par.region with {threads} threads"));
+                    }
+                    par_regions += 1;
+                    par_items += items as u64;
+                }
                 open_spans.push((name.to_string(), depth as u64));
             }
             "span_close" => {
@@ -302,6 +330,26 @@ fn check_stream(text: &str) -> Result<(usize, usize), String> {
                 }
                 spans += 1;
             }
+            "counter" => {
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {ln}: counter without name"))?;
+                if name == "par.tasks" || name == "par.steal" {
+                    if !open_spans.iter().any(|(n, _)| n == "par.region") {
+                        return Err(format!(
+                            "line {ln}: {name} counter outside any par.region span"
+                        ));
+                    }
+                    let delta = v
+                        .get("delta")
+                        .and_then(Json::as_num)
+                        .ok_or(format!("line {ln}: {name} without numeric delta"))?;
+                    if name == "par.tasks" {
+                        par_tasks += delta as u64;
+                    }
+                }
+            }
             "summary" => saw_summary = true,
             _ => {}
         }
@@ -312,7 +360,13 @@ fn check_stream(text: &str) -> Result<(usize, usize), String> {
     if !saw_summary {
         return Err("no summary record (stream truncated?)".to_string());
     }
-    Ok((records, spans))
+    if par_tasks != par_items {
+        return Err(format!(
+            "par.tasks total {par_tasks} does not match the {par_items} items \
+             declared by {par_regions} par.region span(s)"
+        ));
+    }
+    Ok((records, spans, par_regions))
 }
 
 fn main() -> ExitCode {
@@ -328,8 +382,11 @@ fn main() -> ExitCode {
         }
     };
     match check_stream(&text) {
-        Ok((records, spans)) => {
-            println!("{path}: ok — {records} records, {spans} spans, summary present");
+        Ok((records, spans, par_regions)) => {
+            println!(
+                "{path}: ok — {records} records, {spans} spans, \
+                 {par_regions} parallel regions, summary present"
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -376,7 +433,46 @@ mod tests {
 {\"t\":\"span_close\",\"us\":3,\"name\":\"a\",\"depth\":0,\"incl_us\":2,\"excl_us\":2}
 {\"t\":\"summary\"}
 ";
-        assert_eq!(check_stream(stream).unwrap(), (4, 1));
+        assert_eq!(check_stream(stream).unwrap(), (4, 1, 0));
+    }
+
+    #[test]
+    fn enforces_the_par_counter_contract() {
+        // Well-formed region: items == summed par.tasks deltas, counters
+        // inside the span, no par.steal at one thread.
+        let good = "\
+{\"t\":\"span_open\",\"us\":1,\"name\":\"par.region\",\"depth\":0,\"attrs\":{\"region\":\"r\",\"items\":3,\"threads\":2}}
+{\"t\":\"counter\",\"us\":2,\"name\":\"par.tasks\",\"delta\":3,\"total\":3}
+{\"t\":\"counter\",\"us\":3,\"name\":\"par.steal\",\"delta\":1,\"total\":1}
+{\"t\":\"span_close\",\"us\":4,\"name\":\"par.region\",\"depth\":0,\"incl_us\":3,\"excl_us\":3}
+{\"t\":\"summary\"}
+";
+        assert_eq!(check_stream(good).unwrap(), (5, 1, 1));
+
+        let short = "\
+{\"t\":\"span_open\",\"us\":1,\"name\":\"par.region\",\"depth\":0,\"attrs\":{\"region\":\"r\",\"items\":3,\"threads\":1}}
+{\"t\":\"counter\",\"us\":2,\"name\":\"par.tasks\",\"delta\":2,\"total\":2}
+{\"t\":\"span_close\",\"us\":3,\"name\":\"par.region\",\"depth\":0,\"incl_us\":2,\"excl_us\":2}
+{\"t\":\"summary\"}
+";
+        assert!(check_stream(short).unwrap_err().contains("does not match"));
+
+        let orphan_counter = "\
+{\"t\":\"counter\",\"us\":1,\"name\":\"par.tasks\",\"delta\":1,\"total\":1}
+{\"t\":\"summary\"}
+";
+        assert!(check_stream(orphan_counter)
+            .unwrap_err()
+            .contains("outside any par.region"));
+
+        let no_items = "\
+{\"t\":\"span_open\",\"us\":1,\"name\":\"par.region\",\"depth\":0,\"attrs\":{\"region\":\"r\",\"threads\":2}}
+{\"t\":\"span_close\",\"us\":2,\"name\":\"par.region\",\"depth\":0,\"incl_us\":1,\"excl_us\":1}
+{\"t\":\"summary\"}
+";
+        assert!(check_stream(no_items)
+            .unwrap_err()
+            .contains("without numeric items"));
     }
 
     #[test]

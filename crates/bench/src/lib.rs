@@ -20,7 +20,9 @@ use std::io::Write as _;
 
 /// Observability flags shared by every artifact binary: `--quiet`
 /// silences the `[lacr]` stderr diagnostics, `--trace` streams spans to
-/// stderr, `--metrics-out <path>` writes the full JSONL record stream.
+/// stderr, `--metrics-out <path>` writes the full JSONL record stream,
+/// `--threads <n>` caps the parallel-region worker pool (results are
+/// bit-identical at any thread count).
 #[derive(Debug, Default)]
 pub struct ObsOptions {
     /// Suppress `[lacr]` diagnostics on stderr.
@@ -29,6 +31,8 @@ pub struct ObsOptions {
     pub trace: bool,
     /// Write every record to this JSONL file.
     pub metrics_out: Option<String>,
+    /// Worker-pool cap for parallel regions.
+    pub threads: Option<usize>,
 }
 
 impl ObsOptions {
@@ -43,6 +47,9 @@ impl ObsOptions {
                 "--quiet" => opts.quiet = true,
                 "--trace" => opts.trace = true,
                 "--metrics-out" => opts.metrics_out = it.next(),
+                "--threads" => {
+                    opts.threads = it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+                }
                 _ => rest.push(a),
             }
         }
@@ -54,6 +61,9 @@ impl ObsOptions {
     /// `--metrics-out` and `--trace` are given the JSONL file wins (one
     /// sink at a time).
     pub fn install(&self) {
+        if let Some(n) = self.threads {
+            lacr_par::set_threads(n);
+        }
         if self.quiet {
             lacr_obs::set_diag_level(lacr_obs::DiagLevel::Silent);
         }
@@ -72,12 +82,17 @@ impl ObsOptions {
 ///
 /// `fields` are pre-rendered JSON fragments (`("wall_s", "1.25")`,
 /// `("rows", "[...]")`); the aggregated observability report — when a
-/// sink is installed — is appended under `"obs"`. Returns the path
-/// written.
+/// sink is installed — is appended under `"obs"`. Every record carries a
+/// `"threads"` field — the worker-pool width the run executed with — so
+/// wall-clock numbers from different machines/configurations stay
+/// comparable. Returns the path written.
 pub fn write_bench_record(bench: &str, fields: &[(&str, String)]) -> std::io::Result<String> {
     let path = format!("BENCH_{bench}.json");
     let mut body = String::new();
-    body.push_str(&format!("{{\"bench\":\"{bench}\""));
+    body.push_str(&format!(
+        "{{\"bench\":\"{bench}\",\"threads\":{}",
+        lacr_par::max_threads()
+    ));
     for (k, v) in fields {
         body.push_str(&format!(",\"{k}\":{v}"));
     }

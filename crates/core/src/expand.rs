@@ -30,7 +30,7 @@ use lacr_repeater::try_insert_repeaters;
 use lacr_retime::{RetimeGraph, VertexId, VertexKind};
 use lacr_route::Routing;
 use lacr_timing::{quantize_ps, Technology};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Options controlling the graph expansion.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,8 +69,11 @@ impl Default for ExpandOptions {
 pub struct ExpandedDesign {
     /// The retiming graph with functional and interconnect units.
     pub graph: RetimeGraph,
-    /// Graph vertex of every circuit unit (I/O maps to the host).
-    pub unit_vertex: HashMap<UnitId, VertexId>,
+    /// Graph vertex of every circuit unit (I/O maps to the host). A
+    /// `BTreeMap` so any serialisation of the design (debug dumps, the
+    /// determinism suite's plan comparison) iterates in key order rather
+    /// than hash order.
+    pub unit_vertex: BTreeMap<UnitId, VertexId>,
     /// Interconnect-unit vertices created.
     pub num_interconnect_units: usize,
     /// Repeaters committed during expansion.
@@ -172,7 +175,7 @@ pub fn try_expand(
     let host = graph.add_vertex(VertexKind::Host, 0, 1.0, Some(pad_tile));
     graph.set_host(host);
 
-    let mut unit_vertex: HashMap<UnitId, VertexId> = HashMap::new();
+    let mut unit_vertex: BTreeMap<UnitId, VertexId> = BTreeMap::new();
     for uid in circuit.unit_ids() {
         let unit = circuit.unit(uid);
         let v = match unit.kind {

@@ -319,6 +319,10 @@ fn legalize_flop_placement(
         })
     }
     type State = (i64, Vec<i64>, Vec<i64>, Vec<i64>);
+    // Membership-only tabu set — never iterated, so hash ordering cannot
+    // leak into which states the beam explores. (The frontier itself is
+    // built in deterministic seed order and sorted stably by excess, so
+    // equal-excess states keep their insertion order.)
     let mut seen = std::collections::HashSet::new();
     seen.insert(fingerprint(&lg.r));
     let mut best: State = (

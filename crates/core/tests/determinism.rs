@@ -1,0 +1,71 @@
+//! Determinism suite: the full planning pipeline must produce
+//! byte-identical plans across repeated runs in one process (no hash-map
+//! ordering or other ambient state may leak into results) and across
+//! worker thread counts (the `lacr-par` ordered-merge contract).
+//!
+//! The fingerprint is the complete debug serialisation of the physical
+//! plan and the deterministic parts of the retiming report — every
+//! routed path, floorplan coordinate, edge-usage entry, retiming vector
+//! and Table-1 metric — with only wall-clock fields excluded.
+
+use lacr_core::planner::{try_build_physical_plan, try_plan_retimings, PlannerConfig};
+use lacr_netlist::bench89;
+
+/// Plans `circuit` end to end and serialises everything deterministic
+/// about the result. Wall-clock fields (`TimedRun::elapsed`,
+/// `constraint_time`) are the only parts of the plan/report pair left
+/// out.
+fn plan_fingerprint(circuit: &str) -> String {
+    let c = bench89::generate(circuit).expect("known circuit");
+    let config = PlannerConfig::default();
+    let plan = try_build_physical_plan(&c, &config, &[]).expect("plan succeeds");
+    let report = try_plan_retimings(&plan, &config).expect("retimings succeed");
+    format!(
+        "{plan:#?}\nmin_area: {:#?}\nlac: {:#?}\nconstraints: {} pairs: {}\ndegradations: {:?}",
+        report.min_area.result,
+        report.lac.result,
+        report.num_period_constraints,
+        report.pairs_before_pruning,
+        report.degradations,
+    )
+}
+
+/// Runs `f` under a temporary thread-count override, restoring the
+/// default afterwards even on panic.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            lacr_par::set_threads(0);
+        }
+    }
+    let _reset = Reset;
+    lacr_par::set_threads(n);
+    f()
+}
+
+fn assert_plan_deterministic(circuit: &str) {
+    let baseline = with_threads(1, || plan_fingerprint(circuit));
+    let rerun = with_threads(1, || plan_fingerprint(circuit));
+    assert_eq!(
+        baseline, rerun,
+        "{circuit}: two identical sequential runs diverged"
+    );
+    for threads in [2, 8] {
+        let parallel = with_threads(threads, || plan_fingerprint(circuit));
+        assert_eq!(
+            baseline, parallel,
+            "{circuit}: plan differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn s344_plan_is_identical_across_runs_and_thread_counts() {
+    assert_plan_deterministic("s344");
+}
+
+#[test]
+fn s382_plan_is_identical_across_runs_and_thread_counts() {
+    assert_plan_deterministic("s382");
+}

@@ -15,11 +15,71 @@
 use lacr_core::{try_build_physical_plan, try_plan_retimings, LacConfig, PlanError, PlannerConfig};
 use lacr_floorplan::anneal::FloorplanConfig;
 use lacr_netlist::{bench89, bench_format, Circuit, Sink, Unit};
-use lacr_prng::{prop_assert, properties, FaultPlan};
+use lacr_prng::{prop_assert, FaultPlan, Rng};
 use lacr_retime::verify_retiming;
 use lacr_timing::Technology;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
+
+/// Parallel variant of [`lacr_prng::run_property`] for pure (`Fn`)
+/// properties: the seeded cases fan out across the deterministic pool
+/// (each case's [`Rng`] comes from the same [`lacr_prng::case_seed`]
+/// lanes as the sequential driver, so replay seeds are unchanged), and
+/// failures are reported for the lowest failing case index regardless of
+/// scheduling. `LACR_PROP_REPLAY` falls back to the sequential driver.
+fn run_property_par(
+    name: &str,
+    cases: u64,
+    property: impl Fn(&mut Rng) -> Result<(), String> + Sync,
+) {
+    if std::env::var("LACR_PROP_REPLAY").is_ok() {
+        lacr_prng::run_property(name, cases, |rng| property(rng));
+        return;
+    }
+    let seeds: Vec<u64> = (0..cases).map(|c| lacr_prng::case_seed(name, c)).collect();
+    let results = lacr_par::Region::new("prop.cases").map_indexed(&seeds, |_, &seed| {
+        let mut rng = Rng::seed_from_u64(seed);
+        property(&mut rng)
+    });
+    for (case, result) in results.into_iter().enumerate() {
+        if let Err(msg) = result {
+            panic!(
+                "property `{name}` falsified on case {case}/{cases}:\n  {msg}\n  \
+                 replay with: LACR_PROP_REPLAY={:#x} cargo test {name}",
+                seeds[case]
+            );
+        }
+    }
+}
+
+/// Declares `#[test]` functions whose seeded cases run through
+/// [`run_property_par`] — the fan-out counterpart of
+/// `lacr_prng::properties!`, with identical seed lanes.
+macro_rules! properties_par {
+    (
+        cases = $cases:expr;
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($rng:ident) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            #[test]
+            fn $name() {
+                run_property_par(
+                    stringify!($name),
+                    $cases,
+                    |$rng: &mut Rng| -> Result<(), String> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
 
 /// A planner configuration fast enough to run inside a 16-case property.
 fn quick_config() -> PlannerConfig {
@@ -69,7 +129,7 @@ fn plan_no_panic(
     .map_err(panic_message)
 }
 
-properties! {
+properties_par! {
     cases = 16;
 
     /// Corrupted `.bench` text parses to a valid circuit or reports a

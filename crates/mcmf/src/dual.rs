@@ -13,7 +13,7 @@
 use crate::difference::DifferenceConstraints;
 use crate::{Constraint, DualError};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 #[derive(Debug, Clone)]
 struct Arc {
@@ -81,7 +81,11 @@ impl DualSolver {
         let feas = DifferenceConstraints::new(num_vars, constraints.iter().copied());
         let potentials = feas.solve().ok_or(DualError::Infeasible)?;
 
-        let mut merged: HashMap<(usize, usize), i64> = HashMap::with_capacity(constraints.len());
+        // BTreeMap, not HashMap: the residual arcs are laid out in map
+        // iteration order, and tie-breaks during path search follow
+        // adjacency order — a hash-seeded layout would leak into which of
+        // several optimal duals is returned, run to run.
+        let mut merged: BTreeMap<(usize, usize), i64> = BTreeMap::new();
         for c in constraints {
             if c.u == c.v {
                 continue; // non-negative self-bound, vacuous
@@ -244,25 +248,39 @@ impl DualSolver {
         Ok((r, obj))
     }
 
-    /// Successive shortest paths from `s` to `t` for `remaining` units.
+    /// Primal–dual min-cost routing of `remaining` units from `s` to `t`.
+    ///
+    /// Each *phase* runs one Dijkstra over reduced costs, makes the dual
+    /// update, and then augments along as many zero-reduced-cost paths as
+    /// a cursor-based DFS can find before the admissible subgraph dries
+    /// up. On the dense W/D constraint networks of LAC retiming this
+    /// replaces one full Dijkstra *per augmenting path* with one per
+    /// phase — the number of phases is bounded by the number of distinct
+    /// shortest-path costs, typically orders of magnitude smaller.
     fn route(&mut self, s: usize, t: usize, mut remaining: i64) -> Result<(), DualError> {
         let nn = self.adj.len();
         let mut dist = vec![i64::MAX; nn];
-        let mut prev_arc = vec![usize::MAX; nn];
-        // SSP statistics, accumulated locally (the loop is hot) and
-        // flushed as counters on both exits.
-        let mut ssp_iters = 0_u64;
+        // DFS state, reset per phase: `cur[v]` is the next adjacency slot
+        // to try at `v`, `on_path` guards against zero-cost cycles.
+        let mut cur = vec![0usize; nn];
+        let mut on_path = vec![false; nn];
+        let mut path: Vec<usize> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+        // Statistics, accumulated locally (the loop is hot) and flushed
+        // as counters on both exits.
+        let mut augmentations = 0_u64;
+        let mut phases = 0_u64;
         let mut pot_updates = 0_u64;
-        let flush = |ssp_iters: u64, pot_updates: u64| {
-            lacr_obs::counter!("mcmf.ssp_iterations", ssp_iters);
+        let flush = |augmentations: u64, phases: u64, pot_updates: u64| {
+            lacr_obs::counter!("mcmf.ssp_iterations", augmentations);
+            lacr_obs::counter!("mcmf.dijkstra_phases", phases);
             lacr_obs::counter!("mcmf.potential_updates", pot_updates);
         };
         while remaining > 0 {
-            ssp_iters += 1;
+            phases += 1;
             dist.iter_mut().for_each(|d| *d = i64::MAX);
-            prev_arc.iter_mut().for_each(|p| *p = usize::MAX);
             dist[s] = 0;
-            let mut heap = BinaryHeap::new();
+            heap.clear();
             heap.push(Reverse((0i64, s)));
             let mut dist_t = i64::MAX;
             while let Some(Reverse((d, u))) = heap.pop() {
@@ -283,13 +301,12 @@ impl DualSolver {
                     let nd = d + rc;
                     if nd < dist[a.to] {
                         dist[a.to] = nd;
-                        prev_arc[a.to] = ai;
                         heap.push(Reverse((nd, a.to)));
                     }
                 }
             }
             if dist_t == i64::MAX {
-                flush(ssp_iters, pot_updates);
+                flush(augmentations, phases, pot_updates);
                 return Err(DualError::Unbounded);
             }
             for (p, &d) in self.pi.iter_mut().zip(&dist) {
@@ -299,24 +316,64 @@ impl DualSolver {
                 }
                 *p += delta;
             }
-            let mut bottleneck = remaining;
-            let mut v = t;
-            while v != s {
-                let ai = prev_arc[v];
-                bottleneck = bottleneck.min(self.arcs[ai].cap);
-                v = self.arcs[self.arcs[ai].rev].to;
+            // Blocking-flow sweep over the admissible subgraph (arcs with
+            // capacity and zero reduced cost under the updated
+            // potentials). Cursors never rewind, so each arc is inspected
+            // O(1) times per phase; any admissible path the sweep misses
+            // because a node was transiently on the path is picked up by
+            // the next phase's fresh cursors at unchanged potentials.
+            cur.iter_mut().for_each(|c| *c = 0);
+            path.clear();
+            on_path[s] = true;
+            let mut v = s;
+            while remaining > 0 {
+                if v == t {
+                    let mut bottleneck = remaining;
+                    for &ai in &path {
+                        bottleneck = bottleneck.min(self.arcs[ai].cap);
+                    }
+                    for &ai in &path {
+                        self.arcs[ai].cap -= bottleneck;
+                        let rev = self.arcs[ai].rev;
+                        self.arcs[rev].cap += bottleneck;
+                        on_path[self.arcs[ai].to] = false;
+                    }
+                    remaining -= bottleneck;
+                    augmentations += 1;
+                    path.clear();
+                    v = s;
+                    continue;
+                }
+                let mut advanced = false;
+                while cur[v] < self.adj[v].len() {
+                    let ai = self.adj[v][cur[v]];
+                    let a = &self.arcs[ai];
+                    if a.cap > 0 && !on_path[a.to] && a.cost + self.pi[v] - self.pi[a.to] == 0 {
+                        path.push(ai);
+                        on_path[a.to] = true;
+                        v = a.to;
+                        advanced = true;
+                        break;
+                    }
+                    cur[v] += 1;
+                }
+                if advanced {
+                    continue;
+                }
+                // Dead end: retreat one step, skipping the arc that led
+                // here. At the source the phase is exhausted.
+                match path.pop() {
+                    Some(ai) => {
+                        on_path[v] = false;
+                        v = self.arcs[self.arcs[ai].rev].to;
+                        cur[v] += 1;
+                    }
+                    None => break,
+                }
             }
-            let mut v = t;
-            while v != s {
-                let ai = prev_arc[v];
-                self.arcs[ai].cap -= bottleneck;
-                let rev = self.arcs[ai].rev;
-                self.arcs[rev].cap += bottleneck;
-                v = self.arcs[rev].to;
-            }
-            remaining -= bottleneck;
+            on_path.iter_mut().for_each(|b| *b = false);
         }
-        flush(ssp_iters, pot_updates);
+        flush(augmentations, phases, pot_updates);
         Ok(())
     }
 }

@@ -28,7 +28,7 @@ pub mod fault;
 pub mod prop;
 
 pub use fault::FaultPlan;
-pub use prop::run_property;
+pub use prop::{case_seed, run_property};
 
 /// Multiplier from the SplitMix64 reference implementation.
 const SPLITMIX_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;

@@ -43,8 +43,11 @@ fn fnv1a(name: &str) -> u64 {
     h
 }
 
-/// The replay seed for case `case` of property `name`.
-fn case_seed(name: &str, case: u64) -> u64 {
+/// The replay seed for case `case` of property `name`. Public so
+/// external drivers (e.g. a thread-pool fan-out over cases) can derive
+/// the same seed lanes as [`run_property`] and keep failure reports
+/// replayable with `LACR_PROP_REPLAY`.
+pub fn case_seed(name: &str, case: u64) -> u64 {
     let mut s = fnv1a(name) ^ case;
     splitmix64(&mut s)
 }

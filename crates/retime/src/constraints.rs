@@ -77,94 +77,21 @@ pub fn generate_period_constraints(
 ) -> PeriodConstraints {
     let n = graph.num_vertices();
     let _span = lacr_obs::span!("retime.wd_build", vertices = n, target = target);
+    // Each source's row of the W/D computation is independent of every
+    // other's, so the per-source loop fans out across the deterministic
+    // pool; the ordered merge below restores the canonical (source-major)
+    // constraint order regardless of scheduling.
+    let sources: Vec<VertexId> = graph.vertex_ids().collect();
+    let rows = lacr_par::Region::new("retime.wd_sources").map_indexed_with(
+        &sources,
+        || SourceScratch::new(n),
+        |scratch, _, &u| source_row(graph, target, options, u, scratch),
+    );
     let mut constraints = Vec::new();
     let mut pairs = 0usize;
-    // Paths must not pass *through* the host: the environment registers
-    // primary outputs before they can influence primary inputs, so a
-    // `u ⇝ host ⇝ v` chain is not a real signal path (pairs ending or
-    // starting at the host are still considered).
-    let host = graph.host();
-
-    // Reusable scratch buffers across sources.
-    let mut w = vec![i64::MAX; n];
-    let mut d = vec![0u64; n];
-    let mut covered = vec![false; n];
-    let mut order: Vec<u32> = Vec::with_capacity(n);
-
-    for u in graph.vertex_ids() {
-        w.iter_mut().for_each(|x| *x = i64::MAX);
-        covered.iter_mut().for_each(|x| *x = false);
-        // Dijkstra for W(u, ·).
-        w[u.index()] = 0;
-        let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::new();
-        heap.push(Reverse((0, u.0)));
-        order.clear();
-        while let Some(Reverse((dist, v))) = heap.pop() {
-            if dist > w[v as usize] {
-                continue;
-            }
-            order.push(v);
-            if host == Some(VertexId(v)) && u != VertexId(v) {
-                continue; // terminate paths at the host
-            }
-            for e in graph.out_edges(VertexId(v)) {
-                let edge = graph.edge(e);
-                let nd = dist + edge.weight;
-                if nd < w[edge.to.index()] {
-                    w[edge.to.index()] = nd;
-                    heap.push(Reverse((nd, edge.to.0)));
-                }
-            }
-        }
-        // `order` is a topological order of the tight DAG: every tight edge
-        // x→y has W(u,x) ≤ W(u,y), and Dijkstra pops in W order; ties are
-        // resolved consistently because a tight zero-weight edge x→y means
-        // y is finalised only after x relaxed it... in general equal-W pops
-        // are not DAG-ordered, so do an explicit Kahn pass instead.
-        let topo = tight_dag_topo(graph, &w, host.filter(|&h| h != u), u);
-        debug_assert_eq!(
-            topo.len(),
-            order.len(),
-            "tight subgraph had a zero-weight cycle (invalid circuit)"
-        );
-        // Longest-delay DP over the tight DAG.
-        d.iter_mut().for_each(|x| *x = 0);
-        d[u.index()] = graph.delay(u);
-        for &v in &topo {
-            let vi = v as usize;
-            if host == Some(VertexId(v)) && u != VertexId(v) {
-                continue; // terminate paths at the host
-            }
-            let base = d[vi];
-            // A tight ancestor that itself violates the period makes every
-            // descendant's constraint redundant (see module docs).
-            let violating = covered[vi] || (vi != u.index() && base > target);
-            for e in graph.out_edges(VertexId(v)) {
-                let edge = graph.edge(e);
-                let ti = edge.to.index();
-                if w[vi] + edge.weight == w[ti] {
-                    let cand = base + graph.delay(edge.to);
-                    if cand > d[ti] {
-                        d[ti] = cand;
-                    }
-                    if violating {
-                        covered[ti] = true;
-                    }
-                }
-            }
-        }
-        for &v in &topo {
-            let vi = v as usize;
-            if vi == u.index() || w[vi] == i64::MAX {
-                continue;
-            }
-            if d[vi] > target {
-                pairs += 1;
-                if !(options.prune && covered[vi]) {
-                    constraints.push(Constraint::new(u.index(), vi, w[vi] - 1));
-                }
-            }
-        }
+    for (row_pairs, row_constraints) in rows {
+        pairs += row_pairs;
+        constraints.extend(row_constraints);
     }
     lacr_obs::counter!("retime.period_pairs", pairs);
     lacr_obs::counter!("retime.constraints_emitted", constraints.len());
@@ -173,6 +100,129 @@ pub fn generate_period_constraints(
         constraints,
         pairs_before_pruning: pairs,
     }
+}
+
+/// Reusable per-worker scratch for [`source_row`].
+#[derive(Debug)]
+struct SourceScratch {
+    w: Vec<i64>,
+    d: Vec<u64>,
+    covered: Vec<bool>,
+    heap: BinaryHeap<Reverse<(i64, u32)>>,
+}
+
+impl SourceScratch {
+    fn new(n: usize) -> Self {
+        Self {
+            w: vec![i64::MAX; n],
+            d: vec![0; n],
+            covered: vec![false; n],
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+/// One source's W/D row: Dijkstra for `W(u, ·)`, longest-delay DP over
+/// the tight DAG for `D(u, ·)`, then the violating pairs, emitted **in
+/// ascending head-vertex index**. The emission order is part of the
+/// determinism contract: `W`, `D` and the `covered` pruning set are
+/// invariant under adjacency-list order (Dijkstra's heap orders ties by
+/// `(distance, vertex)`, the DP takes a max over incoming tight edges and
+/// `covered` is DAG reachability — all order-free), so index-ordered
+/// emission makes the whole row, and with it [`PeriodConstraints`],
+/// independent of edge insertion order and of scheduling.
+fn source_row(
+    graph: &RetimeGraph,
+    target: u64,
+    options: ConstraintOptions,
+    u: VertexId,
+    scratch: &mut SourceScratch,
+) -> (usize, Vec<Constraint>) {
+    // Paths must not pass *through* the host: the environment registers
+    // primary outputs before they can influence primary inputs, so a
+    // `u ⇝ host ⇝ v` chain is not a real signal path (pairs ending or
+    // starting at the host are still considered).
+    let host = graph.host();
+    let SourceScratch {
+        w,
+        d,
+        covered,
+        heap,
+    } = scratch;
+    w.iter_mut().for_each(|x| *x = i64::MAX);
+    covered.iter_mut().for_each(|x| *x = false);
+    // Dijkstra for W(u, ·).
+    w[u.index()] = 0;
+    heap.clear();
+    heap.push(Reverse((0, u.0)));
+    let mut reached = 0usize;
+    while let Some(Reverse((dist, v))) = heap.pop() {
+        if dist > w[v as usize] {
+            continue;
+        }
+        reached += 1;
+        if host == Some(VertexId(v)) && u != VertexId(v) {
+            continue; // terminate paths at the host
+        }
+        for e in graph.out_edges(VertexId(v)) {
+            let edge = graph.edge(e);
+            let nd = dist + edge.weight;
+            if nd < w[edge.to.index()] {
+                w[edge.to.index()] = nd;
+                heap.push(Reverse((nd, edge.to.0)));
+            }
+        }
+    }
+    // Dijkstra pops are in W order, but equal-W pops are not DAG-ordered
+    // in general (a tight zero-weight edge may point between two vertices
+    // popped in either order), so do an explicit Kahn pass for the tight
+    // DAG's topological order.
+    let topo = tight_dag_topo(graph, w, host.filter(|&h| h != u), u);
+    debug_assert_eq!(
+        topo.len(),
+        reached,
+        "tight subgraph had a zero-weight cycle (invalid circuit)"
+    );
+    // Longest-delay DP over the tight DAG.
+    d.iter_mut().for_each(|x| *x = 0);
+    d[u.index()] = graph.delay(u);
+    for &v in &topo {
+        let vi = v as usize;
+        if host == Some(VertexId(v)) && u != VertexId(v) {
+            continue; // terminate paths at the host
+        }
+        let base = d[vi];
+        // A tight ancestor that itself violates the period makes every
+        // descendant's constraint redundant (see module docs).
+        let violating = covered[vi] || (vi != u.index() && base > target);
+        for e in graph.out_edges(VertexId(v)) {
+            let edge = graph.edge(e);
+            let ti = edge.to.index();
+            if w[vi] + edge.weight == w[ti] {
+                let cand = base + graph.delay(edge.to);
+                if cand > d[ti] {
+                    d[ti] = cand;
+                }
+                if violating {
+                    covered[ti] = true;
+                }
+            }
+        }
+    }
+    let mut pairs = 0usize;
+    let mut constraints = Vec::new();
+    for vi in 0..w.len() {
+        if vi == u.index() || w[vi] == i64::MAX {
+            continue;
+        }
+        if d[vi] > target {
+            pairs += 1;
+            if !(options.prune && covered[vi]) {
+                constraints.push(Constraint::new(u.index(), vi, w[vi] - 1));
+            }
+        }
+    }
+    (pairs, constraints)
 }
 
 /// Kahn topological order of the tight DAG induced by `w`. Vertices with
@@ -345,6 +395,61 @@ mod tests {
             .find(|c| c.u == a.index() && c.v == b.index())
             .expect("constraint");
         assert_eq!(c.bound, -1);
+    }
+
+    lacr_prng::properties! {
+        cases = 48;
+
+        /// The generated constraint list — values *and* order — is
+        /// invariant under the order edges are inserted into the graph
+        /// (adjacency-list order). This enforces the tie-breaking
+        /// discussion in [`source_row`]: W and D are adjacency-order-free
+        /// and emission is in vertex-index order, so two graphs that
+        /// differ only in edge insertion order must produce byte-identical
+        /// [`PeriodConstraints`].
+        fn constraints_invariant_under_adjacency_order(rng) {
+            let n = rng.gen_range(3..10usize);
+            // Forward edges may carry weight 0 (they cannot close a
+            // cycle); back edges carry weight ≥ 1 so every cycle has
+            // positive weight, which valid circuits require.
+            let mut edges: Vec<(u32, u32, i64)> = Vec::new();
+            for i in 0..n as u32 {
+                for j in 0..n as u32 {
+                    if i == j || !rng.gen_bool(0.4) {
+                        continue;
+                    }
+                    let w = if i < j {
+                        rng.gen_range(0..=2i64)
+                    } else {
+                        rng.gen_range(1..=3i64)
+                    };
+                    edges.push((i, j, w));
+                }
+            }
+            let delays: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=5u64)).collect();
+            let build = |order: &[(u32, u32, i64)]| {
+                let mut g = RetimeGraph::new();
+                let vs: Vec<VertexId> = delays
+                    .iter()
+                    .map(|&d| g.add_vertex(VertexKind::Functional, d, 1.0, None))
+                    .collect();
+                for &(a, b, w) in order {
+                    g.add_edge(vs[a as usize], vs[b as usize], w);
+                }
+                g
+            };
+            let canonical = build(&edges);
+            let mut shuffled = edges.clone();
+            rng.shuffle(&mut shuffled);
+            let permuted = build(&shuffled);
+            let target = rng.gen_range(2..8u64);
+            for prune in [false, true] {
+                let a = generate_period_constraints(&canonical, target, ConstraintOptions { prune });
+                let b = generate_period_constraints(&permuted, target, ConstraintOptions { prune });
+                lacr_prng::prop_assert_eq!(a.constraints, b.constraints);
+                lacr_prng::prop_assert_eq!(a.pairs_before_pruning, b.pairs_before_pruning);
+            }
+        }
     }
 
     #[test]

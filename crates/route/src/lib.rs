@@ -31,7 +31,13 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Undirected edge usage, keyed by the two cell indices in ascending
+/// order. A `BTreeMap` rather than a hash map: iteration feeds the
+/// overflowed-edge set and the final usage report, and sorted-key order
+/// keeps both independent of hash seeding.
+type UsageMap = BTreeMap<(usize, usize), u64>;
 
 /// The pins of one net, as linear cell indices on the routing grid.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,20 +127,22 @@ pub struct Routing {
     pub nets: Vec<RoutedNet>,
     /// Total wirelength in cell-to-cell steps.
     pub wirelength: usize,
-    /// Total overflow (usage beyond capacity, summed over edges).
-    pub overflow: u32,
+    /// Total overflow (usage beyond capacity, summed over edges). `u64`:
+    /// the per-edge terms are small, but the sum is over every edge of
+    /// the grid and at stress scale a `u32` accumulator can truncate.
+    pub overflow: u64,
     /// Maximum usage of any edge.
-    pub max_usage: u32,
+    pub max_usage: u64,
     /// Final usage per cell-to-cell edge (undirected, keyed by the two
     /// cell indices in ascending order).
-    pub edge_usage: Vec<((usize, usize), u32)>,
+    pub edge_usage: Vec<((usize, usize), u64)>,
 }
 
 impl Routing {
     /// Per-cell congestion: the maximum usage over a cell's four edges,
     /// as a fraction of `capacity` (may exceed 1 on overflow).
     pub fn cell_congestion(&self, num_cells: usize, capacity: u32) -> Vec<f64> {
-        let mut worst = vec![0u32; num_cells];
+        let mut worst = vec![0u64; num_cells];
         for &((a, b), u) in &self.edge_usage {
             worst[a] = worst[a].max(u);
             worst[b] = worst[b].max(u);
@@ -183,11 +191,13 @@ pub fn try_route(
         }
     }
     let _span = lacr_obs::span!("route.global", nets = nets.len(), cells = num_cells);
-    let mut usage: HashMap<(usize, usize), u32> = HashMap::new();
-    let mut history: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut usage: UsageMap = UsageMap::new();
+    let mut history: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     let mut routed: Vec<RoutedNet> = Vec::with_capacity(nets.len());
 
-    // Initial pass.
+    // Initial pass. Stays sequential-incremental by design: each net is
+    // routed against the usage left by the nets before it, which is what
+    // spreads identically-pinned nets apart in the first place.
     for net in nets {
         let r = route_one(nx, ny, net, &usage, &history, config);
         add_usage(&mut usage, &r);
@@ -197,6 +207,15 @@ pub fn try_route(
     // Rip-up and re-route nets that use overflowed edges. The deadline
     // is consulted once per pass boundary only, so budget expiry is
     // deterministic under tracing.
+    //
+    // Each pass rips every offending net up front and re-routes the
+    // batch against that *frozen* usage snapshot — a pure map over the
+    // ripped indices, so the batch fans out across the deterministic
+    // pool and the result does not depend on the thread count. Usage
+    // deltas are then applied in ascending net order. (The ripped nets
+    // no longer see each other's same-pass re-routes; separation between
+    // conflicting nets comes from the history penalties that escalate
+    // across passes.)
     let mut nets_rerouted = 0_u64;
     let mut ripup_passes = 0_u64;
     for pass in 0..config.passes {
@@ -206,9 +225,9 @@ pub fn try_route(
                 break; // budget expired: return the routing as-is
             }
         }
-        let over: HashSet<(usize, usize)> = usage
+        let over: BTreeSet<(usize, usize)> = usage
             .iter()
-            .filter(|(_, &u)| u > config.edge_capacity)
+            .filter(|(_, &u)| u > u64::from(config.edge_capacity))
             .map(|(&k, _)| k)
             .collect();
         if over.is_empty() {
@@ -219,14 +238,19 @@ pub fn try_route(
         for k in &over {
             *history.entry(*k).or_insert(0.0) += config.history_penalty;
         }
-        for (i, net) in nets.iter().enumerate() {
-            let uses_over = tree_edges(&routed[i]).iter().any(|k| over.contains(k));
-            if !uses_over {
-                continue;
-            }
-            nets_rerouted += 1;
+        let ripped: Vec<usize> = (0..nets.len())
+            .filter(|&i| tree_edges(&routed[i]).iter().any(|k| over.contains(k)))
+            .collect();
+        for &i in &ripped {
             remove_usage(&mut usage, &routed[i]);
-            let r = route_one(nx, ny, net, &usage, &history, config);
+        }
+        nets_rerouted += ripped.len() as u64;
+        let rerouted = lacr_par::Region::new("route.ripup_batch")
+            .deadline(config.deadline)
+            .map_indexed(&ripped, |_, &i| {
+                route_one(nx, ny, &nets[i], &usage, &history, config)
+            });
+        for (&i, r) in ripped.iter().zip(rerouted) {
             add_usage(&mut usage, &r);
             routed[i] = r;
         }
@@ -237,16 +261,11 @@ pub fn try_route(
     lacr_obs::counter!("route.nets_rerouted", nets_rerouted);
 
     let wirelength = routed.iter().map(|r| tree_edges(r).len()).sum();
-    let overflow = usage
-        .values()
-        .map(|&u| u.saturating_sub(config.edge_capacity))
-        .sum();
-    let max_usage = usage.values().copied().max().unwrap_or(0);
+    let (overflow, max_usage) = overflow_stats(&usage, config.edge_capacity);
     lacr_obs::gauge!("route.overflow", overflow);
     lacr_obs::gauge!("route.max_usage", max_usage);
-    let mut edge_usage: Vec<((usize, usize), u32)> =
+    let edge_usage: Vec<((usize, usize), u64)> =
         usage.into_iter().filter(|&(_, u)| u > 0).collect();
-    edge_usage.sort_unstable();
     Ok(Routing {
         nets: routed,
         wirelength,
@@ -256,9 +275,25 @@ pub fn try_route(
     })
 }
 
-/// The undirected edges of a routed net's tree.
+/// Total overflow and maximum usage over all edges. The sum is carried
+/// in `u64` with checked arithmetic: per-edge overflows are small, but
+/// summing across a stress-scale grid can exceed `u32`.
+fn overflow_stats(usage: &UsageMap, capacity: u32) -> (u64, u64) {
+    let mut overflow = 0_u64;
+    let mut max_usage = 0_u64;
+    for &u in usage.values() {
+        overflow = overflow
+            .checked_add(u.saturating_sub(u64::from(capacity)))
+            .expect("total overflow exceeds u64");
+        max_usage = max_usage.max(u);
+    }
+    (overflow, max_usage)
+}
+
+/// The undirected edges of a routed net's tree, in ascending key order
+/// (so every consumer iterates deterministically).
 fn tree_edges(net: &RoutedNet) -> Vec<(usize, usize)> {
-    let mut edges = HashSet::new();
+    let mut edges = BTreeSet::new();
     for path in &net.sink_paths {
         for w in path.windows(2) {
             if w[0] != w[1] {
@@ -269,13 +304,14 @@ fn tree_edges(net: &RoutedNet) -> Vec<(usize, usize)> {
     edges.into_iter().collect()
 }
 
-fn add_usage(usage: &mut HashMap<(usize, usize), u32>, net: &RoutedNet) {
+fn add_usage(usage: &mut UsageMap, net: &RoutedNet) {
     for k in tree_edges(net) {
-        *usage.entry(k).or_insert(0) += 1;
+        let u = usage.entry(k).or_insert(0);
+        *u = u.checked_add(1).expect("edge usage exceeds u64");
     }
 }
 
-fn remove_usage(usage: &mut HashMap<(usize, usize), u32>, net: &RoutedNet) {
+fn remove_usage(usage: &mut UsageMap, net: &RoutedNet) {
     for k in tree_edges(net) {
         if let Some(u) = usage.get_mut(&k) {
             *u = u.saturating_sub(1);
@@ -290,20 +326,24 @@ fn route_one(
     nx: usize,
     ny: usize,
     net: &NetPins,
-    usage: &HashMap<(usize, usize), u32>,
-    history: &HashMap<(usize, usize), f64>,
+    usage: &UsageMap,
+    history: &BTreeMap<(usize, usize), f64>,
     config: &RouteConfig,
 ) -> RoutedNet {
     let num_cells = nx * ny;
     // parent[c] = next cell toward the driver; driver points to itself.
-    let mut parent: HashMap<usize, usize> = HashMap::new();
+    // A `BTreeMap` so that seeding the multi-source Dijkstra below from
+    // `parent.keys()` happens in a run-stable order. (The search itself
+    // is seed-order independent — the heap's `(cost, cell)` key is a
+    // total order — but keeping every iteration deterministic is cheap.)
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
     parent.insert(net.driver, net.driver);
 
     let edge_cost = |a: usize, b: usize| -> f64 {
         let k = edge_key(a, b);
         let u = *usage.get(&k).unwrap_or(&0);
         let h = *history.get(&k).unwrap_or(&0.0);
-        let over = (u + 1).saturating_sub(config.edge_capacity) as f64;
+        let over = (u + 1).saturating_sub(u64::from(config.edge_capacity)) as f64;
         1.0 + h + over * config.overflow_penalty
     };
 
@@ -606,6 +646,58 @@ mod tests {
         assert_eq!(r.edge_usage, vec![((0, 1), 2), ((1, 2), 2)]);
         let cong = r.cell_congestion(3, 4);
         assert!((cong[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_sum_does_not_truncate_at_u32_boundary() {
+        // Synthetic usage straddling the u32 boundary: the old `u32`
+        // accumulator truncated here; the sum must survive in u64.
+        let mut usage = UsageMap::new();
+        usage.insert((0, 1), u64::from(u32::MAX) + 5);
+        usage.insert((1, 2), u64::from(u32::MAX));
+        usage.insert((2, 3), 3);
+        let (overflow, max_usage) = overflow_stats(&usage, 1);
+        let expected = (u64::from(u32::MAX) + 4) + (u64::from(u32::MAX) - 1) + 2;
+        assert_eq!(overflow, expected);
+        assert!(
+            overflow > u64::from(u32::MAX),
+            "boundary case no longer exceeds u32; test needs rescaling"
+        );
+        assert_eq!(max_usage, u64::from(u32::MAX) + 5);
+    }
+
+    #[test]
+    fn routing_is_byte_identical_across_runs_and_thread_counts() {
+        // Over-subscribed on purpose (9 left→right nets against a total
+        // vertical cut capacity of 3), so every pass rips a batch up and
+        // the parallel re-route path is exercised, not just the initial
+        // sequential pass.
+        let nx = 5;
+        let ny = 3;
+        let mut nets = Vec::new();
+        for row in 0..ny {
+            for _ in 0..3 {
+                nets.push(NetPins {
+                    driver: row * nx,
+                    sinks: vec![row * nx + nx - 1],
+                });
+            }
+        }
+        let cfg = RouteConfig {
+            edge_capacity: 1,
+            passes: 4,
+            ..Default::default()
+        };
+        let baseline = route(nx, ny, &nets, &cfg);
+        assert!(baseline.overflow > 0, "grid not over-subscribed");
+        let rerun = route(nx, ny, &nets, &cfg);
+        assert_eq!(baseline, rerun, "two identical sequential runs diverged");
+        for threads in [2, 8] {
+            lacr_par::set_threads(threads);
+            let parallel = route(nx, ny, &nets, &cfg);
+            lacr_par::set_threads(0);
+            assert_eq!(baseline, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Repository verification: exactly what CI runs, runnable offline.
 #
-#   scripts/verify.sh           # build + tests + format check
-#   scripts/verify.sh --quick   # skip the slow integration suites
-#   scripts/verify.sh --faults  # fault-injection suite + no-panic CLI smoke
-#   scripts/verify.sh --metrics # observability smoke: JSONL stream validated
+#   scripts/verify.sh                # build + tests + format check
+#   scripts/verify.sh --quick        # skip the slow integration suites
+#   scripts/verify.sh --faults       # fault-injection suite + no-panic CLI smoke
+#   scripts/verify.sh --metrics      # observability smoke: JSONL stream validated
+#   scripts/verify.sh --determinism  # bit-identical plans across thread counts
 #
 # The workspace has no external dependencies, so --offline always works.
 set -euo pipefail
@@ -13,13 +14,15 @@ cd "$(dirname "$0")/.."
 QUICK=0
 FAULTS=0
 METRICS=0
+DETERMINISM=0
 case "${1:-}" in
     --quick) QUICK=1 ;;
     --faults) FAULTS=1 ;;
     --metrics) METRICS=1 ;;
+    --determinism) DETERMINISM=1 ;;
     "") ;;
     *)
-        echo "error: unknown option '${1}' (usage: scripts/verify.sh [--quick|--faults|--metrics])" >&2
+        echo "error: unknown option '${1}' (usage: scripts/verify.sh [--quick|--faults|--metrics|--determinism])" >&2
         exit 2
         ;;
 esac
@@ -47,6 +50,44 @@ if [[ "$METRICS" == 1 ]]; then
     target/release/check_metrics target/metrics/s344.jsonl
 
     echo "==> metrics OK (artifacts in target/metrics/)"
+    exit 0
+fi
+
+if [[ "$DETERMINISM" == 1 ]]; then
+    echo "==> cargo build --release (warnings are errors)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --offline --workspace
+
+    echo "==> determinism suite (full plans at 1/2/8 threads, two sequential runs)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" \
+        cargo test --release --offline -p lacr-core --test determinism
+
+    echo "==> thread-count regressions (router rip-up, annealer restarts)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test --release --offline \
+        -p lacr-route routing_is_byte_identical_across_runs_and_thread_counts
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test --release --offline \
+        -p lacr-floorplan restarts_deterministic_and_never_worse_than_single_run
+
+    echo "==> adjacency-order invariance (W/D constraint property test)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo test --release --offline \
+        -p lacr-retime constraints_invariant_under_adjacency_order
+
+    echo "==> CLI cross-thread diff: lacr plan s344 at LACR_THREADS=1,2,8"
+    mkdir -p target/determinism
+    # Mask the two Texec/s wall-clock columns — the only 3-decimal fields
+    # in the table — before diffing; everything else must be byte-equal.
+    for t in 1 2 8; do
+        LACR_THREADS=$t target/release/lacr plan s344 2>/dev/null |
+            sed -E 's/[0-9]+\.[0-9]{3}/<T>/g' >"target/determinism/s344.t$t.txt"
+    done
+    for t in 2 8; do
+        diff -u target/determinism/s344.t1.txt "target/determinism/s344.t$t.txt" || {
+            echo "error: lacr plan s344 differs between LACR_THREADS=1 and LACR_THREADS=$t" >&2
+            exit 1
+        }
+        echo "    LACR_THREADS=$t: identical to LACR_THREADS=1"
+    done
+
+    echo "==> determinism OK"
     exit 0
 fi
 

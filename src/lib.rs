@@ -29,12 +29,14 @@
 //! | [`retime`] | retiming graphs, W/D matrices, min-period / min-area retiming |
 //! | [`core`] | LAC-retiming, the planning pipeline, the experiment driver |
 //! | [`obs`] | zero-dependency tracing, metrics and perf reports |
+//! | [`par`] | deterministic scoped thread pool and ordered parallel map |
 
 pub use lacr_core as core;
 pub use lacr_floorplan as floorplan;
 pub use lacr_mcmf as mcmf;
 pub use lacr_netlist as netlist;
 pub use lacr_obs as obs;
+pub use lacr_par as par;
 pub use lacr_partition as partition;
 pub use lacr_repeater as repeater;
 pub use lacr_retime as retime;

@@ -14,8 +14,10 @@
 //!
 //! Global flags (any command): `--trace` streams pipeline spans to
 //! stderr, `--metrics-out <path>` writes the JSONL record stream,
-//! `--report` prints the per-stage self-time table after the run, and
-//! `--quiet` silences `[lacr]` diagnostics.
+//! `--report` prints the per-stage self-time table after the run,
+//! `--quiet` silences `[lacr]` diagnostics, and `--threads N` caps the
+//! worker pool for parallel regions (overriding the `LACR_THREADS`
+//! environment variable; output is bit-identical at any thread count).
 //!
 //! Exit codes: 0 success, 1 error (one-line diagnostic on stderr),
 //! 2 usage, 3 the run finished but the plan is *degraded* (budget
@@ -39,6 +41,7 @@ struct ObsFlags {
     trace: bool,
     report: bool,
     metrics_out: Option<String>,
+    threads: Option<usize>,
 }
 
 impl ObsFlags {
@@ -54,6 +57,17 @@ impl ObsFlags {
                 "--metrics-out" => {
                     flags.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
                 }
+                "--threads" => {
+                    let n: usize = it
+                        .next()
+                        .ok_or("--threads needs a worker count")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    flags.threads = Some(n);
+                }
                 _ => rest.push(a),
             }
         }
@@ -65,6 +79,9 @@ impl ObsFlags {
     /// `--metrics-out` is given, live stderr tracing for `--trace`, and a
     /// null sink when only `--report` asks for aggregation.
     fn install(&self) -> Result<(), String> {
+        if let Some(n) = self.threads {
+            lacr::par::set_threads(n);
+        }
         if self.quiet {
             lacr::obs::set_diag_level(lacr::obs::DiagLevel::Silent);
         }
@@ -115,7 +132,7 @@ fn main() -> ExitCode {
             eprintln!("  table1 [circuit ...]        regenerate the paper's Table 1");
             eprintln!("  fig2 <circuit> [out.svg]    render the tile graph");
             eprintln!("  retime <in.bench> <out.bench> [period_ps]");
-            eprintln!("global flags: --trace --metrics-out <path> --report --quiet");
+            eprintln!("global flags: --trace --metrics-out <path> --report --quiet --threads <n>");
             eprintln!("exit codes: 0 ok, 1 error, 2 usage, 3 degraded plan");
             return ExitCode::from(2);
         }
