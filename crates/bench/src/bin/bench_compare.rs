@@ -1,0 +1,31 @@
+//! The benchmark-regression gate as a standalone binary.
+//!
+//! ```text
+//! cargo run --release -p lacr-bench --bin bench_compare -- \
+//!     <base.json> <current.json> [--no-wall] [--wall-tolerance <pct>] \
+//!     [--json <out>]
+//! ```
+//!
+//! Diffs two `RUN_*.json` / `BENCH_*.json` artifacts: hard gates on the
+//! solution-quality metrics (`lac_n_foa`, `n_wr`, `t_clk_ns`,
+//! `route_overflow` must not increase), a noise-tolerant soft gate on
+//! wall-clock (±15 % by default; `--no-wall` disables it). Prints a
+//! human table; `--json` additionally writes the machine verdict.
+//!
+//! Exits 0 when the gate passes, 1 on a regression, 2 on usage or I/O
+//! errors. `scripts/verify.sh --regress` and CI drive it against the
+//! committed baseline.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lacr_bench::compare::cli_main(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

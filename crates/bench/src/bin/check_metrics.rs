@@ -1,12 +1,14 @@
-//! Validates a JSONL metrics file produced by `--metrics-out`.
+//! Validates the workspace's machine-readable observability artifacts.
 //!
-//! Checks, line by line:
+//! Default mode checks a JSONL metrics file produced by `--metrics-out`,
+//! line by line:
 //!
 //! 1. every line is one syntactically valid JSON object;
 //! 2. every record carries a known `"t"` type tag;
 //! 3. `span_open` / `span_close` records balance like parentheses, with
 //!    matching names and depths (no orphaned opens at end of file);
-//! 4. the final line is the `summary` record;
+//! 4. the final line is the `summary` record, and it carries a
+//!    supported `schema_version`;
 //! 5. the `lacr-par` contract holds: every `par.region` span carries
 //!    numeric `items`/`threads` attributes, `par.tasks` / `par.steal`
 //!    counters only fire inside an open `par.region` span, and the
@@ -14,233 +16,26 @@
 //!    `par.steal` counter is optional — single-threaded regions never
 //!    emit one).
 //!
+//! Other artifact kinds have their own modes:
+//!
+//! - `--run <RUN_x.json>`: provenance (`schema_version`, `threads`,
+//!   `git_rev`) plus a `quality` block with the gated metrics on every
+//!   circuit entry;
+//! - `--bench <BENCH_x.json>`: provenance only (legacy shape otherwise);
+//! - `--flight <dump.jsonl>`: a flight-recorder postmortem — versioned
+//!   header with a `reason`, an `events` count matching the body, every
+//!   body line a known record type.
+//!
 //! ```text
-//! cargo run --release -p lacr-bench --bin check_metrics <file.jsonl>
+//! cargo run --release -p lacr-bench --bin check_metrics -- [mode] <file>
 //! ```
 //!
 //! Exits 0 on success (one confirmation line on stdout), 1 with the
 //! offending line number on stderr otherwise.
 
+use lacr_bench::compare::GATED_METRICS;
+use lacr_bench::json::{parse_json, Json};
 use std::process::ExitCode;
-
-/// A minimal JSON value — just enough structure for validation.
-#[derive(Debug, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-}
-
-/// Recursive-descent JSON parser over a byte slice.
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Self {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
-        }
-    }
-
-    fn eat_lit(&mut self, lit: &str) -> Result<(), String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(())
-        } else {
-            Err(format!("expected {lit:?} at byte {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.eat_lit("true").map(|()| Json::Bool(true)),
-            Some(b'f') => self.eat_lit("false").map(|()| Json::Bool(false)),
-            Some(b'n') => self.eat_lit("null").map(|()| Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.eat(b':')?;
-            fields.push((key, self.value()?));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                other => return Err(format!("expected , or }} got {other:?}")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("expected , or ] got {other:?}")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut s = String::new();
-        loop {
-            match self.peek().ok_or("unterminated string")? {
-                b'"' => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                b'\\' => {
-                    self.pos += 1;
-                    match self.peek().ok_or("unterminated escape")? {
-                        b'"' => s.push('"'),
-                        b'\\' => s.push('\\'),
-                        b'/' => s.push('/'),
-                        b'n' => s.push('\n'),
-                        b'r' => s.push('\r'),
-                        b't' => s.push('\t'),
-                        b'b' => s.push('\u{8}'),
-                        b'f' => s.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                            let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                            s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("bad escape \\{}", char::from(other))),
-                    }
-                    self.pos += 1;
-                }
-                _ => {
-                    // Consume one UTF-8 character (already validated by &str).
-                    let rest = &self.bytes[self.pos..];
-                    let ch_len = std::str::from_utf8(rest)
-                        .map_err(|e| e.to_string())?
-                        .chars()
-                        .next()
-                        .ok_or("unterminated string")?
-                        .len_utf8();
-                    s.push_str(std::str::from_utf8(&rest[..ch_len]).unwrap());
-                    self.pos += ch_len;
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| e.to_string())?
-            .parse::<f64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number at byte {start}: {e}"))
-    }
-}
-
-/// Parses one complete JSON document, rejecting trailing garbage.
-fn parse_json(line: &str) -> Result<Json, String> {
-    let mut p = Parser::new(line);
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing bytes after value at {}", p.pos));
-    }
-    Ok(v)
-}
 
 const KNOWN_TYPES: &[&str] = &[
     "span_open",
@@ -350,7 +145,10 @@ fn check_stream(text: &str) -> Result<(usize, usize, usize), String> {
                     }
                 }
             }
-            "summary" => saw_summary = true,
+            "summary" => {
+                check_schema_version(&v).map_err(|e| format!("line {ln}: summary {e}"))?;
+                saw_summary = true;
+            }
             _ => {}
         }
     }
@@ -369,24 +167,163 @@ fn check_stream(text: &str) -> Result<(usize, usize, usize), String> {
     Ok((records, spans, par_regions))
 }
 
+/// Requires a supported `schema_version` on `v`.
+fn check_schema_version(v: &Json) -> Result<u32, String> {
+    let version = v
+        .get("schema_version")
+        .and_then(Json::as_num)
+        .ok_or("has no schema_version (artifact predates the telemetry contract)")?
+        as u32;
+    if version > lacr_obs::SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} is newer than this tool's {}",
+            lacr_obs::SCHEMA_VERSION
+        ));
+    }
+    Ok(version)
+}
+
+/// Requires full provenance (`schema_version`, `threads`, `git_rev`) on
+/// a perf-record artifact.
+fn check_provenance(v: &Json) -> Result<(), String> {
+    check_schema_version(v)?;
+    v.get("threads")
+        .and_then(Json::as_num)
+        .ok_or("record has no numeric threads field")?;
+    v.get("git_rev")
+        .and_then(Json::as_str)
+        .ok_or("record has no git_rev field")?;
+    Ok(())
+}
+
+/// Validates a `BENCH_*.json` perf record: provenance only — the body
+/// shape is bench-specific. Returns the bench name.
+fn check_bench_record(text: &str) -> Result<String, String> {
+    let v = parse_json(text)?;
+    check_provenance(&v)?;
+    Ok(v.get("bench")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string())
+}
+
+/// Validates a `RUN_*.json` solution-quality artifact: provenance plus
+/// a `quality` block with every gated metric on each circuit entry.
+/// Returns (bench, circuits).
+fn check_run_record(text: &str) -> Result<(String, usize), String> {
+    let v = parse_json(text)?;
+    check_provenance(&v)?;
+    let circuits = v
+        .get("circuits")
+        .and_then(Json::as_arr)
+        .ok_or("run record has no circuits array")?;
+    for c in circuits {
+        let name = c
+            .get("circuit")
+            .and_then(Json::as_str)
+            .ok_or("circuit entry without a name")?;
+        let q = c
+            .get("quality")
+            .ok_or(format!("{name}: circuit entry without a quality block"))?;
+        for &metric in GATED_METRICS {
+            q.get(metric)
+                .and_then(Json::as_num)
+                .ok_or(format!("{name}: quality block missing {metric}"))?;
+        }
+        q.get("n_foa_trajectory")
+            .and_then(Json::as_arr)
+            .filter(|t| !t.is_empty())
+            .ok_or(format!("{name}: quality block missing n_foa_trajectory"))?;
+    }
+    Ok((
+        v.get("bench")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        circuits.len(),
+    ))
+}
+
+/// Validates a flight-recorder postmortem dump: a versioned header line
+/// with a `reason` and an `events` count that matches the number of
+/// body lines; every body line a known record type. Returns (reason,
+/// events).
+fn check_flight_dump(text: &str) -> Result<(String, usize), String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty flight dump")?;
+    let h = parse_json(header).map_err(|e| format!("header: {e}"))?;
+    if h.get("t").and_then(Json::as_str) != Some("flight") {
+        return Err("header is not a {\"t\":\"flight\"} record".to_string());
+    }
+    check_schema_version(&h).map_err(|e| format!("header {e}"))?;
+    let reason = h
+        .get("reason")
+        .and_then(Json::as_str)
+        .ok_or("header has no reason")?
+        .to_string();
+    let declared = h
+        .get("events")
+        .and_then(Json::as_num)
+        .ok_or("header has no events count")? as usize;
+    let mut body = 0usize;
+    for (ln, line) in lines.enumerate() {
+        let ln = ln + 2;
+        let v = parse_json(line).map_err(|e| format!("line {ln}: {e}"))?;
+        let t = v
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {ln}: missing \"t\" tag"))?;
+        // A dump is a raw ring snapshot: any record type except the
+        // stream-final summary may appear, in any order.
+        if !KNOWN_TYPES.contains(&t) || t == "summary" {
+            return Err(format!("line {ln}: unknown record type {t:?}"));
+        }
+        body += 1;
+    }
+    if body != declared {
+        return Err(format!(
+            "header declares {declared} events but the body has {body}"
+        ));
+    }
+    Ok((reason, body))
+}
+
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: check_metrics <file.jsonl>");
-        return ExitCode::from(2);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match args.as_slice() {
+        [path] => ("--stream", path.as_str()),
+        [mode, path] if matches!(mode.as_str(), "--run" | "--bench" | "--flight") => {
+            (mode.as_str(), path.as_str())
+        }
+        _ => {
+            eprintln!("usage: check_metrics [--run|--bench|--flight] <file>");
+            return ExitCode::from(2);
+        }
     };
-    let text = match std::fs::read_to_string(&path) {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("{path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    match check_stream(&text) {
-        Ok((records, spans, par_regions)) => {
-            println!(
-                "{path}: ok — {records} records, {spans} spans, \
+    let outcome = match mode {
+        "--run" => check_run_record(&text).map(|(bench, circuits)| {
+            format!("run record for {bench:?}: {circuits} circuit(s) with quality blocks")
+        }),
+        "--bench" => check_bench_record(&text).map(|bench| format!("bench record for {bench:?}")),
+        "--flight" => check_flight_dump(&text)
+            .map(|(reason, events)| format!("flight dump ({reason:?}): {events} record(s)")),
+        _ => check_stream(&text).map(|(records, spans, par_regions)| {
+            format!(
+                "{records} records, {spans} spans, \
                  {par_regions} parallel regions, summary present"
-            );
+            )
+        }),
+    };
+    match outcome {
+        Ok(msg) => {
+            println!("{path}: ok — {msg}");
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -401,37 +338,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_scalars_and_containers() {
-        assert_eq!(parse_json("null").unwrap(), Json::Null);
-        assert_eq!(parse_json("true").unwrap(), Json::Bool(true));
-        assert_eq!(parse_json("-1.5e2").unwrap(), Json::Num(-150.0));
-        assert_eq!(
-            parse_json("\"a\\n\\u0041\"").unwrap(),
-            Json::Str("a\nA".into())
-        );
-        let v = parse_json("{\"a\":[1,2],\"b\":{\"c\":\"d\"}}").unwrap();
-        assert_eq!(
-            v.get("a"),
-            Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)]))
-        );
-        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("d"));
-    }
-
-    #[test]
-    fn rejects_malformed_json() {
-        assert!(parse_json("{\"a\":}").is_err());
-        assert!(parse_json("[1,]").is_err());
-        assert!(parse_json("{} trailing").is_err());
-        assert!(parse_json("\"unterminated").is_err());
-    }
-
-    #[test]
     fn accepts_a_well_formed_stream() {
         let stream = "\
 {\"t\":\"span_open\",\"us\":1,\"name\":\"a\",\"depth\":0,\"attrs\":{}}
 {\"t\":\"counter\",\"us\":2,\"name\":\"c\",\"delta\":1,\"total\":1}
 {\"t\":\"span_close\",\"us\":3,\"name\":\"a\",\"depth\":0,\"incl_us\":2,\"excl_us\":2}
-{\"t\":\"summary\"}
+{\"t\":\"summary\",\"schema_version\":1}
 ";
         assert_eq!(check_stream(stream).unwrap(), (4, 1, 0));
     }
@@ -445,7 +357,7 @@ mod tests {
 {\"t\":\"counter\",\"us\":2,\"name\":\"par.tasks\",\"delta\":3,\"total\":3}
 {\"t\":\"counter\",\"us\":3,\"name\":\"par.steal\",\"delta\":1,\"total\":1}
 {\"t\":\"span_close\",\"us\":4,\"name\":\"par.region\",\"depth\":0,\"incl_us\":3,\"excl_us\":3}
-{\"t\":\"summary\"}
+{\"t\":\"summary\",\"schema_version\":1}
 ";
         assert_eq!(check_stream(good).unwrap(), (5, 1, 1));
 
@@ -453,13 +365,13 @@ mod tests {
 {\"t\":\"span_open\",\"us\":1,\"name\":\"par.region\",\"depth\":0,\"attrs\":{\"region\":\"r\",\"items\":3,\"threads\":1}}
 {\"t\":\"counter\",\"us\":2,\"name\":\"par.tasks\",\"delta\":2,\"total\":2}
 {\"t\":\"span_close\",\"us\":3,\"name\":\"par.region\",\"depth\":0,\"incl_us\":2,\"excl_us\":2}
-{\"t\":\"summary\"}
+{\"t\":\"summary\",\"schema_version\":1}
 ";
         assert!(check_stream(short).unwrap_err().contains("does not match"));
 
         let orphan_counter = "\
 {\"t\":\"counter\",\"us\":1,\"name\":\"par.tasks\",\"delta\":1,\"total\":1}
-{\"t\":\"summary\"}
+{\"t\":\"summary\",\"schema_version\":1}
 ";
         assert!(check_stream(orphan_counter)
             .unwrap_err()
@@ -468,7 +380,7 @@ mod tests {
         let no_items = "\
 {\"t\":\"span_open\",\"us\":1,\"name\":\"par.region\",\"depth\":0,\"attrs\":{\"region\":\"r\",\"threads\":2}}
 {\"t\":\"span_close\",\"us\":2,\"name\":\"par.region\",\"depth\":0,\"incl_us\":1,\"excl_us\":1}
-{\"t\":\"summary\"}
+{\"t\":\"summary\",\"schema_version\":1}
 ";
         assert!(check_stream(no_items)
             .unwrap_err()
@@ -477,12 +389,12 @@ mod tests {
 
     #[test]
     fn rejects_orphaned_open_and_mismatched_close() {
-        let orphan = "{\"t\":\"span_open\",\"us\":1,\"name\":\"a\",\"depth\":0,\"attrs\":{}}\n{\"t\":\"summary\"}\n";
+        let orphan = "{\"t\":\"span_open\",\"us\":1,\"name\":\"a\",\"depth\":0,\"attrs\":{}}\n{\"t\":\"summary\",\"schema_version\":1}\n";
         assert!(check_stream(orphan).unwrap_err().contains("still open"));
         let mismatch = "\
 {\"t\":\"span_open\",\"us\":1,\"name\":\"a\",\"depth\":0,\"attrs\":{}}
 {\"t\":\"span_close\",\"us\":2,\"name\":\"b\",\"depth\":0,\"incl_us\":1,\"excl_us\":1}
-{\"t\":\"summary\"}
+{\"t\":\"summary\",\"schema_version\":1}
 ";
         assert!(check_stream(mismatch)
             .unwrap_err()
@@ -492,9 +404,65 @@ mod tests {
     #[test]
     fn requires_summary_last() {
         assert!(check_stream("").unwrap_err().contains("no summary"));
-        let after = "{\"t\":\"summary\"}\n{\"t\":\"event\",\"us\":1,\"name\":\"x\",\"attrs\":{}}\n";
+        let after = "{\"t\":\"summary\",\"schema_version\":1}\n{\"t\":\"event\",\"us\":1,\"name\":\"x\",\"attrs\":{}}\n";
         assert!(check_stream(after)
             .unwrap_err()
             .contains("after the summary"));
+    }
+
+    #[test]
+    fn rejects_unversioned_summaries() {
+        let legacy = "{\"t\":\"summary\"}\n";
+        assert!(check_stream(legacy).unwrap_err().contains("schema_version"));
+        let future = "{\"t\":\"summary\",\"schema_version\":999}\n";
+        assert!(check_stream(future).unwrap_err().contains("newer"));
+    }
+
+    #[test]
+    fn validates_run_and_bench_records() {
+        let run = include_str!("../../tests/fixtures/run_base.json");
+        assert_eq!(check_run_record(run).unwrap(), ("table1".into(), 3));
+        assert_eq!(check_bench_record(run).unwrap(), "table1");
+        let unversioned = "{\"bench\":\"table1\",\"threads\":4,\"git_rev\":\"ab\",\"circuits\":[]}";
+        assert!(check_run_record(unversioned)
+            .unwrap_err()
+            .contains("schema_version"));
+        let no_quality = "{\"schema_version\":1,\"bench\":\"t\",\"threads\":1,\
+                          \"git_rev\":\"ab\",\"circuits\":[{\"circuit\":\"s344\"}]}";
+        assert!(check_run_record(no_quality)
+            .unwrap_err()
+            .contains("quality block"));
+        let no_rev = "{\"schema_version\":1,\"bench\":\"t\",\"threads\":1,\"circuits\":[]}";
+        assert!(check_bench_record(no_rev).unwrap_err().contains("git_rev"));
+    }
+
+    #[test]
+    fn validates_flight_dumps() {
+        let good = "\
+{\"t\":\"flight\",\"schema_version\":1,\"reason\":\"panic: boom\",\"events\":2,\"dropped\":0}
+{\"t\":\"event\",\"us\":1,\"name\":\"route.pass\",\"attrs\":{}}
+{\"t\":\"gauge\",\"us\":2,\"name\":\"lac.n_foa\",\"value\":3}
+";
+        assert_eq!(check_flight_dump(good).unwrap(), ("panic: boom".into(), 2));
+        // Count mismatch between header and body.
+        let short = "\
+{\"t\":\"flight\",\"schema_version\":1,\"reason\":\"r\",\"events\":2,\"dropped\":0}
+{\"t\":\"event\",\"us\":1,\"name\":\"x\",\"attrs\":{}}
+";
+        assert!(check_flight_dump(short).unwrap_err().contains("declares 2"));
+        // A dump never contains a summary record.
+        let with_summary = "\
+{\"t\":\"flight\",\"schema_version\":1,\"reason\":\"r\",\"events\":1,\"dropped\":0}
+{\"t\":\"summary\",\"schema_version\":1}
+";
+        assert!(check_flight_dump(with_summary)
+            .unwrap_err()
+            .contains("unknown record type"));
+        // Header must be versioned.
+        let legacy = "{\"t\":\"flight\",\"reason\":\"r\",\"events\":0,\"dropped\":0}\n";
+        assert!(check_flight_dump(legacy)
+            .unwrap_err()
+            .contains("schema_version"));
+        assert!(check_flight_dump("").unwrap_err().contains("empty"));
     }
 }

@@ -3,16 +3,20 @@
 //! (`N_FOA`, `N_F`, `N_FN`, `N_wr`, execution times, `N_FOA` decrease, and
 //! the second planning iteration's `N_FOA` in parentheses).
 //!
-//! Also writes a machine-readable perf record to `BENCH_table1.json`,
-//! with one entry per circuit (its metrics plus the observability
-//! aggregates of its planning run when a sink is installed).
+//! Also writes two machine-readable perf records: `BENCH_table1.json`
+//! (the historical shape — wall-clock plus per-circuit entries with
+//! observability aggregates) and `RUN_table1.json`, whose per-circuit
+//! `quality` blocks carry the solution-quality metrics the
+//! `bench_compare` regression gate diffs. A `NullSink` collector is
+//! installed when no explicit sink is requested, so the quality gauges
+//! and histograms are aggregated (cheaply) on every run.
 //!
 //! ```text
 //! cargo run --release -p lacr-bench --bin table1 \
 //!     [--quiet] [--trace] [--metrics-out m.jsonl] [circuit ...]
 //! ```
 
-use lacr_bench::{write_bench_record, ObsOptions};
+use lacr_bench::{quality_json, write_bench_record, write_run_record, ObsOptions};
 use lacr_core::experiment::{format_table, run_circuit, ExperimentConfig};
 use std::time::Instant;
 
@@ -20,6 +24,11 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let obs = ObsOptions::from_args(&mut args);
     obs.install();
+    if !lacr_obs::is_enabled() {
+        // No sink requested: aggregate quietly so the RUN record still
+        // gets its quality blocks.
+        lacr_obs::init(Box::new(lacr_obs::NullSink));
+    }
     let mut config = ExperimentConfig {
         planner: lacr_bench::experiment_planner(),
         ..Default::default()
@@ -34,23 +43,27 @@ fn main() {
     let t0 = Instant::now();
     let mut rows = Vec::new();
     let mut circuit_records = Vec::new();
+    let mut run_records = Vec::new();
     for name in &config.circuits {
         let started = Instant::now();
         match run_circuit(name, &config.planner) {
             Ok(row) => {
                 // Per-circuit perf record: reading the aggregates here and
                 // resetting them scopes each entry to one circuit's run.
-                let obs_json = lacr_obs::take_snapshot()
+                let report = lacr_obs::take_snapshot();
+                let wall_s = started.elapsed().as_secs_f64();
+                let obs_json = report
+                    .as_ref()
                     .map(|r| format!(",\"obs\":{}", r.to_json()))
                     .unwrap_or_default();
                 circuit_records.push(format!(
-                    "{{\"circuit\":\"{name}\",\"wall_s\":{:.3},\"t_clk_ns\":{:.2},\
+                    "{{\"circuit\":\"{name}\",\"wall_s\":{wall_s:.3},\"t_clk_ns\":{:.2},\
                      \"base_n_foa\":{},\"lac_n_foa\":{},\"n_wr\":{}{obs_json}}}",
-                    started.elapsed().as_secs_f64(),
-                    row.t_clk_ns,
-                    row.min_area.n_foa,
-                    row.lac.n_foa,
-                    row.n_wr,
+                    row.t_clk_ns, row.min_area.n_foa, row.lac.n_foa, row.n_wr,
+                ));
+                run_records.push(format!(
+                    "{{\"circuit\":\"{name}\",\"wall_s\":{wall_s:.3},\"quality\":{}}}",
+                    quality_json(&row, report.as_ref()),
                 ));
                 rows.push(row);
             }
@@ -71,15 +84,26 @@ fn main() {
     println!(
         "second planning iteration resolved {resolved}/{unresolved} circuits that kept violations"
     );
+    let wall_s = format!("{:.3}", t0.elapsed().as_secs_f64());
     match write_bench_record(
         "table1",
         &[
-            ("wall_s", format!("{:.3}", t0.elapsed().as_secs_f64())),
+            ("wall_s", wall_s.clone()),
             ("circuits", format!("[{}]", circuit_records.join(","))),
         ],
     ) {
         Ok(path) => lacr_obs::diag!("perf record written to {path}"),
         Err(e) => lacr_obs::diag!("cannot write perf record: {e}"),
+    }
+    match write_run_record(
+        "table1",
+        &[
+            ("wall_s", wall_s),
+            ("circuits", format!("[{}]", run_records.join(","))),
+        ],
+    ) {
+        Ok(path) => lacr_obs::diag!("quality run record written to {path}"),
+        Err(e) => lacr_obs::diag!("cannot write run record: {e}"),
     }
     lacr_obs::finish();
 }

@@ -1,0 +1,533 @@
+//! The benchmark-regression gate: diffs two run artifacts.
+//!
+//! [`compare`] takes a committed baseline `RUN_<bench>.json` and a
+//! freshly generated one and checks, per circuit:
+//!
+//! - **hard quality gates** ([`GATED_METRICS`]): `lac_n_foa`, `n_wr`,
+//!   `t_clk_ns` and `route_overflow` are lower-is-better and must not
+//!   increase at all — the pipeline is deterministic, so any increase
+//!   is a real quality regression, not noise. A gated metric present in
+//!   the baseline but missing from the current artifact also fails (the
+//!   telemetry contract regressed).
+//! - **soft wall-clock gate**: `wall_s` may drift up to the configured
+//!   tolerance (±15 % by default) before it counts as a regression,
+//!   because wall-clock is machine-noisy. CI disables it entirely
+//!   (`check_wall = false`) and relies on Criterion for perf tracking.
+//!
+//! Circuits present in the baseline but absent from the current run are
+//! *skipped*, not failed — CI compares a fast subset against the full
+//! committed baseline. Artifacts without a `schema_version`, or with one
+//! newer than this tool understands, are rejected outright.
+
+use crate::json::{parse_json, Json};
+
+/// Lower-is-better quality metrics that must not increase at all.
+pub const GATED_METRICS: &[&str] = &["lac_n_foa", "n_wr", "t_clk_ns", "route_overflow"];
+
+/// Relative slack for "did not increase" on gated metrics — covers
+/// decimal round-tripping, nothing more.
+const REL_EPS: f64 = 1e-9;
+
+/// One circuit's flattened metrics: top-level numeric fields overlaid
+/// with the numeric fields of its `quality` block (quality wins).
+#[derive(Debug, Clone)]
+pub struct CircuitMetrics {
+    /// Circuit name.
+    pub name: String,
+    /// Metric name → value, in artifact order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl CircuitMetrics {
+    /// A metric by name.
+    pub fn get(&self, metric: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == metric)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A parsed `RUN_*.json` / `BENCH_*.json` artifact.
+#[derive(Debug, Clone)]
+pub struct RunArtifact {
+    /// Benchmark name (`"table1"`).
+    pub bench: String,
+    /// Artifact schema version.
+    pub schema_version: u32,
+    /// Worker-pool width of the recorded run, when present.
+    pub threads: Option<u64>,
+    /// Commit the run was built from, when present.
+    pub git_rev: Option<String>,
+    /// Per-circuit metrics.
+    pub circuits: Vec<CircuitMetrics>,
+}
+
+impl RunArtifact {
+    /// A circuit by name.
+    pub fn circuit(&self, name: &str) -> Option<&CircuitMetrics> {
+        self.circuits.iter().find(|c| c.name == name)
+    }
+}
+
+/// Parses a run artifact, rejecting unversioned or too-new ones.
+///
+/// # Errors
+///
+/// A one-line message: JSON syntax errors, a missing/unsupported
+/// `schema_version`, or a missing `circuits` array.
+pub fn parse_artifact(text: &str) -> Result<RunArtifact, String> {
+    let v = parse_json(text)?;
+    let version = v
+        .get("schema_version")
+        .and_then(Json::as_num)
+        .ok_or("artifact has no schema_version (regenerate it with this tree's binaries)")?
+        as u32;
+    if version > lacr_obs::SCHEMA_VERSION {
+        return Err(format!(
+            "artifact schema_version {version} is newer than this tool's {}",
+            lacr_obs::SCHEMA_VERSION
+        ));
+    }
+    let bench = v
+        .get("bench")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let threads = v.get("threads").and_then(Json::as_num).map(|n| n as u64);
+    let git_rev = v.get("git_rev").and_then(Json::as_str).map(str::to_string);
+    let circuits = v
+        .get("circuits")
+        .and_then(Json::as_arr)
+        .ok_or("artifact has no circuits array")?
+        .iter()
+        .map(|c| {
+            let name = c
+                .get("circuit")
+                .and_then(Json::as_str)
+                .ok_or("circuit entry without a \"circuit\" name")?
+                .to_string();
+            let mut metrics: Vec<(String, f64)> = Vec::new();
+            let mut absorb = |obj: &Json| {
+                if let Json::Obj(fields) = obj {
+                    for (k, val) in fields {
+                        if let Some(n) = val.as_num() {
+                            if let Some(slot) = metrics.iter_mut().find(|(m, _)| m == k) {
+                                slot.1 = n;
+                            } else {
+                                metrics.push((k.clone(), n));
+                            }
+                        }
+                    }
+                }
+            };
+            absorb(c);
+            if let Some(q) = c.get("quality") {
+                absorb(q);
+            }
+            Ok(CircuitMetrics { name, metrics })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(RunArtifact {
+        bench,
+        schema_version: version,
+        threads,
+        git_rev,
+        circuits,
+    })
+}
+
+/// Tuning knobs of the gate.
+#[derive(Debug, Clone)]
+pub struct CompareConfig {
+    /// Allowed relative wall-clock growth, percent.
+    pub wall_tolerance_pct: f64,
+    /// Whether wall-clock is checked at all (CI turns this off).
+    pub check_wall: bool,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        Self {
+            wall_tolerance_pct: 15.0,
+            check_wall: true,
+        }
+    }
+}
+
+/// Verdict on one (circuit, metric) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Unchanged (within epsilon / tolerance).
+    Ok,
+    /// Strictly better than the baseline.
+    Improved,
+    /// Worse than the baseline — fails the gate.
+    Regressed,
+    /// Present in the baseline, missing from the current artifact —
+    /// fails the gate (the telemetry contract regressed).
+    Missing,
+    /// Circuit not in the current artifact (subset run) — informational.
+    Skipped,
+}
+
+impl Status {
+    fn label(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Improved => "improved",
+            Status::Regressed => "REGRESSED",
+            Status::Missing => "MISSING",
+            Status::Skipped => "skipped",
+        }
+    }
+
+    fn fails(self) -> bool {
+        matches!(self, Status::Regressed | Status::Missing)
+    }
+}
+
+/// One line of the diff.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Circuit name.
+    pub circuit: String,
+    /// Metric name (`"-"` for circuit-level notes).
+    pub metric: String,
+    /// Baseline value.
+    pub base: Option<f64>,
+    /// Current value.
+    pub current: Option<f64>,
+    /// Verdict.
+    pub status: Status,
+}
+
+/// The full diff of two artifacts.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// One finding per checked (circuit, metric) pair.
+    pub findings: Vec<Finding>,
+    /// Circuits compared (present in both artifacts).
+    pub compared: usize,
+    /// Baseline circuits skipped (absent from the current artifact).
+    pub skipped: usize,
+}
+
+impl Comparison {
+    /// Whether the gate passes: no regressed and no missing metrics.
+    pub fn pass(&self) -> bool {
+        !self.findings.iter().any(|f| f.status.fails())
+    }
+
+    /// The human-readable table: every failing finding, plus improved
+    /// metrics, plus a one-line summary.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:<16} {:>12} {:>12}  {}\n",
+            "circuit", "metric", "base", "current", "status"
+        ));
+        let fmt = |v: Option<f64>| match v {
+            Some(n) => format!("{n:.3}"),
+            None => "-".to_string(),
+        };
+        let mut shown = 0;
+        for f in &self.findings {
+            if matches!(f.status, Status::Ok) {
+                continue;
+            }
+            shown += 1;
+            out.push_str(&format!(
+                "{:<10} {:<16} {:>12} {:>12}  {}\n",
+                f.circuit,
+                f.metric,
+                fmt(f.base),
+                fmt(f.current),
+                f.status.label()
+            ));
+        }
+        if shown == 0 {
+            out.push_str("(all metrics unchanged)\n");
+        }
+        let failures = self.findings.iter().filter(|f| f.status.fails()).count();
+        out.push_str(&format!(
+            "{} circuit(s) compared, {} skipped, {} finding(s) checked, {} failure(s): {}\n",
+            self.compared,
+            self.skipped,
+            self.findings.len(),
+            failures,
+            if self.pass() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+
+    /// The machine-readable verdict as one JSON object.
+    pub fn to_json(&self) -> String {
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                let num = |v: Option<f64>| match v {
+                    Some(n) => lacr_obs::Value::Float(n).to_json(),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"circuit\":\"{}\",\"metric\":\"{}\",\"base\":{},\
+                     \"current\":{},\"status\":\"{}\"}}",
+                    lacr_obs::json_escape(&f.circuit),
+                    lacr_obs::json_escape(&f.metric),
+                    num(f.base),
+                    num(f.current),
+                    f.status.label()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"t\":\"bench_compare\",\"schema_version\":{},\"pass\":{},\
+             \"compared\":{},\"skipped\":{},\"findings\":[{findings}]}}",
+            lacr_obs::SCHEMA_VERSION,
+            self.pass(),
+            self.compared,
+            self.skipped
+        )
+    }
+}
+
+/// Diffs `current` against `base` under `config`.
+pub fn compare(base: &RunArtifact, current: &RunArtifact, config: &CompareConfig) -> Comparison {
+    let mut findings = Vec::new();
+    let mut compared = 0;
+    let mut skipped = 0;
+    for bc in &base.circuits {
+        let Some(cc) = current.circuit(&bc.name) else {
+            skipped += 1;
+            findings.push(Finding {
+                circuit: bc.name.clone(),
+                metric: "-".into(),
+                base: None,
+                current: None,
+                status: Status::Skipped,
+            });
+            continue;
+        };
+        compared += 1;
+        for &metric in GATED_METRICS {
+            let Some(b) = bc.get(metric) else {
+                continue; // the baseline never had it — nothing to gate
+            };
+            let status = match cc.get(metric) {
+                None => Status::Missing,
+                Some(c) if c > b + b.abs() * REL_EPS => Status::Regressed,
+                Some(c) if c < b - b.abs() * REL_EPS => Status::Improved,
+                Some(_) => Status::Ok,
+            };
+            findings.push(Finding {
+                circuit: bc.name.clone(),
+                metric: metric.into(),
+                base: Some(b),
+                current: cc.get(metric),
+                status,
+            });
+        }
+        if config.check_wall {
+            if let (Some(b), Some(c)) = (bc.get("wall_s"), cc.get("wall_s")) {
+                let limit = b * (1.0 + config.wall_tolerance_pct / 100.0);
+                let status = if c > limit {
+                    Status::Regressed
+                } else if c < b {
+                    Status::Improved
+                } else {
+                    Status::Ok
+                };
+                findings.push(Finding {
+                    circuit: bc.name.clone(),
+                    metric: "wall_s".into(),
+                    base: Some(b),
+                    current: Some(c),
+                    status,
+                });
+            }
+        }
+    }
+    Comparison {
+        findings,
+        compared,
+        skipped,
+    }
+}
+
+/// The shared CLI driver behind the `bench_compare` binary and
+/// `lacr compare`: parses `<base> <current> [--no-wall]
+/// [--wall-tolerance <pct>] [--json <out>]`, prints the human table,
+/// and returns whether the gate passed.
+///
+/// # Errors
+///
+/// A usage or I/O message suitable for stderr.
+pub fn cli_main(args: &[String]) -> Result<bool, String> {
+    let mut paths = Vec::new();
+    let mut config = CompareConfig::default();
+    let mut json_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-wall" => config.check_wall = false,
+            "--wall-tolerance" => {
+                config.wall_tolerance_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--wall-tolerance needs a numeric percentage")?;
+            }
+            "--json" => json_out = it.next().cloned(),
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [base_path, cur_path] = paths.as_slice() else {
+        return Err("usage: bench_compare <base.json> <current.json> \
+             [--no-wall] [--wall-tolerance <pct>] [--json <out>]"
+            .to_string());
+    };
+    let load = |path: &str| -> Result<RunArtifact, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        parse_artifact(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let base = load(base_path)?;
+    let current = load(cur_path)?;
+    if base.bench != current.bench {
+        return Err(format!(
+            "artifacts are different benches ({} vs {})",
+            base.bench, current.bench
+        ));
+    }
+    let cmp = compare(&base, &current, &config);
+    println!(
+        "bench_compare: {} ({} @ {}) vs ({} @ {})",
+        base.bench,
+        base_path,
+        base.git_rev.as_deref().unwrap_or("?"),
+        cur_path,
+        current.git_rev.as_deref().unwrap_or("?"),
+    );
+    print!("{}", cmp.table());
+    if let Some(out) = json_out {
+        std::fs::write(&out, format!("{}\n", cmp.to_json())).map_err(|e| format!("{out}: {e}"))?;
+    }
+    Ok(cmp.pass())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = include_str!("../tests/fixtures/run_base.json");
+    const REGRESSED: &str = include_str!("../tests/fixtures/run_regressed.json");
+
+    #[test]
+    fn parses_the_fixture_artifact() {
+        let a = parse_artifact(BASE).expect("base fixture parses");
+        assert_eq!(a.bench, "table1");
+        assert_eq!(a.schema_version, 1);
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.git_rev.as_deref(), Some("0123456789ab"));
+        assert_eq!(a.circuits.len(), 3);
+        let s344 = a.circuit("s344").expect("s344 present");
+        // quality-block value wins over any top-level duplicate.
+        assert_eq!(s344.get("lac_n_foa"), Some(2.0));
+        assert_eq!(s344.get("wall_s"), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_unversioned_and_future_artifacts() {
+        let unversioned = "{\"bench\":\"table1\",\"circuits\":[]}";
+        assert!(parse_artifact(unversioned)
+            .unwrap_err()
+            .contains("schema_version"));
+        let future = "{\"schema_version\":999,\"bench\":\"t\",\"circuits\":[]}";
+        assert!(parse_artifact(future).unwrap_err().contains("newer"));
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = parse_artifact(BASE).unwrap();
+        let cmp = compare(&a, &a, &CompareConfig::default());
+        assert!(cmp.pass(), "{}", cmp.table());
+        assert_eq!(cmp.compared, 3);
+        assert_eq!(cmp.skipped, 0);
+    }
+
+    #[test]
+    fn quality_regressions_fail_the_gate() {
+        let base = parse_artifact(BASE).unwrap();
+        let bad = parse_artifact(REGRESSED).unwrap();
+        let cmp = compare(&base, &bad, &CompareConfig::default());
+        assert!(!cmp.pass(), "{}", cmp.table());
+        // s344's lac_n_foa went 2 → 5: a hard quality failure.
+        assert!(cmp.findings.iter().any(|f| {
+            f.circuit == "s344" && f.metric == "lac_n_foa" && f.status == Status::Regressed
+        }));
+        // s382 dropped its route_overflow metric entirely.
+        assert!(cmp.findings.iter().any(|f| {
+            f.circuit == "s382" && f.metric == "route_overflow" && f.status == Status::Missing
+        }));
+        // s526's wall_s grew 1.0 → 1.5, beyond the ±15% tolerance.
+        assert!(cmp.findings.iter().any(|f| {
+            f.circuit == "s526" && f.metric == "wall_s" && f.status == Status::Regressed
+        }));
+    }
+
+    #[test]
+    fn wall_clock_gate_is_soft_and_optional() {
+        let base = parse_artifact(BASE).unwrap();
+        let bad = parse_artifact(REGRESSED).unwrap();
+        // Without the wall gate, only the two quality failures remain.
+        let cmp = compare(
+            &base,
+            &bad,
+            &CompareConfig {
+                check_wall: false,
+                ..Default::default()
+            },
+        );
+        assert!(!cmp.findings.iter().any(|f| f.metric == "wall_s"));
+        assert!(!cmp.pass());
+        // A generous tolerance forgives the 50% slowdown.
+        let cmp = compare(
+            &base,
+            &bad,
+            &CompareConfig {
+                wall_tolerance_pct: 100.0,
+                check_wall: true,
+            },
+        );
+        assert!(!cmp
+            .findings
+            .iter()
+            .any(|f| f.metric == "wall_s" && f.status.fails()));
+    }
+
+    #[test]
+    fn subset_runs_skip_missing_circuits() {
+        let base = parse_artifact(BASE).unwrap();
+        let mut subset = base.clone();
+        subset.circuits.retain(|c| c.name == "s344");
+        let cmp = compare(&base, &subset, &CompareConfig::default());
+        assert!(cmp.pass(), "skipped circuits are not failures");
+        assert_eq!(cmp.compared, 1);
+        assert_eq!(cmp.skipped, 2);
+    }
+
+    #[test]
+    fn verdict_json_is_parseable() {
+        let base = parse_artifact(BASE).unwrap();
+        let bad = parse_artifact(REGRESSED).unwrap();
+        let cmp = compare(&base, &bad, &CompareConfig::default());
+        let v = parse_json(&cmp.to_json()).expect("verdict parses");
+        assert_eq!(v.get("t").and_then(Json::as_str), Some("bench_compare"));
+        assert_eq!(v.get("pass"), Some(&Json::Bool(false)));
+        assert!(v
+            .get("findings")
+            .and_then(Json::as_arr)
+            .is_some_and(|f| !f.is_empty()));
+    }
+}

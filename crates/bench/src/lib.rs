@@ -10,11 +10,30 @@
 //! | `nmax_sweep` | ablation: the `N_max` convergence patience |
 //! | `subsegmentation` | ablation: interconnect sub-segmentation (§3.2) |
 //! | `constraint_pruning` | ablation: W/D constraint reduction on/off |
+//! | `check_metrics` | validator for JSONL streams, perf records, flight dumps |
+//! | `bench_compare` | regression gate: diffs two run artifacts |
 //!
 //! Criterion benches (`cargo bench -p lacr-bench`): `retiming`
 //! (min-period / min-area / LAC kernels), `substrates` (flow, floorplan,
 //! routing, repeater DP), `planning` (end-to-end planning of one circuit).
+//!
+//! # Run artifacts
+//!
+//! Every artifact binary writes a versioned perf record. `BENCH_<bench>
+//! .json` keeps the historical shape (wall-clock + per-circuit entries);
+//! `table1` additionally writes `RUN_<bench>.json`, whose per-circuit
+//! `quality` blocks carry the paper's solution-quality numbers (`N_FOA`,
+//! `N_wr`, `T_clk`, router overflow, repeater count, the per-round
+//! `N_FOA` trajectory, occupancy histograms). Both carry provenance
+//! (`schema_version`, `threads`, `git_rev`) so [`compare`] can refuse
+//! artifacts it does not understand. Records land in the directory named
+//! by `LACR_RECORD_DIR` (default: the working directory), so CI can
+//! regenerate artifacts without clobbering committed baselines.
 
+pub mod compare;
+pub mod json;
+
+use lacr_core::experiment::TableRow;
 use lacr_core::planner::PlannerConfig;
 use std::io::Write as _;
 
@@ -22,7 +41,8 @@ use std::io::Write as _;
 /// silences the `[lacr]` stderr diagnostics, `--trace` streams spans to
 /// stderr, `--metrics-out <path>` writes the full JSONL record stream,
 /// `--threads <n>` caps the parallel-region worker pool (results are
-/// bit-identical at any thread count).
+/// bit-identical at any thread count), `--flight-recorder-out <path>`
+/// arms the always-on flight recorder to dump its postmortem there.
 #[derive(Debug, Default)]
 pub struct ObsOptions {
     /// Suppress `[lacr]` diagnostics on stderr.
@@ -33,6 +53,9 @@ pub struct ObsOptions {
     pub metrics_out: Option<String>,
     /// Worker-pool cap for parallel regions.
     pub threads: Option<usize>,
+    /// Arm the flight recorder to dump its ring here on panic or
+    /// budget expiry.
+    pub flight_out: Option<String>,
 }
 
 impl ObsOptions {
@@ -47,6 +70,7 @@ impl ObsOptions {
                 "--quiet" => opts.quiet = true,
                 "--trace" => opts.trace = true,
                 "--metrics-out" => opts.metrics_out = it.next(),
+                "--flight-recorder-out" => opts.flight_out = it.next(),
                 "--threads" => {
                     opts.threads = it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
                 }
@@ -59,7 +83,9 @@ impl ObsOptions {
 
     /// Installs the requested diagnostics level and sink. When both
     /// `--metrics-out` and `--trace` are given the JSONL file wins (one
-    /// sink at a time).
+    /// sink at a time). Always installs the flight recorder's panic
+    /// hook; `--flight-recorder-out` additionally arms an automatic
+    /// dump path.
     pub fn install(&self) {
         if let Some(n) = self.threads {
             lacr_par::set_threads(n);
@@ -75,23 +101,76 @@ impl ObsOptions {
         } else if self.trace {
             lacr_obs::init(Box::new(lacr_obs::sink::StderrSink));
         }
+        if let Some(path) = &self.flight_out {
+            lacr_obs::flight::arm(path);
+        }
+        lacr_obs::flight::install_panic_hook();
     }
 }
 
-/// Writes a machine-readable perf record to `BENCH_<bench>.json`.
-///
-/// `fields` are pre-rendered JSON fragments (`("wall_s", "1.25")`,
-/// `("rows", "[...]")`); the aggregated observability report — when a
-/// sink is installed — is appended under `"obs"`. Every record carries a
-/// `"threads"` field — the worker-pool width the run executed with — so
-/// wall-clock numbers from different machines/configurations stay
-/// comparable. Returns the path written.
-pub fn write_bench_record(bench: &str, fields: &[(&str, String)]) -> std::io::Result<String> {
-    let path = format!("BENCH_{bench}.json");
+/// The short commit hash of the repository `HEAD`, read straight from
+/// `.git` (no `git` subprocess, so it works in sandboxes without one).
+/// Walks up from the working directory; follows one level of `ref:`
+/// indirection and falls back to `packed-refs`. Returns `"unknown"`
+/// when anything is missing — provenance must never fail a run.
+pub fn git_rev() -> String {
+    fn lookup() -> Option<String> {
+        let mut dir = std::env::current_dir().ok()?;
+        let git = loop {
+            let candidate = dir.join(".git");
+            if candidate.join("HEAD").is_file() {
+                break candidate;
+            }
+            if !dir.pop() {
+                return None;
+            }
+        };
+        let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+        let head = head.trim();
+        let sha = if let Some(refname) = head.strip_prefix("ref: ") {
+            match std::fs::read_to_string(git.join(refname)) {
+                Ok(s) => s.trim().to_string(),
+                // Not a loose ref — scan packed-refs for it.
+                Err(_) => std::fs::read_to_string(git.join("packed-refs"))
+                    .ok()?
+                    .lines()
+                    .find_map(|l| l.strip_suffix(refname).map(|sha| sha.trim().to_string()))?,
+            }
+        } else {
+            head.to_string()
+        };
+        if sha.len() >= 12 && sha.bytes().all(|b| b.is_ascii_hexdigit()) {
+            Some(sha[..12].to_string())
+        } else {
+            None
+        }
+    }
+    lookup().unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The directory perf records are written to: `LACR_RECORD_DIR`, or the
+/// working directory when unset. Created on demand.
+pub fn record_dir() -> std::path::PathBuf {
+    let dir = std::env::var("LACR_RECORD_DIR").unwrap_or_else(|_| ".".to_string());
+    std::path::PathBuf::from(dir)
+}
+
+fn write_record(
+    kind: &str,
+    prefix: &str,
+    bench: &str,
+    fields: &[(&str, String)],
+) -> std::io::Result<String> {
+    let dir = record_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{prefix}_{bench}.json"));
     let mut body = String::new();
     body.push_str(&format!(
-        "{{\"bench\":\"{bench}\",\"threads\":{}",
-        lacr_par::max_threads()
+        "{{\"t\":\"{kind}\",\"schema_version\":{},\"bench\":\"{bench}\",\
+         \"threads\":{},\"git_rev\":\"{}\"",
+        lacr_obs::SCHEMA_VERSION,
+        lacr_par::max_threads(),
+        git_rev(),
     ));
     for (k, v) in fields {
         body.push_str(&format!(",\"{k}\":{v}"));
@@ -102,7 +181,88 @@ pub fn write_bench_record(bench: &str, fields: &[(&str, String)]) -> std::io::Re
     body.push_str("}\n");
     let mut f = std::fs::File::create(&path)?;
     f.write_all(body.as_bytes())?;
-    Ok(path)
+    Ok(path.display().to_string())
+}
+
+/// Writes a machine-readable perf record to `BENCH_<bench>.json` (in
+/// [`record_dir`]).
+///
+/// `fields` are pre-rendered JSON fragments (`("wall_s", "1.25")`,
+/// `("rows", "[...]")`); the aggregated observability report — when a
+/// sink is installed — is appended under `"obs"`. Every record carries
+/// provenance — `schema_version`, `threads` (the worker-pool width the
+/// run executed with) and `git_rev` — so wall-clock numbers from
+/// different machines/configurations stay comparable and the
+/// `bench_compare` gate can reject artifacts it does not understand.
+/// Returns the path written.
+pub fn write_bench_record(bench: &str, fields: &[(&str, String)]) -> std::io::Result<String> {
+    write_record("bench", "BENCH", bench, fields)
+}
+
+/// Writes a solution-quality run artifact to `RUN_<bench>.json` (in
+/// [`record_dir`]): same provenance header as [`write_bench_record`],
+/// but the `fields` are expected to include a `"circuits"` array whose
+/// entries carry `quality` blocks (see [`quality_json`]). This is the
+/// artifact `bench_compare` diffs. Returns the path written.
+pub fn write_run_record(bench: &str, fields: &[(&str, String)]) -> std::io::Result<String> {
+    write_record("run", "RUN", bench, fields)
+}
+
+/// Renders one circuit's solution-quality block as a JSON object: the
+/// paper's Table-1 quantities from the [`TableRow`] plus — when the
+/// per-circuit observability snapshot is supplied — the quality gauges
+/// and histograms emitted by the planner (`quality.*` names, stripped
+/// of their prefix here).
+pub fn quality_json(row: &TableRow, report: Option<&lacr_obs::Report>) -> String {
+    let mut q = String::from("{");
+    q.push_str(&format!(
+        "\"base_n_foa\":{},\"lac_n_foa\":{},\"n_f\":{},\"n_fn\":{},\"n_wr\":{},\
+         \"t_clk_ns\":{:.3},\"t_init_ns\":{:.3},\"t_min_ns\":{:.3}",
+        row.min_area.n_foa,
+        row.lac.n_foa,
+        row.lac.n_f,
+        row.lac.n_fn,
+        row.n_wr,
+        row.t_clk_ns,
+        row.t_init_ns,
+        row.t_min_ns,
+    ));
+    if let Some(p) = row.decrease_pct {
+        q.push_str(&format!(",\"decrease_pct\":{p:.1}"));
+    }
+    let trajectory = row
+        .n_foa_trajectory
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    q.push_str(&format!(",\"n_foa_trajectory\":[{trajectory}]"));
+    if let Some(r) = report {
+        for (gauge, field) in [
+            ("quality.route_overflow", "route_overflow"),
+            ("quality.repeaters", "repeaters"),
+            ("quality.t_clk_slack_ps", "t_clk_slack_ps"),
+            ("quality.relocated_vertices", "relocated_vertices"),
+        ] {
+            if let Some(v) = r.gauge(gauge) {
+                q.push_str(&format!(
+                    ",\"{field}\":{}",
+                    lacr_obs::Value::Float(v).to_json()
+                ));
+            }
+        }
+        for (hist, field) in [
+            ("quality.tile_occupancy_ff", "tile_occupancy"),
+            ("quality.tile_capacity_ff", "tile_capacity"),
+            ("quality.ff_relocation", "ff_relocation"),
+        ] {
+            if let Some(h) = r.hist(hist) {
+                q.push_str(&format!(",\"{field}\":{}", h.to_json()));
+            }
+        }
+    }
+    q.push('}');
+    q
 }
 
 /// The planner configuration every artifact binary uses, identical to the
@@ -129,12 +289,21 @@ mod tests {
 
     #[test]
     fn obs_flags_are_stripped_from_args() {
-        let mut args: Vec<String> = ["s344", "--quiet", "--metrics-out", "m.jsonl", "s1423"]
-            .map(String::from)
-            .to_vec();
+        let mut args: Vec<String> = [
+            "s344",
+            "--quiet",
+            "--metrics-out",
+            "m.jsonl",
+            "--flight-recorder-out",
+            "f.jsonl",
+            "s1423",
+        ]
+        .map(String::from)
+        .to_vec();
         let o = ObsOptions::from_args(&mut args);
         assert!(o.quiet && !o.trace);
         assert_eq!(o.metrics_out.as_deref(), Some("m.jsonl"));
+        assert_eq!(o.flight_out.as_deref(), Some("f.jsonl"));
         assert_eq!(args, ["s344", "s1423"]);
     }
 
@@ -144,5 +313,52 @@ mod tests {
         let b = quick_planner();
         assert!(a.technology.validate().is_empty());
         assert!(b.floorplan.moves < a.floorplan.moves);
+    }
+
+    #[test]
+    fn git_rev_is_hex_or_unknown() {
+        let rev = git_rev();
+        assert!(
+            rev == "unknown" || (rev.len() == 12 && rev.bytes().all(|b| b.is_ascii_hexdigit())),
+            "{rev}"
+        );
+    }
+
+    #[test]
+    fn quality_json_is_parseable_and_carries_the_row() {
+        use lacr_core::experiment::RetimerMetrics;
+        use std::time::Duration;
+        let row = TableRow {
+            circuit: "s344".into(),
+            t_clk_ns: 2.5,
+            t_init_ns: 3.0,
+            t_min_ns: 2.0,
+            min_area: RetimerMetrics {
+                n_foa: 10,
+                n_f: 20,
+                n_fn: 4,
+                t_exec: Duration::from_millis(5),
+            },
+            lac: RetimerMetrics {
+                n_foa: 2,
+                n_f: 22,
+                n_fn: 6,
+                t_exec: Duration::from_millis(9),
+            },
+            n_wr: 4,
+            decrease_pct: Some(80.0),
+            second_iteration: None,
+            n_foa_trajectory: vec![5, 3, 2],
+        };
+        let q = quality_json(&row, None);
+        let v = json::parse_json(&q).expect("quality block parses");
+        assert_eq!(v.get("lac_n_foa").and_then(json::Json::as_num), Some(2.0));
+        assert_eq!(v.get("n_wr").and_then(json::Json::as_num), Some(4.0));
+        assert_eq!(
+            v.get("n_foa_trajectory")
+                .and_then(json::Json::as_arr)
+                .map(<[json::Json]>::len),
+            Some(3)
+        );
     }
 }

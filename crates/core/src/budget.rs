@@ -98,6 +98,15 @@ impl Budget {
         if Instant::now() >= deadline {
             self.state.expired.store(true, Ordering::Relaxed);
             lacr_obs::event!("budget.expired", checks = self.checks());
+            // The latch trips exactly once per budget, so this is the
+            // natural postmortem moment: dump the flight recorder (a
+            // no-op unless a dump path is armed, e.g. by the CLI).
+            if let Some(path) = lacr_obs::flight::dump("budget expiry") {
+                lacr_obs::diag!(
+                    "budget expired; flight recorder dumped to {}",
+                    path.display()
+                );
+            }
             true
         } else {
             false

@@ -71,6 +71,9 @@ pub struct TableRow {
     /// `Some(Ok(n))`, or `Some(Err(_))` when the frozen target period
     /// became infeasible after floorplan expansion (the paper's s1269).
     pub second_iteration: Option<Result<i64, RetimeError>>,
+    /// `N_FOA` after each weighted re-retiming round of the LAC loop
+    /// (the convergence trajectory; its length tracks `n_wr`).
+    pub n_foa_trajectory: Vec<i64>,
 }
 
 /// Runs the experiment for one circuit.
@@ -107,6 +110,7 @@ pub fn run_circuit(
         n_wr: report.lac.result.n_wr,
         decrease_pct: report.n_foa_decrease_pct(),
         second_iteration: iterated.second_n_foa,
+        n_foa_trajectory: report.lac.result.history.clone(),
     })
 }
 
@@ -270,6 +274,13 @@ mod tests {
         assert!(row.lac.n_foa <= row.min_area.n_foa);
         assert!(row.lac.n_f >= 0 && row.min_area.n_f >= 0);
         assert!(row.n_wr >= 1);
+        // The convergence trajectory exists and its best round is the
+        // reported N_FOA (the loop keeps the best-seen result).
+        assert!(!row.n_foa_trajectory.is_empty());
+        assert_eq!(
+            row.n_foa_trajectory.iter().copied().min(),
+            Some(row.lac.n_foa)
+        );
     }
 
     #[test]

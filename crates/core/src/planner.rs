@@ -849,6 +849,7 @@ pub fn try_plan_retimings_at(
     drop(span_lac);
     lacr_obs::gauge!("lac.n_foa", lac_result.n_foa);
     lacr_obs::gauge!("lac.n_wr", lac_result.n_wr);
+    emit_quality_metrics(plan, caps, &lac_result, t_clk);
     let lac = TimedRun {
         result: lac_result,
         elapsed: t2.elapsed() + constraint_time,
@@ -862,6 +863,35 @@ pub fn try_plan_retimings_at(
         constraint_time,
         degradations,
     })
+}
+
+/// Emits the paper's solution-quality metrics for the final LAC result
+/// through the sink API, under the `quality.*` namespace: the per-tile
+/// FF occupancy vs. capacity distributions (Fig. 2's tile view), the
+/// retiming-label magnitude of every relocated flip-flop, the target
+/// period's slack under `T_init`, the residual routing overflow and the
+/// repeater count. Aggregate-only — gated on a collector so default
+/// runs pay nothing for the per-tile loops.
+fn emit_quality_metrics(plan: &PhysicalPlan, caps: &[f64], lac: &LacResult, t_clk: u64) {
+    if !lacr_obs::is_enabled() {
+        return;
+    }
+    for (tile, &cap) in caps.iter().enumerate() {
+        lacr_obs::histogram!("quality.tile_capacity_ff", cap.floor().max(0.0) as u64);
+        let occ = lac.occupancy.counts.get(tile).copied().unwrap_or(0);
+        lacr_obs::histogram!("quality.tile_occupancy_ff", occ.max(0) as u64);
+    }
+    let mut relocated = 0u64;
+    for &r in &lac.outcome.retiming {
+        if r != 0 {
+            relocated += 1;
+            lacr_obs::histogram!("quality.ff_relocation", r.unsigned_abs());
+        }
+    }
+    lacr_obs::gauge!("quality.relocated_vertices", relocated);
+    lacr_obs::gauge!("quality.t_clk_slack_ps", plan.t_init.saturating_sub(t_clk));
+    lacr_obs::gauge!("quality.route_overflow", plan.routing.overflow);
+    lacr_obs::gauge!("quality.repeaters", plan.expanded.num_repeaters);
 }
 
 /// Per-block area growth derived from a retiming's tile violations: every

@@ -113,6 +113,21 @@ impl Histogram {
         u64::MAX
     }
 
+    /// Upper bound on the median (see [`Histogram::quantile_upper_bound`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile_upper_bound(0.50)
+    }
+
+    /// Upper bound on the 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile_upper_bound(0.95)
+    }
+
+    /// Upper bound on the 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile_upper_bound(0.99)
+    }
+
     /// Renders the histogram as a JSON object
     /// (`{"count":..,"sum":..,"max":..,"buckets":[[lo,hi,n],..]}`).
     pub fn to_json(&self) -> String {
@@ -187,6 +202,27 @@ mod tests {
         assert!(med <= 1024, "median bound {med}");
         assert_eq!(h.quantile_upper_bound(1.0), 1024);
         assert_eq!(Histogram::new().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn named_percentiles_are_ordered_and_bracket() {
+        let mut h = Histogram::new();
+        for v in 1..=1000_u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), h.quantile_upper_bound(0.50));
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        // p95 of 1..=1000 is 950 → bucket [512,1024); p99 is 990 → same.
+        assert!(h.p95() >= 950 && h.p95() <= 1024, "p95 {}", h.p95());
+        assert!(h.p99() >= 990 && h.p99() <= 1024, "p99 {}", h.p99());
+        // A single sample: all percentiles share its bucket bound.
+        let mut one = Histogram::new();
+        one.record(7);
+        assert_eq!(one.p50(), 8);
+        assert_eq!(one.p99(), 8);
+        // Empty histograms report 0 everywhere.
+        let empty = Histogram::new();
+        assert_eq!((empty.p50(), empty.p95(), empty.p99()), (0, 0, 0));
     }
 
     #[test]

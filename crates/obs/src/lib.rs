@@ -25,12 +25,20 @@
 //! * **Diagnostics** — [`diag!`] replaces ad-hoc `eprintln!` progress
 //!   messages: uniformly `[lacr]`-prefixed, and silenced wholesale by
 //!   [`set_diag_level`]`(DiagLevel::Silent)` (the CLI's `--quiet`).
+//! * **Flight recorder** — [`flight`] keeps a bounded, always-on ring
+//!   of recent records (every diag line and event, plus the full record
+//!   stream when a collector is installed) and dumps it as a JSONL
+//!   postmortem on panic, degraded exit, or budget expiry.
 //!
 //! The tracer is *globally* installed ([`init`] / [`finish`]) and
-//! thread-safe (one mutexed collector). When no sink is installed every
-//! macro reduces to a single relaxed atomic load, so instrumentation
-//! left in hot loops costs nothing in normal runs.
+//! thread-safe (one mutexed collector). When no sink is installed the
+//! span/counter/gauge/histogram macros reduce to a single relaxed
+//! atomic load, so instrumentation left in hot loops costs nothing in
+//! normal runs; [`event!`] and [`diag!`] additionally feed the flight
+//! recorder (events are rare by contract — round results, degradations,
+//! budget expiry — never per-iteration).
 
+pub mod flight;
 pub mod hist;
 pub mod report;
 pub mod sink;
@@ -38,6 +46,12 @@ pub mod sink;
 pub use hist::Histogram;
 pub use report::{Report, SpanStat};
 pub use sink::{json_escape, CaptureSink, JsonlSink, NullSink, Record, Sink, StderrSink};
+
+/// Version stamped into every machine-readable artifact this workspace
+/// emits — the JSONL summary line, `BENCH_*.json` / `RUN_*.json` perf
+/// records, and flight-recorder postmortems. Consumers (`check_metrics`,
+/// `bench_compare`) reject artifacts without it.
+pub const SCHEMA_VERSION: u32 = 1;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -237,14 +251,14 @@ pub fn add_counter(name: &str, delta: i64) {
         *e
     };
     let ts = c.ts_us();
-    c.sink.record(
-        ts,
-        &Record::Counter {
-            name: name.to_string(),
-            delta,
-            total,
-        },
-    );
+    let rec = Record::Counter {
+        name: name.to_string(),
+        delta,
+        total,
+    };
+    c.sink.record(ts, &rec);
+    drop(guard);
+    flight::push(&rec);
 }
 
 /// Sets the named gauge (last value wins). Prefer [`gauge!`].
@@ -253,13 +267,13 @@ pub fn set_gauge(name: &str, value: f64) {
     let Some(c) = guard.as_mut() else { return };
     c.gauges.insert(name.to_string(), value);
     let ts = c.ts_us();
-    c.sink.record(
-        ts,
-        &Record::Gauge {
-            name: name.to_string(),
-            value,
-        },
-    );
+    let rec = Record::Gauge {
+        name: name.to_string(),
+        value,
+    };
+    c.sink.record(ts, &rec);
+    drop(guard);
+    flight::push(&rec);
 }
 
 /// Records `value` into the named power-of-two histogram. Prefer
@@ -269,30 +283,42 @@ pub fn record_hist(name: &str, value: u64) {
     let Some(c) = guard.as_mut() else { return };
     c.hists.entry(name.to_string()).or_default().record(value);
     let ts = c.ts_us();
-    c.sink.record(
-        ts,
-        &Record::Hist {
-            name: name.to_string(),
-            value,
-        },
-    );
+    let rec = Record::Hist {
+        name: name.to_string(),
+        value,
+    };
+    c.sink.record(ts, &rec);
+    drop(guard);
+    flight::push(&rec);
 }
 
-/// Emits a point-in-time structured event. Prefer [`event!`].
+/// Emits a point-in-time structured event. Prefer [`event!`]. Unlike
+/// the other record kinds, events reach the flight recorder even when
+/// no collector is installed — they are rare and forensically dense
+/// (degradations, budget expiry, round results).
 pub fn emit_event(name: &str, attrs: &[(&'static str, Value)]) {
-    let mut guard = lock();
-    let Some(c) = guard.as_mut() else { return };
-    let ts = c.ts_us();
-    c.sink.record(
-        ts,
-        &Record::Event {
-            name: name.to_string(),
-            attrs: attrs
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.clone()))
-                .collect(),
-        },
-    );
+    let rec = Record::Event {
+        name: name.to_string(),
+        attrs: attrs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    };
+    {
+        let mut guard = lock();
+        if let Some(c) = guard.as_mut() {
+            let ts = c.ts_us();
+            c.sink.record(ts, &rec);
+        }
+    }
+    flight::push(&rec);
+}
+
+/// Whether the flight recorder is capturing (see [`flight`]); the
+/// [`event!`] macro checks this alongside [`is_enabled`].
+#[inline]
+pub fn flight_on() -> bool {
+    flight::is_enabled()
 }
 
 // ---------------------------------------------------------------------
@@ -335,21 +361,22 @@ impl Span {
             s.len() - 1
         });
         {
-            let mut guard = lock();
-            if let Some(c) = guard.as_mut() {
-                let ts = c.ts_us();
-                c.sink.record(
-                    ts,
-                    &Record::SpanOpen {
-                        name: name.to_string(),
-                        depth,
-                        attrs: attrs
-                            .iter()
-                            .map(|(k, v)| (k.to_string(), v.clone()))
-                            .collect(),
-                    },
-                );
+            let rec = Record::SpanOpen {
+                name: name.to_string(),
+                depth,
+                attrs: attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            };
+            {
+                let mut guard = lock();
+                if let Some(c) = guard.as_mut() {
+                    let ts = c.ts_us();
+                    c.sink.record(ts, &rec);
+                }
             }
+            flight::push(&rec);
         }
         Span {
             name,
@@ -378,15 +405,15 @@ impl Drop for Span {
         stat.incl_ns += incl_ns;
         stat.excl_ns += excl_ns;
         let ts = c.ts_us();
-        c.sink.record(
-            ts,
-            &Record::SpanClose {
-                name: self.name.to_string(),
-                depth,
-                incl_us: incl_ns / 1_000,
-                excl_us: excl_ns / 1_000,
-            },
-        );
+        let rec = Record::SpanClose {
+            name: self.name.to_string(),
+            depth,
+            incl_us: incl_ns / 1_000,
+            excl_us: excl_ns / 1_000,
+        };
+        c.sink.record(ts, &rec);
+        drop(guard);
+        flight::push(&rec);
     }
 }
 
@@ -441,10 +468,15 @@ macro_rules! histogram {
 
 /// Emits a point-in-time structured event:
 /// `event!("degradation", stage = "lac", reason = msg);`.
+///
+/// Events also feed the flight recorder, so they fire whenever either
+/// the collector or the recorder is on. Keep them rare (round results,
+/// degradations — never per inner iteration): unlike the other macros
+/// their attributes are evaluated in default runs.
 #[macro_export]
 macro_rules! event {
     ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
-        if $crate::is_enabled() {
+        if $crate::is_enabled() || $crate::flight_on() {
             $crate::emit_event($name, &[$((stringify!($k), $crate::Value::from($v))),*]);
         }
     };
@@ -480,7 +512,9 @@ pub fn diag_on() -> bool {
 
 #[doc(hidden)]
 pub fn diag_print(args: std::fmt::Arguments<'_>) {
-    eprintln!("[lacr] {args}");
+    let msg = args.to_string();
+    flight::note(&msg);
+    eprintln!("[lacr] {msg}");
 }
 
 /// Prints a uniformly `[lacr]`-prefixed diagnostic line to stderr,

@@ -113,6 +113,41 @@ impl Report {
             "",
             total as f64 / 1e6
         ));
+        if !self.hists.is_empty() {
+            out.push_str("\n\n");
+            out.push_str(&self.histogram_table());
+        }
+        out
+    }
+
+    /// Renders one row per histogram with count, mean and the
+    /// p50/p95/p99 upper bounds (power-of-two bucket edges), appended
+    /// to the `--report` output when any histogram was recorded.
+    pub fn histogram_table(&self) -> String {
+        let name_w = self
+            .hists
+            .keys()
+            .map(String::len)
+            .chain(std::iter::once("histogram".len()))
+            .max()
+            .unwrap_or(9);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>9}  {:>12}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+            "histogram", "count", "mean", "p50", "p95", "p99", "max"
+        ));
+        for (name, h) in &self.hists {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>9}  {:>12.1}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+                name,
+                h.count(),
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max()
+            ));
+        }
         out
     }
 
@@ -210,8 +245,35 @@ mod tests {
             "lac (9ms excl) must rank above route:\n{table}"
         );
         assert!(table.contains("excl%"));
-        assert!(table.ends_with("100.0%"), "{table}");
+        assert!(
+            table
+                .lines()
+                .any(|l| l.starts_with("total") && l.ends_with("100.0%")),
+            "{table}"
+        );
         assert_eq!(r.total_excl_ns(), 11_000_000);
+        // The histogram quantile section follows the span table.
+        assert!(table.contains("p50") && table.contains("p99"), "{table}");
+        assert!(table.contains("net_len"), "{table}");
+    }
+
+    #[test]
+    fn histogram_table_reports_quantile_bounds() {
+        let mut hists = BTreeMap::new();
+        let mut h = Histogram::new();
+        for v in [1_u64, 2, 3, 100] {
+            h.record(v);
+        }
+        hists.insert("lac.round_n_foa".to_string(), h);
+        let r = Report::build(&BTreeMap::new(), &BTreeMap::new(), &BTreeMap::new(), &hists);
+        let t = r.histogram_table();
+        assert!(t.contains("lac.round_n_foa"), "{t}");
+        // count 4, p50 in [2,4) bucket → bound 4, p99 covers 100 → 128.
+        assert!(t.contains("4"), "{t}");
+        assert!(t.contains("128"), "{t}");
+        // No histograms → the span table stays bare.
+        let bare = Report::default();
+        assert!(!bare.self_time_table().contains("histogram"));
     }
 
     #[test]

@@ -239,7 +239,12 @@ impl Sink for JsonlSink {
     }
 
     fn summary(&mut self, report: &Report) {
-        let _ = writeln!(self.out, "{{\"t\":\"summary\",{}}}", report.json_fields());
+        let _ = writeln!(
+            self.out,
+            "{{\"t\":\"summary\",\"schema_version\":{},{}}}",
+            crate::SCHEMA_VERSION,
+            report.json_fields()
+        );
     }
 
     fn flush(&mut self) {

@@ -6,6 +6,7 @@
 #   scripts/verify.sh --faults       # fault-injection suite + no-panic CLI smoke
 #   scripts/verify.sh --metrics      # observability smoke: JSONL stream validated
 #   scripts/verify.sh --determinism  # bit-identical plans across thread counts
+#   scripts/verify.sh --regress      # quality-regression gate vs committed baseline
 #
 # The workspace has no external dependencies, so --offline always works.
 set -euo pipefail
@@ -15,14 +16,16 @@ QUICK=0
 FAULTS=0
 METRICS=0
 DETERMINISM=0
+REGRESS=0
 case "${1:-}" in
     --quick) QUICK=1 ;;
     --faults) FAULTS=1 ;;
     --metrics) METRICS=1 ;;
     --determinism) DETERMINISM=1 ;;
+    --regress) REGRESS=1 ;;
     "") ;;
     *)
-        echo "error: unknown option '${1}' (usage: scripts/verify.sh [--quick|--faults|--metrics|--determinism])" >&2
+        echo "error: unknown option '${1}' (usage: scripts/verify.sh [--quick|--faults|--metrics|--determinism|--regress])" >&2
         exit 2
         ;;
 esac
@@ -50,6 +53,49 @@ if [[ "$METRICS" == 1 ]]; then
     target/release/check_metrics target/metrics/s344.jsonl
 
     echo "==> metrics OK (artifacts in target/metrics/)"
+    exit 0
+fi
+
+if [[ "$REGRESS" == 1 ]]; then
+    echo "==> cargo build --release (warnings are errors)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --offline --workspace
+
+    echo "==> regenerate run artifacts for the fast subset (s344 s382 s526)"
+    mkdir -p target/regress
+    LACR_RECORD_DIR=target/regress target/release/table1 --quiet s344 s382 s526 \
+        >target/regress/table1.txt
+
+    echo "==> check_metrics: artifact contracts (provenance + quality blocks)"
+    target/release/check_metrics --run target/regress/RUN_table1.json
+    target/release/check_metrics --bench target/regress/BENCH_table1.json
+
+    echo "==> bench_compare vs committed baseline (hard quality gates, wall ignored)"
+    target/release/bench_compare RUN_table1.json target/regress/RUN_table1.json \
+        --no-wall --json target/regress/compare.json
+
+    echo "==> negative control: a synthetic quality regression must fail the gate"
+    status=0
+    target/release/bench_compare \
+        crates/bench/tests/fixtures/run_base.json \
+        crates/bench/tests/fixtures/run_regressed.json \
+        >target/regress/negative.txt || status=$?
+    if [[ "$status" != 1 ]]; then
+        echo "error: bench_compare accepted a known regression (exit $status)" >&2
+        exit 1
+    fi
+    echo "    synthetic regression rejected (exit 1), as required"
+
+    echo "==> flight-recorder smoke: budget expiry leaves a postmortem dump"
+    status=0
+    target/release/lacr plan s838 --budget-ms 1 \
+        --flight-recorder-out target/regress/flight.jsonl >/dev/null 2>&1 || status=$?
+    if [[ "$status" != 3 ]]; then
+        echo "error: lacr plan s838 --budget-ms 1 exited $status (expected degraded exit 3)" >&2
+        exit 1
+    fi
+    target/release/check_metrics --flight target/regress/flight.jsonl
+
+    echo "==> regress OK (artifacts in target/regress/)"
     exit 0
 fi
 

@@ -30,7 +30,9 @@
 //! | [`core`] | LAC-retiming, the planning pipeline, the experiment driver |
 //! | [`obs`] | zero-dependency tracing, metrics and perf reports |
 //! | [`par`] | deterministic scoped thread pool and ordered parallel map |
+//! | [`bench`] | run artifacts, validators and the regression gate |
 
+pub use lacr_bench as bench;
 pub use lacr_core as core;
 pub use lacr_floorplan as floorplan;
 pub use lacr_mcmf as mcmf;

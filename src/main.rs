@@ -10,6 +10,8 @@
 //! lacr fig2 <circuit> [out.svg]  # render the tile graph (Figure 2)
 //! lacr retime <file.bench> <out.bench> [period_ps]
 //!                                # min-area retime a .bench netlist
+//! lacr compare <base.json> <current.json> [--no-wall] [--json out]
+//!                                # diff two run artifacts (regression gate)
 //! ```
 //!
 //! Global flags (any command): `--trace` streams pipeline spans to
@@ -18,6 +20,11 @@
 //! `--quiet` silences `[lacr]` diagnostics, and `--threads N` caps the
 //! worker pool for parallel regions (overriding the `LACR_THREADS`
 //! environment variable; output is bit-identical at any thread count).
+//! `--flight-recorder-out <path>` redirects the always-on flight
+//! recorder's postmortem dump (default `target/flight/last-run.jsonl`;
+//! set `LACR_FLIGHT=off` to disable recording entirely). The dump is
+//! written automatically on panic, on degraded exit (3) and on budget
+//! expiry.
 //!
 //! Exit codes: 0 success, 1 error (one-line diagnostic on stderr),
 //! 2 usage, 3 the run finished but the plan is *degraded* (budget
@@ -42,6 +49,7 @@ struct ObsFlags {
     report: bool,
     metrics_out: Option<String>,
     threads: Option<usize>,
+    flight_out: Option<String>,
 }
 
 impl ObsFlags {
@@ -56,6 +64,9 @@ impl ObsFlags {
                 "--report" => flags.report = true,
                 "--metrics-out" => {
                     flags.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
+                }
+                "--flight-recorder-out" => {
+                    flags.flight_out = Some(it.next().ok_or("--flight-recorder-out needs a path")?);
                 }
                 "--threads" => {
                     let n: usize = it
@@ -94,6 +105,15 @@ impl ObsFlags {
         } else if self.report {
             lacr::obs::init(Box::new(lacr::obs::sink::NullSink));
         }
+        // The flight recorder is always on (LACR_FLIGHT=off opts out):
+        // arm the postmortem path and hook panics so a crash, a degraded
+        // exit or a budget expiry leaves a debuggable artifact behind.
+        lacr::obs::flight::arm(
+            self.flight_out
+                .clone()
+                .unwrap_or_else(|| "target/flight/last-run.jsonl".to_string()),
+        );
+        lacr::obs::flight::install_panic_hook();
         Ok(())
     }
 }
@@ -103,12 +123,12 @@ fn main() -> ExitCode {
     let obs = match ObsFlags::from_args(&mut args) {
         Ok(obs) => obs,
         Err(e) => {
-            eprintln!("error: {e}");
+            lacr::obs::diag!("error: {e}");
             return ExitCode::from(2);
         }
     };
     if let Err(e) = obs.install() {
-        eprintln!("error: {e}");
+        lacr::obs::diag!("error: {e}");
         return ExitCode::FAILURE;
     }
     let result = match args.first().map(String::as_str) {
@@ -122,8 +142,9 @@ fn main() -> ExitCode {
             args.get(2).map(String::as_str),
         ),
         Some("retime") => cmd_retime(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
         _ => {
-            eprintln!("usage: lacr <list|plan|run|table1|fig2|retime> [args]");
+            eprintln!("usage: lacr <list|plan|run|table1|fig2|retime|compare> [args]");
             eprintln!("  list                        available benchmark circuits");
             eprintln!("  plan <circuit|file.bench> [--budget-ms N]");
             eprintln!("                              run the planner on one circuit");
@@ -132,7 +153,11 @@ fn main() -> ExitCode {
             eprintln!("  table1 [circuit ...]        regenerate the paper's Table 1");
             eprintln!("  fig2 <circuit> [out.svg]    render the tile graph");
             eprintln!("  retime <in.bench> <out.bench> [period_ps]");
-            eprintln!("global flags: --trace --metrics-out <path> --report --quiet --threads <n>");
+            eprintln!("  compare <base.json> <current.json> [--no-wall] [--json <out>]");
+            eprintln!(
+                "global flags: --trace --metrics-out <path> --report --quiet --threads <n> \
+                 --flight-recorder-out <path>"
+            );
             eprintln!("exit codes: 0 ok, 1 error, 2 usage, 3 degraded plan");
             return ExitCode::from(2);
         }
@@ -153,10 +178,13 @@ fn main() -> ExitCode {
             for d in &degradations {
                 lacr::obs::diag!("  {d}");
             }
+            if let Some(path) = lacr::obs::flight::dump("degraded exit (3)") {
+                lacr::obs::diag!("flight recorder dumped to {}", path.display());
+            }
             ExitCode::from(3)
         }
         Err(e) => {
-            eprintln!("error: {e}");
+            lacr::obs::diag!("error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -278,6 +306,16 @@ fn cmd_plan(args: &[String]) -> CliResult {
             );
         }
         Ok(notes)
+    }
+}
+
+/// `lacr compare`: the in-CLI face of the `bench_compare` regression
+/// gate. A failing gate is an ordinary error (exit 1).
+fn cmd_compare(args: &[String]) -> CliResult {
+    match lacr::bench::compare::cli_main(args) {
+        Ok(true) => Ok(Vec::new()),
+        Ok(false) => Err("benchmark regression detected (see table above)".into()),
+        Err(e) => Err(e.into()),
     }
 }
 
