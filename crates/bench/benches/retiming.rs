@@ -7,26 +7,27 @@ use lacr_core::planner::{build_physical_plan, plan_constraints};
 use lacr_netlist::bench89;
 use lacr_prng::bench::Harness;
 use lacr_retime::{
-    generate_period_constraints, min_period_retiming, weighted_min_area_retiming, ConstraintOptions,
+    generate_period_constraints, min_period_retiming, weighted_min_area_retiming, WdSubstrate,
 };
 
 fn bench_retiming(c: &mut Harness) {
     let config = lacr_bench::quick_planner();
     let circuit = bench89::generate("s344").expect("known circuit");
     let plan = build_physical_plan(&circuit, &config, &[]);
-    let pc = plan_constraints(&plan, &config);
+    let pc = plan_constraints(&plan);
     let graph = &plan.expanded.graph;
     let areas: Vec<f64> = graph.vertex_ids().map(|v| graph.area(v)).collect();
 
     let mut g = c.benchmark_group("retiming_s344");
     g.sample_size(10);
     g.bench_function("constraint_generation", |b| {
-        b.iter(|| generate_period_constraints(graph, plan.t_clk, ConstraintOptions::default()))
+        b.iter(|| generate_period_constraints(graph, plan.t_clk).expect("no overflow"))
     });
-    g.bench_function("constraint_generation_unpruned", |b| {
-        b.iter(|| {
-            generate_period_constraints(graph, plan.t_clk, ConstraintOptions { prune: false })
-        })
+    // Substrate amortisation: one W/D build serving a probe (what each
+    // binary-search step costs after the first).
+    let substrate = WdSubstrate::build(graph, plan.t_min, plan.t_init).expect("no overflow");
+    g.bench_function("constraint_reemission_from_substrate", |b| {
+        b.iter(|| substrate.constraints_for(plan.t_clk))
     });
     g.bench_function("min_period", |b| b.iter(|| min_period_retiming(graph)));
     g.bench_function("min_area_single_solve", |b| {

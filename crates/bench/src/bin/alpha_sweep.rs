@@ -34,7 +34,7 @@ fn main() {
             }
         };
         let plan = build_physical_plan(&circuit, &config, &[]);
-        let pc = plan_constraints(&plan, &config);
+        let pc = plan_constraints(&plan);
         for &alpha in &alphas {
             let lac_cfg = LacConfig {
                 alpha,

@@ -3,14 +3,16 @@
 //! ```text
 //! cargo run --release -p lacr-bench --bin bench_compare -- \
 //!     <base.json> <current.json> [--no-wall] [--wall-tolerance <pct>] \
-//!     [--json <out>]
+//!     [--subset] [--json <out>]
 //! ```
 //!
 //! Diffs two `RUN_*.json` / `BENCH_*.json` artifacts: hard gates on the
 //! solution-quality metrics (`lac_n_foa`, `n_wr`, `t_clk_ns`,
 //! `route_overflow` must not increase), a noise-tolerant soft gate on
-//! wall-clock (±15 % by default; `--no-wall` disables it). Prints a
-//! human table; `--json` additionally writes the machine verdict.
+//! wall-clock (±15 % by default; `--no-wall` disables it). Baseline
+//! circuits absent from the current artifact fail as DROPPED coverage
+//! unless `--subset` declares a deliberate subset run. Prints a human
+//! table; `--json` additionally writes the machine verdict.
 //!
 //! Exits 0 when the gate passes, 1 on a regression, 2 on usage or I/O
 //! errors. `scripts/verify.sh --regress` and CI drive it against the

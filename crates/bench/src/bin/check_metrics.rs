@@ -14,7 +14,14 @@
 //!    counters only fire inside an open `par.region` span, and the
 //!    summed `par.tasks` deltas equal the summed region `items` (a
 //!    `par.steal` counter is optional — single-threaded regions never
-//!    emit one).
+//!    emit one);
+//! 6. the retiming substrate contract holds: inside each
+//!    `retime.min_period` span, every substrate probe is served either
+//!    from the cached W/D substrate or by building it — summed
+//!    `retime.probe` deltas equal summed `retime.wd_cache_hits` deltas
+//!    plus the number of `retime.wd_build` child spans. (Host-free
+//!    searches use arrival-time FEAS probes, which emit only
+//!    `retime.feas_probes`; both sides are then zero.)
 //!
 //! Other artifact kinds have their own modes:
 //!
@@ -33,9 +40,14 @@
 //! Exits 0 on success (one confirmation line on stdout), 1 with the
 //! offending line number on stderr otherwise.
 
-use lacr_bench::compare::GATED_METRICS;
 use lacr_bench::json::{parse_json, Json};
 use std::process::ExitCode;
+
+/// Quality metrics every `RUN_*.json` circuit entry must carry. A
+/// subset of [`lacr_bench::compare::GATED_METRICS`]: the gate also
+/// covers artifact-specific metrics (`min_area_flops` in scale runs)
+/// that planner run records never have.
+const REQUIRED_RUN_METRICS: &[&str] = &["lac_n_foa", "n_wr", "t_clk_ns", "route_overflow"];
 
 const KNOWN_TYPES: &[&str] = &[
     "span_open",
@@ -57,6 +69,10 @@ fn check_stream(text: &str) -> Result<(usize, usize, usize), String> {
     let mut par_regions = 0usize;
     let mut par_items = 0u64;
     let mut par_tasks = 0u64;
+    // One (probes, cache_hits, wd_builds) tracker per open
+    // retime.min_period span; counters and wd_build spans attribute to
+    // the innermost one.
+    let mut min_period_stack: Vec<(u64, u64, u64)> = Vec::new();
     for (ln, line) in text.lines().enumerate() {
         let ln = ln + 1;
         if line.trim().is_empty() {
@@ -108,6 +124,13 @@ fn check_stream(text: &str) -> Result<(usize, usize, usize), String> {
                     par_regions += 1;
                     par_items += items as u64;
                 }
+                if name == "retime.min_period" {
+                    min_period_stack.push((0, 0, 0));
+                } else if name == "retime.wd_build" {
+                    if let Some(t) = min_period_stack.last_mut() {
+                        t.2 += 1;
+                    }
+                }
                 open_spans.push((name.to_string(), depth as u64));
             }
             "span_close" => {
@@ -122,6 +145,17 @@ fn check_stream(text: &str) -> Result<(usize, usize, usize), String> {
                     return Err(format!(
                         "line {ln}: span_close {name:?} does not match open {open_name:?}"
                     ));
+                }
+                if name == "retime.min_period" {
+                    let (probes, hits, builds) = min_period_stack
+                        .pop()
+                        .ok_or(format!("line {ln}: unbalanced retime.min_period"))?;
+                    if probes != hits + builds {
+                        return Err(format!(
+                            "line {ln}: retime.min_period closed with {probes} substrate \
+                             probe(s) but {hits} cache hit(s) + {builds} wd_build span(s)"
+                        ));
+                    }
                 }
                 spans += 1;
             }
@@ -142,6 +176,19 @@ fn check_stream(text: &str) -> Result<(usize, usize, usize), String> {
                         .ok_or(format!("line {ln}: {name} without numeric delta"))?;
                     if name == "par.tasks" {
                         par_tasks += delta as u64;
+                    }
+                }
+                if name == "retime.probe" || name == "retime.wd_cache_hits" {
+                    if let Some(t) = min_period_stack.last_mut() {
+                        let delta = v
+                            .get("delta")
+                            .and_then(Json::as_num)
+                            .ok_or(format!("line {ln}: {name} without numeric delta"))?;
+                        if name == "retime.probe" {
+                            t.0 += delta as u64;
+                        } else {
+                            t.1 += delta as u64;
+                        }
                     }
                 }
             }
@@ -225,7 +272,7 @@ fn check_run_record(text: &str) -> Result<(String, usize), String> {
         let q = c
             .get("quality")
             .ok_or(format!("{name}: circuit entry without a quality block"))?;
-        for &metric in GATED_METRICS {
+        for &metric in REQUIRED_RUN_METRICS {
             q.get(metric)
                 .and_then(Json::as_num)
                 .ok_or(format!("{name}: quality block missing {metric}"))?;
@@ -385,6 +432,46 @@ mod tests {
         assert!(check_stream(no_items)
             .unwrap_err()
             .contains("without numeric items"));
+    }
+
+    #[test]
+    fn enforces_the_retime_substrate_contract() {
+        // Two probes: the first builds the substrate, the second hits
+        // the cache. A cache hit outside the span (planner reuse) does
+        // not count toward any search.
+        let good = "\
+{\"t\":\"span_open\",\"us\":1,\"name\":\"retime.min_period\",\"depth\":0,\"attrs\":{}}
+{\"t\":\"counter\",\"us\":2,\"name\":\"retime.probe\",\"delta\":1,\"total\":1}
+{\"t\":\"span_open\",\"us\":3,\"name\":\"retime.wd_build\",\"depth\":1,\"attrs\":{}}
+{\"t\":\"span_close\",\"us\":4,\"name\":\"retime.wd_build\",\"depth\":1,\"incl_us\":1,\"excl_us\":1}
+{\"t\":\"counter\",\"us\":5,\"name\":\"retime.probe\",\"delta\":1,\"total\":2}
+{\"t\":\"counter\",\"us\":6,\"name\":\"retime.wd_cache_hits\",\"delta\":1,\"total\":1}
+{\"t\":\"span_close\",\"us\":7,\"name\":\"retime.min_period\",\"depth\":0,\"incl_us\":6,\"excl_us\":5}
+{\"t\":\"counter\",\"us\":8,\"name\":\"retime.wd_cache_hits\",\"delta\":1,\"total\":2}
+{\"t\":\"summary\",\"schema_version\":1}
+";
+        assert_eq!(check_stream(good).unwrap(), (9, 2, 0));
+
+        // A probe with neither a cache hit nor a build is a contract
+        // violation (the substrate was silently bypassed).
+        let bypassed = "\
+{\"t\":\"span_open\",\"us\":1,\"name\":\"retime.min_period\",\"depth\":0,\"attrs\":{}}
+{\"t\":\"counter\",\"us\":2,\"name\":\"retime.probe\",\"delta\":2,\"total\":2}
+{\"t\":\"counter\",\"us\":3,\"name\":\"retime.wd_cache_hits\",\"delta\":1,\"total\":1}
+{\"t\":\"span_close\",\"us\":4,\"name\":\"retime.min_period\",\"depth\":0,\"incl_us\":3,\"excl_us\":3}
+{\"t\":\"summary\",\"schema_version\":1}
+";
+        let err = check_stream(bypassed).unwrap_err();
+        assert!(err.contains("2 substrate probe(s)"), "{err}");
+
+        // Host-free searches: FEAS probes only, both sides zero.
+        let host_free = "\
+{\"t\":\"span_open\",\"us\":1,\"name\":\"retime.min_period\",\"depth\":0,\"attrs\":{}}
+{\"t\":\"counter\",\"us\":2,\"name\":\"retime.feas_probes\",\"delta\":4,\"total\":4}
+{\"t\":\"span_close\",\"us\":3,\"name\":\"retime.min_period\",\"depth\":0,\"incl_us\":2,\"excl_us\":2}
+{\"t\":\"summary\",\"schema_version\":1}
+";
+        assert!(check_stream(host_free).is_ok());
     }
 
     #[test]

@@ -2,16 +2,19 @@
 //! style), which the paper cites as the main avenue for further run-time
 //! improvement (§5).
 //!
-//! Compares constraint counts and generation/solve times with pruning on
-//! and off. The solutions must coincide on objective value (the pruned
-//! system is equivalent, see `lacr-retime` docs).
+//! Pruned generation is the only emission path; this bin reports how much
+//! it buys per circuit — violating pairs versus constraints actually
+//! emitted — plus the substrate amortisation: the cost of one W/D build
+//! for the whole `[T_min, T_init]` bracket against re-emitting a probe's
+//! constraint set from it (what every binary-search step after the first
+//! costs).
 //!
 //! ```text
 //! cargo run --release -p lacr-bench --bin constraint_pruning [circuit ...]
 //! ```
 
 use lacr_core::planner::build_physical_plan;
-use lacr_retime::{generate_period_constraints, weighted_min_area_retiming, ConstraintOptions};
+use lacr_retime::{generate_period_constraints, weighted_min_area_retiming, WdSubstrate};
 use std::time::Instant;
 
 fn main() {
@@ -23,8 +26,8 @@ fn main() {
     }
     let config = lacr_bench::experiment_planner();
     println!(
-        "{:<8} {:>7} | {:>10} {:>10} {:>9} {:>9} | {:>5}",
-        "circuit", "prune", "pairs", "emitted", "gen t/s", "solve t/s", "N_F"
+        "{:<8} | {:>10} {:>10} {:>6} | {:>9} {:>9} {:>9} | {:>5}",
+        "circuit", "pairs", "emitted", "kept%", "build t/s", "remit t/s", "solve t/s", "N_F"
     );
     for name in &circuits {
         let circuit = match lacr_netlist::bench89::generate(name) {
@@ -37,32 +40,43 @@ fn main() {
         let plan = build_physical_plan(&circuit, &config, &[]);
         let graph = &plan.expanded.graph;
         let areas: Vec<f64> = graph.vertex_ids().map(|v| graph.area(v)).collect();
-        let mut flops = Vec::new();
-        for prune in [false, true] {
-            let t0 = Instant::now();
-            let pc = generate_period_constraints(graph, plan.t_clk, ConstraintOptions { prune });
-            let gen_t = t0.elapsed();
-            let t1 = Instant::now();
-            match weighted_min_area_retiming(graph, &pc, &areas) {
-                Ok(out) => {
-                    println!(
-                        "{name:<8} {prune:>7} | {:>10} {:>10} {:>9.3} {:>9.3} | {:>5}",
-                        pc.pairs_before_pruning,
-                        pc.constraints.len(),
-                        gen_t.as_secs_f64(),
-                        t1.elapsed().as_secs_f64(),
-                        out.total_flops,
-                    );
-                    flops.push(out.total_flops);
-                }
-                Err(e) => println!("{name:<8} {prune:>7} | error: {e}"),
+        let t0 = Instant::now();
+        let substrate = match WdSubstrate::build(graph, plan.t_min, plan.t_init) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{name:<8} | error: {e}");
+                continue;
             }
-        }
-        if flops.len() == 2 && flops[0] != flops[1] {
-            println!(
-                "  WARNING: pruning changed the optimum ({} vs {})",
-                flops[0], flops[1]
-            );
+        };
+        let build_t = t0.elapsed();
+        let t1 = Instant::now();
+        let pc = substrate.constraints_for(plan.t_clk);
+        let remit_t = t1.elapsed();
+        // Cross-check: the substrate probe is bit-identical to one-shot
+        // generation at the same target.
+        let fresh = generate_period_constraints(graph, plan.t_clk).expect("no overflow");
+        assert_eq!(
+            pc.constraints, fresh.constraints,
+            "substrate probe diverged from one-shot generation"
+        );
+        let kept = if pc.pairs_before_pruning > 0 {
+            100.0 * pc.constraints.len() as f64 / pc.pairs_before_pruning as f64
+        } else {
+            100.0
+        };
+        let t2 = Instant::now();
+        match weighted_min_area_retiming(graph, &pc, &areas) {
+            Ok(out) => println!(
+                "{name:<8} | {:>10} {:>10} {:>6.1} | {:>9.3} {:>9.3} {:>9.3} | {:>5}",
+                pc.pairs_before_pruning,
+                pc.constraints.len(),
+                kept,
+                build_t.as_secs_f64(),
+                remit_t.as_secs_f64(),
+                t2.elapsed().as_secs_f64(),
+                out.total_flops,
+            ),
+            Err(e) => println!("{name:<8} | error: {e}"),
         }
     }
 }

@@ -35,7 +35,7 @@ fn main() {
             }
         };
         let plan = build_physical_plan(&circuit, &config, &[]);
-        let pc = plan_constraints(&plan, &config);
+        let pc = plan_constraints(&plan);
         for &n_max in &patience {
             let lac_cfg = LacConfig {
                 n_max,

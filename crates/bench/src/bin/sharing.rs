@@ -35,7 +35,7 @@ fn main() {
             }
         };
         let plan = build_physical_plan(&circuit, &config, &[]);
-        let pc = plan_constraints(&plan, &config);
+        let pc = plan_constraints(&plan);
         let graph = &plan.expanded.graph;
         let areas: Vec<f64> = graph.vertex_ids().map(|v| graph.area(v)).collect();
         let sum_opt = match weighted_min_area_retiming(graph, &pc, &areas) {

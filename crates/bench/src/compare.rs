@@ -14,15 +14,30 @@
 //!   because wall-clock is machine-noisy. CI disables it entirely
 //!   (`check_wall = false`) and relies on Criterion for perf tracking.
 //!
-//! Circuits present in the baseline but absent from the current run are
-//! *skipped*, not failed — CI compares a fast subset against the full
-//! committed baseline. Artifacts without a `schema_version`, or with one
-//! newer than this tool understands, are rejected outright.
+//! Coverage direction is explicit. By default every baseline circuit
+//! must be present in the current artifact — a circuit that silently
+//! vanishes from a run is a *dropped* gate failure, not a skip. When the
+//! caller declares a deliberate subset comparison ([`CompareConfig::
+//! allow_subset`], `--subset` on the CLI) those circuits are *skipped*
+//! instead — that is how CI compares a fast subset against the full
+//! committed baseline. Circuits only in the current artifact (a superset
+//! run) are never failures in either mode. Artifacts without a
+//! `schema_version`, or with one newer than this tool understands, are
+//! rejected outright.
 
 use crate::json::{parse_json, Json};
 
 /// Lower-is-better quality metrics that must not increase at all.
-pub const GATED_METRICS: &[&str] = &["lac_n_foa", "n_wr", "t_clk_ns", "route_overflow"];
+/// `min_area_flops` only appears in `BENCH_scale.json` artifacts;
+/// metrics a baseline never carried are not gated, so the table1 gate
+/// is unaffected.
+pub const GATED_METRICS: &[&str] = &[
+    "lac_n_foa",
+    "n_wr",
+    "t_clk_ns",
+    "route_overflow",
+    "min_area_flops",
+];
 
 /// Relative slack for "did not increase" on gated metrics — covers
 /// decimal round-tripping, nothing more.
@@ -144,6 +159,10 @@ pub struct CompareConfig {
     pub wall_tolerance_pct: f64,
     /// Whether wall-clock is checked at all (CI turns this off).
     pub check_wall: bool,
+    /// Whether the current artifact is a declared subset run: baseline
+    /// circuits absent from it are skipped instead of failing as
+    /// dropped. Off by default — coverage loss must be opted into.
+    pub allow_subset: bool,
 }
 
 impl Default for CompareConfig {
@@ -151,6 +170,7 @@ impl Default for CompareConfig {
         Self {
             wall_tolerance_pct: 15.0,
             check_wall: true,
+            allow_subset: false,
         }
     }
 }
@@ -167,8 +187,12 @@ pub enum Status {
     /// Present in the baseline, missing from the current artifact —
     /// fails the gate (the telemetry contract regressed).
     Missing,
-    /// Circuit not in the current artifact (subset run) — informational.
+    /// Circuit not in the current artifact of a *declared* subset run
+    /// ([`CompareConfig::allow_subset`]) — informational.
     Skipped,
+    /// Circuit not in the current artifact of a run that should cover
+    /// the whole baseline — fails the gate (coverage silently shrank).
+    Dropped,
 }
 
 impl Status {
@@ -179,11 +203,12 @@ impl Status {
             Status::Regressed => "REGRESSED",
             Status::Missing => "MISSING",
             Status::Skipped => "skipped",
+            Status::Dropped => "DROPPED",
         }
     }
 
     fn fails(self) -> bool {
-        matches!(self, Status::Regressed | Status::Missing)
+        matches!(self, Status::Regressed | Status::Missing | Status::Dropped)
     }
 }
 
@@ -209,7 +234,7 @@ pub struct Comparison {
     pub findings: Vec<Finding>,
     /// Circuits compared (present in both artifacts).
     pub compared: usize,
-    /// Baseline circuits skipped (absent from the current artifact).
+    /// Baseline circuits skipped (absent from a declared subset run).
     pub skipped: usize,
 }
 
@@ -301,13 +326,21 @@ pub fn compare(base: &RunArtifact, current: &RunArtifact, config: &CompareConfig
     let mut skipped = 0;
     for bc in &base.circuits {
         let Some(cc) = current.circuit(&bc.name) else {
-            skipped += 1;
+            // The direction matters: absence from a *declared* subset
+            // run is a skip; absence from a run that should cover the
+            // baseline means coverage silently shrank — fail the gate.
+            let status = if config.allow_subset {
+                skipped += 1;
+                Status::Skipped
+            } else {
+                Status::Dropped
+            };
             findings.push(Finding {
                 circuit: bc.name.clone(),
                 metric: "-".into(),
                 base: None,
                 current: None,
-                status: Status::Skipped,
+                status,
             });
             continue;
         };
@@ -359,8 +392,10 @@ pub fn compare(base: &RunArtifact, current: &RunArtifact, config: &CompareConfig
 
 /// The shared CLI driver behind the `bench_compare` binary and
 /// `lacr compare`: parses `<base> <current> [--no-wall]
-/// [--wall-tolerance <pct>] [--json <out>]`, prints the human table,
-/// and returns whether the gate passed.
+/// [--wall-tolerance <pct>] [--subset] [--json <out>]`, prints the
+/// human table, and returns whether the gate passed. `--subset`
+/// declares the current artifact a deliberate subset run, so baseline
+/// circuits it omits are skipped instead of failing as dropped.
 ///
 /// # Errors
 ///
@@ -373,6 +408,7 @@ pub fn cli_main(args: &[String]) -> Result<bool, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--no-wall" => config.check_wall = false,
+            "--subset" => config.allow_subset = true,
             "--wall-tolerance" => {
                 config.wall_tolerance_pct = it
                     .next()
@@ -385,7 +421,7 @@ pub fn cli_main(args: &[String]) -> Result<bool, String> {
     }
     let [base_path, cur_path] = paths.as_slice() else {
         return Err("usage: bench_compare <base.json> <current.json> \
-             [--no-wall] [--wall-tolerance <pct>] [--json <out>]"
+             [--no-wall] [--wall-tolerance <pct>] [--subset] [--json <out>]"
             .to_string());
     };
     let load = |path: &str| -> Result<RunArtifact, String> {
@@ -498,6 +534,7 @@ mod tests {
             &CompareConfig {
                 wall_tolerance_pct: 100.0,
                 check_wall: true,
+                ..Default::default()
             },
         );
         assert!(!cmp
@@ -507,14 +544,68 @@ mod tests {
     }
 
     #[test]
-    fn subset_runs_skip_missing_circuits() {
+    fn declared_subset_runs_skip_missing_circuits() {
         let base = parse_artifact(BASE).unwrap();
         let mut subset = base.clone();
         subset.circuits.retain(|c| c.name == "s344");
-        let cmp = compare(&base, &subset, &CompareConfig::default());
-        assert!(cmp.pass(), "skipped circuits are not failures");
+        let cmp = compare(
+            &base,
+            &subset,
+            &CompareConfig {
+                allow_subset: true,
+                ..Default::default()
+            },
+        );
+        assert!(cmp.pass(), "declared-subset skips are not failures");
         assert_eq!(cmp.compared, 1);
         assert_eq!(cmp.skipped, 2);
+        assert_eq!(
+            cmp.findings
+                .iter()
+                .filter(|f| f.status == Status::Skipped)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn silently_dropped_circuits_fail_the_gate() {
+        // Same shrunken artifact, but without declaring a subset run:
+        // the missing circuits are dropped coverage, a hard failure.
+        let base = parse_artifact(BASE).unwrap();
+        let mut shrunk = base.clone();
+        shrunk.circuits.retain(|c| c.name == "s344");
+        let cmp = compare(&base, &shrunk, &CompareConfig::default());
+        assert!(!cmp.pass(), "dropped circuits must fail: {}", cmp.table());
+        assert_eq!(cmp.compared, 1);
+        assert_eq!(cmp.skipped, 0, "drops are not counted as skips");
+        for name in ["s382", "s526"] {
+            assert!(cmp
+                .findings
+                .iter()
+                .any(|f| f.circuit == name && f.status == Status::Dropped));
+        }
+    }
+
+    #[test]
+    fn superset_runs_pass_in_both_modes() {
+        // The other direction: the current artifact covers *more* than
+        // the baseline. Extra circuits are never failures.
+        let full = parse_artifact(BASE).unwrap();
+        let mut baseline = full.clone();
+        baseline.circuits.retain(|c| c.name == "s344");
+        for config in [
+            CompareConfig::default(),
+            CompareConfig {
+                allow_subset: true,
+                ..Default::default()
+            },
+        ] {
+            let cmp = compare(&baseline, &full, &config);
+            assert!(cmp.pass(), "superset run failed: {}", cmp.table());
+            assert_eq!(cmp.compared, 1);
+            assert_eq!(cmp.skipped, 0);
+        }
     }
 
     #[test]

@@ -863,7 +863,7 @@ pub fn lac_retiming(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lacr_retime::{generate_period_constraints, min_area_retiming, ConstraintOptions};
+    use lacr_retime::{generate_period_constraints, min_area_retiming};
 
     /// Two-tile ring: one flop must live on the cycle; tile 0 has no
     /// capacity, tile 1 has plenty. LAC must steer the flop to tile 1.
@@ -879,7 +879,7 @@ mod tests {
     #[test]
     fn lac_moves_flop_off_full_tile() {
         let (g, caps) = ring_graph();
-        let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+        let pc = generate_period_constraints(&g, 100).unwrap();
         let res = lac_retiming(&g, &pc, &caps, &LacConfig::default()).expect("feasible");
         assert_eq!(res.n_foa, 0, "history {:?}", res.history);
         assert_eq!(res.n_f, 1);
@@ -895,7 +895,7 @@ mod tests {
         let base = min_area_retiming(&g, 100).expect("feasible");
         let scored = score_outcome(&g, base, &caps);
         // Baseline may or may not violate (solver tie), but LAC never does.
-        let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+        let pc = generate_period_constraints(&g, 100).unwrap();
         let lac = lac_retiming(&g, &pc, &caps, &LacConfig::default()).unwrap();
         assert!(lac.n_foa <= scored.n_foa);
         assert_eq!(lac.n_foa, 0);
@@ -939,7 +939,7 @@ mod tests {
     fn infeasible_period_propagates() {
         let (g, caps) = ring_graph();
         // period 1 cannot be met: the cycle has 2 delay per 1 flop.
-        let pc = generate_period_constraints(&g, 1, ConstraintOptions::default());
+        let pc = generate_period_constraints(&g, 1).unwrap();
         let err = lac_retiming(&g, &pc, &caps, &LacConfig::default()).unwrap_err();
         assert!(matches!(err, RetimeError::PeriodInfeasible { .. }));
     }
@@ -947,7 +947,7 @@ mod tests {
     #[test]
     fn history_records_every_round() {
         let (g, caps) = ring_graph();
-        let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+        let pc = generate_period_constraints(&g, 100).unwrap();
         let res = lac_retiming(&g, &pc, &caps, &LacConfig::default()).unwrap();
         assert_eq!(res.history.len(), res.n_wr);
         assert_eq!(*res.history.last().unwrap(), 0);
@@ -959,7 +959,7 @@ mod tests {
         // same solution and the loop stops after n_max stale rounds.
         let (g, caps) = ring_graph();
         let tight_caps = vec![0.0, 0.0]; // unavoidable violation
-        let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+        let pc = generate_period_constraints(&g, 100).unwrap();
         let cfg = LacConfig {
             alpha: 0.0,
             n_max: 3,
@@ -976,7 +976,7 @@ mod tests {
     fn max_rounds_caps_the_loop() {
         let (g, _) = ring_graph();
         let caps = vec![0.0, 0.0];
-        let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+        let pc = generate_period_constraints(&g, 100).unwrap();
         let cfg = LacConfig {
             alpha: 0.5,
             n_max: 1_000,
@@ -991,7 +991,7 @@ mod tests {
     fn expired_deadline_returns_best_so_far_as_timed_out() {
         let (g, _) = ring_graph();
         let caps = vec![0.0, 0.0]; // unavoidable violation keeps the loop busy
-        let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+        let pc = generate_period_constraints(&g, 100).unwrap();
         let cfg = LacConfig {
             deadline: Some(std::time::Instant::now()),
             ..Default::default()
@@ -1023,7 +1023,7 @@ mod tests {
     #[test]
     fn score_key_ranks_legal_above_overflowing() {
         let (g, caps) = ring_graph();
-        let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+        let pc = generate_period_constraints(&g, 100).unwrap();
         let legal = lac_retiming(&g, &pc, &caps, &LacConfig::default()).unwrap();
         let squeezed = lac_retiming(&g, &pc, &[0.0, 0.0], &LacConfig::default()).unwrap();
         assert!(legal.score_key() < squeezed.score_key());

@@ -16,8 +16,8 @@ use lacr_floorplan::{try_floorplan, try_floorplan_slicing, BlockSpec, Floorplan}
 use lacr_netlist::{Circuit, UnitKind};
 use lacr_partition::{partition, PartitionConfig, Partitioning};
 use lacr_retime::{
-    feasible_min_area_fallback, generate_period_constraints, min_period_retiming_with_tolerance,
-    ConstraintOptions, PeriodConstraints, RetimeError,
+    feasible_min_area_fallback, generate_period_constraints, try_min_period_retiming,
+    PeriodConstraints, RetimeError, WdSubstrate,
 };
 use lacr_route::{try_route, NetPins, RouteConfig, Routing};
 use lacr_timing::Technology;
@@ -90,8 +90,6 @@ pub struct PlannerConfig {
     pub lac: LacConfig,
     /// Interconnect-unit expansion options.
     pub expand: ExpandOptions,
-    /// Period-constraint generation options.
-    pub constraints: ConstraintOptions,
     /// Master seed for partitioning and floorplanning.
     pub seed: u64,
     /// Wall-clock / round budget for the whole run. Unlimited by default.
@@ -188,7 +186,6 @@ impl Default for PlannerConfig {
                 tile_crossing_units: true,
                 ..ExpandOptions::default()
             },
-            constraints: ConstraintOptions::default(),
             seed: 0x1acc,
             budget: Budget::default(),
         }
@@ -217,6 +214,12 @@ pub struct PhysicalPlan {
     pub t_min: u64,
     /// The target period for this planning run (ps).
     pub t_clk: u64,
+    /// The W/D substrate the `T_min` search built, covering every period
+    /// in `[T_min, T_init]`. [`plan_constraints`] and the retiming entry
+    /// points re-emit from it instead of rebuilding the W/D system;
+    /// `None` when the search was skipped (expired budget) or ran on a
+    /// host-free graph.
+    pub wd_substrate: Option<WdSubstrate>,
     /// Quality losses absorbed while building the plan (expired budget,
     /// residual routing overflow, skipped `T_min` search). Empty for a
     /// pristine plan.
@@ -604,9 +607,14 @@ pub fn try_build_physical_plan(
     let span_timing = lacr_obs::span!("plan.timing");
     let t_init = expanded
         .graph
-        .clock_period(&expanded.graph.weights())
-        .ok_or_else(|| PlanError::new(Stage::Timing, PlanErrorKind::CombinationalCycle))?;
-    let (t_min, t_clk) = if budget.expired() {
+        .try_clock_period(&expanded.graph.weights())
+        .map_err(|e| match e {
+            RetimeError::CombinationalCycle => {
+                PlanError::new(Stage::Timing, PlanErrorKind::CombinationalCycle)
+            }
+            other => PlanError::new(Stage::Timing, PlanErrorKind::Retime(other)),
+        })?;
+    let (t_min, t_clk, wd_substrate) = if budget.expired() {
         // No time left for the T_min binary search: plan at the initial
         // period, which any legal retiming (including the identity)
         // satisfies.
@@ -614,13 +622,17 @@ pub fn try_build_physical_plan(
             Stage::Timing,
             "wall-clock budget expired: T_min search skipped, T_clk = T_init",
         ));
-        (t_init, t_init)
+        (t_init, t_init, None)
     } else {
         let tolerance = (t_init as f64 * config.t_min_tolerance_frac).round() as u64;
-        let mp = min_period_retiming_with_tolerance(&expanded.graph, tolerance);
-        let t_min = mp.period;
+        let mp = try_min_period_retiming(&expanded.graph, tolerance)
+            .map_err(|e| PlanError::new(Stage::Timing, PlanErrorKind::Retime(e)))?;
+        let t_min = mp.result.period;
         let t_clk = t_min + ((t_init - t_min) as f64 * config.clock_slack_frac).round() as u64;
-        (t_min, t_clk)
+        // T_clk ∈ [T_min, T_init] ⊆ the search bracket, so the substrate
+        // serves the plan's own constraint generation without another
+        // W/D build.
+        (t_min, t_clk, mp.substrate)
     };
     check_deadline(Stage::Timing, &mut deadline_hit);
     drop(span_timing);
@@ -648,13 +660,35 @@ pub fn try_build_physical_plan(
         t_init,
         t_min,
         t_clk,
+        wd_substrate,
         degradations,
     })
 }
 
-/// Generates the period constraints for a plan's target period.
-pub fn plan_constraints(plan: &PhysicalPlan, config: &PlannerConfig) -> PeriodConstraints {
-    generate_period_constraints(&plan.expanded.graph, plan.t_clk, config.constraints)
+/// The period constraints for one target: re-emitted from the plan's W/D
+/// substrate when the target lies in its bracket (a linear scan — no
+/// Dijkstras), freshly generated otherwise. Both paths produce
+/// bit-identical constraints.
+fn constraints_at(plan: &PhysicalPlan, target: u64) -> Result<PeriodConstraints, RetimeError> {
+    match &plan.wd_substrate {
+        Some(sub) if sub.covers(target) => {
+            lacr_obs::counter!("retime.wd_cache_hits", 1);
+            Ok(sub.constraints_for(target))
+        }
+        _ => generate_period_constraints(&plan.expanded.graph, target),
+    }
+}
+
+/// Generates the period constraints for a plan's target period, reusing
+/// the `T_min` search's W/D substrate when possible.
+///
+/// # Panics
+///
+/// Panics when path-delay accumulation overflows `u64` (the plan's own
+/// timing pass would have failed first for any graph built by
+/// [`try_build_physical_plan`]).
+pub fn plan_constraints(plan: &PhysicalPlan) -> PeriodConstraints {
+    constraints_at(plan, plan.t_clk).expect("path delay accumulation overflowed u64")
 }
 
 /// Runs both retimers (min-area baseline and LAC) on a physical plan.
@@ -761,7 +795,8 @@ pub fn try_plan_retimings_at(
         vertices = graph.num_vertices(),
         t_clk = t_clk
     );
-    let pc = generate_period_constraints(graph, t_clk, config.constraints);
+    let pc = constraints_at(plan, t_clk)
+        .map_err(|e| PlanError::new(Stage::MinArea, PlanErrorKind::Retime(e)))?;
     drop(span_constraints);
     let constraint_time = t0.elapsed();
 
@@ -774,7 +809,11 @@ pub fn try_plan_retimings_at(
     let base_areas: Vec<f64> = graph.vertex_ids().map(|v| graph.area(v)).collect();
     let base = match lacr_retime::weighted_min_area_retiming(graph, &pc, &base_areas) {
         Ok(base) => base,
-        Err(e @ RetimeError::PeriodInfeasible { .. }) => {
+        Err(
+            e @ (RetimeError::PeriodInfeasible { .. }
+            | RetimeError::DelayOverflow
+            | RetimeError::CombinationalCycle),
+        ) => {
             return Err(PlanError::new(Stage::MinArea, PlanErrorKind::Retime(e)));
         }
         Err(RetimeError::Internal(msg)) => {

@@ -11,8 +11,7 @@ use lacr_core::{
 use lacr_floorplan::anneal::FloorplanConfig;
 use lacr_netlist::bench89;
 use lacr_retime::{
-    generate_period_constraints, verify_retiming, ConstraintOptions, RetimeError, RetimeGraph,
-    VertexKind,
+    generate_period_constraints, verify_retiming, RetimeError, RetimeGraph, VertexKind,
 };
 use std::time::Duration;
 
@@ -40,7 +39,7 @@ fn infeasible_ring() -> (RetimeGraph, Vec<f64>) {
 #[test]
 fn infeasible_lac_keeps_min_area_result_with_overflow_report() {
     let (g, caps) = infeasible_ring();
-    let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+    let pc = generate_period_constraints(&g, 100).unwrap();
     let res = lac_retiming(&g, &pc, &caps, &LacConfig::default()).expect("period is feasible");
     // The instance cannot legalize: the result is the min-area fallback
     // with a non-empty per-tile overflow report.
@@ -57,7 +56,7 @@ fn infeasible_lac_keeps_min_area_result_with_overflow_report() {
 #[test]
 fn score_ranks_overflowing_fallback_below_any_legal_plan() {
     let (g, _) = infeasible_ring();
-    let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+    let pc = generate_period_constraints(&g, 100).unwrap();
     let squeezed = lac_retiming(&g, &pc, &[0.0, 0.0], &LacConfig::default()).unwrap();
     let legal = lac_retiming(&g, &pc, &[10.0, 10.0], &LacConfig::default()).unwrap();
     assert_eq!(legal.n_foa, 0);

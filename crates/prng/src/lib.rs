@@ -21,11 +21,14 @@
 //! * [`mod@bench`] — a minimal wall-clock benchmark harness (replaces
 //!   `criterion`);
 //! * [`mod@fault`] — seeded input mutators ([`FaultPlan`]) for the
-//!   fail-soft fault-injection suites.
+//!   fail-soft fault-injection suites;
+//! * [`mod@synth`] — seeded synthetic netlist topologies (ring-of-rings,
+//!   pipelined mesh) for the scale benchmarks.
 
 pub mod bench;
 pub mod fault;
 pub mod prop;
+pub mod synth;
 
 pub use fault::FaultPlan;
 pub use prop::{case_seed, run_property};

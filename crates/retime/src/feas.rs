@@ -3,17 +3,28 @@
 //!
 //! * Host-free graphs use the Leiserson–Saxe **FEAS** relaxation — fast,
 //!   and sound because every violating vertex can be incremented.
-//! * Graphs with a host vertex use the **constraint oracle**: generate the
-//!   W/D period constraints for the candidate period and solve the
+//! * Graphs with a host vertex use the **constraint oracle**: emit the W/D
+//!   period constraints for the candidate period and solve the
 //!   difference-constraint system with Bellman–Ford. FEAS is unsound
 //!   there: the host must not be incremented (it pins I/O latency and
 //!   does not propagate combinational signals), so a violating primary
 //!   output driver cannot legally be incremented past a zero-weight host
 //!   edge.
+//!
+//! The constraint oracle is **incremental across probes**: the W/D
+//! substrate ([`WdSubstrate`]) is built once for the whole search bracket
+//! (one `retime.wd_build` span per [`min_period_retiming`] call, counted
+//! by `retime.probe` / `retime.wd_cache_hits`), each probe re-emits its
+//! constraint set with a linear scan, and Bellman–Ford warm-starts from
+//! the previous feasible probe's potentials
+//! ([`DifferenceConstraints::solve_warm`]). The surviving substrate is
+//! returned in [`MinPeriodOutcome`] so callers probing a *derived* period
+//! in the same bracket (the planner's `t_clk`) reuse it too.
 
-use crate::constraints::{edge_constraints, generate_period_constraints, ConstraintOptions};
+use crate::constraints::{edge_constraints, generate_period_constraints, WdSubstrate};
 use crate::graph::RetimeGraph;
-use lacr_mcmf::DifferenceConstraints;
+use crate::minarea::RetimeError;
+use lacr_mcmf::{Constraint, DifferenceConstraints};
 
 /// Result of [`min_period_retiming`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,8 +35,29 @@ pub struct MinPeriodResult {
     pub retiming: Vec<i64>,
 }
 
+/// Result of [`try_min_period_retiming`]: the period/retiming pair plus
+/// the W/D substrate the search built, when it built one.
+#[derive(Debug, Clone)]
+pub struct MinPeriodOutcome {
+    /// The minimum feasible period and a retiming achieving it.
+    pub result: MinPeriodResult,
+    /// The W/D substrate covering the search bracket
+    /// `[max single-vertex delay, unretimed period]`. `None` when no
+    /// constraint-oracle probe ran (host-free graphs, empty graphs, or a
+    /// bracket that was already collapsed). Any target in the bracket —
+    /// in particular every period between the returned optimum and the
+    /// unretimed period — can be served by
+    /// [`WdSubstrate::constraints_for`] without another W/D build.
+    pub substrate: Option<WdSubstrate>,
+}
+
 /// Returns a retiming achieving clock period `≤ target`, or `None` when no
 /// retiming can.
+///
+/// # Panics
+///
+/// Panics if path-delay accumulation overflows `u64` (see
+/// [`try_feasible_retiming`] for the checked variant).
 ///
 /// # Examples
 ///
@@ -44,29 +76,45 @@ pub struct MinPeriodResult {
 /// assert!(feasible_retiming(&g, 4).is_none());
 /// ```
 pub fn feasible_retiming(graph: &RetimeGraph, target: u64) -> Option<Vec<i64>> {
+    try_feasible_retiming(graph, target).expect("path delay accumulation overflowed u64")
+}
+
+/// Checked variant of [`feasible_retiming`]: `Ok(None)` means infeasible,
+/// `Err` a typed arithmetic failure.
+///
+/// # Errors
+///
+/// [`RetimeError::DelayOverflow`] when accumulating path delays overflows
+/// `u64`.
+pub fn try_feasible_retiming(
+    graph: &RetimeGraph,
+    target: u64,
+) -> Result<Option<Vec<i64>>, RetimeError> {
     let n = graph.num_vertices();
     if n == 0 {
-        return Some(Vec::new());
+        return Ok(Some(Vec::new()));
     }
     lacr_obs::counter!("retime.feas_probes", 1);
     // No retiming helps a single vertex slower than the target.
     if graph.vertex_ids().any(|v| graph.delay(v) > target) {
-        return None;
+        return Ok(None);
     }
     let r = if graph.host().is_some() {
         constraint_feasible(graph, target)?
     } else {
         feas_loop(graph, target)?
     };
-    debug_assert!({
-        let w = graph.retimed_weights(&r);
-        graph.weights_legal(&w) && graph.clock_period(&w).is_some_and(|p| p <= target)
-    });
-    Some(r)
+    if let Some(r) = &r {
+        debug_assert!({
+            let w = graph.retimed_weights(r);
+            graph.weights_legal(&w) && graph.clock_period(&w).is_some_and(|p| p <= target)
+        });
+    }
+    Ok(r)
 }
 
 /// The classic FEAS loop (host-free graphs only).
-fn feas_loop(graph: &RetimeGraph, target: u64) -> Option<Vec<i64>> {
+fn feas_loop(graph: &RetimeGraph, target: u64) -> Result<Option<Vec<i64>>, RetimeError> {
     let n = graph.num_vertices();
     let mut r = vec![0i64; n];
     // |V| rounds: the classic bound is |V| − 1 increments; one extra round
@@ -74,9 +122,12 @@ fn feas_loop(graph: &RetimeGraph, target: u64) -> Option<Vec<i64>> {
     for _ in 0..=n {
         let weights = graph.retimed_weights(&r);
         debug_assert!(graph.weights_legal(&weights), "FEAS lost legality");
-        let arrivals = graph
-            .arrival_times(&weights)
-            .expect("legal retiming keeps the zero-weight subgraph acyclic");
+        let arrivals = graph.try_arrival_times(&weights).map_err(|e| match e {
+            RetimeError::CombinationalCycle => {
+                unreachable!("legal retiming keeps the zero-weight subgraph acyclic")
+            }
+            other => other,
+        })?;
         let mut ok = true;
         for (v, &a) in arrivals.iter().enumerate() {
             if a > target {
@@ -85,61 +136,152 @@ fn feas_loop(graph: &RetimeGraph, target: u64) -> Option<Vec<i64>> {
             }
         }
         if ok {
-            return Some(r);
+            return Ok(Some(r));
         }
     }
-    None
+    Ok(None)
 }
 
-/// Feasibility via the W/D constraint system (sound for host graphs).
-fn constraint_feasible(graph: &RetimeGraph, target: u64) -> Option<Vec<i64>> {
-    let pc = generate_period_constraints(graph, target, ConstraintOptions::default());
+/// One-shot feasibility via the W/D constraint system (sound for host
+/// graphs).
+fn constraint_feasible(graph: &RetimeGraph, target: u64) -> Result<Option<Vec<i64>>, RetimeError> {
+    let pc = generate_period_constraints(graph, target)?;
     let mut cons = edge_constraints(graph);
     cons.extend(pc.constraints.iter().copied());
-    DifferenceConstraints::new(graph.num_vertices(), cons).solve()
+    Ok(DifferenceConstraints::new(graph.num_vertices(), cons).solve())
+}
+
+/// The incremental constraint oracle: one substrate for the whole search
+/// bracket, warm-started Bellman–Ford across probes.
+struct SubstrateOracle<'g> {
+    graph: &'g RetimeGraph,
+    band_lo: u64,
+    band_hi: u64,
+    substrate: Option<WdSubstrate>,
+    edge_cons: Vec<Constraint>,
+    /// Potentials of the last feasible probe — the warm start. Probes walk
+    /// a shrinking bracket, so consecutive constraint sets differ by a few
+    /// tightened rows and the previous solution nearly satisfies the next
+    /// system (see [`DifferenceConstraints::solve_warm`] for soundness).
+    prev: Option<Vec<i64>>,
+}
+
+impl<'g> SubstrateOracle<'g> {
+    fn new(graph: &'g RetimeGraph, band_lo: u64, band_hi: u64) -> Self {
+        Self {
+            graph,
+            band_lo,
+            band_hi,
+            substrate: None,
+            edge_cons: edge_constraints(graph),
+            prev: None,
+        }
+    }
+
+    /// Probes feasibility of `target`, building the substrate on first
+    /// use. Counter contract: every probe bumps `retime.probe`; probes
+    /// served from an already-built substrate bump `retime.wd_cache_hits`,
+    /// so within one `retime.min_period` span
+    /// `Σ retime.probe == Σ retime.wd_cache_hits + #(retime.wd_build)`.
+    fn probe(&mut self, target: u64) -> Result<Option<Vec<i64>>, RetimeError> {
+        lacr_obs::counter!("retime.feas_probes", 1);
+        lacr_obs::counter!("retime.probe", 1);
+        if self.substrate.is_some() {
+            lacr_obs::counter!("retime.wd_cache_hits", 1);
+        } else {
+            self.substrate = Some(WdSubstrate::build(self.graph, self.band_lo, self.band_hi)?);
+        }
+        let pc = self
+            .substrate
+            .as_ref()
+            .expect("substrate built above")
+            .constraints_for(target);
+        let mut cons = self.edge_cons.clone();
+        cons.extend(pc.constraints);
+        let sys = DifferenceConstraints::new(self.graph.num_vertices(), cons);
+        let sol = match &self.prev {
+            Some(p) => sys.solve_warm(p),
+            None => sys.solve(),
+        };
+        if let Some(r) = &sol {
+            debug_assert!({
+                let w = self.graph.retimed_weights(r);
+                self.graph.weights_legal(&w)
+                    && self.graph.clock_period(&w).is_some_and(|p| p <= target)
+            });
+            self.prev = Some(r.clone());
+        }
+        Ok(sol)
+    }
 }
 
 /// Computes the minimum feasible clock period and a retiming achieving it.
 ///
 /// Binary-searches integer periods between the largest single-vertex delay
-/// (no retiming can beat it) and the unretimed period, using
-/// [`feasible_retiming`] as the oracle.
+/// (no retiming can beat it) and the unretimed period.
 ///
 /// # Panics
 ///
 /// Panics if the graph's zero-weight subgraph is cyclic (the circuit was
-/// invalid: some directed cycle carries no flip-flop).
+/// invalid: some directed cycle carries no flip-flop) or path delays
+/// overflow `u64`; see [`try_min_period_retiming`] for the checked
+/// variant.
 pub fn min_period_retiming(graph: &RetimeGraph) -> MinPeriodResult {
     min_period_retiming_with_tolerance(graph, 0)
 }
 
 /// Like [`min_period_retiming`], but stops the binary search once the
 /// bracket `[infeasible, feasible]` is narrower than `tolerance_ps`,
-/// returning the feasible end. The result is at most `tolerance_ps` above
-/// the true optimum — useful on large interconnect graphs where each
-/// feasibility probe regenerates the W/D constraints.
+/// returning the feasible end after one final downward probe at the
+/// bracket floor. The result is at most `tolerance_ps` above the true
+/// optimum — and *exact* whenever the floor itself is feasible, whatever
+/// the tolerance.
 ///
 /// # Panics
 ///
-/// Panics if the graph's zero-weight subgraph is cyclic.
+/// Panics if the graph's zero-weight subgraph is cyclic or path delays
+/// overflow `u64`.
 pub fn min_period_retiming_with_tolerance(
     graph: &RetimeGraph,
     tolerance_ps: u64,
 ) -> MinPeriodResult {
+    match try_min_period_retiming(graph, tolerance_ps) {
+        Ok(outcome) => outcome.result,
+        Err(RetimeError::CombinationalCycle) => {
+            panic!("valid circuit: every cycle must carry a flip-flop")
+        }
+        Err(e) => panic!("min-period retiming failed: {e}"),
+    }
+}
+
+/// Checked min-period retiming returning the search's W/D substrate for
+/// reuse.
+///
+/// # Errors
+///
+/// * [`RetimeError::CombinationalCycle`] — some directed cycle carries no
+///   flip-flop (the unretimed period is undefined).
+/// * [`RetimeError::DelayOverflow`] — path-delay accumulation overflowed
+///   `u64`.
+pub fn try_min_period_retiming(
+    graph: &RetimeGraph,
+    tolerance_ps: u64,
+) -> Result<MinPeriodOutcome, RetimeError> {
     if graph.num_vertices() == 0 {
-        return MinPeriodResult {
-            period: 0,
-            retiming: Vec::new(),
-        };
+        return Ok(MinPeriodOutcome {
+            result: MinPeriodResult {
+                period: 0,
+                retiming: Vec::new(),
+            },
+            substrate: None,
+        });
     }
     let _span = lacr_obs::span!(
         "retime.min_period",
         vertices = graph.num_vertices(),
         tolerance_ps = tolerance_ps,
     );
-    let start = graph
-        .clock_period(&graph.weights())
-        .expect("valid circuit: every cycle must carry a flip-flop");
+    let start = graph.try_clock_period(&graph.weights())?;
     let mut lo = graph
         .vertex_ids()
         .map(|v| graph.delay(v))
@@ -147,9 +289,20 @@ pub fn min_period_retiming_with_tolerance(
         .unwrap_or(0);
     let mut hi = start;
     let mut best = (hi, vec![0i64; graph.num_vertices()]);
+    let host = graph.host().is_some();
+    // One substrate serves every probe of the search: all candidates lie
+    // in [lo, start] and the bracket only shrinks.
+    let mut oracle = SubstrateOracle::new(graph, lo, start);
+    let probe = |target: u64, oracle: &mut SubstrateOracle| {
+        if host {
+            oracle.probe(target)
+        } else {
+            try_feasible_retiming(graph, target)
+        }
+    };
     while lo < hi && hi - lo > tolerance_ps {
         let mid = lo + (hi - lo) / 2;
-        match feasible_retiming(graph, mid) {
+        match probe(mid, &mut oracle)? {
             Some(r) => {
                 best = (mid, r);
                 hi = mid;
@@ -157,15 +310,25 @@ pub fn min_period_retiming_with_tolerance(
             None => lo = mid + 1,
         }
     }
-    if lo < best.0 && tolerance_ps == 0 {
-        if let Some(r) = feasible_retiming(graph, lo) {
+    // Final downward probe at the bracket floor. With tolerance 0 the
+    // loop above ends with lo == hi == best.0 except when the floor was
+    // never probed; with a positive tolerance the bracket may stop wide.
+    // Either way the floor is the only candidate that can still beat
+    // `best` exactly — probe it whenever it is strictly better, whatever
+    // the tolerance (a collapsed bracket in particular must not be
+    // skipped just because tolerance_ps > 0).
+    if lo < best.0 {
+        if let Some(r) = probe(lo, &mut oracle)? {
             best = (lo, r);
         }
     }
-    MinPeriodResult {
-        period: best.0,
-        retiming: best.1,
-    }
+    Ok(MinPeriodOutcome {
+        result: MinPeriodResult {
+            period: best.0,
+            retiming: best.1,
+        },
+        substrate: oracle.substrate,
+    })
 }
 
 #[cfg(test)]
@@ -292,6 +455,57 @@ mod tests {
         assert_eq!(res.period, 7);
     }
 
+    /// Regression (issue 6 satellite): with a positive tolerance and the
+    /// optimum sitting exactly at the bracket floor, the search used to
+    /// return the last feasible *midpoint* instead of probing the floor —
+    /// the final downward probe was gated on `tolerance_ps == 0`.
+    #[test]
+    fn positive_tolerance_still_probes_the_bracket_floor() {
+        // two_vertex_loop: unretimed period 10, max single delay 5, and 5
+        // is feasible — the optimum is exactly the floor. A tolerance as
+        // wide as the initial bracket means the loop body never runs.
+        let g = two_vertex_loop();
+        for tol in [1, 3, 5, 10, 100] {
+            let res = min_period_retiming_with_tolerance(&g, tol);
+            assert_eq!(res.period, 5, "tolerance {tol}");
+            let w = g.retimed_weights(&res.retiming);
+            assert_eq!(g.clock_period(&w), Some(5), "tolerance {tol}");
+        }
+    }
+
+    /// The substrate returned by the checked entry point covers the whole
+    /// search bracket on host graphs, and matches one-shot generation.
+    #[test]
+    fn outcome_substrate_covers_bracket_and_matches_one_shot() {
+        let mut g = RetimeGraph::new();
+        let h = g.add_vertex(VertexKind::Host, 0, 1.0, None);
+        g.set_host(h);
+        let a = g.add_vertex(VertexKind::Functional, 5, 1.0, None);
+        let b = g.add_vertex(VertexKind::Functional, 5, 1.0, None);
+        g.add_edge(h, a, 2);
+        g.add_edge(a, b, 0);
+        g.add_edge(b, h, 0);
+        let out = try_min_period_retiming(&g, 0).unwrap();
+        assert_eq!(out.result.period, 5);
+        let sub = out.substrate.expect("host search builds a substrate");
+        let (lo, hi) = sub.bracket();
+        assert_eq!((lo, hi), (5, 10), "bracket [max delay, unretimed]");
+        for t in lo..=hi {
+            let probe = sub.constraints_for(t);
+            let fresh = generate_period_constraints(&g, t).unwrap();
+            assert_eq!(probe.constraints, fresh.constraints, "t={t}");
+        }
+    }
+
+    /// Host-free graphs take the FEAS path and return no substrate.
+    #[test]
+    fn host_free_search_returns_no_substrate() {
+        let g = two_vertex_loop();
+        let out = try_min_period_retiming(&g, 0).unwrap();
+        assert_eq!(out.result.period, 5);
+        assert!(out.substrate.is_none());
+    }
+
     /// Reference check on random small graphs: FEAS feasibility must agree
     /// with a brute-force search over retiming vectors in a small box.
     #[test]
@@ -345,6 +559,53 @@ mod tests {
                 let brute = brute_force_feasible(&g, t);
                 assert_eq!(feas, brute, "case {case}: target {t}, graph {g:?}");
             }
+        }
+    }
+
+    lacr_prng::properties! {
+        cases = 40;
+
+        /// The incremental substrate-backed search (warm starts, cached
+        /// W/D) must find the same minimum period as a slow reference
+        /// oracle that re-derives feasibility from scratch — linear scan
+        /// over every candidate period with a cold one-shot constraint
+        /// system per candidate. Replayable via `LACR_PROP_REPLAY`.
+        fn min_period_matches_slow_reference_oracle(rng) {
+            let n = rng.gen_range(2..16usize);
+            let mut g = RetimeGraph::new();
+            let h = g.add_vertex(VertexKind::Host, 0, 1.0, None);
+            g.set_host(h);
+            let vs: Vec<_> = (0..n)
+                .map(|_| g.add_vertex(VertexKind::Functional, rng.gen_range(1..8u64), 1.0, None))
+                .collect();
+            // Registered I/O ring plus random internal wiring.
+            g.add_edge(h, vs[0], rng.gen_range(1..3i64));
+            for i in 0..n - 1 {
+                g.add_edge(vs[i], vs[i + 1], rng.gen_range(0..2i64));
+            }
+            g.add_edge(vs[n - 1], h, rng.gen_range(0..2i64));
+            for _ in 0..rng.gen_range(0..2 * n) {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b {
+                    let w = if a < b { rng.gen_range(0..2i64) } else { rng.gen_range(1..3i64) };
+                    g.add_edge(vs[a], vs[b], w);
+                }
+            }
+            let fast = min_period_retiming(&g).period;
+            // Slow oracle: smallest T whose cold constraint system is
+            // feasible (scanning up from the max single-vertex delay).
+            let unretimed = g.clock_period(&g.weights()).expect("valid circuit");
+            let floor = (0..=n).map(|i| g.delay(crate::graph::VertexId(i as u32))).max().unwrap();
+            let slow = (floor..=unretimed)
+                .find(|&t| {
+                    let pc = generate_period_constraints(&g, t).unwrap();
+                    let mut cons = edge_constraints(&g);
+                    cons.extend(pc.constraints.iter().copied());
+                    DifferenceConstraints::new(g.num_vertices(), cons).is_feasible()
+                })
+                .expect("unretimed period is always feasible");
+            lacr_prng::prop_assert_eq!(fast, slow);
         }
     }
 

@@ -5,6 +5,7 @@
 //! flip-flop counts. A retiming is a vertex labelling `r : V → ℤ` that
 //! transforms each edge weight to `w_r(e) = w(e) + r(head) − r(tail)`.
 
+use crate::minarea::RetimeError;
 use lacr_netlist::{Circuit, UnitKind};
 use std::collections::HashMap;
 
@@ -233,8 +234,31 @@ impl RetimeGraph {
     /// Clock period achieved by the given edge weights: the longest
     /// vertex-delay path through zero-weight edges. Returns `None` when the
     /// zero-weight subgraph is cyclic (illegal for a valid circuit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when path-delay accumulation overflows `u64` (see
+    /// [`Self::try_clock_period`] for the checked variant).
     pub fn clock_period(&self, weights: &[i64]) -> Option<u64> {
-        self.arrival_times(weights)
+        match self.try_clock_period(weights) {
+            Ok(p) => Some(p),
+            Err(RetimeError::CombinationalCycle) => None,
+            Err(e) => panic!("clock period computation failed: {e}"),
+        }
+    }
+
+    /// Checked variant of [`Self::clock_period`] with a typed error for
+    /// both failure modes.
+    ///
+    /// # Errors
+    ///
+    /// * [`RetimeError::CombinationalCycle`] — the zero-weight subgraph is
+    ///   cyclic.
+    /// * [`RetimeError::DelayOverflow`] — a path-delay sum overflowed
+    ///   `u64` (million-cell synthetic graphs can chain enough delay to
+    ///   wrap silently in release builds without this check).
+    pub fn try_clock_period(&self, weights: &[i64]) -> Result<u64, RetimeError> {
+        self.try_arrival_times(weights)
             .map(|arr| arr.into_iter().max().unwrap_or(0))
     }
 
@@ -247,7 +271,29 @@ impl RetimeGraph {
     /// primary inputs — so zero-weight edges *into* the host terminate
     /// there (their arrival is still checked at the driving vertex), and
     /// apparent combinational cycles through the host are not cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when path-delay accumulation overflows `u64` (see
+    /// [`Self::try_arrival_times`] for the checked variant).
     pub fn arrival_times(&self, weights: &[i64]) -> Option<Vec<u64>> {
+        match self.try_arrival_times(weights) {
+            Ok(arr) => Some(arr),
+            Err(RetimeError::CombinationalCycle) => None,
+            Err(e) => panic!("arrival time computation failed: {e}"),
+        }
+    }
+
+    /// Checked variant of [`Self::arrival_times`] with a typed error for
+    /// both failure modes (see [`Self::try_clock_period`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`RetimeError::CombinationalCycle`] — the zero-weight subgraph is
+    ///   cyclic.
+    /// * [`RetimeError::DelayOverflow`] — a path-delay sum overflowed
+    ///   `u64`.
+    pub fn try_arrival_times(&self, weights: &[i64]) -> Result<Vec<u64>, RetimeError> {
         assert_eq!(weights.len(), self.edges.len());
         let n = self.num_vertices();
         let host = self.host.map(|h| h.index());
@@ -270,7 +316,10 @@ impl RetimeGraph {
                 if Some(to) == host {
                     continue;
                 }
-                arr[to] = arr[to].max(arr[v] + self.delays[to]);
+                let cand = arr[v]
+                    .checked_add(self.delays[to])
+                    .ok_or(RetimeError::DelayOverflow)?;
+                arr[to] = arr[to].max(cand);
                 indeg[to] -= 1;
                 if indeg[to] == 0 {
                     queue.push(to);
@@ -278,9 +327,9 @@ impl RetimeGraph {
             }
         }
         if seen == n {
-            Some(arr)
+            Ok(arr)
         } else {
-            None
+            Err(RetimeError::CombinationalCycle)
         }
     }
 
@@ -383,6 +432,39 @@ mod tests {
         g.add_edge(a, b, 0);
         g.add_edge(b, a, 0);
         assert_eq!(g.clock_period(&g.weights()), None);
+    }
+
+    #[test]
+    fn try_clock_period_reports_cycle_as_typed_error() {
+        let mut g = RetimeGraph::new();
+        let a = g.add_vertex(VertexKind::Functional, 1, 1.0, None);
+        let b = g.add_vertex(VertexKind::Functional, 1, 1.0, None);
+        g.add_edge(a, b, 0);
+        g.add_edge(b, a, 0);
+        assert_eq!(
+            g.try_clock_period(&g.weights()),
+            Err(RetimeError::CombinationalCycle)
+        );
+    }
+
+    #[test]
+    fn overflowing_delay_chain_is_a_typed_error() {
+        // Two near-max delays on one zero-weight edge: the arrival sum
+        // wraps u64, which must surface as DelayOverflow, not a silent
+        // wrap in release builds.
+        let mut g = RetimeGraph::new();
+        let a = g.add_vertex(VertexKind::Functional, u64::MAX - 1, 1.0, None);
+        let b = g.add_vertex(VertexKind::Functional, u64::MAX - 1, 1.0, None);
+        g.add_edge(a, b, 0);
+        g.add_edge(b, a, 1);
+        assert_eq!(
+            g.try_arrival_times(&g.weights()).unwrap_err(),
+            RetimeError::DelayOverflow
+        );
+        assert_eq!(
+            g.try_clock_period(&g.weights()),
+            Err(RetimeError::DelayOverflow)
+        );
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //!   zero-logic vertices, §3.2);
 //! * [`min_period_retiming`] / [`feasible_retiming`] — Leiserson–Saxe FEAS
 //!   with binary search, producing the paper's `T_min`;
-//! * [`generate_period_constraints`] — the W/D computation with
-//!   Maheshwari–Sapatnekar-style constraint pruning, generated **once** per
-//!   target period;
+//! * [`generate_period_constraints`] / [`WdSubstrate`] — the W/D
+//!   computation with Maheshwari–Sapatnekar-style constraint pruning,
+//!   generated **once** per search bracket and re-emitted per target with
+//!   a linear scan;
 //! * [`min_area_retiming`] / [`weighted_min_area_retiming`] — the LP dual /
 //!   min-cost-flow solve (§3.1, §4.2).
 //!
@@ -47,10 +48,11 @@ mod sta;
 mod verify;
 
 pub use constraints::{
-    edge_constraints, generate_period_constraints, ConstraintOptions, PeriodConstraints,
+    edge_constraints, generate_period_constraints, PeriodConstraints, WdSubstrate,
 };
 pub use feas::{
-    feasible_retiming, min_period_retiming, min_period_retiming_with_tolerance, MinPeriodResult,
+    feasible_retiming, min_period_retiming, min_period_retiming_with_tolerance,
+    try_feasible_retiming, try_min_period_retiming, MinPeriodOutcome, MinPeriodResult,
 };
 pub use graph::{EdgeId, GraphEdge, RetimeGraph, VertexId, VertexKind};
 pub use minarea::{

@@ -9,9 +9,7 @@
 //! `fi(v) − fo(v)` exactly as the paper derives. Both reduce to the same
 //! LP dual, solved by [`lacr_mcmf::solve_dual_program`].
 
-use crate::constraints::{
-    edge_constraints, generate_period_constraints, ConstraintOptions, PeriodConstraints,
-};
+use crate::constraints::{edge_constraints, generate_period_constraints, PeriodConstraints};
 use crate::graph::RetimeGraph;
 use lacr_mcmf::{Constraint, DualError, DualSolver};
 use std::fmt;
@@ -28,6 +26,12 @@ pub enum RetimeError {
         /// The requested period (ps).
         target: u64,
     },
+    /// A path-delay sum overflowed `u64` (adversarially large vertex
+    /// delays on very long combinational chains).
+    DelayOverflow,
+    /// The zero-weight subgraph is cyclic: some directed cycle carries no
+    /// flip-flop, so the circuit has no defined clock period.
+    CombinationalCycle,
     /// The underlying LP solve failed in an unexpected way (indicates an
     /// internal inconsistency; should not occur for valid circuits).
     Internal(String),
@@ -38,6 +42,15 @@ impl fmt::Display for RetimeError {
         match self {
             RetimeError::PeriodInfeasible { target } => {
                 write!(f, "no retiming achieves a clock period of {target} ps")
+            }
+            RetimeError::DelayOverflow => {
+                write!(f, "path delay accumulation overflowed u64 picoseconds")
+            }
+            RetimeError::CombinationalCycle => {
+                write!(
+                    f,
+                    "a directed cycle carries no flip-flop (no valid clock period)"
+                )
             }
             RetimeError::Internal(msg) => write!(f, "internal retiming error: {msg}"),
         }
@@ -82,7 +95,7 @@ pub struct RetimingOutcome {
 /// # Ok::<(), lacr_retime::RetimeError>(())
 /// ```
 pub fn min_area_retiming(graph: &RetimeGraph, target: u64) -> Result<RetimingOutcome, RetimeError> {
-    let pc = generate_period_constraints(graph, target, ConstraintOptions::default());
+    let pc = generate_period_constraints(graph, target)?;
     let areas = vec![1.0; graph.num_vertices()];
     weighted_min_area_retiming(graph, &pc, &areas)
 }
@@ -123,16 +136,14 @@ pub fn weighted_min_area_retiming(
 /// # Examples
 ///
 /// ```
-/// use lacr_retime::{
-///     generate_period_constraints, ConstraintOptions, MinAreaSolver, RetimeGraph, VertexKind,
-/// };
+/// use lacr_retime::{generate_period_constraints, MinAreaSolver, RetimeGraph, VertexKind};
 ///
 /// let mut g = RetimeGraph::new();
 /// let a = g.add_vertex(VertexKind::Functional, 1, 1.0, None);
 /// let b = g.add_vertex(VertexKind::Functional, 1, 1.0, None);
 /// g.add_edge(a, b, 1);
 /// g.add_edge(b, a, 0);
-/// let pc = generate_period_constraints(&g, 10, ConstraintOptions::default());
+/// let pc = generate_period_constraints(&g, 10)?;
 /// let mut solver = MinAreaSolver::new(&g, &pc)?;
 /// let cheap_b = solver.solve(&[10.0, 1.0])?;
 /// let cheap_a = solver.solve(&[1.0, 10.0])?;
@@ -338,7 +349,7 @@ mod tests {
         let b = g.add_vertex(VertexKind::Functional, 1, 1.0, None);
         let e_ab = g.add_edge(a, b, 1);
         let e_ba = g.add_edge(b, a, 0);
-        let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+        let pc = generate_period_constraints(&g, 100).unwrap();
         let areas = vec![10.0, 1.0];
         let out = weighted_min_area_retiming(&g, &pc, &areas).expect("feasible");
         assert_eq!(out.weights[e_ba.index()], 1, "flop moved to cheap tail b");
@@ -431,7 +442,7 @@ mod tests {
             }
             let areas: Vec<f64> = (0..n).map(|_| rng.gen_range(1..8) as f64).collect();
             let t0 = g.clock_period(&g.weights()).expect("valid");
-            let pc = generate_period_constraints(&g, t0, ConstraintOptions::default());
+            let pc = generate_period_constraints(&g, t0).unwrap();
             let out = weighted_min_area_retiming(&g, &pc, &areas).expect("feasible");
             let got = weighted_flop_cost(&g, &out.weights, &areas);
             let best = brute_force_weighted(&g, t0, &areas);
@@ -487,7 +498,7 @@ mod tests {
         let mut g = RetimeGraph::new();
         let a = g.add_vertex(VertexKind::Functional, 1, 1.0, None);
         g.add_edge(a, a, 1);
-        let pc = generate_period_constraints(&g, 10, ConstraintOptions::default());
+        let pc = generate_period_constraints(&g, 10).unwrap();
         let _ = weighted_min_area_retiming(&g, &pc, &[0.0]);
     }
 }

@@ -80,7 +80,7 @@ pub fn shared_register_count(graph: &RetimeGraph, weights: &[i64]) -> i64 {
 /// ```
 /// use lacr_retime::{
 ///     generate_period_constraints, min_area_retiming, shared_min_area_retiming,
-///     shared_register_count, ConstraintOptions, RetimeGraph, VertexKind,
+///     shared_register_count, RetimeGraph, VertexKind,
 /// };
 ///
 /// // One driver with two registered fanouts closing back to it.
@@ -92,7 +92,7 @@ pub fn shared_register_count(graph: &RetimeGraph, weights: &[i64]) -> i64 {
 /// g.add_edge(u, b, 2);
 /// g.add_edge(a, u, 0);
 /// g.add_edge(b, u, 0);
-/// let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+/// let pc = generate_period_constraints(&g, 100).unwrap();
 /// let shared = shared_min_area_retiming(&g, &pc, &[1.0; 3])?;
 /// // Two parallel 2-register chains share into one chain of 2.
 /// assert_eq!(shared.shared_registers, 2);
@@ -214,7 +214,7 @@ pub fn shared_min_area_retiming(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::constraints::{generate_period_constraints, ConstraintOptions};
+    use crate::constraints::generate_period_constraints;
     use crate::graph::VertexKind;
     use crate::minarea::weighted_min_area_retiming;
     use lacr_prng::Rng;
@@ -236,7 +236,7 @@ mod tests {
     #[test]
     fn sharing_halves_the_fork_cost() {
         let g = fork();
-        let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+        let pc = generate_period_constraints(&g, 100).unwrap();
         let unshared = weighted_min_area_retiming(&g, &pc, &[1.0; 3]).unwrap();
         let shared = shared_min_area_retiming(&g, &pc, &[1.0; 3]).unwrap();
         // Sum model cannot beat 4 (cycle sums are invariant: each of the
@@ -275,7 +275,7 @@ mod tests {
                 g.add_edge(vs[a], vs[b], rng.gen_range(1..3));
             }
             let t = g.clock_period(&g.weights()).expect("valid");
-            let pc = generate_period_constraints(&g, t, ConstraintOptions::default());
+            let pc = generate_period_constraints(&g, t).unwrap();
             let unshared = weighted_min_area_retiming(&g, &pc, &vec![1.0; n]).unwrap();
             let shared = shared_min_area_retiming(&g, &pc, &vec![1.0; n]).unwrap();
             assert!(
@@ -307,7 +307,7 @@ mod tests {
                 continue; // chord created a zero-weight cycle
             }
             let t = g.clock_period(&g.weights()).expect("valid");
-            let pc = generate_period_constraints(&g, t, ConstraintOptions::default());
+            let pc = generate_period_constraints(&g, t).unwrap();
             let shared = match shared_min_area_retiming(&g, &pc, &vec![1.0; n]) {
                 Ok(s) => s,
                 Err(_) => continue,
@@ -346,7 +346,7 @@ mod tests {
     #[test]
     fn infeasible_period_reported() {
         let g = fork();
-        let pc = generate_period_constraints(&g, 0, ConstraintOptions::default());
+        let pc = generate_period_constraints(&g, 0).unwrap();
         assert!(matches!(
             shared_min_area_retiming(&g, &pc, &[1.0; 3]),
             Err(RetimeError::PeriodInfeasible { .. })

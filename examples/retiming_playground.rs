@@ -7,8 +7,8 @@
 //! ```
 
 use lacr::retime::{
-    generate_period_constraints, min_area_retiming, min_period_retiming, ConstraintOptions,
-    MinAreaSolver, RetimeGraph, VertexKind,
+    generate_period_constraints, min_area_retiming, min_period_retiming, MinAreaSolver,
+    RetimeGraph, VertexKind,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Weighted: pretend vertex b's tile is crowded — flip-flops charged to
     // b cost 10x. The solver re-places registers while keeping the period.
-    let pc = generate_period_constraints(&g, mp.period, ConstraintOptions::default());
+    let pc = generate_period_constraints(&g, mp.period)?;
     let mut solver = MinAreaSolver::new(&g, &pc)?;
     let crowded = solver.solve(&[1.0, 1.0, 10.0, 1.0])?;
     println!(

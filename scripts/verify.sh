@@ -70,8 +70,33 @@ if [[ "$REGRESS" == 1 ]]; then
     target/release/check_metrics --bench target/regress/BENCH_table1.json
 
     echo "==> bench_compare vs committed baseline (hard quality gates, wall ignored)"
+    # --subset declares the fast-subset run: baseline circuits we did not
+    # regenerate are skipped. Without it a missing circuit fails as DROPPED.
     target/release/bench_compare RUN_table1.json target/regress/RUN_table1.json \
-        --no-wall --json target/regress/compare.json
+        --no-wall --subset --json target/regress/compare.json
+
+    echo "==> negative control: an undeclared subset must fail as dropped coverage"
+    status=0
+    target/release/bench_compare RUN_table1.json target/regress/RUN_table1.json \
+        --no-wall >target/regress/dropped.txt || status=$?
+    if [[ "$status" != 1 ]]; then
+        echo "error: bench_compare accepted silently dropped circuits (exit $status)" >&2
+        exit 1
+    fi
+    grep -q "DROPPED" target/regress/dropped.txt || {
+        echo "error: dropped circuits not reported as DROPPED" >&2
+        exit 1
+    }
+    echo "    undeclared subset rejected (exit 1), as required"
+
+    echo "==> bench_scale fast subset (synthetic 4096-cell ring + mesh)"
+    LACR_RECORD_DIR=target/regress target/release/bench_scale ring:4096 mesh:4096 \
+        >target/regress/scale.txt
+    target/release/check_metrics --bench target/regress/BENCH_scale.json
+
+    echo "==> bench_compare scale artifact vs committed baseline"
+    target/release/bench_compare BENCH_scale.json target/regress/BENCH_scale.json \
+        --no-wall --subset --json target/regress/compare_scale.json
 
     echo "==> negative control: a synthetic quality regression must fail the gate"
     status=0

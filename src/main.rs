@@ -10,7 +10,7 @@
 //! lacr fig2 <circuit> [out.svg]  # render the tile graph (Figure 2)
 //! lacr retime <file.bench> <out.bench> [period_ps]
 //!                                # min-area retime a .bench netlist
-//! lacr compare <base.json> <current.json> [--no-wall] [--json out]
+//! lacr compare <base.json> <current.json> [--no-wall] [--subset] [--json out]
 //!                                # diff two run artifacts (regression gate)
 //! ```
 //!
@@ -153,7 +153,7 @@ fn main() -> ExitCode {
             eprintln!("  table1 [circuit ...]        regenerate the paper's Table 1");
             eprintln!("  fig2 <circuit> [out.svg]    render the tile graph");
             eprintln!("  retime <in.bench> <out.bench> [period_ps]");
-            eprintln!("  compare <base.json> <current.json> [--no-wall] [--json <out>]");
+            eprintln!("  compare <base.json> <current.json> [--no-wall] [--subset] [--json <out>]");
             eprintln!(
                 "global flags: --trace --metrics-out <path> --report --quiet --threads <n> \
                  --flight-recorder-out <path>"

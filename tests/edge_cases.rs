@@ -117,13 +117,13 @@ fn routing_with_zero_ripup_passes() {
 #[test]
 fn lac_single_round_equals_weighted_baseline() {
     use lacr::core::lac::{lac_retiming, LacConfig};
-    use lacr::retime::{generate_period_constraints, ConstraintOptions};
+    use lacr::retime::generate_period_constraints;
     let mut g = RetimeGraph::new();
     let a = g.add_vertex(VertexKind::Functional, 1, 1.0, Some(0));
     let b = g.add_vertex(VertexKind::Functional, 1, 1.0, Some(1));
     g.add_edge(a, b, 1);
     g.add_edge(b, a, 1);
-    let pc = generate_period_constraints(&g, 10, ConstraintOptions::default());
+    let pc = generate_period_constraints(&g, 10).unwrap();
     let caps = vec![0.0, 0.0];
     let res = lac_retiming(
         &g,

@@ -5,9 +5,7 @@
 
 use lacr::core::lac::{lac_retiming, LacConfig, TileOccupancy};
 use lacr::core::score_outcome;
-use lacr::retime::{
-    generate_period_constraints, min_area_retiming, ConstraintOptions, RetimeGraph, VertexKind,
-};
+use lacr::retime::{generate_period_constraints, min_area_retiming, RetimeGraph, VertexKind};
 
 /// A pipeline of `n` stages around a host, all registers initially parked
 /// on the first edge; stage `i` lives in tile `i`.
@@ -35,7 +33,7 @@ fn lac_spreads_a_register_pile_across_free_tiles() {
     // none.
     let g = pipeline(4, &[5, 5, 5, 5], 3);
     let caps = vec![1.0, 1.0, 1.0, 0.0];
-    let pc = generate_period_constraints(&g, 5, ConstraintOptions::default());
+    let pc = generate_period_constraints(&g, 5).unwrap();
     let res = lac_retiming(&g, &pc, &caps, &LacConfig::default()).expect("feasible");
     assert_eq!(res.n_foa, 0, "history {:?}", res.history);
     assert_eq!(res.n_f, 3);
@@ -50,7 +48,7 @@ fn a_forced_register_on_a_full_tile_is_an_unavoidable_violation() {
     // case the paper resolves by expanding the floorplan.
     let g = pipeline(4, &[5, 5, 5, 5], 3);
     let caps = vec![0.0, 1.0, 1.0, 1.0];
-    let pc = generate_period_constraints(&g, 5, ConstraintOptions::default());
+    let pc = generate_period_constraints(&g, 5).unwrap();
     let res = lac_retiming(&g, &pc, &caps, &LacConfig::default()).expect("feasible");
     assert_eq!(res.n_foa, 1);
 }
@@ -61,7 +59,7 @@ fn impossible_capacity_leaves_exactly_the_unavoidable_violations() {
     // exist between stages (period 5 forces them), so exactly 3 violate.
     let g = pipeline(4, &[5, 5, 5, 5], 3);
     let caps = vec![0.0; 4];
-    let pc = generate_period_constraints(&g, 5, ConstraintOptions::default());
+    let pc = generate_period_constraints(&g, 5).unwrap();
     let res = lac_retiming(&g, &pc, &caps, &LacConfig::default()).expect("feasible");
     assert_eq!(res.n_foa, 3);
 }
@@ -70,8 +68,8 @@ fn impossible_capacity_leaves_exactly_the_unavoidable_violations() {
 fn looser_clock_needs_fewer_placed_registers() {
     let g = pipeline(4, &[5, 5, 5, 5], 3);
     let caps = vec![0.0; 4]; // every placed register is a violation
-    let tight = generate_period_constraints(&g, 5, ConstraintOptions::default());
-    let loose = generate_period_constraints(&g, 10, ConstraintOptions::default());
+    let tight = generate_period_constraints(&g, 5).unwrap();
+    let loose = generate_period_constraints(&g, 10).unwrap();
     let cfg = LacConfig::default();
     let tight_res = lac_retiming(&g, &tight, &caps, &cfg).expect("feasible");
     let loose_res = lac_retiming(&g, &loose, &caps, &cfg).expect("feasible");
@@ -96,7 +94,7 @@ fn lac_retreats_registers_to_the_pad_ring_when_tiles_are_full() {
     g.add_edge(a1, host, 1);
     let caps = vec![0.0, 0.0];
     // Period 7 ≥ the full path delay: no register is structurally forced.
-    let pc = generate_period_constraints(&g, 7, ConstraintOptions::default());
+    let pc = generate_period_constraints(&g, 7).unwrap();
     let res = lac_retiming(&g, &pc, &caps, &LacConfig::default()).expect("feasible");
     assert_eq!(res.n_foa, 0, "history {:?}", res.history);
     let occ = TileOccupancy::compute(&g, &res.outcome.weights, &caps);
@@ -130,7 +128,7 @@ fn lac_converges_on_wide_fanout_structures() {
         g.add_edge(spoke, hub, 0);
         caps.push(2.0);
     }
-    let pc = generate_period_constraints(&g, 100, ConstraintOptions::default());
+    let pc = generate_period_constraints(&g, 100).unwrap();
     let res = lac_retiming(&g, &pc, &caps, &LacConfig::default()).expect("feasible");
     // 6 registers, hub tile holds at most 1, spokes hold the rest.
     assert_eq!(res.n_foa, 0, "history {:?}", res.history);
@@ -159,7 +157,7 @@ fn interconnect_units_let_registers_leave_a_full_block() {
     // Period 6: u(4)+w1(1)+w2(1) = 6 fits; +v(4) does not, so one
     // register must stay somewhere after u and before v... delay(u..v)
     // = 10 > 6. LAC should place it on a wire edge (tile 1 or 2).
-    let pc = generate_period_constraints(&g, 6, ConstraintOptions::default());
+    let pc = generate_period_constraints(&g, 6).unwrap();
     let res = lac_retiming(&g, &pc, &caps, &LacConfig::default()).expect("feasible");
     assert_eq!(res.n_foa, 0, "history {:?}", res.history);
     assert_eq!(res.n_fn, 1, "the register lives in the wire");
