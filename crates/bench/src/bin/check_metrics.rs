@@ -31,7 +31,11 @@
 //! - `--bench <BENCH_x.json>`: provenance only (legacy shape otherwise);
 //! - `--flight <dump.jsonl>`: a flight-recorder postmortem — versioned
 //!   header with a `reason`, an `events` count matching the body, every
-//!   body line a known record type.
+//!   body line a known record type;
+//! - `--serve <responses.jsonl>`: a transcript of `lacr serve` response
+//!   lines — every line a structured response with an `id`
+//!   (string-or-null) and a known `status`, and the payload each status
+//!   promises (plan text, error kind/message, rejection reason).
 //!
 //! ```text
 //! cargo run --release -p lacr-bench --bin check_metrics -- [mode] <file>
@@ -291,6 +295,93 @@ fn check_run_record(text: &str) -> Result<(String, usize), String> {
     ))
 }
 
+/// Validates a transcript of `lacr serve` response lines: every line is
+/// one JSON object with an `id` (string, or null for requests whose id
+/// was unrecoverable — malformed or oversized lines) and a `status`
+/// from the response taxonomy. Each status implies its payload:
+/// `ok`/`degraded` carry a `plan` block with a non-empty `text` array
+/// (and `degraded` a non-empty `degradations` array), `error` carries
+/// `error.kind`/`error.message`, `rejected` carries a `reason`.
+/// Returns (responses, per-status counts in taxonomy order).
+fn check_serve_transcript(text: &str) -> Result<(usize, [usize; 4]), String> {
+    const STATUSES: [&str; 4] = ["ok", "degraded", "error", "rejected"];
+    const ERROR_KINDS: [&str; 3] = ["bad-request", "plan", "panic"];
+    const REJECT_REASONS: [&str; 3] = ["overloaded", "oversized", "shutting-down"];
+    let mut counts = [0usize; 4];
+    let mut responses = 0usize;
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {ln}: {e}"))?;
+        responses += 1;
+        match v.get("id") {
+            Some(Json::Str(_)) | Some(Json::Null) => {}
+            other => {
+                return Err(format!(
+                    "line {ln}: id must be a string or null, got {other:?}"
+                ))
+            }
+        }
+        let status = v
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {ln}: response without status"))?;
+        let slot = STATUSES
+            .iter()
+            .position(|s| *s == status)
+            .ok_or(format!("line {ln}: unknown status {status:?}"))?;
+        counts[slot] += 1;
+        match status {
+            "ok" | "degraded" => {
+                let plan = v
+                    .get("plan")
+                    .ok_or(format!("line {ln}: {status} response without a plan block"))?;
+                plan.get("text")
+                    .and_then(Json::as_arr)
+                    .filter(|t| !t.is_empty())
+                    .ok_or(format!("line {ln}: plan block without text lines"))?;
+                if status == "degraded" {
+                    v.get("degradations")
+                        .and_then(Json::as_arr)
+                        .filter(|d| !d.is_empty())
+                        .ok_or(format!("line {ln}: degraded response without reasons"))?;
+                }
+            }
+            "error" => {
+                let e = v
+                    .get("error")
+                    .ok_or(format!("line {ln}: error response without error block"))?;
+                let kind = e
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {ln}: error block without kind"))?;
+                if !ERROR_KINDS.contains(&kind) {
+                    return Err(format!("line {ln}: unknown error kind {kind:?}"));
+                }
+                e.get("message")
+                    .and_then(Json::as_str)
+                    .filter(|m| !m.is_empty())
+                    .ok_or(format!("line {ln}: error block without message"))?;
+            }
+            _ => {
+                let reason = v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {ln}: rejected response without reason"))?;
+                if !REJECT_REASONS.contains(&reason) {
+                    return Err(format!("line {ln}: unknown rejection reason {reason:?}"));
+                }
+            }
+        }
+    }
+    if responses == 0 {
+        return Err("no response lines (daemon produced no output?)".to_string());
+    }
+    Ok((responses, counts))
+}
+
 /// Validates a flight-recorder postmortem dump: a versioned header line
 /// with a `reason` and an `events` count that matches the number of
 /// body lines; every body line a known record type. Returns (reason,
@@ -339,11 +430,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (mode, path) = match args.as_slice() {
         [path] => ("--stream", path.as_str()),
-        [mode, path] if matches!(mode.as_str(), "--run" | "--bench" | "--flight") => {
+        [mode, path] if matches!(mode.as_str(), "--run" | "--bench" | "--flight" | "--serve") => {
             (mode.as_str(), path.as_str())
         }
         _ => {
-            eprintln!("usage: check_metrics [--run|--bench|--flight] <file>");
+            eprintln!("usage: check_metrics [--run|--bench|--flight|--serve] <file>");
             return ExitCode::from(2);
         }
     };
@@ -361,6 +452,12 @@ fn main() -> ExitCode {
         "--bench" => check_bench_record(&text).map(|bench| format!("bench record for {bench:?}")),
         "--flight" => check_flight_dump(&text)
             .map(|(reason, events)| format!("flight dump ({reason:?}): {events} record(s)")),
+        "--serve" => check_serve_transcript(&text).map(|(responses, [ok, deg, err, rej])| {
+            format!(
+                "serve transcript: {responses} response(s) \
+                 ({ok} ok, {deg} degraded, {err} error, {rej} rejected)"
+            )
+        }),
         _ => check_stream(&text).map(|(records, spans, par_regions)| {
             format!(
                 "{records} records, {spans} spans, \
@@ -521,6 +618,43 @@ mod tests {
             .contains("quality block"));
         let no_rev = "{\"schema_version\":1,\"bench\":\"t\",\"threads\":1,\"circuits\":[]}";
         assert!(check_bench_record(no_rev).unwrap_err().contains("git_rev"));
+    }
+
+    #[test]
+    fn validates_serve_transcripts() {
+        let good = "\
+{\"id\":\"a\",\"status\":\"ok\",\"plan\":{\"text\":[\"s: T_init 1.00 ns\"]},\"queue_ms\":0,\"plan_ms\":3}
+{\"id\":\"b\",\"status\":\"degraded\",\"plan\":{\"text\":[\"s: T_init 1.00 ns\"]},\"degradations\":[\"[lac] over budget\"]}
+{\"id\":null,\"status\":\"error\",\"error\":{\"kind\":\"bad-request\",\"message\":\"no spec\"}}
+{\"id\":\"c\",\"status\":\"error\",\"error\":{\"kind\":\"panic\",\"message\":\"boom\",\"flight\":\"req-c.jsonl\"}}
+{\"id\":\"d\",\"status\":\"rejected\",\"reason\":\"overloaded\",\"queued\":4,\"capacity\":4}
+";
+        assert_eq!(check_serve_transcript(good).unwrap(), (5, [1, 1, 2, 1]));
+
+        // Each status must carry the payload it promises.
+        let bare_ok = "{\"id\":\"a\",\"status\":\"ok\"}\n";
+        assert!(check_serve_transcript(bare_ok)
+            .unwrap_err()
+            .contains("plan block"));
+        let silent_degrade = "{\"id\":\"a\",\"status\":\"degraded\",\"plan\":{\"text\":[\"x\"]}}\n";
+        assert!(check_serve_transcript(silent_degrade)
+            .unwrap_err()
+            .contains("without reasons"));
+        let kindless = "{\"id\":\"a\",\"status\":\"error\",\"error\":{\"message\":\"m\"}}\n";
+        assert!(check_serve_transcript(kindless)
+            .unwrap_err()
+            .contains("without kind"));
+        let odd_reason = "{\"id\":\"a\",\"status\":\"rejected\",\"reason\":\"tuesday\"}\n";
+        assert!(check_serve_transcript(odd_reason)
+            .unwrap_err()
+            .contains("unknown rejection reason"));
+        let numeric_id = "{\"id\":7,\"status\":\"ok\",\"plan\":{\"text\":[\"x\"]}}\n";
+        assert!(check_serve_transcript(numeric_id)
+            .unwrap_err()
+            .contains("string or null"));
+        assert!(check_serve_transcript("")
+            .unwrap_err()
+            .contains("no response"));
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct Budget {
     /// Cap on LAC re-weight rounds, applied on top of `LacConfig::
     /// max_rounds` (the smaller of the two wins).
     pub max_rounds: Option<usize>,
+    /// Owner tag for postmortems (the serve loop sets the request id).
+    /// A labelled budget's expiry dump goes to the request-tagged flight
+    /// path instead of the shared armed path, so concurrent requests
+    /// never clobber each other's dumps.
+    label: Option<Arc<str>>,
     state: Arc<BudgetState>,
 }
 
@@ -67,8 +72,24 @@ impl Budget {
         Self {
             deadline,
             max_rounds,
+            label: None,
             state: Arc::default(),
         }
+    }
+
+    /// Tags this budget with an owner label (e.g. a request id). On
+    /// expiry the flight-recorder postmortem is written to the label's
+    /// tagged path (`req-<label>.jsonl`) instead of the shared armed
+    /// path. Labels are identity metadata: they don't affect equality.
+    #[must_use]
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(Arc::from(label.into()));
+        self
+    }
+
+    /// The owner label, if one was set via [`Budget::labeled`].
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
     }
 
     /// No limits (the default).
@@ -101,7 +122,12 @@ impl Budget {
             // The latch trips exactly once per budget, so this is the
             // natural postmortem moment: dump the flight recorder (a
             // no-op unless a dump path is armed, e.g. by the CLI).
-            if let Some(path) = lacr_obs::flight::dump("budget expiry") {
+            // Labelled budgets dump to their own request-tagged path.
+            let path = match self.label.as_deref() {
+                Some(label) => lacr_obs::flight::dump_tagged(label, "budget expiry"),
+                None => lacr_obs::flight::dump("budget expiry"),
+            };
+            if let Some(path) = path {
                 lacr_obs::diag!(
                     "budget expired; flight recorder dumped to {}",
                     path.display()
@@ -181,6 +207,56 @@ mod tests {
         let b = Budget::new(Some(past), Some(3));
         assert!(a.expired());
         assert_eq!(a, b, "latched vs fresh budgets with equal limits");
+    }
+
+    #[test]
+    fn sequential_budgets_do_not_inherit_expiry() {
+        // The latch lives in per-instance Arc state: two requests built
+        // back to back (as the serve loop does) must each start fresh,
+        // even after the first one has tripped.
+        let first = Budget::with_timeout(Duration::ZERO);
+        assert!(first.expired());
+        let second = Budget::with_timeout(Duration::from_secs(3600));
+        assert!(!second.expired(), "fresh budget inherited a tripped latch");
+        assert!(first.expired(), "first budget stays latched");
+        // And the fresh instance polled its own clock, not the latch.
+        assert_eq!(second.checks(), 1);
+    }
+
+    #[test]
+    fn labels_tag_without_affecting_limits_or_equality() {
+        let b = Budget::with_timeout(Duration::from_secs(3600)).labeled("req-9");
+        assert_eq!(b.label(), Some("req-9"));
+        assert_eq!(b.clone().label(), Some("req-9"));
+        assert_eq!(Budget::unlimited().label(), None);
+        let past = Instant::now() - Duration::from_secs(1);
+        let plain = Budget::new(Some(past), Some(3));
+        let tagged = Budget::new(Some(past), Some(3)).labeled("req-9");
+        assert_eq!(plain, tagged, "labels are identity metadata");
+    }
+
+    #[test]
+    fn labeled_budget_expiry_dumps_to_the_tagged_path() {
+        let dir = std::env::temp_dir().join(format!(
+            "lacr_budget_tagged_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let saved = lacr_obs::flight::disarm();
+        lacr_obs::flight::arm(dir.join("last-run.jsonl"));
+        let b = Budget::with_timeout(Duration::ZERO).labeled("budget-test");
+        assert!(b.expired());
+        let tagged = dir.join("req-budget-test.jsonl");
+        assert!(tagged.is_file(), "expected tagged postmortem at {tagged:?}");
+        assert!(
+            !dir.join("last-run.jsonl").exists(),
+            "labelled expiry must not clobber the shared armed path"
+        );
+        lacr_obs::flight::disarm();
+        if let Some(p) = saved {
+            lacr_obs::flight::arm(p);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -776,7 +776,7 @@ pub fn lac_retiming(
         };
         // Per-tile occupancy churn against the previous round: how many
         // tiles changed and by how much in total.
-        if lacr_obs::is_enabled() {
+        if lacr_obs::recording() {
             let (tiles_changed, abs_delta) = match &prev_counts {
                 Some(prev) => {
                     occupancy

@@ -34,6 +34,7 @@ pub mod experiment;
 pub mod lac;
 pub mod planner;
 pub mod render;
+pub mod summary;
 pub mod writeback;
 
 pub use budget::Budget;
@@ -46,4 +47,5 @@ pub use planner::{
     try_plan_with_iterations, FloorplanEngine, IteratedPlan, PhysicalPlan, PlanReport,
     PlannerConfig, TimedRun,
 };
+pub use summary::{summarize, PlanSummary};
 pub use writeback::{retimed_circuit, try_retimed_circuit};

@@ -912,7 +912,7 @@ pub fn try_plan_retimings_at(
 /// repeater count. Aggregate-only — gated on a collector so default
 /// runs pay nothing for the per-tile loops.
 fn emit_quality_metrics(plan: &PhysicalPlan, caps: &[f64], lac: &LacResult, t_clk: u64) {
-    if !lacr_obs::is_enabled() {
+    if !lacr_obs::recording() {
         return;
     }
     for (tile, &cap) in caps.iter().enumerate() {

@@ -1,0 +1,128 @@
+//! The canonical plan summary shared by one-shot and daemon front ends.
+//!
+//! `lacr plan file.bench` prints three summary lines; `lacr serve`
+//! returns the same numbers as JSON fields plus, for parity checks, the
+//! identical text rendering. Both build a [`PlanSummary`] from the same
+//! plan/report pair, so the serve soak test can assert the daemon's
+//! results byte-identical to the one-shot CLI — any drift between the
+//! two paths is a determinism bug, not a formatting one.
+
+use crate::planner::{PhysicalPlan, PlanReport};
+use crate::Degradation;
+
+/// The headline numbers of one planning run, in the units the CLI
+/// prints (periods in picoseconds, counts as-is).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSummary {
+    /// Circuit name (as parsed / generated).
+    pub circuit: String,
+    /// Period with the initial flip-flop placement (ps).
+    pub t_init: u64,
+    /// Minimum retimable period (ps).
+    pub t_min: u64,
+    /// Target period of the run (ps).
+    pub t_clk: u64,
+    /// Min-area baseline: violations, flops, interconnect flops.
+    pub min_area_n_foa: i64,
+    pub min_area_n_f: i64,
+    pub min_area_n_fn: i64,
+    /// LAC retiming: violations, flops, interconnect flops, rounds.
+    pub lac_n_foa: i64,
+    pub lac_n_f: i64,
+    pub lac_n_fn: i64,
+    pub lac_rounds: usize,
+    /// Quality losses absorbed across both phases, in occurrence order.
+    pub degradations: Vec<Degradation>,
+}
+
+/// Collects the summary of one run from the plan and its retiming
+/// report — the single source both `lacr plan` and `lacr serve` print.
+pub fn summarize(circuit: &str, plan: &PhysicalPlan, report: &PlanReport) -> PlanSummary {
+    let mut degradations = plan.degradations.clone();
+    degradations.extend(report.degradations.iter().cloned());
+    PlanSummary {
+        circuit: circuit.to_string(),
+        t_init: plan.t_init,
+        t_min: plan.t_min,
+        t_clk: plan.t_clk,
+        min_area_n_foa: report.min_area.result.n_foa,
+        min_area_n_f: report.min_area.result.n_f,
+        min_area_n_fn: report.min_area.result.n_fn,
+        lac_n_foa: report.lac.result.n_foa,
+        lac_n_f: report.lac.result.n_f,
+        lac_n_fn: report.lac.result.n_fn,
+        lac_rounds: report.lac.result.n_wr,
+        degradations,
+    }
+}
+
+impl PlanSummary {
+    /// Whether any stage degraded.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+
+    /// The exact lines `lacr plan <file.bench>` prints, in order. The
+    /// serve protocol embeds these verbatim (`plan.text`) so clients —
+    /// and the soak test — can compare daemon output to the one-shot
+    /// CLI byte for byte.
+    pub fn text_lines(&self) -> Vec<String> {
+        vec![
+            format!(
+                "{}: T_init {:.2} ns, T_min {:.2} ns, T_clk {:.2} ns",
+                self.circuit,
+                self.t_init as f64 / 1000.0,
+                self.t_min as f64 / 1000.0,
+                self.t_clk as f64 / 1000.0
+            ),
+            format!(
+                "min-area: N_FOA {}, N_F {}, N_FN {}",
+                self.min_area_n_foa, self.min_area_n_f, self.min_area_n_fn
+            ),
+            format!(
+                "LAC     : N_FOA {}, N_F {}, N_FN {} ({} rounds)",
+                self.lac_n_foa, self.lac_n_f, self.lac_n_fn, self.lac_rounds
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlanSummary {
+        PlanSummary {
+            circuit: "c3".to_string(),
+            t_init: 12_340,
+            t_min: 5_000,
+            t_clk: 6_500,
+            min_area_n_foa: 4,
+            min_area_n_f: 17,
+            min_area_n_fn: 6,
+            lac_n_foa: 1,
+            lac_n_f: 18,
+            lac_n_fn: 7,
+            lac_rounds: 3,
+            degradations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn text_lines_match_the_cli_format() {
+        let lines = sample().text_lines();
+        assert_eq!(
+            lines,
+            vec![
+                "c3: T_init 12.34 ns, T_min 5.00 ns, T_clk 6.50 ns".to_string(),
+                "min-area: N_FOA 4, N_F 17, N_FN 6".to_string(),
+                "LAC     : N_FOA 1, N_F 18, N_FN 7 (3 rounds)".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn degradations_flag_the_summary() {
+        assert!(!sample().is_degraded());
+    }
+}

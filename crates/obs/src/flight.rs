@@ -212,9 +212,61 @@ pub fn dump(reason: &str) -> Option<PathBuf> {
     }
 }
 
+/// A filesystem-safe rendering of a request tag: `[A-Za-z0-9._-]` kept,
+/// everything else replaced with `-`, capped at 64 bytes, never empty.
+fn sanitize_tag(tag: &str) -> String {
+    let mut out: String = tag
+        .chars()
+        .take(64)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push_str("request");
+    }
+    out
+}
+
+/// The path a [`dump_tagged`] postmortem for `tag` would be written to:
+/// `req-<sanitized tag>.jsonl` next to the armed dump path. `None` when
+/// unarmed — tagged dumps share the arming switch with plain dumps.
+pub fn tagged_path(tag: &str) -> Option<PathBuf> {
+    let armed = armed()?;
+    let file = format!("req-{}.jsonl", sanitize_tag(tag));
+    Some(match armed.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir.join(file),
+        _ => PathBuf::from(file),
+    })
+}
+
+/// Best-effort dump namespaced by a request tag, so concurrent requests'
+/// postmortems never clobber each other (or the one-shot armed path).
+/// No-op when unarmed; I/O errors go to stderr, as with [`dump`].
+pub fn dump_tagged(tag: &str, reason: &str) -> Option<PathBuf> {
+    let path = tagged_path(tag)?;
+    match dump_to(&path, reason) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!(
+                "[lacr] flight recorder: cannot write {}: {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
 /// Installs a panic hook (once per process, chaining the previous hook)
-/// that records the panic as an event and dumps the ring to the armed
-/// path before the default hook prints the backtrace.
+/// that records the panic as an event and dumps the ring before the
+/// default hook prints the backtrace. When the panicking thread has a
+/// [`crate::scope::Scope`] attached (a daemon request), the dump goes to
+/// that request's tagged path so concurrent postmortems never collide;
+/// otherwise it goes to the plain armed path.
 pub fn install_panic_hook() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
@@ -224,7 +276,12 @@ pub fn install_panic_hook() {
                 name: "panic".to_string(),
                 attrs: vec![("info".to_string(), Value::Str(info.to_string()))],
             });
-            if let Some(path) = dump(&format!("panic: {info}")) {
+            let reason = format!("panic: {info}");
+            let written = match crate::scope::current() {
+                Some(scope) => dump_tagged(scope.label(), &reason),
+                None => dump(&reason),
+            };
+            if let Some(path) = written {
                 eprintln!("[lacr] flight recorder dumped to {}", path.display());
             }
             prev(info);
@@ -340,6 +397,51 @@ mod tests {
         push(&marker(2));
         assert_eq!(marker_values(&snapshot()), vec![2]);
         clear();
+    }
+
+    #[test]
+    fn tagged_dumps_for_two_requests_never_collide() {
+        let _g = gate();
+        clear();
+        let dir = std::env::temp_dir().join(format!(
+            "lacr_flight_collide_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // Unarmed: tagged dumps are no-ops, like plain dumps.
+        let saved = disarm();
+        assert!(tagged_path("req-1").is_none());
+        assert!(dump_tagged("req-1", "unarmed").is_none());
+        arm(dir.join("last-run.jsonl"));
+
+        push(&marker(1));
+        let p1 = dump_tagged("req-1", "first request").expect("req-1 dump");
+        push(&marker(2));
+        let p2 = dump_tagged("req/2:odd id", "second request").expect("req-2 dump");
+        assert_ne!(p1, p2, "two requests must get distinct postmortems");
+        assert_eq!(p1, dir.join("req-req-1.jsonl"));
+        assert_eq!(p2, dir.join("req-req-2-odd-id.jsonl"));
+
+        // The first request's postmortem survives the second's dump.
+        let t1 = std::fs::read_to_string(&p1).expect("req-1 readable");
+        let t2 = std::fs::read_to_string(&p2).expect("req-2 readable");
+        assert!(t1.contains("\"first request\""), "{t1}");
+        assert!(t2.contains("\"second request\""), "{t2}");
+
+        disarm();
+        if let Some(p) = saved {
+            arm(p);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        clear();
+    }
+
+    #[test]
+    fn tag_sanitization_is_filesystem_safe() {
+        assert_eq!(sanitize_tag("abc-123_X.y"), "abc-123_X.y");
+        assert_eq!(sanitize_tag("../../etc/passwd"), "..-..-etc-passwd");
+        assert_eq!(sanitize_tag(""), "request");
+        assert!(sanitize_tag(&"x".repeat(200)).len() <= 64);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 pub mod flight;
 pub mod hist;
 pub mod report;
+pub mod scope;
 pub mod sink;
 
 pub use hist::Histogram;
@@ -197,6 +198,17 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Whether anything is recording right now: the global collector
+/// ([`is_enabled`]) or a per-request [`scope`] attached to the current
+/// thread. This is the macros' gate, so instrumentation fires for a
+/// scoped request even when the process-wide collector is off (the
+/// serve daemon's default), at the cost of one extra thread-local read
+/// on the disabled fast path.
+#[inline]
+pub fn recording() -> bool {
+    is_enabled() || scope::active()
+}
+
 /// Installs `sink` as the global collector and enables the macros.
 /// Replaces (and finishes) any previously installed collector.
 pub fn init(sink: Box<dyn Sink + Send>) {
@@ -243,53 +255,82 @@ pub fn take_snapshot() -> Option<Report> {
 /// sink). Prefer the [`counter!`] macro, which short-circuits when
 /// disabled.
 pub fn add_counter(name: &str, delta: i64) {
-    let mut guard = lock();
-    let Some(c) = guard.as_mut() else { return };
-    let total = {
-        let e = c.counters.entry(name.to_string()).or_insert(0);
-        *e += delta;
-        *e
+    scope::record_counter(name, delta);
+    let mut total = delta;
+    let recorded_globally = {
+        let mut guard = lock();
+        if let Some(c) = guard.as_mut() {
+            let e = c.counters.entry(name.to_string()).or_insert(0);
+            *e += delta;
+            total = *e;
+            let ts = c.ts_us();
+            c.sink.record(
+                ts,
+                &Record::Counter {
+                    name: name.to_string(),
+                    delta,
+                    total,
+                },
+            );
+            true
+        } else {
+            false
+        }
     };
-    let ts = c.ts_us();
-    let rec = Record::Counter {
-        name: name.to_string(),
-        delta,
-        total,
-    };
-    c.sink.record(ts, &rec);
-    drop(guard);
-    flight::push(&rec);
+    if recorded_globally || scope::active() {
+        flight::push(&Record::Counter {
+            name: name.to_string(),
+            delta,
+            total,
+        });
+    }
 }
 
 /// Sets the named gauge (last value wins). Prefer [`gauge!`].
 pub fn set_gauge(name: &str, value: f64) {
-    let mut guard = lock();
-    let Some(c) = guard.as_mut() else { return };
-    c.gauges.insert(name.to_string(), value);
-    let ts = c.ts_us();
+    scope::record_gauge(name, value);
     let rec = Record::Gauge {
         name: name.to_string(),
         value,
     };
-    c.sink.record(ts, &rec);
-    drop(guard);
-    flight::push(&rec);
+    let recorded_globally = {
+        let mut guard = lock();
+        if let Some(c) = guard.as_mut() {
+            c.gauges.insert(name.to_string(), value);
+            let ts = c.ts_us();
+            c.sink.record(ts, &rec);
+            true
+        } else {
+            false
+        }
+    };
+    if recorded_globally || scope::active() {
+        flight::push(&rec);
+    }
 }
 
 /// Records `value` into the named power-of-two histogram. Prefer
 /// [`histogram!`].
 pub fn record_hist(name: &str, value: u64) {
-    let mut guard = lock();
-    let Some(c) = guard.as_mut() else { return };
-    c.hists.entry(name.to_string()).or_default().record(value);
-    let ts = c.ts_us();
+    scope::record_hist(name, value);
     let rec = Record::Hist {
         name: name.to_string(),
         value,
     };
-    c.sink.record(ts, &rec);
-    drop(guard);
-    flight::push(&rec);
+    let recorded_globally = {
+        let mut guard = lock();
+        if let Some(c) = guard.as_mut() {
+            c.hists.entry(name.to_string()).or_default().record(value);
+            let ts = c.ts_us();
+            c.sink.record(ts, &rec);
+            true
+        } else {
+            false
+        }
+    };
+    if recorded_globally || scope::active() {
+        flight::push(&rec);
+    }
 }
 
 /// Emits a point-in-time structured event. Prefer [`event!`]. Unlike
@@ -297,6 +338,7 @@ pub fn record_hist(name: &str, value: u64) {
 /// no collector is installed — they are rare and forensically dense
 /// (degradations, budget expiry, round results).
 pub fn emit_event(name: &str, attrs: &[(&'static str, Value)]) {
+    scope::record_event(name, attrs);
     let rec = Record::Event {
         name: name.to_string(),
         attrs: attrs
@@ -350,9 +392,10 @@ impl Span {
     }
 
     /// Opens a span: pushes a frame on the thread-local stack and
-    /// forwards a `span_open` record to the sink.
+    /// forwards a `span_open` record to the sink (and to the attached
+    /// per-request [`scope`], if any).
     pub fn enter(name: &'static str, attrs: &[(&'static str, Value)]) -> Self {
-        if !is_enabled() {
+        if !recording() {
             return Self::disabled();
         }
         let depth = SPAN_STACK.with(|s| {
@@ -398,22 +441,30 @@ impl Drop for Span {
             (child, s.len())
         });
         let excl_ns = incl_ns.saturating_sub(child_ns);
-        let mut guard = lock();
-        let Some(c) = guard.as_mut() else { return };
-        let stat = c.spans.entry(self.name.to_string()).or_default();
-        stat.count += 1;
-        stat.incl_ns += incl_ns;
-        stat.excl_ns += excl_ns;
-        let ts = c.ts_us();
+        scope::record_span(self.name, incl_ns, excl_ns);
         let rec = Record::SpanClose {
             name: self.name.to_string(),
             depth,
             incl_us: incl_ns / 1_000,
             excl_us: excl_ns / 1_000,
         };
-        c.sink.record(ts, &rec);
-        drop(guard);
-        flight::push(&rec);
+        let recorded_globally = {
+            let mut guard = lock();
+            if let Some(c) = guard.as_mut() {
+                let stat = c.spans.entry(self.name.to_string()).or_default();
+                stat.count += 1;
+                stat.incl_ns += incl_ns;
+                stat.excl_ns += excl_ns;
+                let ts = c.ts_us();
+                c.sink.record(ts, &rec);
+                true
+            } else {
+                false
+            }
+        };
+        if recorded_globally || scope::active() {
+            flight::push(&rec);
+        }
     }
 }
 
@@ -427,7 +478,7 @@ impl Drop for Span {
 #[macro_export]
 macro_rules! span {
     ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
-        if $crate::is_enabled() {
+        if $crate::recording() {
             $crate::Span::enter($name, &[$((stringify!($k), $crate::Value::from($v))),*])
         } else {
             $crate::Span::disabled()
@@ -439,7 +490,7 @@ macro_rules! span {
 #[macro_export]
 macro_rules! counter {
     ($name:expr, $delta:expr) => {
-        if $crate::is_enabled() {
+        if $crate::recording() {
             $crate::add_counter($name, ($delta) as i64);
         }
     };
@@ -449,7 +500,7 @@ macro_rules! counter {
 #[macro_export]
 macro_rules! gauge {
     ($name:expr, $value:expr) => {
-        if $crate::is_enabled() {
+        if $crate::recording() {
             $crate::set_gauge($name, ($value) as f64);
         }
     };
@@ -460,7 +511,7 @@ macro_rules! gauge {
 #[macro_export]
 macro_rules! histogram {
     ($name:expr, $value:expr) => {
-        if $crate::is_enabled() {
+        if $crate::recording() {
             $crate::record_hist($name, ($value) as u64);
         }
     };
@@ -476,7 +527,7 @@ macro_rules! histogram {
 #[macro_export]
 macro_rules! event {
     ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
-        if $crate::is_enabled() || $crate::flight_on() {
+        if $crate::recording() || $crate::flight_on() {
             $crate::emit_event($name, &[$((stringify!($k), $crate::Value::from($v))),*]);
         }
     };

@@ -41,6 +41,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+pub mod pool;
+pub use pool::{Pool, SubmitError};
+
 /// Process-wide override installed by the CLI's `--threads` flag.
 /// Zero means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -163,10 +166,14 @@ impl<'a> Region<'a> {
         // input order exactly.
         let chunk = (n / (threads * 8)).max(1);
         let cursor = AtomicUsize::new(0);
+        // Carry the caller's request scope (if any) onto every worker so
+        // spans and counters from the fan-out stay attributed to it.
+        let obs_scope = lacr_obs::scope::current();
         let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
+                        let _scope_guard = obs_scope.as_ref().map(|s| s.attach());
                         let mut state = init();
                         let mut local: Vec<(usize, R)> = Vec::new();
                         let mut claims = 0_u64;
@@ -337,6 +344,25 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn region_workers_record_into_the_callers_scope() {
+        let scope = lacr_obs::scope::Scope::new("par-test");
+        let items: Vec<u64> = (0..64).collect();
+        let got = with_threads(4, || {
+            let _g = scope.attach();
+            Region::new("test.scoped").map_indexed(&items, |_, &x| {
+                lacr_obs::counter!("par.scope.items", 1_u64);
+                x
+            })
+        });
+        assert_eq!(got, items);
+        // Every worker thread saw the attached scope, so all 64 item
+        // ticks (plus the region's own par.tasks) landed in it.
+        assert_eq!(scope.report().counter("par.scope.items"), Some(64));
+        assert_eq!(scope.report().counter("par.tasks"), Some(64));
+        assert!(scope.report().span("par.region").is_some());
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! A bounded job pool for long-lived services.
+//!
+//! [`Region`](crate::Region) covers the pipeline's fork/join kernels:
+//! spawn, map, merge, return. A daemon needs the opposite shape — a
+//! fixed set of resident workers fed from a **bounded** queue, where
+//! submission is non-blocking and a full queue is an explicit,
+//! load-sheddable outcome rather than unbounded memory growth. [`Pool`]
+//! is that primitive:
+//!
+//! * **admission control** — [`Pool::submit`] never blocks; when the
+//!   queue is at capacity it returns [`SubmitError::Overloaded`] with
+//!   the queue depth, so callers can shed with a structured rejection;
+//! * **fault isolation** — every job runs under `catch_unwind`, so a
+//!   panicking job is counted (`pool.panics`) and its worker survives
+//!   to take the next job. Jobs that must report a panic outcome do
+//!   their own `catch_unwind` inside the job; the pool's is a backstop;
+//! * **graceful drain** — [`Pool::close_and_drain`] stops admission,
+//!   lets workers finish everything already queued, and joins them.
+//!
+//! Ordering: jobs start in submission order (one shared FIFO), but
+//! completion order is up to job durations — callers that need ordered
+//! output must sequence results themselves (the serve loop tags
+//! responses with request ids instead).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    /// Closed queues reject new jobs; workers exit once drained.
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signals workers that a job arrived or the queue closed.
+    ready: Condvar,
+    capacity: usize,
+}
+
+/// A fixed-size worker pool over a bounded FIFO queue. See the module
+/// docs for the admission / isolation / drain contract.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    name: &'static str,
+}
+
+/// Why a [`Pool::submit`] was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; the job was dropped without running.
+    /// Carries the depth observed and the configured capacity so the
+    /// caller can report how overloaded the pool was.
+    Overloaded { queued: usize, capacity: usize },
+    /// The pool is closed (draining or drained); no new jobs run.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Overloaded { queued, capacity } => {
+                write!(f, "pool overloaded ({queued}/{capacity} queued)")
+            }
+            Self::Closed => write!(f, "pool closed"),
+        }
+    }
+}
+
+impl Pool {
+    /// Starts `workers` resident threads with a queue bounded at
+    /// `queue_capacity` pending jobs (jobs already running don't count
+    /// against the bound). Both are clamped to at least 1.
+    pub fn new(name: &'static str, workers: usize, queue_capacity: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: queue_capacity.max(1),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(handles),
+            name,
+        }
+    }
+
+    /// The configured queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Jobs currently waiting (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is at capacity (the
+    /// job is dropped — shed it), [`SubmitError::Closed`] after
+    /// [`close_and_drain`](Self::close_and_drain).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        {
+            let mut q = self.lock();
+            if q.closed {
+                return Err(SubmitError::Closed);
+            }
+            if q.jobs.len() >= self.shared.capacity {
+                return Err(SubmitError::Overloaded {
+                    queued: q.jobs.len(),
+                    capacity: self.shared.capacity,
+                });
+            }
+            q.jobs.push_back(Box::new(job));
+        }
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Stops admission, runs every already-queued job to completion,
+    /// and joins the workers. Idempotent; takes `&self` so an
+    /// `Arc<Pool>` shared with producers can still be drained.
+    pub fn close_and_drain(&self) {
+        self.lock().closed = true;
+        self.shared.ready.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            if h.join().is_err() {
+                // Worker loops catch job panics; a panic here is a pool
+                // bug, but drain must still not propagate it.
+                eprintln!("[lacr] {}: worker thread panicked", self.name);
+            }
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Queue> {
+        self.shared.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.close_and_drain();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Isolation backstop: a panicking job must not take its worker
+        // (and with it, a slot of the pool) down.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            lacr_obs::counter!("pool.panics", 1_u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_drain_completes() {
+        let pool = Pool::new("t-basic", 3, 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("submit");
+        }
+        pool.close_and_drain();
+        assert_eq!(done.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let pool = Pool::new("t-full", 1, 2);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        // One job occupies the single worker until released...
+        pool.submit(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        })
+        .expect("blocker");
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("worker picked up blocker");
+        // ...so these two fill the queue...
+        pool.submit(|| {}).expect("fits");
+        pool.submit(|| {}).expect("fits");
+        // ...and the next is shed with the observed depth.
+        match pool.submit(|| {}) {
+            Err(SubmitError::Overloaded { queued, capacity }) => {
+                assert_eq!((queued, capacity), (2, 2));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        block_tx.send(()).unwrap();
+        pool.close_and_drain();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_its_worker() {
+        let pool = Pool::new("t-panic", 1, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.submit(|| panic!("injected"))
+            .expect("submit panic job");
+        let d = Arc::clone(&done);
+        pool.submit(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("submit after panic");
+        pool.close_and_drain();
+        // The single worker survived the panic and ran the second job.
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn closed_pool_rejects_and_drain_is_idempotent() {
+        let pool = Pool::new("t-closed", 2, 8);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.submit(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("submit");
+        pool.close_and_drain();
+        assert_eq!(pool.submit(|| {}), Err(SubmitError::Closed));
+        pool.close_and_drain(); // idempotent
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drain_runs_every_queued_job() {
+        let pool = Pool::new("t-drain", 2, 256);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..200 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_micros(50));
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("submit");
+        }
+        pool.close_and_drain();
+        assert_eq!(done.load(Ordering::Relaxed), 200);
+    }
+}

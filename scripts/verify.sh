@@ -7,6 +7,7 @@
 #   scripts/verify.sh --metrics      # observability smoke: JSONL stream validated
 #   scripts/verify.sh --determinism  # bit-identical plans across thread counts
 #   scripts/verify.sh --regress      # quality-regression gate vs committed baseline
+#   scripts/verify.sh --serve        # daemon smoke: hostile request mix, shed/panic/drain
 #
 # The workspace has no external dependencies, so --offline always works.
 set -euo pipefail
@@ -17,15 +18,17 @@ FAULTS=0
 METRICS=0
 DETERMINISM=0
 REGRESS=0
+SERVE=0
 case "${1:-}" in
     --quick) QUICK=1 ;;
     --faults) FAULTS=1 ;;
     --metrics) METRICS=1 ;;
     --determinism) DETERMINISM=1 ;;
     --regress) REGRESS=1 ;;
+    --serve) SERVE=1 ;;
     "") ;;
     *)
-        echo "error: unknown option '${1}' (usage: scripts/verify.sh [--quick|--faults|--metrics|--determinism|--regress])" >&2
+        echo "error: unknown option '${1}' (usage: scripts/verify.sh [--quick|--faults|--metrics|--determinism|--regress|--serve])" >&2
         exit 2
         ;;
 esac
@@ -121,6 +124,82 @@ if [[ "$REGRESS" == 1 ]]; then
     target/release/check_metrics --flight target/regress/flight.jsonl
 
     echo "==> regress OK (artifacts in target/regress/)"
+    exit 0
+fi
+
+if [[ "$SERVE" == 1 ]]; then
+    echo "==> cargo build --release (warnings are errors)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --offline --workspace
+
+    echo "==> serve soak suite (200-request mixed batch, 3 workers, byte-identity)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" \
+        cargo test --release --offline --test serve_soak
+
+    LACR_BIN=target/release/lacr
+    CHECK=target/release/check_metrics
+    mkdir -p target/serve
+
+    echo "==> admission control: sleep-fault flood must shed, not stall (1 worker, queue 1)"
+    {
+        for i in 1 2 3 4 5; do
+            printf '{"id":"sleep-%d","circuit":"s344","fault":{"sleep_ms":400}}\n' "$i"
+        done
+    } | "$LACR_BIN" serve --workers 1 --queue-cap 1 \
+        --flight-recorder-out target/serve/flight/last-run.jsonl \
+        >target/serve/overload.jsonl
+    # EOF drain: the daemon answers or sheds every request, then exits 0.
+    responses=$(wc -l <target/serve/overload.jsonl)
+    if [[ "$responses" != 5 ]]; then
+        echo "error: 5 requests but $responses responses in overload.jsonl" >&2
+        exit 1
+    fi
+    shed=$(grep -c '"reason":"overloaded"' target/serve/overload.jsonl || true)
+    if [[ "$shed" -lt 1 ]]; then
+        echo "error: a 5-request flood at capacity 1 shed nothing" >&2
+        exit 1
+    fi
+    "$CHECK" --serve target/serve/overload.jsonl
+    echo "    $shed of 5 requests shed as overloaded, daemon exited 0"
+
+    echo "==> fault isolation: hostile mix (panic, malformed, bad path, over-budget, oversized)"
+    {
+        printf '{"id":"ok-1","circuit":"s344"}\n'
+        printf 'this line is not JSON {\n'
+        printf '{"id":"lost","bench_path":"/no/such/file.bench"}\n'
+        printf '{"id":"boom","circuit":"s344","fault":{"panic":true}}\n'
+        printf '{"id":"late","bench_path":"tests/data/counter3.bench","budget_ms":0}\n'
+        printf '{"id":"big","bench":"%s"}\n' "$(printf 'x%.0s' $(seq 1 2000))"
+        printf '{"cmd":"shutdown"}\n'
+    } | RUST_BACKTRACE=0 "$LACR_BIN" serve --workers 2 --queue-cap 16 --max-line-bytes 512 \
+        --flight-recorder-out target/serve/flight/last-run.jsonl \
+        >target/serve/hostile.jsonl 2>target/serve/hostile.stderr
+    responses=$(wc -l <target/serve/hostile.jsonl)
+    if [[ "$responses" != 6 ]]; then
+        echo "error: 6 requests but $responses responses in hostile.jsonl" >&2
+        exit 1
+    fi
+    "$CHECK" --serve target/serve/hostile.jsonl
+    grep -q '"id":"boom".*"kind":"panic"' target/serve/hostile.jsonl || {
+        echo "error: injected panic did not come back as a structured panic error" >&2
+        exit 1
+    }
+    grep -q '"id":"late".*"status":"degraded"' target/serve/hostile.jsonl || {
+        echo "error: over-budget request did not degrade" >&2
+        exit 1
+    }
+    grep -q '"reason":"oversized"' target/serve/hostile.jsonl || {
+        echo "error: oversized line was not shed" >&2
+        exit 1
+    }
+
+    echo "==> per-request postmortem: the panic left a request-tagged flight dump"
+    test -f target/serve/flight/req-boom.jsonl || {
+        echo "error: no flight dump at target/serve/flight/req-boom.jsonl" >&2
+        exit 1
+    }
+    "$CHECK" --flight target/serve/flight/req-boom.jsonl
+
+    echo "==> serve OK (transcripts in target/serve/)"
     exit 0
 fi
 

@@ -31,6 +31,7 @@
 //! | [`obs`] | zero-dependency tracing, metrics and perf reports |
 //! | [`par`] | deterministic scoped thread pool and ordered parallel map |
 //! | [`bench`] | run artifacts, validators and the regression gate |
+//! | [`serve`] | the `lacr serve` daemon: line-JSON protocol, worker pool, fault isolation |
 
 pub use lacr_bench as bench;
 pub use lacr_core as core;
@@ -43,4 +44,5 @@ pub use lacr_partition as partition;
 pub use lacr_repeater as repeater;
 pub use lacr_retime as retime;
 pub use lacr_route as route;
+pub use lacr_serve as serve;
 pub use lacr_timing as timing;

@@ -12,6 +12,9 @@
 //!                                # min-area retime a .bench netlist
 //! lacr compare <base.json> <current.json> [--no-wall] [--subset] [--json out]
 //!                                # diff two run artifacts (regression gate)
+//! lacr serve [--workers N] [--queue-cap N] [--socket path] ...
+//!                                # long-lived daemon: line-JSON requests in,
+//!                                # one JSON response line per request out
 //! ```
 //!
 //! Global flags (any command): `--trace` streams pipeline spans to
@@ -35,8 +38,9 @@ use lacr::core::planner::{
     try_build_physical_plan, try_plan_retimings, try_plan_retimings_at, PlannerConfig,
 };
 use lacr::core::render::{tile_ascii, tile_ascii_legend, tile_svg};
-use lacr::core::{try_retimed_circuit, Budget, Degradation};
+use lacr::core::{summarize, try_retimed_circuit, Budget, Degradation};
 use lacr::netlist::{bench89, bench_format, stats::CircuitStats, Circuit};
+use lacr::serve::ServeConfig;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -131,34 +135,13 @@ fn main() -> ExitCode {
         lacr::obs::diag!("error: {e}");
         return ExitCode::FAILURE;
     }
-    let result = match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
-        // `run` is the canonical observability entry point; it plans one
-        // circuit exactly like `plan` (kept as an alias for scripts).
-        Some("plan") | Some("run") => cmd_plan(&args[1..]),
-        Some("table1") => cmd_table1(&args[1..]),
-        Some("fig2") => cmd_fig2(
-            args.get(1).map(String::as_str),
-            args.get(2).map(String::as_str),
-        ),
-        Some("retime") => cmd_retime(&args[1..]),
-        Some("compare") => cmd_compare(&args[1..]),
-        _ => {
-            eprintln!("usage: lacr <list|plan|run|table1|fig2|retime|compare> [args]");
-            eprintln!("  list                        available benchmark circuits");
-            eprintln!("  plan <circuit|file.bench> [--budget-ms N]");
-            eprintln!("                              run the planner on one circuit");
-            eprintln!("  run <circuit|file.bench> [--budget-ms N]");
-            eprintln!("                              alias of plan");
-            eprintln!("  table1 [circuit ...]        regenerate the paper's Table 1");
-            eprintln!("  fig2 <circuit> [out.svg]    render the tile graph");
-            eprintln!("  retime <in.bench> <out.bench> [period_ps]");
-            eprintln!("  compare <base.json> <current.json> [--no-wall] [--subset] [--json <out>]");
-            eprintln!(
-                "global flags: --trace --metrics-out <path> --report --quiet --threads <n> \
-                 --flight-recorder-out <path>"
-            );
-            eprintln!("exit codes: 0 ok, 1 error, 2 usage, 3 degraded plan");
+    let result = match args
+        .first()
+        .and_then(|name| COMMANDS.iter().find(|c| c.name == name.as_str()))
+    {
+        Some(command) => (command.run)(&args[1..]),
+        None => {
+            print_usage();
             return ExitCode::from(2);
         }
     };
@@ -194,6 +177,92 @@ fn main() -> ExitCode {
 /// otherwise they are printed and the process exits 3).
 type CliResult = Result<Vec<Degradation>, Box<dyn std::error::Error>>;
 
+/// One dispatched subcommand: its name, its usage lines, its handler.
+/// Dispatch and the usage text are generated from this one table, so a
+/// subcommand can never be runnable but undocumented (tests/cli.rs
+/// audits the rendered usage against the table's names).
+struct Command {
+    name: &'static str,
+    usage: &'static [&'static str],
+    run: fn(&[String]) -> CliResult,
+}
+
+const COMMANDS: &[Command] = &[
+    Command {
+        name: "list",
+        usage: &["list                        available benchmark circuits"],
+        run: |_| cmd_list(),
+    },
+    Command {
+        name: "plan",
+        usage: &[
+            "plan <circuit|file.bench> [--budget-ms N]",
+            "                            run the planner on one circuit",
+        ],
+        run: cmd_plan,
+    },
+    // `run` is the canonical observability entry point; it plans one
+    // circuit exactly like `plan` (kept as an alias for scripts).
+    Command {
+        name: "run",
+        usage: &[
+            "run <circuit|file.bench> [--budget-ms N]",
+            "                            alias of plan",
+        ],
+        run: cmd_plan,
+    },
+    Command {
+        name: "table1",
+        usage: &["table1 [circuit ...]        regenerate the paper's Table 1"],
+        run: cmd_table1,
+    },
+    Command {
+        name: "fig2",
+        usage: &["fig2 <circuit> [out.svg]    render the tile graph"],
+        run: |args| {
+            cmd_fig2(
+                args.first().map(String::as_str),
+                args.get(1).map(String::as_str),
+            )
+        },
+    },
+    Command {
+        name: "retime",
+        usage: &["retime <in.bench> <out.bench> [period_ps]"],
+        run: cmd_retime,
+    },
+    Command {
+        name: "compare",
+        usage: &["compare <base.json> <current.json> [--no-wall] [--subset] [--json <out>]"],
+        run: cmd_compare,
+    },
+    Command {
+        name: "serve",
+        usage: &[
+            "serve [--workers N] [--queue-cap N] [--default-budget-ms N]",
+            "      [--max-line-bytes N] [--socket <path>]",
+            "                            daemon: line-JSON requests on stdin/socket,",
+            "                            one JSON response line per request",
+        ],
+        run: cmd_serve,
+    },
+];
+
+fn print_usage() {
+    let names: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
+    eprintln!("usage: lacr <{}> [args]", names.join("|"));
+    for command in COMMANDS {
+        for line in command.usage {
+            eprintln!("  {line}");
+        }
+    }
+    eprintln!(
+        "global flags: --trace --metrics-out <path> --report --quiet --threads <n> \
+         --flight-recorder-out <path>"
+    );
+    eprintln!("exit codes: 0 ok, 1 error, 2 usage, 3 degraded plan");
+}
+
 fn load_circuit(spec: &str) -> Result<Circuit, Box<dyn std::error::Error>> {
     if spec.ends_with(".bench") {
         let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
@@ -224,6 +293,57 @@ fn cmd_list() -> CliResult {
         );
     }
     println!("(any .bench file path is also accepted by `plan` and `retime`)");
+    println!("(for many plans in one process, see `lacr serve` — line-JSON daemon mode)");
+    Ok(Vec::new())
+}
+
+/// `lacr serve`: the long-lived planning daemon (see `lacr::serve`).
+/// Per-request outcomes travel in-band as response lines; the process
+/// itself exits 0 on a graceful shutdown (EOF, shutdown command, or
+/// SIGINT/SIGTERM) and 1 only on a transport-level I/O failure.
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut config = ServeConfig::default();
+    let mut socket: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next_usize = |flag: &str| -> Result<usize, Box<dyn std::error::Error>> {
+            let v: usize = it
+                .next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{flag}: {e}"))?;
+            if v == 0 {
+                return Err(format!("{flag} must be at least 1").into());
+            }
+            Ok(v)
+        };
+        match a.as_str() {
+            "--workers" => config.workers = next_usize("--workers")?,
+            "--queue-cap" => config.queue_capacity = next_usize("--queue-cap")?,
+            "--max-line-bytes" => config.max_line_bytes = next_usize("--max-line-bytes")?,
+            "--default-budget-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--default-budget-ms needs a value in milliseconds")?
+                    .parse()
+                    .map_err(|e| format!("--default-budget-ms: {e}"))?;
+                config.default_budget_ms = Some(ms);
+            }
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?.clone()),
+            other => return Err(format!("serve: unexpected argument {other:?}").into()),
+        }
+    }
+    lacr::serve::install_signal_handlers();
+    match socket {
+        Some(path) => lacr::serve::serve_unix_socket(&config, std::path::Path::new(&path))?,
+        None => {
+            lacr::serve::serve(
+                &config,
+                std::io::BufReader::new(std::io::stdin()),
+                std::io::stdout(),
+            )?;
+        }
+    }
     Ok(Vec::new())
 }
 
@@ -263,27 +383,13 @@ fn cmd_plan(args: &[String]) -> CliResult {
         let circuit = load_circuit(&spec)?;
         let plan = try_build_physical_plan(&circuit, &config, &[])?;
         let report = try_plan_retimings(&plan, &config)?;
-        println!(
-            "{}: T_init {:.2} ns, T_min {:.2} ns, T_clk {:.2} ns",
-            circuit.name(),
-            plan.t_init as f64 / 1000.0,
-            plan.t_min as f64 / 1000.0,
-            plan.t_clk as f64 / 1000.0
-        );
-        println!(
-            "min-area: N_FOA {}, N_F {}, N_FN {}",
-            report.min_area.result.n_foa, report.min_area.result.n_f, report.min_area.result.n_fn
-        );
-        println!(
-            "LAC     : N_FOA {}, N_F {}, N_FN {} ({} rounds)",
-            report.lac.result.n_foa,
-            report.lac.result.n_f,
-            report.lac.result.n_fn,
-            report.lac.result.n_wr
-        );
-        let mut notes = plan.degradations.clone();
-        notes.extend(report.degradations.iter().cloned());
-        Ok(notes)
+        // The shared summary renderer — `lacr serve` embeds the same
+        // lines in its responses, byte for byte.
+        let summary = summarize(circuit.name(), &plan, &report);
+        for line in summary.text_lines() {
+            println!("{line}");
+        }
+        Ok(summary.degradations)
     } else {
         let circuit = bench89::generate(&spec)?;
         let plan = try_build_physical_plan(&circuit, &config, &[])?;

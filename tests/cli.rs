@@ -24,6 +24,52 @@ fn no_args_prints_usage_and_fails() {
 }
 
 #[test]
+fn every_dispatched_subcommand_appears_in_the_usage_text() {
+    // The dispatcher and the usage text are generated from one table in
+    // src/main.rs, so a runnable-but-undocumented subcommand can't
+    // exist by construction; this audits the rendered output against
+    // the full dispatched set (and will fail when a new subcommand is
+    // added to the binary but not here).
+    let out = lacr()
+        .arg("definitely-not-a-subcommand")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let usage = String::from_utf8_lossy(&out.stderr);
+    let header = usage
+        .lines()
+        .find(|l| l.starts_with("usage: lacr <"))
+        .unwrap_or_else(|| panic!("no usage header in:\n{usage}"));
+    let names: Vec<&str> = header
+        .trim_start_matches("usage: lacr <")
+        .split('>')
+        .next()
+        .expect("closing bracket")
+        .split('|')
+        .collect();
+    let expected = [
+        "list", "plan", "run", "table1", "fig2", "retime", "compare", "serve",
+    ];
+    assert_eq!(names, expected, "dispatched set drifted from the test");
+    for name in expected {
+        // Each subcommand also has a usage body line, not just the header.
+        assert!(
+            usage.lines().any(|l| l.trim_start().starts_with(name)),
+            "subcommand {name} has no usage line:\n{usage}"
+        );
+    }
+    assert!(usage.contains("exit codes"), "{usage}");
+}
+
+#[test]
+fn list_mentions_serve_mode() {
+    let out = lacr().arg("list").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lacr serve"), "{text}");
+}
+
+#[test]
 fn unknown_circuit_is_a_clean_error() {
     let out = lacr().args(["plan", "sXYZ"]).output().expect("runs");
     assert!(!out.status.success());
