@@ -35,7 +35,18 @@
 //! - `--serve <responses.jsonl>`: a transcript of `lacr serve` response
 //!   lines — every line a structured response with an `id`
 //!   (string-or-null) and a known `status`, and the payload each status
-//!   promises (plan text, error kind/message, rejection reason).
+//!   promises (plan text, error kind/message, rejection reason, stats
+//!   snapshot blocks);
+//! - `--stats <snapshots.jsonl>`: one or more `lacr serve` stats
+//!   snapshots (from `{"cmd":"stats"}` responses or the periodic
+//!   `--stats-interval-ms` heartbeat) — required keys present, status
+//!   counts sum to completed requests, gauges non-negative, rolling
+//!   percentiles ordered `p50 <= p95 <= p99`, and every counter
+//!   monotone non-decreasing across successive snapshots;
+//! - `--chrome <trace.json>`: a Chrome trace-event file from
+//!   `--trace-chrome` — a `traceEvents` array whose every event carries
+//!   `name`/`ph`/`ts`/`pid`/`tid`, with `B`/`E` begin–end events
+//!   balancing like parentheses (matching names) per `(pid, tid)` lane.
 //!
 //! ```text
 //! cargo run --release -p lacr-bench --bin check_metrics -- [mode] <file>
@@ -301,13 +312,15 @@ fn check_run_record(text: &str) -> Result<(String, usize), String> {
 /// from the response taxonomy. Each status implies its payload:
 /// `ok`/`degraded` carry a `plan` block with a non-empty `text` array
 /// (and `degraded` a non-empty `degradations` array), `error` carries
-/// `error.kind`/`error.message`, `rejected` carries a `reason`.
+/// `error.kind`/`error.message`, `rejected` carries a `reason`, and
+/// `stats` carries the snapshot blocks (`requests`/`pool`/`latency`/
+/// `flight` — deep-validated by `--stats`).
 /// Returns (responses, per-status counts in taxonomy order).
-fn check_serve_transcript(text: &str) -> Result<(usize, [usize; 4]), String> {
-    const STATUSES: [&str; 4] = ["ok", "degraded", "error", "rejected"];
+fn check_serve_transcript(text: &str) -> Result<(usize, [usize; 5]), String> {
+    const STATUSES: [&str; 5] = ["ok", "degraded", "error", "rejected", "stats"];
     const ERROR_KINDS: [&str; 3] = ["bad-request", "plan", "panic"];
     const REJECT_REASONS: [&str; 3] = ["overloaded", "oversized", "shutting-down"];
-    let mut counts = [0usize; 4];
+    let mut counts = [0usize; 5];
     let mut responses = 0usize;
     for (ln, line) in text.lines().enumerate() {
         let ln = ln + 1;
@@ -365,7 +378,7 @@ fn check_serve_transcript(text: &str) -> Result<(usize, [usize; 4]), String> {
                     .filter(|m| !m.is_empty())
                     .ok_or(format!("line {ln}: error block without message"))?;
             }
-            _ => {
+            "rejected" => {
                 let reason = v
                     .get("reason")
                     .and_then(Json::as_str)
@@ -374,12 +387,228 @@ fn check_serve_transcript(text: &str) -> Result<(usize, [usize; 4]), String> {
                     return Err(format!("line {ln}: unknown rejection reason {reason:?}"));
                 }
             }
+            _ => {
+                check_schema_version(&v).map_err(|e| format!("line {ln}: stats {e}"))?;
+                for block in ["requests", "pool", "latency", "flight"] {
+                    v.get(block)
+                        .ok_or(format!("line {ln}: stats response without {block} block"))?;
+                }
+            }
         }
     }
     if responses == 0 {
         return Err("no response lines (daemon produced no output?)".to_string());
     }
     Ok((responses, counts))
+}
+
+/// Numeric leaf at `path` inside a stats snapshot, or an error naming
+/// the missing key.
+fn stats_num(v: &Json, path: &[&str]) -> Result<f64, String> {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .ok_or_else(|| format!("snapshot missing {}", path.join(".")))?;
+    }
+    cur.as_num()
+        .ok_or_else(|| format!("{} is not a number", path.join(".")))
+}
+
+/// Counters that must never decrease across successive snapshots from
+/// one daemon: the request totals, the pool's lifetime counters, and
+/// the flight-recorder dump count.
+const MONOTONE_COUNTERS: &[&[&str]] = &[
+    &["requests", "received"],
+    &["requests", "ok"],
+    &["requests", "degraded"],
+    &["requests", "error"],
+    &["requests", "rejected"],
+    &["requests", "completed"],
+    &["pool", "shed_total"],
+    &["pool", "completed_total"],
+    &["pool", "panics"],
+    &["flight", "dumps"],
+    &["uptime_us"],
+];
+
+/// Validates one or more `lacr serve` stats snapshots, one JSON object
+/// per line (ordered oldest first, as both the `{"cmd":"stats"}`
+/// response stream and the periodic heartbeat emit them). Checks the
+/// contract every snapshot promises — required keys, status counts
+/// summing to completed, non-negative gauges, `queued <= capacity`,
+/// ordered percentiles — and that every lifetime counter is monotone
+/// non-decreasing across the sequence. Returns the snapshot count.
+fn check_stats_lines(text: &str) -> Result<usize, String> {
+    let mut snapshots = 0usize;
+    let mut prev: Option<Json> = None;
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {ln}: {e}"))?;
+        snapshots += 1;
+        if v.get("status").and_then(Json::as_str) != Some("stats") {
+            return Err(format!("line {ln}: not a stats snapshot (status != stats)"));
+        }
+        check_schema_version(&v).map_err(|e| format!("line {ln}: {e}"))?;
+        let num = |path: &[&str]| stats_num(&v, path).map_err(|e| format!("line {ln}: {e}"));
+        // Request accounting: the status counts partition completed
+        // requests, and nothing finishes that was never received.
+        let ok = num(&["requests", "ok"])?;
+        let degraded = num(&["requests", "degraded"])?;
+        let error = num(&["requests", "error"])?;
+        let rejected = num(&["requests", "rejected"])?;
+        let received = num(&["requests", "received"])?;
+        let completed = num(&["requests", "completed"])?;
+        if completed != ok + degraded + error {
+            return Err(format!(
+                "line {ln}: completed {completed} != ok {ok} + degraded {degraded} \
+                 + error {error}"
+            ));
+        }
+        if completed + rejected > received {
+            return Err(format!(
+                "line {ln}: completed {completed} + rejected {rejected} exceeds \
+                 received {received}"
+            ));
+        }
+        // Pool gauges: instantaneous, but never negative, and the queue
+        // never reports beyond its own capacity.
+        let queued = num(&["pool", "queued"])?;
+        let capacity = num(&["pool", "capacity"])?;
+        if queued > capacity {
+            return Err(format!("line {ln}: queued {queued} > capacity {capacity}"));
+        }
+        for path in [
+            ["pool", "workers"],
+            ["pool", "inflight"],
+            ["pool", "shed_total"],
+            ["pool", "completed_total"],
+            ["pool", "panics"],
+            ["flight", "dumps"],
+            ["flight", "capacity"],
+        ] {
+            let n = num(&path)?;
+            if n < 0.0 {
+                return Err(format!("line {ln}: {} is negative ({n})", path.join(".")));
+            }
+        }
+        // Rolling latency: both windows carry ordered percentiles.
+        num(&["latency", "window_us"])?;
+        for block in ["queue_wait_us", "service_us"] {
+            let p50 = num(&["latency", block, "p50"])?;
+            let p95 = num(&["latency", block, "p95"])?;
+            let p99 = num(&["latency", block, "p99"])?;
+            if !(p50 <= p95 && p95 <= p99) {
+                return Err(format!(
+                    "line {ln}: {block} percentiles out of order \
+                     (p50 {p50}, p95 {p95}, p99 {p99})"
+                ));
+            }
+        }
+        if let Some(p) = &prev {
+            for path in MONOTONE_COUNTERS {
+                let before = stats_num(p, path).map_err(|e| format!("line {ln}: {e}"))?;
+                let after = stats_num(&v, path).map_err(|e| format!("line {ln}: {e}"))?;
+                if after < before {
+                    return Err(format!(
+                        "line {ln}: {} went backwards ({before} -> {after})",
+                        path.join(".")
+                    ));
+                }
+            }
+        }
+        prev = Some(v);
+    }
+    if snapshots == 0 {
+        return Err("no stats snapshots (daemon produced no output?)".to_string());
+    }
+    Ok(snapshots)
+}
+
+/// Validates a Chrome trace-event file from `--trace-chrome`: the
+/// `traceEvents` array is present and non-empty, every event carries
+/// `name`/`ph`/`ts`/`pid`/`tid` with a known phase, and the `B`/`E`
+/// duration events balance like parentheses — matching names, LIFO
+/// order — within each `(pid, tid)` lane. Returns (events, lanes).
+fn check_chrome_trace(text: &str) -> Result<(usize, usize), String> {
+    const KNOWN_PHASES: [&str; 5] = ["B", "E", "C", "i", "M"];
+    let v = parse_json(text)?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("no traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    // Per-(pid, tid) open-span stacks; B pushes, E must pop its match.
+    let mut stacks: std::collections::BTreeMap<(u64, u64), Vec<String>> =
+        std::collections::BTreeMap::new();
+    let mut last_ts_per_lane: std::collections::BTreeMap<(u64, u64), f64> =
+        std::collections::BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let ctx = |what: &str| format!("event {i}: {what}");
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("no name"))?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("no ph"))?;
+        if !KNOWN_PHASES.contains(&ph) {
+            return Err(ctx(&format!("unknown phase {ph:?}")));
+        }
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("no ts"))?;
+        if ts < 0.0 {
+            return Err(ctx(&format!("negative ts {ts}")));
+        }
+        let pid = e
+            .get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("no pid"))? as u64;
+        let tid = e
+            .get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("no tid"))? as u64;
+        let lane = (pid, tid);
+        // Timestamps never run backwards within a lane (metadata events
+        // are pinned at ts 0 and exempt).
+        if ph != "M" {
+            let last = last_ts_per_lane.entry(lane).or_insert(0.0);
+            if ts < *last {
+                return Err(ctx(&format!("ts {ts} before lane high-water {last}")));
+            }
+            *last = ts;
+        }
+        match ph {
+            "B" => stacks.entry(lane).or_default().push(name.to_string()),
+            "E" => {
+                let open = stacks
+                    .entry(lane)
+                    .or_default()
+                    .pop()
+                    .ok_or_else(|| ctx("E with no open B in its lane"))?;
+                if open != name {
+                    return Err(ctx(&format!("E {name:?} does not match open B {open:?}")));
+                }
+            }
+            _ => {}
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "lane ({pid}, {tid}) ends with span {open:?} still open"
+            ));
+        }
+    }
+    Ok((events.len(), stacks.len()))
 }
 
 /// Validates a flight-recorder postmortem dump: a versioned header line
@@ -430,11 +659,18 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (mode, path) = match args.as_slice() {
         [path] => ("--stream", path.as_str()),
-        [mode, path] if matches!(mode.as_str(), "--run" | "--bench" | "--flight" | "--serve") => {
+        [mode, path]
+            if matches!(
+                mode.as_str(),
+                "--run" | "--bench" | "--flight" | "--serve" | "--stats" | "--chrome"
+            ) =>
+        {
             (mode.as_str(), path.as_str())
         }
         _ => {
-            eprintln!("usage: check_metrics [--run|--bench|--flight|--serve] <file>");
+            eprintln!(
+                "usage: check_metrics [--run|--bench|--flight|--serve|--stats|--chrome] <file>"
+            );
             return ExitCode::from(2);
         }
     };
@@ -452,11 +688,18 @@ fn main() -> ExitCode {
         "--bench" => check_bench_record(&text).map(|bench| format!("bench record for {bench:?}")),
         "--flight" => check_flight_dump(&text)
             .map(|(reason, events)| format!("flight dump ({reason:?}): {events} record(s)")),
-        "--serve" => check_serve_transcript(&text).map(|(responses, [ok, deg, err, rej])| {
-            format!(
-                "serve transcript: {responses} response(s) \
-                 ({ok} ok, {deg} degraded, {err} error, {rej} rejected)"
-            )
+        "--serve" => {
+            check_serve_transcript(&text).map(|(responses, [ok, deg, err, rej, stats])| {
+                format!(
+                    "serve transcript: {responses} response(s) \
+                     ({ok} ok, {deg} degraded, {err} error, {rej} rejected, {stats} stats)"
+                )
+            })
+        }
+        "--stats" => check_stats_lines(&text)
+            .map(|snapshots| format!("stats snapshots: {snapshots} consistent snapshot(s)")),
+        "--chrome" => check_chrome_trace(&text).map(|(events, lanes)| {
+            format!("chrome trace: {events} event(s), {lanes} lane(s), B/E balanced")
         }),
         _ => check_stream(&text).map(|(records, spans, par_regions)| {
             format!(
@@ -629,7 +872,7 @@ mod tests {
 {\"id\":\"c\",\"status\":\"error\",\"error\":{\"kind\":\"panic\",\"message\":\"boom\",\"flight\":\"req-c.jsonl\"}}
 {\"id\":\"d\",\"status\":\"rejected\",\"reason\":\"overloaded\",\"queued\":4,\"capacity\":4}
 ";
-        assert_eq!(check_serve_transcript(good).unwrap(), (5, [1, 1, 2, 1]));
+        assert_eq!(check_serve_transcript(good).unwrap(), (5, [1, 1, 2, 1, 0]));
 
         // Each status must carry the payload it promises.
         let bare_ok = "{\"id\":\"a\",\"status\":\"ok\"}\n";
@@ -655,6 +898,150 @@ mod tests {
         assert!(check_serve_transcript("")
             .unwrap_err()
             .contains("no response"));
+
+        // A stats response is part of the taxonomy and must carry its
+        // snapshot blocks.
+        let with_stats = format!("{}{}", good, stats_snapshot(1, 1, 0, 0, 0));
+        assert_eq!(
+            check_serve_transcript(&with_stats).unwrap(),
+            (6, [1, 1, 2, 1, 1])
+        );
+        let bare_stats = "{\"id\":null,\"status\":\"stats\",\"schema_version\":1}\n";
+        assert!(check_serve_transcript(bare_stats)
+            .unwrap_err()
+            .contains("without requests block"));
+    }
+
+    /// One schema-valid stats snapshot line with the given request
+    /// counts (received, ok, degraded, error, rejected).
+    fn stats_snapshot(received: u64, ok: u64, degraded: u64, error: u64, rejected: u64) -> String {
+        let completed = ok + degraded + error;
+        format!(
+            "{{\"id\":null,\"status\":\"stats\",\"schema_version\":1,\"uptime_us\":{},\
+             \"requests\":{{\"received\":{received},\"ok\":{ok},\"degraded\":{degraded},\
+             \"error\":{error},\"rejected\":{rejected},\"completed\":{completed}}},\
+             \"pool\":{{\"workers\":2,\"capacity\":8,\"queued\":0,\"inflight\":0,\
+             \"shed_total\":{rejected},\"completed_total\":{completed},\"panics\":0}},\
+             \"latency\":{{\"window_us\":60000000,\
+             \"queue_wait_us\":{{\"count\":{completed},\"rate_per_sec\":0.5,\"mean_us\":10,\
+             \"p50\":8,\"p95\":16,\"p99\":16,\"max\":12}},\
+             \"service_us\":{{\"count\":{completed},\"rate_per_sec\":0.5,\"mean_us\":900,\
+             \"p50\":1024,\"p95\":1024,\"p99\":2048,\"max\":1400}}}},\
+             \"flight\":{{\"dumps\":0,\"capacity\":4096}}}}\n",
+            1000 + received * 100
+        )
+    }
+
+    #[test]
+    fn validates_stats_snapshots() {
+        let good = format!(
+            "{}{}{}",
+            stats_snapshot(2, 1, 0, 0, 0),
+            stats_snapshot(5, 3, 1, 0, 1),
+            stats_snapshot(9, 5, 2, 1, 1)
+        );
+        assert_eq!(check_stats_lines(&good).unwrap(), 3);
+
+        // The status counts must partition completed.
+        let inconsistent = stats_snapshot(4, 2, 1, 0, 0)
+            .replace("\"completed\":3", "\"completed\":4")
+            .replace("\"completed_total\":3", "\"completed_total\":4");
+        let err = check_stats_lines(&inconsistent).unwrap_err();
+        assert!(err.contains("completed 4 != ok 2"), "{err}");
+
+        // Completed + rejected can never exceed received.
+        let overcount = stats_snapshot(1, 2, 0, 0, 1);
+        assert!(check_stats_lines(&overcount)
+            .unwrap_err()
+            .contains("exceeds"));
+
+        // Percentiles must be ordered within each latency block.
+        let disordered = stats_snapshot(2, 1, 0, 0, 0).replace("\"p95\":16", "\"p95\":4");
+        assert!(check_stats_lines(&disordered)
+            .unwrap_err()
+            .contains("out of order"));
+
+        // Counters never run backwards across successive snapshots.
+        let backwards = format!(
+            "{}{}",
+            stats_snapshot(5, 3, 1, 0, 1),
+            stats_snapshot(4, 2, 1, 0, 1)
+        );
+        assert!(check_stats_lines(&backwards)
+            .unwrap_err()
+            .contains("went backwards"));
+
+        // Missing keys and empty inputs are structural failures.
+        let keyless = "{\"id\":null,\"status\":\"stats\",\"schema_version\":1}\n";
+        assert!(check_stats_lines(keyless)
+            .unwrap_err()
+            .contains("missing requests"));
+        assert!(check_stats_lines("").unwrap_err().contains("no stats"));
+    }
+
+    #[test]
+    fn validates_chrome_traces() {
+        let good = r#"{"traceEvents":[
+{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"lacr"}},
+{"name":"outer","ph":"B","ts":10,"pid":1,"tid":1,"args":{}},
+{"name":"inner","ph":"B","ts":20,"pid":1,"tid":1,"args":{}},
+{"name":"c","ph":"C","ts":25,"pid":1,"tid":0,"args":{"value":3}},
+{"name":"inner","ph":"E","ts":30,"pid":1,"tid":1},
+{"name":"mark","ph":"i","ts":35,"pid":1,"tid":1,"s":"t","args":{}},
+{"name":"outer","ph":"E","ts":40,"pid":1,"tid":1}
+],"displayTimeUnit":"ms"}"#;
+        // Lanes with any B/E activity: tid 0 carries only counter and
+        // metadata events, so only tid 1 opens a stack... but tid 0
+        // still appears once `stacks.entry` is touched — it is not, so
+        // one lane.
+        assert_eq!(check_chrome_trace(good).unwrap(), (7, 1));
+
+        // Interleaved (not nested) spans violate the stack discipline.
+        let crossed = r#"{"traceEvents":[
+{"name":"a","ph":"B","ts":1,"pid":1,"tid":1,"args":{}},
+{"name":"b","ph":"B","ts":2,"pid":1,"tid":1,"args":{}},
+{"name":"a","ph":"E","ts":3,"pid":1,"tid":1},
+{"name":"b","ph":"E","ts":4,"pid":1,"tid":1}
+]}"#;
+        assert!(check_chrome_trace(crossed)
+            .unwrap_err()
+            .contains("does not match"));
+
+        // A close with no open, and a dangling open, both fail.
+        let orphan_close = r#"{"traceEvents":[{"name":"a","ph":"E","ts":1,"pid":1,"tid":1}]}"#;
+        assert!(check_chrome_trace(orphan_close)
+            .unwrap_err()
+            .contains("no open B"));
+        let dangling =
+            r#"{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":1,"tid":1,"args":{}}]}"#;
+        assert!(check_chrome_trace(dangling)
+            .unwrap_err()
+            .contains("still open"));
+
+        // Same-name spans on different lanes are independent.
+        let lanes = r#"{"traceEvents":[
+{"name":"a","ph":"B","ts":1,"pid":1,"tid":1,"args":{}},
+{"name":"a","ph":"B","ts":2,"pid":1,"tid":2,"args":{}},
+{"name":"a","ph":"E","ts":3,"pid":1,"tid":2},
+{"name":"a","ph":"E","ts":4,"pid":1,"tid":1}
+]}"#;
+        assert_eq!(check_chrome_trace(lanes).unwrap(), (4, 2));
+
+        // Timestamps must not run backwards within a lane.
+        let rewound = r#"{"traceEvents":[
+{"name":"a","ph":"B","ts":10,"pid":1,"tid":1,"args":{}},
+{"name":"a","ph":"E","ts":5,"pid":1,"tid":1}
+]}"#;
+        assert!(check_chrome_trace(rewound)
+            .unwrap_err()
+            .contains("high-water"));
+
+        assert!(check_chrome_trace("{}")
+            .unwrap_err()
+            .contains("traceEvents"));
+        assert!(check_chrome_trace(r#"{"traceEvents":[]}"#)
+            .unwrap_err()
+            .contains("empty"));
     }
 
     #[test]

@@ -40,6 +40,7 @@ use std::io::Write as _;
 /// Observability flags shared by every artifact binary: `--quiet`
 /// silences the `[lacr]` stderr diagnostics, `--trace` streams spans to
 /// stderr, `--metrics-out <path>` writes the full JSONL record stream,
+/// `--trace-chrome <path>` writes a Chrome trace-event JSON file,
 /// `--threads <n>` caps the parallel-region worker pool (results are
 /// bit-identical at any thread count), `--flight-recorder-out <path>`
 /// arms the always-on flight recorder to dump its postmortem there.
@@ -51,6 +52,8 @@ pub struct ObsOptions {
     pub trace: bool,
     /// Write every record to this JSONL file.
     pub metrics_out: Option<String>,
+    /// Write a Chrome trace-event JSON file here on exit.
+    pub trace_chrome: Option<String>,
     /// Worker-pool cap for parallel regions.
     pub threads: Option<usize>,
     /// Arm the flight recorder to dump its ring here on panic or
@@ -70,6 +73,7 @@ impl ObsOptions {
                 "--quiet" => opts.quiet = true,
                 "--trace" => opts.trace = true,
                 "--metrics-out" => opts.metrics_out = it.next(),
+                "--trace-chrome" => opts.trace_chrome = it.next(),
                 "--flight-recorder-out" => opts.flight_out = it.next(),
                 "--threads" => {
                     opts.threads = it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
@@ -81,11 +85,11 @@ impl ObsOptions {
         opts
     }
 
-    /// Installs the requested diagnostics level and sink. When both
-    /// `--metrics-out` and `--trace` are given the JSONL file wins (one
-    /// sink at a time). Always installs the flight recorder's panic
-    /// hook; `--flight-recorder-out` additionally arms an automatic
-    /// dump path.
+    /// Installs the requested diagnostics level and sinks. Several
+    /// sinks at once fan out through a [`lacr_obs::sink::TeeSink`].
+    /// Always installs the flight recorder's panic hook;
+    /// `--flight-recorder-out` additionally arms an automatic dump
+    /// path.
     pub fn install(&self) {
         if let Some(n) = self.threads {
             lacr_par::set_threads(n);
@@ -93,13 +97,23 @@ impl ObsOptions {
         if self.quiet {
             lacr_obs::set_diag_level(lacr_obs::DiagLevel::Silent);
         }
+        let mut sinks: Vec<Box<dyn lacr_obs::sink::Sink + Send>> = Vec::new();
         if let Some(path) = &self.metrics_out {
             match lacr_obs::sink::JsonlSink::create(path) {
-                Ok(sink) => lacr_obs::init(Box::new(sink)),
+                Ok(sink) => sinks.push(Box::new(sink)),
                 Err(e) => lacr_obs::diag!("cannot open {path}: {e}"),
             }
-        } else if self.trace {
-            lacr_obs::init(Box::new(lacr_obs::sink::StderrSink));
+        }
+        if self.trace {
+            sinks.push(Box::new(lacr_obs::sink::StderrSink));
+        }
+        if let Some(path) = &self.trace_chrome {
+            sinks.push(Box::new(lacr_obs::ChromeTraceSink::create(path)));
+        }
+        match sinks.len() {
+            0 => {}
+            1 => lacr_obs::init(sinks.pop().expect("one sink")),
+            _ => lacr_obs::init(Box::new(lacr_obs::sink::TeeSink::new(sinks))),
         }
         if let Some(path) = &self.flight_out {
             lacr_obs::flight::arm(path);

@@ -18,10 +18,12 @@
 //!    first trips.
 //!
 //! The dump format is JSONL: a header line
-//! `{"t":"flight","schema_version":1,"reason":...,"events":N,"dropped":M}`
+//! `{"t":"flight","schema_version":1,"reason":...,"events":N,"dropped":M,"capacity":C}`
 //! followed by one [`Record`] per line (same shape as `--metrics-out`
 //! streams, but truncated to the ring — span opens/closes need not
-//! balance). `check_metrics --flight` validates the contract.
+//! balance). `check_metrics --flight` validates the contract. The
+//! header's `capacity` is the effective ring size, so a postmortem
+//! records whether it was taken with a tuned `LACR_FLIGHT_CAP`.
 //!
 //! Recording costs one atomic load plus a short mutexed push; set the
 //! `LACR_FLIGHT=off` environment variable (or call [`set_enabled`]) to
@@ -32,14 +34,50 @@ use crate::Value;
 use std::collections::VecDeque;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, Once, OnceLock};
 use std::time::Instant;
 
 /// Default ring capacity (records). Generous enough to hold the tail of
 /// a planning run — every diag line, every event, and the last few
 /// thousand span/metric records when a collector streams into it.
+/// Override at startup with the `LACR_FLIGHT_CAP` environment variable
+/// (bounds-checked to [`MIN_CAPACITY`]..=[`MAX_CAPACITY`]).
 pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Smallest accepted `LACR_FLIGHT_CAP` — below this a postmortem can't
+/// even hold one request's span tree.
+pub const MIN_CAPACITY: usize = 16;
+
+/// Largest accepted `LACR_FLIGHT_CAP` — the ring is resident memory in
+/// a long-lived daemon, so the ceiling is deliberate.
+pub const MAX_CAPACITY: usize = 1 << 20;
+
+/// The ring capacity `LACR_FLIGHT_CAP` requests: unset or unparsable
+/// falls back to [`DEFAULT_CAPACITY`] (with a stderr note for garbage),
+/// out-of-range values are clamped into
+/// [`MIN_CAPACITY`]..=[`MAX_CAPACITY`].
+fn capacity_from_env() -> usize {
+    parse_capacity(std::env::var("LACR_FLIGHT_CAP").ok().as_deref())
+}
+
+/// The bounds-checking behind [`capacity_from_env`], split out so the
+/// policy is testable without mutating process environment.
+fn parse_capacity(raw: Option<&str>) -> usize {
+    match raw {
+        None => DEFAULT_CAPACITY,
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) => n.clamp(MIN_CAPACITY, MAX_CAPACITY),
+            Err(_) => {
+                eprintln!(
+                    "[lacr] flight recorder: ignoring unparsable LACR_FLIGHT_CAP={raw:?} \
+                     (using default {DEFAULT_CAPACITY})"
+                );
+                DEFAULT_CAPACITY
+            }
+        },
+    }
+}
 
 struct Ring {
     buf: VecDeque<(u64, Record)>,
@@ -53,13 +91,32 @@ struct Ring {
 fn ring() -> &'static Mutex<Ring> {
     static CELL: OnceLock<Mutex<Ring>> = OnceLock::new();
     CELL.get_or_init(|| {
+        let cap = capacity_from_env();
         Mutex::new(Ring {
-            buf: VecDeque::with_capacity(DEFAULT_CAPACITY),
-            cap: DEFAULT_CAPACITY,
+            buf: VecDeque::with_capacity(cap.min(DEFAULT_CAPACITY)),
+            cap,
             pushed: 0,
             dump_path: None,
         })
     })
+}
+
+/// Postmortems written so far (any trigger, any path) — a liveness
+/// signal for the daemon's stats snapshot: a rising dump count means
+/// requests are panicking or degrading right now.
+fn dumps() -> &'static AtomicU64 {
+    static DUMPS: AtomicU64 = AtomicU64::new(0);
+    &DUMPS
+}
+
+/// How many postmortem dumps this process has written.
+pub fn dump_count() -> u64 {
+    dumps().load(Ordering::Relaxed)
+}
+
+/// The ring's current capacity (records).
+pub fn capacity() -> usize {
+    lock().cap
 }
 
 fn lock() -> MutexGuard<'static, Ring> {
@@ -169,11 +226,11 @@ pub fn snapshot() -> Vec<(u64, Record)> {
 ///
 /// Any I/O error from creating or writing the file.
 pub fn dump_to(path: &Path, reason: &str) -> std::io::Result<()> {
-    let (events, dropped) = {
+    let (events, dropped, cap) = {
         let r = lock();
         let events: Vec<(u64, Record)> = r.buf.iter().cloned().collect();
         let dropped = r.pushed.saturating_sub(events.len() as u64);
-        (events, dropped)
+        (events, dropped, r.cap)
     };
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
@@ -183,16 +240,19 @@ pub fn dump_to(path: &Path, reason: &str) -> std::io::Result<()> {
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(
         out,
-        "{{\"t\":\"flight\",\"schema_version\":{},\"reason\":\"{}\",\"events\":{},\"dropped\":{}}}",
+        "{{\"t\":\"flight\",\"schema_version\":{},\"reason\":\"{}\",\"events\":{},\"dropped\":{},\"capacity\":{}}}",
         crate::SCHEMA_VERSION,
         crate::json_escape(reason),
         events.len(),
-        dropped
+        dropped,
+        cap
     )?;
     for (ts, rec) in &events {
         writeln!(out, "{}", rec.to_json(*ts))?;
     }
-    out.flush()
+    out.flush()?;
+    dumps().fetch_add(1, Ordering::Relaxed);
+    Ok(())
 }
 
 /// Best-effort dump to the armed path (no-op when unarmed). Returns the
@@ -381,6 +441,42 @@ mod tests {
         assert!(header.contains(&format!("\"events\":{}", body.len())));
         assert!(body.iter().any(|l| l.contains("flight.test.marker")));
         assert!(body.iter().any(|l| l.contains("something interesting")));
+        let _ = std::fs::remove_file(&path);
+        set_capacity(DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn env_capacity_is_bounds_checked() {
+        assert_eq!(parse_capacity(None), DEFAULT_CAPACITY);
+        assert_eq!(parse_capacity(Some("1024")), 1024);
+        assert_eq!(parse_capacity(Some(" 64 ")), 64);
+        // Out of range: clamped, not rejected.
+        assert_eq!(parse_capacity(Some("1")), MIN_CAPACITY);
+        assert_eq!(parse_capacity(Some("0")), MIN_CAPACITY);
+        assert_eq!(parse_capacity(Some("999999999999")), MAX_CAPACITY);
+        // Garbage: the default, never a panic.
+        assert_eq!(parse_capacity(Some("lots")), DEFAULT_CAPACITY);
+        assert_eq!(parse_capacity(Some("-5")), DEFAULT_CAPACITY);
+        assert_eq!(parse_capacity(Some("")), DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn dump_header_records_effective_capacity_and_counts_dumps() {
+        let _g = gate();
+        set_capacity(32);
+        clear();
+        push(&marker(1));
+        let path = std::env::temp_dir().join(format!(
+            "lacr_flight_cap_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let before = dump_count();
+        dump_to(&path, "capacity check").expect("dump writes");
+        let text = std::fs::read_to_string(&path).expect("dump readable");
+        let header = text.lines().next().expect("header line");
+        assert!(header.contains("\"capacity\":32"), "{header}");
+        assert_eq!(dump_count(), before + 1);
         let _ = std::fs::remove_file(&path);
         set_capacity(DEFAULT_CAPACITY);
     }

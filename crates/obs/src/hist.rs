@@ -83,6 +83,21 @@ impl Histogram {
         }
     }
 
+    /// Folds another histogram into this one bucket-by-bucket. Because
+    /// buckets are fixed powers of two, merging loses nothing: the
+    /// result is exactly the histogram of the union of both sample
+    /// streams. The sliding-window aggregator ([`crate::window`]) leans
+    /// on this to collapse its ring of per-interval histograms into one
+    /// rolling distribution.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// The non-empty buckets as `(lower_bound, upper_bound, count)`.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.buckets
@@ -223,6 +238,27 @@ mod tests {
         // Empty histograms report 0 everywhere.
         let empty = Histogram::new();
         assert_eq!((empty.p50(), empty.p95(), empty.p99()), (0, 0, 0));
+    }
+
+    #[test]
+    fn merge_is_exactly_the_union_of_sample_streams() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut union = Histogram::new();
+        for v in [0_u64, 1, 3, 100] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [2_u64, 100, 5000] {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
     }
 
     #[test]

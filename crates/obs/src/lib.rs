@@ -43,10 +43,14 @@ pub mod hist;
 pub mod report;
 pub mod scope;
 pub mod sink;
+pub mod trace_export;
+pub mod window;
 
 pub use hist::Histogram;
 pub use report::{Report, SpanStat};
-pub use sink::{json_escape, CaptureSink, JsonlSink, NullSink, Record, Sink, StderrSink};
+pub use sink::{json_escape, CaptureSink, JsonlSink, NullSink, Record, Sink, StderrSink, TeeSink};
+pub use trace_export::{ChromeTrace, ChromeTraceSink};
+pub use window::{SlidingWindow, WindowSnapshot};
 
 /// Version stamped into every machine-readable artifact this workspace
 /// emits — the JSONL summary line, `BENCH_*.json` / `RUN_*.json` perf

@@ -199,6 +199,54 @@ impl Report {
     pub fn to_json(&self) -> String {
         format!("{{{}}}", self.json_fields())
     }
+
+    /// The machine-readable twin of [`self_time_table`]
+    /// (the CLI's `--report-json <path>`): a schema-versioned document
+    /// with spans ranked by exclusive time — same order, same share
+    /// arithmetic as the human table — plus per-histogram quantile
+    /// bounds. Same versioning style as `RUN_*.json` artifacts.
+    pub fn ranked_json(&self) -> String {
+        let mut rows: Vec<(&String, &SpanStat)> = self.spans.iter().collect();
+        rows.sort_by(|a, b| b.1.excl_ns.cmp(&a.1.excl_ns).then(a.0.cmp(b.0)));
+        let total = self.total_excl_ns().max(1);
+        let spans = rows
+            .iter()
+            .map(|(n, s)| {
+                format!(
+                    "{{\"name\":\"{}\",\"count\":{},\"incl_us\":{},\"excl_us\":{},\"excl_pct\":{}}}",
+                    json_escape(n),
+                    s.count,
+                    s.incl_ns / 1_000,
+                    s.excl_ns / 1_000,
+                    crate::Value::Float(100.0 * s.excl_ns as f64 / total as f64).to_json()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let hists = self
+            .hists
+            .iter()
+            .map(|(n, h)| {
+                format!(
+                    "\"{}\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                    json_escape(n),
+                    h.count(),
+                    crate::Value::Float(h.mean()).to_json(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                    h.max()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"t\":\"report\",\"schema_version\":{},\"total_excl_us\":{},\
+             \"spans\":[{spans}],\"hists\":{{{hists}}}}}",
+            crate::SCHEMA_VERSION,
+            self.total_excl_ns() / 1_000
+        )
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +333,21 @@ mod tests {
         assert!(json.contains("\"lac.alpha\":0.5"));
         assert!(json.contains("\"plan.lac\":{\"count\":4"));
         assert!(json.contains("\"net_len\":{\"count\":1"));
+    }
+
+    #[test]
+    fn ranked_json_mirrors_the_human_table() {
+        let r = sample();
+        let json = r.ranked_json();
+        assert!(json.starts_with("{\"t\":\"report\",\"schema_version\":"));
+        assert!(json.contains("\"total_excl_us\":11000"), "{json}");
+        // Same ranking as the table: lac (9ms excl) before route (2ms).
+        let lac = json.find("\"name\":\"plan.lac\"").unwrap();
+        let route = json.find("\"name\":\"plan.route\"").unwrap();
+        assert!(lac < route, "{json}");
+        assert!(json.contains("\"excl_pct\":"), "{json}");
+        assert!(json.contains("\"net_len\":{\"count\":1"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
     }
 
     #[test]

@@ -252,6 +252,41 @@ impl Sink for JsonlSink {
     }
 }
 
+/// Fans the record stream out to several sinks (the CLI combines
+/// `--metrics-out`, `--trace`, and `--trace-chrome` this way: one
+/// collector, every requested view).
+pub struct TeeSink {
+    sinks: Vec<Box<dyn Sink + Send>>,
+}
+
+impl TeeSink {
+    /// Wraps the given sinks; each receives every record, summary, and
+    /// flush in construction order.
+    pub fn new(sinks: Vec<Box<dyn Sink + Send>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Sink for TeeSink {
+    fn record(&mut self, ts_us: u64, record: &Record) {
+        for s in &mut self.sinks {
+            s.record(ts_us, record);
+        }
+    }
+
+    fn summary(&mut self, report: &Report) {
+        for s in &mut self.sinks {
+            s.summary(report);
+        }
+    }
+
+    fn flush(&mut self) {
+        for s in &mut self.sinks {
+            s.flush();
+        }
+    }
+}
+
 /// Buffers records in memory for test assertions; the store survives
 /// the sink (the collector owns the sink, so tests hold the [`Arc`]).
 #[derive(Debug)]
@@ -331,6 +366,26 @@ mod tests {
             "{\"t\":\"span_close\",\"us\":120,\"name\":\"plan\",\"depth\":0,\
              \"incl_us\":120,\"excl_us\":20}"
         );
+    }
+
+    #[test]
+    fn tee_sink_fans_out_to_every_branch() {
+        let (a, store_a) = CaptureSink::new();
+        let (b, store_b) = CaptureSink::new();
+        let mut tee = TeeSink::new(vec![Box::new(a), Box::new(b)]);
+        tee.record(
+            5,
+            &Record::Hist {
+                name: "h".into(),
+                value: 9,
+            },
+        );
+        tee.flush();
+        for store in [store_a, store_b] {
+            let got = store.lock().unwrap();
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].0, 5);
+        }
     }
 
     #[test]

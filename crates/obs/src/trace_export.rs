@@ -1,0 +1,422 @@
+//! Chrome trace-event export: the span stream as a Perfetto flame graph.
+//!
+//! The JSONL stream (`--metrics-out`) is grep-able but not *look*-able:
+//! a 40-stage planning run or a multi-worker serve soak is far easier
+//! to understand as a timeline. This module renders the record stream
+//! into the Chrome trace-event JSON format — the `{"traceEvents":[...]}`
+//! shape that chrome://tracing and <https://ui.perfetto.dev> load
+//! directly — wired to the CLI as `--trace-chrome <path>`.
+//!
+//! Mapping (documented in DESIGN.md "Operational telemetry"):
+//!
+//! * span open/close → duration-begin/end events (`ph:"B"` / `ph:"E"`),
+//!   so nesting renders as a flame graph;
+//! * counters and gauges → counter events (`ph:"C"`, one series named
+//!   `value`), drawn as step charts above the flames;
+//! * events → instant events (`ph:"i"`, thread-scoped);
+//! * histogram samples are *not* exported (a Dijkstra-grain sample
+//!   stream would dwarf the spans; the rolling view lives in
+//!   [`crate::window`] and the final report instead).
+//!
+//! Records carry a per-thread nesting `depth` but no thread identity,
+//! so the exporter reconstructs **execution lanes**: each open event is
+//! assigned to the lane whose current stack depth matches the record's
+//! depth (a new lane is created when none does — e.g. a pool worker
+//! starting its first request), and each close pops the lane whose top
+//! matches by name. For the planner's fork/join shape and the daemon's
+//! one-request-per-worker shape this recovers the true threads; `pid` is
+//! the process (always 1), `tid` is the lane, and request identity
+//! travels in span args. Two lanes blocked at identical depth on
+//! identically-named spans can swap — a cosmetic, not structural,
+//! ambiguity: begin/end balance per lane is preserved by construction,
+//! and [`ChromeTrace::finish`] closes any still-open spans at the last
+//! timestamp so the artifact is always well-formed
+//! (`check_metrics --chrome` enforces exactly that).
+
+use crate::sink::{json_escape, Record, Sink};
+use crate::Value;
+use std::io::Write as _;
+
+/// The single process id used for all events (one planner process).
+const PID: u64 = 1;
+/// The lane counters and instants are attached to (lanes are 1-based).
+const METRICS_TID: u64 = 0;
+
+/// An incremental trace builder: feed it `(ts, record)` pairs in stream
+/// order, then [`finish`](Self::finish) into a JSON string.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    /// Rendered trace-event objects, in emission order.
+    events: Vec<String>,
+    /// Open-span name stacks, one per reconstructed lane.
+    lanes: Vec<Vec<String>>,
+    /// Latest timestamp seen; synthetic closes land here.
+    last_ts: u64,
+}
+
+fn attrs_args(attrs: &[(String, Value)]) -> String {
+    attrs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v.to_json()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn event_json(name: &str, ph: char, ts: u64, tid: u64, args: Option<&str>) -> String {
+    let mut out = format!(
+        "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{PID},\"tid\":{tid}",
+        json_escape(name)
+    );
+    if ph == 'i' {
+        out.push_str(",\"s\":\"t\""); // thread-scoped instant
+    }
+    if let Some(args) = args {
+        out.push_str(&format!(",\"args\":{{{args}}}"));
+    }
+    out.push('}');
+    out
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one record from the stream (timestamps in µs).
+    pub fn push(&mut self, ts_us: u64, record: &Record) {
+        self.last_ts = self.last_ts.max(ts_us);
+        match record {
+            Record::SpanOpen { name, depth, attrs } => {
+                let lane = self.lane_for_open(*depth);
+                self.lanes[lane].push(name.clone());
+                let args = attrs_args(attrs);
+                self.events.push(event_json(
+                    name,
+                    'B',
+                    ts_us,
+                    lane as u64 + 1,
+                    if args.is_empty() { None } else { Some(&args) },
+                ));
+            }
+            Record::SpanClose { name, depth, .. } => match self.lane_for_close(name, *depth) {
+                Some(lane) => {
+                    self.lanes[lane].pop();
+                    self.events
+                        .push(event_json(name, 'E', ts_us, lane as u64 + 1, None));
+                }
+                // A close with no matching open (stream truncated by a
+                // ring, say): keep the artifact balanced, mark the spot.
+                None => {
+                    self.events.push(event_json(
+                        name,
+                        'i',
+                        ts_us,
+                        METRICS_TID,
+                        Some("\"unmatched_close\":true"),
+                    ));
+                }
+            },
+            Record::Counter { name, total, .. } => {
+                let args = format!("\"value\":{total}");
+                self.events
+                    .push(event_json(name, 'C', ts_us, METRICS_TID, Some(&args)));
+            }
+            Record::Gauge { name, value } => {
+                let args = format!("\"value\":{}", Value::Float(*value).to_json());
+                self.events
+                    .push(event_json(name, 'C', ts_us, METRICS_TID, Some(&args)));
+            }
+            // Deliberately skipped: per-sample volume (see module docs).
+            Record::Hist { .. } => {}
+            Record::Event { name, attrs } => {
+                let args = attrs_args(attrs);
+                self.events.push(event_json(
+                    name,
+                    'i',
+                    ts_us,
+                    METRICS_TID,
+                    if args.is_empty() { None } else { Some(&args) },
+                ));
+            }
+        }
+    }
+
+    /// Spans currently open across all lanes (0 once balanced).
+    pub fn open_spans(&self) -> usize {
+        self.lanes.iter().map(Vec::len).sum()
+    }
+
+    /// Closes any still-open spans at the last timestamp, appends the
+    /// process/lane metadata, and renders the complete
+    /// `{"traceEvents":[...]}` document.
+    pub fn finish(mut self) -> String {
+        for lane in 0..self.lanes.len() {
+            while let Some(name) = self.lanes[lane].pop() {
+                self.events
+                    .push(event_json(&name, 'E', self.last_ts, lane as u64 + 1, None));
+            }
+        }
+        let mut meta = vec![event_json(
+            "process_name",
+            'M',
+            0,
+            METRICS_TID,
+            Some("\"name\":\"lacr\""),
+        )];
+        meta.push(event_json(
+            "thread_name",
+            'M',
+            0,
+            METRICS_TID,
+            Some("\"name\":\"metrics\""),
+        ));
+        for lane in 0..self.lanes.len() {
+            let args = format!("\"name\":\"lane-{}\"", lane + 1);
+            meta.push(event_json(
+                "thread_name",
+                'M',
+                0,
+                lane as u64 + 1,
+                Some(&args),
+            ));
+        }
+        meta.extend(self.events);
+        format!(
+            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+            meta.join(",\n")
+        )
+    }
+
+    /// The open-side lane for a span at `depth`: the first lane whose
+    /// stack is exactly that deep, else a fresh lane.
+    fn lane_for_open(&mut self, depth: usize) -> usize {
+        if let Some(i) = self.lanes.iter().position(|s| s.len() == depth) {
+            return i;
+        }
+        self.lanes.push(Vec::new());
+        self.lanes.len() - 1
+    }
+
+    /// The close-side lane: prefer an exact (name, depth) match, fall
+    /// back to any lane whose top span has this name.
+    fn lane_for_close(&mut self, name: &str, depth: usize) -> Option<usize> {
+        self.lanes
+            .iter()
+            .position(|s| s.len() == depth + 1 && s.last().is_some_and(|n| n == name))
+            .or_else(|| {
+                self.lanes
+                    .iter()
+                    .position(|s| s.last().is_some_and(|n| n == name))
+            })
+    }
+}
+
+/// A [`Sink`] that builds a [`ChromeTrace`] from the live record stream
+/// and writes the JSON document to a file on flush (the CLI's
+/// `--trace-chrome <path>`).
+pub struct ChromeTraceSink {
+    trace: Option<ChromeTrace>,
+    path: String,
+}
+
+impl ChromeTraceSink {
+    /// A sink that will write the trace document to `path` when the
+    /// collector finishes.
+    pub fn create(path: &str) -> Self {
+        Self {
+            trace: Some(ChromeTrace::new()),
+            path: path.to_string(),
+        }
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn record(&mut self, ts_us: u64, record: &Record) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(ts_us, record);
+        }
+    }
+
+    fn flush(&mut self) {
+        let Some(trace) = self.trace.take() else {
+            return; // already written
+        };
+        let doc = trace.finish();
+        let write = || -> std::io::Result<()> {
+            if let Some(dir) = std::path::Path::new(&self.path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            let mut out = std::io::BufWriter::new(std::fs::File::create(&self.path)?);
+            out.write_all(doc.as_bytes())?;
+            out.flush()
+        };
+        if let Err(e) = write() {
+            eprintln!("[lacr] trace export: cannot write {}: {e}", self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(name: &str, depth: usize) -> Record {
+        Record::SpanOpen {
+            name: name.into(),
+            depth,
+            attrs: vec![],
+        }
+    }
+
+    fn close(name: &str, depth: usize) -> Record {
+        Record::SpanClose {
+            name: name.into(),
+            depth,
+            incl_us: 1,
+            excl_us: 1,
+        }
+    }
+
+    fn count_of(doc: &str, needle: &str) -> usize {
+        doc.matches(needle).count()
+    }
+
+    #[test]
+    fn nested_spans_stay_on_one_lane_with_balanced_begin_end() {
+        let mut t = ChromeTrace::new();
+        t.push(0, &open("plan", 0));
+        t.push(10, &open("lac", 1));
+        t.push(20, &close("lac", 1));
+        t.push(30, &close("plan", 0));
+        assert_eq!(t.open_spans(), 0);
+        let doc = t.finish();
+        assert_eq!(count_of(&doc, "\"ph\":\"B\""), 2);
+        assert_eq!(count_of(&doc, "\"ph\":\"E\""), 2);
+        // Both spans on lane 1 — same reconstructed thread.
+        assert_eq!(count_of(&doc, "\"tid\":1"), 5); // 4 span events + metadata
+        assert!(doc.contains("\"name\":\"lane-1\""));
+        assert!(doc.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn interleaved_threads_get_distinct_lanes() {
+        let mut t = ChromeTrace::new();
+        // Two workers, each running its own top-level request span.
+        t.push(0, &open("req.a", 0));
+        t.push(1, &open("req.b", 0));
+        t.push(2, &open("route", 1)); // nested under whichever lane is at depth 1
+        t.push(3, &close("route", 1));
+        t.push(4, &close("req.b", 0));
+        t.push(5, &close("req.a", 0));
+        assert_eq!(t.open_spans(), 0);
+        let doc = t.finish();
+        assert!(doc.contains("\"name\":\"lane-2\""), "{doc}");
+        assert_eq!(
+            count_of(&doc, "\"ph\":\"B\""),
+            count_of(&doc, "\"ph\":\"E\"")
+        );
+    }
+
+    #[test]
+    fn truncated_streams_still_produce_balanced_documents() {
+        let mut t = ChromeTrace::new();
+        // Close without open (ring evicted the open record).
+        t.push(5, &close("orphan", 0));
+        // Open without close (stream cut mid-span).
+        t.push(10, &open("unfinished", 0));
+        t.push(12, &open("inner", 1));
+        assert_eq!(t.open_spans(), 2);
+        let doc = t.finish();
+        assert!(doc.contains("\"unmatched_close\":true"), "{doc}");
+        assert_eq!(
+            count_of(&doc, "\"ph\":\"B\""),
+            count_of(&doc, "\"ph\":\"E\"")
+        );
+        // Synthetic closes land at the last timestamp, LIFO order.
+        let inner_e = doc
+            .find("\"name\":\"inner\",\"ph\":\"E\"")
+            .expect("inner closed");
+        let outer_e = doc
+            .find("\"name\":\"unfinished\",\"ph\":\"E\"")
+            .expect("outer closed");
+        assert!(inner_e < outer_e, "children close before parents");
+    }
+
+    #[test]
+    fn counters_gauges_events_map_to_counter_and_instant_events() {
+        let mut t = ChromeTrace::new();
+        t.push(
+            1,
+            &Record::Counter {
+                name: "pool.completed_total".into(),
+                delta: 1,
+                total: 7,
+            },
+        );
+        t.push(
+            2,
+            &Record::Gauge {
+                name: "pool.inflight".into(),
+                value: 3.0,
+            },
+        );
+        t.push(
+            3,
+            &Record::Hist {
+                name: "noisy".into(),
+                value: 42,
+            },
+        );
+        t.push(
+            4,
+            &Record::Event {
+                name: "degradation".into(),
+                attrs: vec![("stage".into(), Value::Str("lac".into()))],
+            },
+        );
+        let doc = t.finish();
+        assert_eq!(count_of(&doc, "\"ph\":\"C\""), 2);
+        assert!(doc.contains("\"args\":{\"value\":7}"));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"stage\":\"lac\""));
+        assert!(!doc.contains("noisy"), "hist samples are not exported");
+    }
+
+    #[test]
+    fn attrs_and_names_are_json_escaped() {
+        let mut t = ChromeTrace::new();
+        t.push(
+            0,
+            &Record::SpanOpen {
+                name: "odd\"name".into(),
+                depth: 0,
+                attrs: vec![("k\n".into(), Value::Str("v\\".into()))],
+            },
+        );
+        let doc = t.finish();
+        assert!(doc.contains("odd\\\"name"));
+        assert!(doc.contains("\"k\\n\":\"v\\\\\""));
+    }
+
+    #[test]
+    fn sink_writes_the_document_on_flush() {
+        let path = std::env::temp_dir().join(format!(
+            "lacr_trace_unit_{}_{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path_str = path.to_str().expect("utf8 temp path").to_string();
+        let mut sink = ChromeTraceSink::create(&path_str);
+        sink.record(0, &open("plan", 0));
+        sink.record(9, &close("plan", 0));
+        sink.flush();
+        sink.flush(); // idempotent: second flush must not truncate
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains("\"name\":\"plan\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,275 @@
+//! Sliding-window aggregation for live telemetry.
+//!
+//! The collector's [`Histogram`]s are cumulative: perfect for a
+//! post-run report, useless for an operator asking "what is the p95
+//! *right now*?" — after an hour of uptime a latency spike drowns in
+//! the accumulated history. This module adds the rolling view without
+//! unbounded growth: a [`SlidingWindow`] is a ring of `n` fixed time
+//! buckets, each a power-of-two [`Histogram`] covering one
+//! `bucket_us`-wide interval. Recording touches exactly one bucket;
+//! advancing time recycles expired buckets in place. Memory is
+//! `n × sizeof(Histogram)` forever, regardless of traffic.
+//!
+//! A [`snapshot`](SlidingWindow::snapshot) merges the live buckets
+//! (bucket merge is lossless — see [`Histogram::merge`]) into one
+//! distribution and derives rolling p50/p95/p99 upper bounds, mean,
+//! max, and an event rate over the window span. Quantile semantics are
+//! inherited from [`Histogram::quantile_upper_bound`]: upper edges of
+//! power-of-two buckets, so ~±50% resolution — the right tool for
+//! "did p99 jump an order of magnitude", not for SLO arithmetic.
+//!
+//! Window edges are jumpy by construction: when the oldest bucket
+//! expires, all its samples leave the window at once. With 12 buckets
+//! the step is ≤1/12 of the window — smooth enough for a stats line.
+//!
+//! Concurrency: one short [`Mutex`] around the ring. Recording is a
+//! lock, one histogram increment, and at most `n` bucket resets after
+//! an idle gap — cheap at request granularity (the pool records two
+//! samples per job). The wall-clock methods ([`record`], [`snapshot`])
+//! read a monotonic epoch owned by the window; the `*_at` variants take
+//! explicit microsecond timestamps so tests and replay tools are fully
+//! deterministic.
+//!
+//! [`record`]: SlidingWindow::record
+//! [`snapshot`]: SlidingWindow::snapshot
+
+use crate::hist::Histogram;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A rolling histogram over the last `buckets × bucket_width` of time.
+/// See the module docs for the ring/merge design.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    bucket_us: u64,
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Ring of per-interval histograms; slot `tick % len` holds `tick`.
+    ring: Vec<Histogram>,
+    /// The newest tick currently materialized in the ring.
+    head_tick: u64,
+}
+
+/// One merged view of a [`SlidingWindow`]: the rolling distribution at
+/// the moment of the snapshot. Quantiles are bucket upper bounds
+/// (see [`Histogram::quantile_upper_bound`]); all zeros when no samples
+/// are in the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSnapshot {
+    /// The window span in microseconds (`buckets × bucket_width`).
+    pub window_us: u64,
+    /// Samples currently inside the window.
+    pub count: u64,
+    /// `count` per second of window span — the rolling event rate.
+    pub rate_per_sec: f64,
+    /// Mean of the samples in the window (0.0 when empty).
+    pub mean: f64,
+    /// Largest sample in the window.
+    pub max: u64,
+    /// Rolling median upper bound.
+    pub p50: u64,
+    /// Rolling 95th-percentile upper bound.
+    pub p95: u64,
+    /// Rolling 99th-percentile upper bound.
+    pub p99: u64,
+}
+
+impl SlidingWindow {
+    /// A window of `buckets` intervals of `bucket_width` each (both
+    /// clamped to at least 1 bucket / 1µs). The pool's default is
+    /// 12 × 5s = a one-minute rolling view.
+    pub fn new(buckets: usize, bucket_width: Duration) -> Self {
+        let n = buckets.max(1);
+        Self {
+            bucket_us: (bucket_width.as_micros() as u64).max(1),
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner {
+                ring: vec![Histogram::new(); n],
+                head_tick: 0,
+            }),
+        }
+    }
+
+    /// The window span in microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.bucket_us * self.lock().ring.len() as u64
+    }
+
+    /// Records `value` at the current wall-clock position.
+    pub fn record(&self, value: u64) {
+        self.record_at(self.now_us(), value);
+    }
+
+    /// Records `value` as if observed `now_us` microseconds after the
+    /// window's epoch (deterministic variant for tests and replay).
+    /// Timestamps earlier than the newest seen tick land in the newest
+    /// bucket — time never rewinds, late samples are not dropped.
+    pub fn record_at(&self, now_us: u64, value: u64) {
+        let mut inner = self.lock();
+        self.advance(&mut inner, now_us);
+        let slot = (inner.head_tick % inner.ring.len() as u64) as usize;
+        inner.ring[slot].record(value);
+    }
+
+    /// The rolling view at the current wall-clock position.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        self.snapshot_at(self.now_us())
+    }
+
+    /// The rolling view at an explicit timestamp (see
+    /// [`record_at`](Self::record_at) for the clock semantics).
+    pub fn snapshot_at(&self, now_us: u64) -> WindowSnapshot {
+        let mut inner = self.lock();
+        self.advance(&mut inner, now_us);
+        let mut merged = Histogram::new();
+        for h in &inner.ring {
+            merged.merge(h);
+        }
+        let window_us = self.bucket_us * inner.ring.len() as u64;
+        drop(inner);
+        let window_secs = window_us as f64 / 1e6;
+        WindowSnapshot {
+            window_us,
+            count: merged.count(),
+            rate_per_sec: merged.count() as f64 / window_secs,
+            mean: merged.mean(),
+            max: merged.max(),
+            p50: merged.p50(),
+            p95: merged.p95(),
+            p99: merged.p99(),
+        }
+    }
+
+    /// Microseconds since this window's construction (its epoch).
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Rotates the ring forward to the bucket containing `now_us`,
+    /// resetting every interval skipped over. An idle gap longer than
+    /// the whole window costs at most `ring.len()` resets.
+    fn advance(&self, inner: &mut Inner, now_us: u64) {
+        let tick = now_us / self.bucket_us;
+        if tick <= inner.head_tick {
+            return;
+        }
+        let n = inner.ring.len() as u64;
+        let first_stale = (inner.head_tick + 1).max(tick.saturating_sub(n - 1));
+        for t in first_stale..=tick {
+            let slot = (t % n) as usize;
+            inner.ring[slot] = Histogram::new();
+        }
+        inner.head_tick = tick;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 buckets × 1000µs: a 4ms window with obvious edges.
+    fn window() -> SlidingWindow {
+        SlidingWindow::new(4, Duration::from_micros(1000))
+    }
+
+    #[test]
+    fn empty_window_is_all_zeros() {
+        let s = window().snapshot_at(0);
+        assert_eq!(s.count, 0);
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (0, 0, 0, 0));
+        assert_eq!(s.rate_per_sec, 0.0);
+        assert_eq!(s.window_us, 4000);
+    }
+
+    #[test]
+    fn samples_inside_the_window_are_aggregated() {
+        let w = window();
+        w.record_at(100, 10);
+        w.record_at(1100, 20);
+        w.record_at(2100, 40);
+        let s = w.snapshot_at(2200);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 40);
+        assert!((s.mean - 70.0 / 3.0).abs() < 1e-9);
+        // 3 samples over a 4ms window = 750/s.
+        assert!((s.rate_per_sec - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_buckets_expire_as_time_advances() {
+        let w = window();
+        w.record_at(100, 1); // tick 0
+        w.record_at(1100, 2); // tick 1
+        assert_eq!(w.snapshot_at(1200).count, 2);
+        // Tick 4 recycles tick 0's slot: the first sample leaves.
+        assert_eq!(w.snapshot_at(4100).count, 1);
+        // Tick 5 recycles tick 1's slot: the window is empty.
+        assert_eq!(w.snapshot_at(5100).count, 0);
+    }
+
+    #[test]
+    fn idle_gap_longer_than_the_window_clears_everything() {
+        let w = window();
+        for t in 0..4u64 {
+            w.record_at(t * 1000 + 1, 7);
+        }
+        assert_eq!(w.snapshot_at(3500).count, 4);
+        // A gap of many windows: everything expired, nothing stale
+        // leaks back in via ring-slot aliasing.
+        let s = w.snapshot_at(1_000_000);
+        assert_eq!(s.count, 0);
+        w.record_at(1_000_100, 9);
+        assert_eq!(w.snapshot_at(1_000_200).count, 1);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_track_the_window() {
+        let w = SlidingWindow::new(8, Duration::from_micros(1000));
+        // Old regime: fast (values ~8) in ticks 0..4.
+        for i in 0..100u64 {
+            w.record_at(i * 40, 8);
+        }
+        // New regime: slow (values ~4096) in ticks 4..8.
+        for i in 0..100u64 {
+            w.record_at(4000 + i * 40, 4096);
+        }
+        let mixed = w.snapshot_at(7900);
+        assert!(mixed.p50 <= mixed.p95 && mixed.p95 <= mixed.p99);
+        assert_eq!(mixed.count, 200);
+        // Advance until the fast regime has fully expired: the rolling
+        // median jumps to the slow regime, which a cumulative histogram
+        // would still average away.
+        let later = w.snapshot_at(11_900);
+        assert_eq!(later.count, 100);
+        assert!(later.p50 > 4096 / 2, "rolling p50 {}", later.p50);
+    }
+
+    #[test]
+    fn late_samples_never_rewind_time() {
+        let w = window();
+        w.record_at(2100, 5); // tick 2
+        w.record_at(100, 6); // stale timestamp: lands in tick 2
+        assert_eq!(w.snapshot_at(2200).count, 2);
+        // Both expire together when tick 2's slot recycles.
+        assert_eq!(w.snapshot_at(7000).count, 0);
+    }
+
+    #[test]
+    fn wall_clock_path_records_and_snapshots() {
+        let w = SlidingWindow::new(4, Duration::from_secs(5));
+        w.record(123);
+        w.record(456);
+        let s = w.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 456);
+        assert_eq!(s.window_us, 20_000_000);
+    }
+}

@@ -42,7 +42,7 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 pub mod pool;
-pub use pool::{Pool, SubmitError};
+pub use pool::{Pool, PoolStats, SubmitError};
 
 /// Process-wide override installed by the CLI's `--threads` flag.
 /// Zero means "not set".

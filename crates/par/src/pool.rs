@@ -21,16 +21,71 @@
 //! completion order is up to job durations — callers that need ordered
 //! output must sequence results themselves (the serve loop tags
 //! responses with request ids instead).
+//!
+//! **Telemetry.** The pool is the daemon's load-bearing wall, so it is
+//! instrumented at every edge: submit, start, finish, shed. Two views
+//! are maintained simultaneously:
+//!
+//! * **always-on atomics + sliding windows**, readable via
+//!   [`Pool::stats`] / [`Pool::queue_wait`] / [`Pool::service`] even
+//!   when no collector is installed — this is what `{"cmd":"stats"}`
+//!   snapshots on a live daemon. The windows (one-minute rolling
+//!   queue-wait and service-time histograms) are bounded memory; the
+//!   rest is a handful of relaxed atomics per job.
+//! * **lacr-obs gauges/counters/histograms** (`pool.queue_depth`,
+//!   `pool.inflight`, `pool.shed_total`, `pool.completed_total`,
+//!   `pool.panics`, `pool.queue_wait_us`, `pool.service_us`), emitted
+//!   through the usual `recording()` gate so `--metrics-out` /
+//!   `--trace-chrome` streams see the pool breathing, at zero cost when
+//!   nothing is collecting.
 
+use lacr_obs::window::{SlidingWindow, WindowSnapshot};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Rolling-window shape for the latency views: 12 × 5s = one minute.
+const WINDOW_BUCKETS: usize = 12;
+const WINDOW_BUCKET_WIDTH: Duration = Duration::from_secs(5);
+
 struct Queue {
-    jobs: VecDeque<Job>,
+    /// Pending jobs with their enqueue instant (queue-wait epoch).
+    jobs: VecDeque<(Instant, Job)>,
     /// Closed queues reject new jobs; workers exit once drained.
     closed: bool,
+}
+
+/// The always-on half of the pool's telemetry (see the module docs).
+struct Telemetry {
+    /// Jobs currently executing on a worker.
+    inflight: AtomicUsize,
+    /// Submissions rejected with [`SubmitError::Overloaded`].
+    shed_total: AtomicU64,
+    /// Jobs run to completion (panicked jobs included — they occupied
+    /// a worker and were answered; `panics` counts them separately).
+    completed_total: AtomicU64,
+    /// Jobs whose panic the worker backstop caught.
+    panics: AtomicU64,
+    /// Rolling submit→start latency (µs).
+    queue_wait_us: SlidingWindow,
+    /// Rolling start→finish latency (µs).
+    service_us: SlidingWindow,
+}
+
+impl Telemetry {
+    fn new() -> Self {
+        Self {
+            inflight: AtomicUsize::new(0),
+            shed_total: AtomicU64::new(0),
+            completed_total: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            queue_wait_us: SlidingWindow::new(WINDOW_BUCKETS, WINDOW_BUCKET_WIDTH),
+            service_us: SlidingWindow::new(WINDOW_BUCKETS, WINDOW_BUCKET_WIDTH),
+        }
+    }
 }
 
 struct Shared {
@@ -38,6 +93,30 @@ struct Shared {
     /// Signals workers that a job arrived or the queue closed.
     ready: Condvar,
     capacity: usize,
+    telemetry: Telemetry,
+}
+
+/// A point-in-time view of the pool's gauges and counters, readable
+/// without any collector installed. Gauges (`queued`, `inflight`) are
+/// instantaneous and can change the moment the snapshot returns;
+/// counters (`shed_total`, `completed_total`, `panics`) are monotone
+/// over the pool's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Resident worker threads.
+    pub workers: usize,
+    /// Configured queue bound.
+    pub capacity: usize,
+    /// Jobs waiting in the queue right now.
+    pub queued: usize,
+    /// Jobs executing right now.
+    pub inflight: usize,
+    /// Submissions shed with `Overloaded` since startup.
+    pub shed_total: u64,
+    /// Jobs finished since startup.
+    pub completed_total: u64,
+    /// Panicking jobs caught by the worker backstop since startup.
+    pub panics: u64,
 }
 
 /// A fixed-size worker pool over a bounded FIFO queue. See the module
@@ -45,6 +124,7 @@ struct Shared {
 pub struct Pool {
     shared: Arc<Shared>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    worker_count: usize,
     name: &'static str,
 }
 
@@ -82,8 +162,10 @@ impl Pool {
             }),
             ready: Condvar::new(),
             capacity: queue_capacity.max(1),
+            telemetry: Telemetry::new(),
         });
-        let handles = (0..workers.max(1))
+        let worker_count = workers.max(1);
+        let handles = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -95,6 +177,7 @@ impl Pool {
         Self {
             shared,
             workers: Mutex::new(handles),
+            worker_count,
             name,
         }
     }
@@ -109,6 +192,32 @@ impl Pool {
         self.lock().jobs.len()
     }
 
+    /// A consistent-enough snapshot of the pool's live telemetry (see
+    /// [`PoolStats`] for the gauge-vs-counter semantics). Never blocks
+    /// on running jobs — one queue lock, then relaxed atomic loads.
+    pub fn stats(&self) -> PoolStats {
+        let t = &self.shared.telemetry;
+        PoolStats {
+            workers: self.worker_count,
+            capacity: self.shared.capacity,
+            queued: self.queued(),
+            inflight: t.inflight.load(Ordering::Relaxed),
+            shed_total: t.shed_total.load(Ordering::Relaxed),
+            completed_total: t.completed_total.load(Ordering::Relaxed),
+            panics: t.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The rolling submit→start latency view (µs over the last minute).
+    pub fn queue_wait(&self) -> WindowSnapshot {
+        self.shared.telemetry.queue_wait_us.snapshot()
+    }
+
+    /// The rolling start→finish latency view (µs over the last minute).
+    pub fn service(&self) -> WindowSnapshot {
+        self.shared.telemetry.service_us.snapshot()
+    }
+
     /// Enqueues a job without blocking.
     ///
     /// # Errors
@@ -117,20 +226,29 @@ impl Pool {
     /// job is dropped — shed it), [`SubmitError::Closed`] after
     /// [`close_and_drain`](Self::close_and_drain).
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
-        {
+        let depth = {
             let mut q = self.lock();
             if q.closed {
                 return Err(SubmitError::Closed);
             }
             if q.jobs.len() >= self.shared.capacity {
-                return Err(SubmitError::Overloaded {
+                let err = SubmitError::Overloaded {
                     queued: q.jobs.len(),
                     capacity: self.shared.capacity,
-                });
+                };
+                drop(q);
+                self.shared
+                    .telemetry
+                    .shed_total
+                    .fetch_add(1, Ordering::Relaxed);
+                lacr_obs::counter!("pool.shed_total", 1_u64);
+                return Err(err);
             }
-            q.jobs.push_back(Box::new(job));
-        }
+            q.jobs.push_back((Instant::now(), Box::new(job)));
+            q.jobs.len()
+        };
         self.shared.ready.notify_one();
+        lacr_obs::gauge!("pool.queue_depth", depth);
         Ok(())
     }
 
@@ -162,12 +280,13 @@ impl Drop for Pool {
 }
 
 fn worker_loop(shared: &Shared) {
+    let t = &shared.telemetry;
     loop {
-        let job = {
+        let (enqueued, job, depth_after) = {
             let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break job;
+                if let Some((enqueued, job)) = q.jobs.pop_front() {
+                    break (enqueued, job, q.jobs.len());
                 }
                 if q.closed {
                     return;
@@ -175,20 +294,37 @@ fn worker_loop(shared: &Shared) {
                 q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
+        // Start edge: the job left the queue and occupies this worker.
+        let wait_us = enqueued.elapsed().as_micros() as u64;
+        t.queue_wait_us.record(wait_us);
+        let inflight = t.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        lacr_obs::gauge!("pool.queue_depth", depth_after);
+        lacr_obs::gauge!("pool.inflight", inflight);
+        lacr_obs::histogram!("pool.queue_wait_us", wait_us);
+        let started = Instant::now();
         // Isolation backstop: a panicking job must not take its worker
         // (and with it, a slot of the pool) down.
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            t.panics.fetch_add(1, Ordering::Relaxed);
             lacr_obs::counter!("pool.panics", 1_u64);
         }
+        // Finish edge: panicked or not, the job consumed a service slot
+        // and was answered — it counts as completed.
+        let service_us = started.elapsed().as_micros() as u64;
+        t.service_us.record(service_us);
+        let inflight = t.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
+        t.completed_total.fetch_add(1, Ordering::Relaxed);
+        lacr_obs::gauge!("pool.inflight", inflight);
+        lacr_obs::counter!("pool.completed_total", 1_u64);
+        lacr_obs::histogram!("pool.service_us", service_us);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use lacr_obs::Histogram;
     use std::sync::mpsc;
-    use std::time::Duration;
 
     #[test]
     fn jobs_run_and_drain_completes() {
@@ -262,6 +398,107 @@ mod tests {
         assert_eq!(pool.submit(|| {}), Err(SubmitError::Closed));
         pool.close_and_drain(); // idempotent
         assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_track_the_submit_start_finish_shed_edges() {
+        let pool = Pool::new("t-stats", 2, 4);
+        let s = pool.stats();
+        assert_eq!((s.workers, s.capacity), (2, 4));
+        assert_eq!((s.queued, s.inflight), (0, 0));
+        assert_eq!((s.shed_total, s.completed_total, s.panics), (0, 0, 0));
+
+        // Saturate: 2 blockers occupy both workers, 4 fill the queue.
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let block_rx = Arc::new(Mutex::new(block_rx));
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        for _ in 0..2 {
+            let rx = Arc::clone(&block_rx);
+            let started = started_tx.clone();
+            pool.submit(move || {
+                started.send(()).unwrap();
+                rx.lock().unwrap().recv().unwrap();
+            })
+            .expect("blocker");
+        }
+        for _ in 0..2 {
+            started_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("blockers running");
+        }
+        for _ in 0..4 {
+            pool.submit(|| {}).expect("queue has room");
+        }
+        assert!(pool.submit(|| {}).is_err(), "queue full");
+        assert!(pool.submit(|| {}).is_err());
+        let s = pool.stats();
+        assert_eq!(s.inflight, 2, "both workers busy");
+        assert_eq!(s.queued, 4, "queue full");
+        assert_eq!(s.shed_total, 2, "two submissions shed");
+
+        // Release and drain: everything completes, nothing in flight.
+        block_tx.send(()).unwrap();
+        block_tx.send(()).unwrap();
+        pool.close_and_drain();
+        let s = pool.stats();
+        assert_eq!((s.queued, s.inflight), (0, 0), "drained");
+        assert_eq!(s.completed_total, 6, "2 blockers + 4 queued");
+        assert_eq!(s.shed_total, 2, "counters survive the drain");
+        // Each completed job recorded one sample in each rolling window.
+        assert_eq!(pool.queue_wait().count, 6);
+        assert_eq!(pool.service().count, 6);
+        let w = pool.service();
+        assert!(w.p50 <= w.p95 && w.p95 <= w.p99);
+    }
+
+    #[test]
+    fn panicking_jobs_count_as_completed_and_panicked() {
+        let pool = Pool::new("t-stats-panic", 1, 8);
+        pool.submit(|| panic!("injected")).expect("submit");
+        pool.submit(|| {}).expect("submit");
+        pool.close_and_drain();
+        let s = pool.stats();
+        assert_eq!(s.completed_total, 2, "panicked job still completed");
+        assert_eq!(s.panics, 1);
+        assert_eq!(s.inflight, 0);
+    }
+
+    #[test]
+    fn pool_edges_emit_obs_metrics_when_collecting() {
+        let ((), _records, report) = lacr_obs::run_captured(|| {
+            let pool = Pool::new("t-stats-obs", 1, 2);
+            let (block_tx, block_rx) = mpsc::channel::<()>();
+            let (started_tx, started_rx) = mpsc::channel::<()>();
+            pool.submit(move || {
+                started_tx.send(()).unwrap();
+                block_rx.recv().unwrap();
+            })
+            .expect("blocker");
+            started_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("blocker running");
+            pool.submit(|| {}).expect("fits");
+            pool.submit(|| {}).expect("fits");
+            let _ = pool.submit(|| {}); // shed
+            block_tx.send(()).unwrap();
+            pool.close_and_drain();
+        });
+        assert_eq!(report.counter("pool.completed_total"), Some(3));
+        assert_eq!(report.counter("pool.shed_total"), Some(1));
+        assert_eq!(
+            report.gauge("pool.inflight"),
+            Some(0.0),
+            "last write is the drain"
+        );
+        assert!(report.gauge("pool.queue_depth").is_some());
+        assert_eq!(
+            report.hist("pool.queue_wait_us").map(Histogram::count),
+            Some(3)
+        );
+        assert_eq!(
+            report.hist("pool.service_us").map(Histogram::count),
+            Some(3)
+        );
     }
 
     #[test]

@@ -22,6 +22,16 @@
 //!    shutting-down`, drain every admitted request to a response, flush
 //!    and exit 0.
 //!
+//! On top of the robustness layers sits **live introspection**: a
+//! `{"cmd":"stats"}` line answers (on the accept thread, so it works
+//! even with every worker wedged) with one telemetry snapshot — uptime,
+//! requests by status, the pool's gauges and rolling latency
+//! percentiles, and the flight recorder's dump count — and
+//! `--stats-interval-ms` emits the same snapshot to stderr on a timer.
+//! Status counts are kept under one lock ([`protocol::StatusCounts`]),
+//! so a snapshot is always internally consistent even while requests
+//! are in flight.
+//!
 //! Valid requests produce plan summaries byte-identical to the one-shot
 //! `lacr plan` output: both front ends render the same
 //! [`lacr_core::summary::PlanSummary`].
@@ -33,8 +43,8 @@ use lacr_core::summary::{summarize, PlanSummary};
 use lacr_core::Budget;
 use lacr_netlist::{bench89, bench_format, Circuit};
 use lacr_obs::scope::Scope;
-use lacr_par::{Pool, SubmitError};
-use protocol::{LineRead, Parsed, Request, Spec};
+use lacr_par::{Pool, PoolStats, SubmitError};
+use protocol::{LineRead, Parsed, Request, Spec, StatusCounts};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::panic::AssertUnwindSafe;
@@ -54,6 +64,10 @@ pub struct ServeConfig {
     pub default_budget_ms: Option<u64>,
     /// Request lines longer than this are shed unread.
     pub max_line_bytes: usize,
+    /// Emit a stats snapshot line to stderr this often (off when
+    /// `None`). The line is the same JSON as a `{"cmd":"stats"}`
+    /// response, so operators can tail stderr into the same tooling.
+    pub stats_interval_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +77,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             default_budget_ms: None,
             max_line_bytes: protocol::DEFAULT_MAX_LINE_BYTES,
+            stats_interval_ms: None,
         }
     }
 }
@@ -81,6 +96,12 @@ pub struct ServeStats {
     /// Whether the session ended on an explicit shutdown (command or
     /// signal) rather than plain end of input.
     pub shutdown: bool,
+    /// Final per-status response counts (the same view `{"cmd":"stats"}`
+    /// reports, frozen after the drain).
+    pub counts: StatusCounts,
+    /// The pool's telemetry after the drain — `queued` and `inflight`
+    /// are 0 by the drain contract; the counters are session totals.
+    pub pool: PoolStats,
 }
 
 /// Set by the SIGINT/SIGTERM handlers; polled by the accept loops.
@@ -122,6 +143,11 @@ struct Session {
     circuits: Mutex<BTreeMap<String, Arc<Circuit>>>,
     default_budget_ms: Option<u64>,
     panics: AtomicU64,
+    /// Session start — the stats snapshot's uptime epoch.
+    started: Instant,
+    /// Responses by status, updated together under one lock so a stats
+    /// snapshot never sees a half-applied transition.
+    counts: Mutex<StatusCounts>,
 }
 
 impl Session {
@@ -131,6 +157,31 @@ impl Session {
         let _ = writeln!(out, "{line}");
         let _ = out.flush();
     }
+
+    /// Applies one consistent update to the status counts.
+    fn count(&self, apply: impl FnOnce(&mut StatusCounts)) {
+        apply(&mut self.counts.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// The current status counts, atomically.
+    fn counts(&self) -> StatusCounts {
+        *self.counts.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Builds one `status: stats` snapshot line for the session (see
+/// [`protocol::stats_line`] for the schema).
+fn stats_snapshot_line(session: &Session, pool: &Pool, id: Option<&str>) -> String {
+    protocol::stats_line(
+        id,
+        session.started.elapsed().as_micros() as u64,
+        &session.counts(),
+        &pool.stats(),
+        &pool.queue_wait(),
+        &pool.service(),
+        lacr_obs::flight::dump_count(),
+        lacr_obs::flight::capacity() as u64,
+    )
 }
 
 /// A resolution or planning failure inside one request.
@@ -239,14 +290,24 @@ fn run_request(session: &Session, req: &Request, budget: Budget, enqueued: Insta
     let plan_ms = started.elapsed().as_millis() as u64;
     let line = match outcome {
         Ok(Ok((summary, quality))) => {
+            if summary.is_degraded() {
+                session.count(|c| c.degraded += 1);
+            } else {
+                session.count(|c| c.ok += 1);
+            }
             protocol::result_line(&req.id, &summary, &quality, queue_ms, plan_ms)
         }
         Ok(Err(RequestError::BadRequest(msg))) => {
+            session.count(|c| c.error += 1);
             protocol::error_line(Some(&req.id), "bad-request", &msg, None)
         }
-        Ok(Err(RequestError::Plan(msg))) => protocol::error_line(Some(&req.id), "plan", &msg, None),
+        Ok(Err(RequestError::Plan(msg))) => {
+            session.count(|c| c.error += 1);
+            protocol::error_line(Some(&req.id), "plan", &msg, None)
+        }
         Err(panic) => {
             session.panics.fetch_add(1, Ordering::Relaxed);
+            session.count(|c| c.error += 1);
             let msg = panic_message(&panic);
             // The panic hook already dumped the postmortem to the
             // request-tagged path (the scope is attached here); report
@@ -294,9 +355,13 @@ pub fn serve(
         circuits: Mutex::new(BTreeMap::new()),
         default_budget_ms: config.default_budget_ms,
         panics: AtomicU64::new(0),
+        started: Instant::now(),
+        counts: Mutex::new(StatusCounts::default()),
     });
     let pool = Pool::new("lacr-serve", config.workers, config.queue_capacity);
     let mut stats = ServeStats::default();
+    let stats_interval = config.stats_interval_ms.map(Duration::from_millis);
+    let mut last_stats_emit = Instant::now();
 
     // The reader thread turns blocking input into channel messages so
     // the accept loop can poll the shutdown flag between lines.
@@ -331,9 +396,18 @@ pub fn serve(
             stats.shutdown = true;
             break;
         }
+        // The periodic operator heartbeat: one stats snapshot line to
+        // stderr, same JSON as a `{"cmd":"stats"}` response.
+        if let Some(interval) = stats_interval {
+            if last_stats_emit.elapsed() >= interval {
+                eprintln!("{}", stats_snapshot_line(&session, &pool, None));
+                last_stats_emit = Instant::now();
+            }
+        }
         match rx.recv_timeout(Duration::from_millis(50)) {
             Ok(Feed::Line(read)) => {
                 stats.received += 1;
+                session.count(|c| c.received += 1);
                 if !admit(config, &session, &pool, &mut stats, read) {
                     stats.shutdown = true;
                     break;
@@ -354,6 +428,10 @@ pub fn serve(
         if let Feed::Line(read) = feed {
             stats.received += 1;
             stats.rejected += 1;
+            session.count(|c| {
+                c.received += 1;
+                c.rejected += 1;
+            });
             let id = match &read {
                 LineRead::Line(line) => match protocol::parse_line(line) {
                     Ok(Parsed::Request(req)) => Some(req.id),
@@ -370,6 +448,8 @@ pub fn serve(
         let _ = out.flush();
     }
     stats.panics = session.panics.load(Ordering::Relaxed);
+    stats.counts = session.counts();
+    stats.pool = pool.stats();
     lacr_obs::diag!(
         "serve: done ({} received, {} admitted, {} rejected, {} panics isolated)",
         stats.received,
@@ -396,6 +476,7 @@ fn admit(
         LineRead::Line(line) => line,
         LineRead::TooLong { dropped } => {
             stats.rejected += 1;
+            session.count(|c| c.rejected += 1);
             session.write_line(&protocol::rejected_oversized_line(
                 dropped,
                 config.max_line_bytes,
@@ -407,7 +488,15 @@ fn admit(
     let req = match protocol::parse_line(&line) {
         Ok(Parsed::Request(req)) => req,
         Ok(Parsed::Shutdown) => return false,
+        Ok(Parsed::Stats { id }) => {
+            // Answered inline on the accept thread: a stats probe must
+            // stay live even when every worker is busy, and must not
+            // consume a queue slot.
+            session.write_line(&stats_snapshot_line(session, pool, id.as_deref()));
+            return true;
+        }
         Err(e) => {
+            session.count(|c| c.error += 1);
             session.write_line(&protocol::error_line(
                 e.id.as_deref(),
                 "bad-request",
@@ -432,10 +521,12 @@ fn admit(
         Ok(()) => stats.admitted += 1,
         Err(SubmitError::Overloaded { queued, capacity }) => {
             stats.rejected += 1;
+            session.count(|c| c.rejected += 1);
             session.write_line(&protocol::rejected_overloaded_line(&id, queued, capacity));
         }
         Err(SubmitError::Closed) => {
             stats.rejected += 1;
+            session.count(|c| c.rejected += 1);
             session.write_line(&protocol::rejected_shutdown_line(Some(&id)));
         }
     }
@@ -503,8 +594,9 @@ pub fn serve_unix_socket(config: &ServeConfig, path: &std::path::Path) -> std::i
 mod tests {
     use super::*;
     use lacr_bench::json::{parse_json, Json};
+    use lacr_obs::Histogram;
 
-    fn run_lines(config: &ServeConfig, lines: &[&str]) -> Vec<String> {
+    fn run_lines_with_stats(config: &ServeConfig, lines: &[&str]) -> (Vec<String>, ServeStats) {
         let input = std::io::Cursor::new(lines.join("\n").into_bytes());
         let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
         struct SharedOut(Arc<Mutex<Vec<u8>>>);
@@ -517,13 +609,18 @@ mod tests {
                 Ok(())
             }
         }
-        serve(config, input, SharedOut(Arc::clone(&out))).expect("serve runs");
+        let stats = serve(config, input, SharedOut(Arc::clone(&out))).expect("serve runs");
         let bytes = out.lock().unwrap().clone();
-        String::from_utf8(bytes)
+        let lines = String::from_utf8(bytes)
             .expect("utf8 output")
             .lines()
             .map(str::to_string)
-            .collect()
+            .collect();
+        (lines, stats)
+    }
+
+    fn run_lines(config: &ServeConfig, lines: &[&str]) -> Vec<String> {
+        run_lines_with_stats(config, lines).0
     }
 
     fn tiny_bench() -> &'static str {
@@ -697,5 +794,128 @@ mod tests {
             oversized.get("status").and_then(Json::as_str),
             Some("rejected")
         );
+    }
+
+    #[test]
+    fn stats_command_returns_a_consistent_snapshot() {
+        fn num(j: &Json, path: &[&str]) -> f64 {
+            let mut cur = j;
+            for k in path {
+                cur = cur
+                    .get(k)
+                    .unwrap_or_else(|| panic!("missing key {path:?} in stats snapshot: {j:?}"));
+            }
+            cur.as_num()
+                .unwrap_or_else(|| panic!("{path:?} is not a number: {j:?}"))
+        }
+        let lines = [
+            format!(r#"{{"id":"a","bench":"{}"}}"#, tiny_bench()),
+            "garbage".to_string(),
+            format!(r#"{{"id":"b","bench":"{}"}}"#, tiny_bench()),
+            r#"{"cmd":"stats","id":"probe"}"#.to_string(),
+        ];
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let config = ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let (out, stats) = run_lines_with_stats(&config, &refs);
+        assert_eq!(out.len(), 4, "one response per line: {out:?}");
+        let probe = out
+            .iter()
+            .map(|l| parse_json(l).expect("valid JSON"))
+            .find(|j| j.get("status").and_then(Json::as_str) == Some("stats"))
+            .expect("stats response present");
+        assert_eq!(probe.get("id").and_then(Json::as_str), Some("probe"));
+        assert_eq!(num(&probe, &["schema_version"]), 1.0);
+        assert!(num(&probe, &["uptime_us"]) >= 0.0);
+        // The snapshot races in-flight requests, so assert invariants,
+        // not exact counts: status counts sum to completed, completed
+        // plus rejected never exceeds received, gauges are sane.
+        let ok = num(&probe, &["requests", "ok"]);
+        let degraded = num(&probe, &["requests", "degraded"]);
+        let error = num(&probe, &["requests", "error"]);
+        let rejected = num(&probe, &["requests", "rejected"]);
+        let received = num(&probe, &["requests", "received"]);
+        let completed = num(&probe, &["requests", "completed"]);
+        assert_eq!(completed, ok + degraded + error);
+        assert!(completed + rejected <= received, "{probe:?}");
+        assert_eq!(num(&probe, &["pool", "workers"]), 2.0);
+        assert!(num(&probe, &["pool", "queued"]) <= num(&probe, &["pool", "capacity"]));
+        assert!(num(&probe, &["pool", "inflight"]) >= 0.0);
+        for block in ["queue_wait_us", "service_us"] {
+            let p50 = num(&probe, &["latency", block, "p50"]);
+            let p95 = num(&probe, &["latency", block, "p95"]);
+            let p99 = num(&probe, &["latency", block, "p99"]);
+            assert!(p50 <= p95 && p95 <= p99, "{block}: {p50} {p95} {p99}");
+        }
+        assert!(num(&probe, &["flight", "capacity"]) >= 16.0);
+        // After drain the final stats agree with the wire transcript:
+        // everything admitted finished, nothing is still in flight.
+        assert_eq!(stats.pool.inflight, 0);
+        assert_eq!(
+            stats.counts.completed(),
+            stats.counts.ok + stats.counts.degraded + stats.counts.error
+        );
+        assert_eq!(stats.counts.ok, 2);
+        assert_eq!(stats.counts.error, 1);
+        assert_eq!(stats.counts.received, 4);
+    }
+
+    #[test]
+    fn scoped_collectors_and_pool_gauges_agree_under_concurrent_load() {
+        // The satellite consistency check: many concurrent jobs, each
+        // attaching its own scope exactly the way `run_request` does.
+        // The per-request scopes must partition the global collector's
+        // totals, and the pool gauges must return to rest after drain.
+        const JOBS: u64 = 24;
+        let scopes: Vec<Scope> = (0..JOBS).map(|i| Scope::new(format!("req-{i}"))).collect();
+        let (pool_stats, _records, report) = lacr_obs::run_captured(|| {
+            let pool = Pool::new("t-consistency", 4, JOBS as usize);
+            let (tx, rx) = std::sync::mpsc::channel::<()>();
+            for (i, scope) in scopes.iter().enumerate() {
+                let scope = scope.clone();
+                let tx = tx.clone();
+                pool.submit(move || {
+                    let _g = scope.attach();
+                    lacr_obs::counter!("req.units", (i as u64) + 1);
+                    lacr_obs::histogram!("req.size_us", 64_u64);
+                    tx.send(()).unwrap();
+                })
+                .expect("capacity covers all jobs");
+            }
+            for _ in 0..JOBS {
+                rx.recv().unwrap();
+            }
+            // A worker signals before its finish edge runs; wait for
+            // the pool's own counters to settle before snapshotting.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                let s = pool.stats();
+                if (s.completed_total == JOBS && s.inflight == 0) || Instant::now() > deadline {
+                    break s;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        // Global totals equal the sum over per-request scopes.
+        let scope_sum: i64 = scopes
+            .iter()
+            .map(|s| s.report().counter("req.units").unwrap_or(0))
+            .sum();
+        let expected: i64 = (1..=JOBS as i64).sum();
+        assert_eq!(scope_sum, expected);
+        assert_eq!(report.counter("req.units"), Some(expected));
+        let scope_hist_count: u64 = scopes
+            .iter()
+            .map(|s| s.report().hist("req.size_us").map_or(0, Histogram::count))
+            .sum();
+        assert_eq!(scope_hist_count, JOBS);
+        assert_eq!(report.hist("req.size_us").map(Histogram::count), Some(JOBS));
+        // Pool telemetry settled: nothing in flight, everything counted.
+        assert_eq!(pool_stats.inflight, 0);
+        assert_eq!(pool_stats.completed_total, JOBS);
+        assert_eq!(pool_stats.shed_total, 0);
+        assert_eq!(pool_stats.panics, 0);
     }
 }

@@ -7,6 +7,7 @@
 //! {"id":"r1","circuit":"s344","budget_ms":2000}
 //! {"id":"r2","bench_path":"tests/data/counter3.bench"}
 //! {"id":"r3","bench":"INPUT(a)\nOUTPUT(b)\nb = DFF(a)\n","name":"tiny"}
+//! {"cmd":"stats"}
 //! {"cmd":"shutdown"}
 //! ```
 //!
@@ -34,11 +35,22 @@
 //!   `error.message`; panics also carry `error.flight`, the tagged
 //!   flight-recorder postmortem path;
 //! * `rejected` — load shedding, `reason` ∈ {`overloaded`, `oversized`,
-//!   `shutting-down`}; `overloaded` carries `queued`/`capacity`.
+//!   `shutting-down`}; `overloaded` carries `queued`/`capacity`;
+//! * `stats` — the answer to `{"cmd":"stats"}` (id echoed when given):
+//!   one live-telemetry snapshot with `uptime_us`, `requests` (counts
+//!   by response status, `completed = ok + degraded + error` by
+//!   construction), `pool` ([`lacr_par::PoolStats`] gauges/counters),
+//!   `latency` (rolling queue-wait and service-time views over the
+//!   pool's one-minute window) and `flight` (postmortem dump count and
+//!   ring capacity). Validated by `check_metrics --stats`. Stats
+//!   responses answer on the accept thread, so they stay live even when
+//!   every worker is busy.
 
 use lacr_bench::json::{parse_json, Json};
 use lacr_core::summary::PlanSummary;
 use lacr_obs::json_escape;
+use lacr_obs::window::WindowSnapshot;
+use lacr_par::PoolStats;
 use std::collections::BTreeMap;
 use std::io::BufRead;
 
@@ -89,6 +101,36 @@ pub enum Parsed {
     Request(Request),
     /// `{"cmd":"shutdown"}` — drain and exit.
     Shutdown,
+    /// `{"cmd":"stats"}` — answer one telemetry snapshot line (the id,
+    /// when given, is echoed for correlation).
+    Stats { id: Option<String> },
+}
+
+/// Responses written so far, by status — the `requests` block of a
+/// stats snapshot. The session updates all fields under one lock, so
+/// `completed()` always equals the number of `ok`/`degraded`/`error`
+/// lines actually written: the snapshot is consistent with respect to
+/// in-flight requests (a request mid-plan is in none of the buckets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusCounts {
+    /// Request lines received (malformed and oversized included).
+    pub received: u64,
+    /// `ok` responses written.
+    pub ok: u64,
+    /// `degraded` responses written.
+    pub degraded: u64,
+    /// `error` responses written (bad-request, plan, panic).
+    pub error: u64,
+    /// `rejected` responses written (overloaded, oversized, shutdown).
+    pub rejected: u64,
+}
+
+impl StatusCounts {
+    /// Requests answered with a terminal planning outcome
+    /// (`ok + degraded + error`); rejections never reached a worker.
+    pub fn completed(&self) -> u64 {
+        self.ok + self.degraded + self.error
+    }
 }
 
 /// A request-line parse failure: the id, when one could be recovered
@@ -126,9 +168,12 @@ pub fn parse_line(line: &str) -> Result<Parsed, ParseError> {
     if let Some(cmd) = json.get("cmd").and_then(Json::as_str) {
         return match cmd {
             "shutdown" => Ok(Parsed::Shutdown),
+            "stats" => Ok(Parsed::Stats {
+                id: json.get("id").and_then(Json::as_str).map(str::to_string),
+            }),
             other => Err(ParseError {
                 id: json.get("id").and_then(Json::as_str).map(str::to_string),
-                message: format!("unknown cmd {other:?} (known: shutdown)"),
+                message: format!("unknown cmd {other:?} (known: shutdown, stats)"),
             }),
         };
     }
@@ -375,6 +420,75 @@ pub fn rejected_shutdown_line(id: Option<&str>) -> String {
         .finish()
 }
 
+/// One rolling-latency block (`count`, `rate_per_sec`, `mean_us`, and
+/// the ordered `p50`/`p95`/`p99`/`max` bounds in µs).
+fn latency_block(w: &WindowSnapshot) -> String {
+    // Snapshot floats are always finite (the window span is positive),
+    // so `{}` renders valid JSON numbers.
+    Obj::new()
+        .u64("count", w.count)
+        .raw("rate_per_sec", &format!("{}", w.rate_per_sec))
+        .raw("mean_us", &format!("{}", w.mean))
+        .u64("p50", w.p50)
+        .u64("p95", w.p95)
+        .u64("p99", w.p99)
+        .u64("max", w.max)
+        .finish()
+}
+
+/// A `stats` response line: one schema-versioned telemetry snapshot.
+/// `check_metrics --stats` enforces the contract (required keys,
+/// non-negative gauges, `completed == ok + degraded + error`, ordered
+/// percentiles, counters monotone across successive snapshots).
+#[allow(clippy::too_many_arguments)]
+pub fn stats_line(
+    id: Option<&str>,
+    uptime_us: u64,
+    counts: &StatusCounts,
+    pool: &PoolStats,
+    queue_wait: &WindowSnapshot,
+    service: &WindowSnapshot,
+    flight_dumps: u64,
+    flight_capacity: u64,
+) -> String {
+    let requests = Obj::new()
+        .u64("received", counts.received)
+        .u64("ok", counts.ok)
+        .u64("degraded", counts.degraded)
+        .u64("error", counts.error)
+        .u64("rejected", counts.rejected)
+        .u64("completed", counts.completed())
+        .finish();
+    let pool_block = Obj::new()
+        .u64("workers", pool.workers as u64)
+        .u64("capacity", pool.capacity as u64)
+        .u64("queued", pool.queued as u64)
+        .u64("inflight", pool.inflight as u64)
+        .u64("shed_total", pool.shed_total)
+        .u64("completed_total", pool.completed_total)
+        .u64("panics", pool.panics)
+        .finish();
+    let latency = Obj::new()
+        .u64("window_us", queue_wait.window_us)
+        .raw("queue_wait_us", &latency_block(queue_wait))
+        .raw("service_us", &latency_block(service))
+        .finish();
+    let flight = Obj::new()
+        .u64("dumps", flight_dumps)
+        .u64("capacity", flight_capacity)
+        .finish();
+    Obj::new()
+        .opt_str("id", id)
+        .str("status", "stats")
+        .u64("schema_version", u64::from(lacr_obs::SCHEMA_VERSION))
+        .u64("uptime_us", uptime_us)
+        .raw("requests", &requests)
+        .raw("pool", &pool_block)
+        .raw("latency", &latency)
+        .raw("flight", &flight)
+        .finish()
+}
+
 /// One bounded line read.
 #[derive(Debug, PartialEq, Eq)]
 pub enum LineRead {
@@ -467,6 +581,86 @@ mod tests {
                 text: "INPUT(a)\n".into()
             }
         );
+    }
+
+    #[test]
+    fn stats_command_parses_with_and_without_an_id() {
+        assert_eq!(
+            parse_line(r#"{"cmd":"stats"}"#),
+            Ok(Parsed::Stats { id: None })
+        );
+        assert_eq!(
+            parse_line(r#"{"cmd":"stats","id":"probe-1"}"#),
+            Ok(Parsed::Stats {
+                id: Some("probe-1".into())
+            })
+        );
+        let e = parse_line(r#"{"cmd":"nope"}"#).unwrap_err();
+        assert!(e.message.contains("shutdown, stats"), "{}", e.message);
+    }
+
+    #[test]
+    fn stats_line_is_valid_json_with_consistent_counts() {
+        let counts = StatusCounts {
+            received: 10,
+            ok: 4,
+            degraded: 2,
+            error: 1,
+            rejected: 2,
+        };
+        let pool = PoolStats {
+            workers: 3,
+            capacity: 8,
+            queued: 1,
+            inflight: 2,
+            shed_total: 2,
+            completed_total: 7,
+            panics: 1,
+        };
+        let w = WindowSnapshot {
+            window_us: 60_000_000,
+            count: 7,
+            rate_per_sec: 0.116,
+            mean: 1500.0,
+            max: 4000,
+            p50: 1024,
+            p95: 4096,
+            p99: 4096,
+        };
+        let line = stats_line(Some("probe"), 123_456, &counts, &pool, &w, &w, 1, 4096);
+        let json = parse_json(&line).expect("valid JSON");
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("stats"));
+        assert_eq!(json.get("id").and_then(Json::as_str), Some("probe"));
+        assert_eq!(
+            json.get("uptime_us").and_then(Json::as_num),
+            Some(123_456.0)
+        );
+        let req = json.get("requests").expect("requests block");
+        // completed is derived under the same lock: ok+degraded+error.
+        assert_eq!(req.get("completed").and_then(Json::as_num), Some(7.0));
+        let pool_block = json.get("pool").expect("pool block");
+        assert_eq!(
+            pool_block.get("completed_total").and_then(Json::as_num),
+            Some(7.0)
+        );
+        let lat = json.get("latency").expect("latency block");
+        let qw = lat.get("queue_wait_us").expect("queue_wait block");
+        let (p50, p95, p99) = (
+            qw.get("p50").and_then(Json::as_num).unwrap(),
+            qw.get("p95").and_then(Json::as_num).unwrap(),
+            qw.get("p99").and_then(Json::as_num).unwrap(),
+        );
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(
+            json.get("flight")
+                .and_then(|f| f.get("capacity"))
+                .and_then(Json::as_num),
+            Some(4096.0)
+        );
+        // Without an id the echo is null, like other anonymous lines.
+        let line = stats_line(None, 1, &counts, &pool, &w, &w, 0, 4096);
+        let json = parse_json(&line).expect("valid JSON");
+        assert_eq!(json.get("id"), Some(&Json::Null));
     }
 
     #[test]

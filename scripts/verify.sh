@@ -37,10 +37,11 @@ if [[ "$METRICS" == 1 ]]; then
     echo "==> cargo build --release (warnings are errors)"
     RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --offline --workspace
 
-    echo "==> lacr run s344 --metrics-out (JSONL stream + self-time report)"
+    echo "==> lacr run s344 --metrics-out (JSONL stream + self-time report + JSON report)"
     mkdir -p target/metrics
     status=0
     target/release/lacr run s344 --metrics-out target/metrics/s344.jsonl --report \
+        --report-json target/metrics/s344.report.json \
         >target/metrics/s344.report.txt || status=$?
     # 0 (clean) and 3 (degraded-but-finished) both produce a full stream.
     if [[ "$status" != 0 && "$status" != 3 ]]; then
@@ -49,6 +50,10 @@ if [[ "$METRICS" == 1 ]]; then
     fi
     grep -q "^total" target/metrics/s344.report.txt || {
         echo "error: self-time report missing its total row" >&2
+        exit 1
+    }
+    grep -q '"t":"report".*"schema_version":1' target/metrics/s344.report.json || {
+        echo "error: --report-json artifact missing its versioned header" >&2
         exit 1
     }
 
@@ -198,6 +203,41 @@ if [[ "$SERVE" == 1 ]]; then
         exit 1
     }
     "$CHECK" --flight target/serve/flight/req-boom.jsonl
+
+    echo "==> live introspection: mid-soak stats probes + periodic heartbeat"
+    {
+        printf '{"id":"s-1","circuit":"s344"}\n'
+        printf '{"cmd":"stats","id":"probe-1"}\n'
+        printf '{"id":"s-2","circuit":"s344","fault":{"sleep_ms":150}}\n'
+        printf '{"id":"s-3","circuit":"s344"}\n'
+        printf '{"cmd":"stats","id":"probe-2"}\n'
+        sleep 0.4
+        printf '{"cmd":"stats","id":"probe-3"}\n'
+    } | "$LACR_BIN" serve --workers 2 --queue-cap 16 --stats-interval-ms 100 \
+        --flight-recorder-out target/serve/flight/last-run.jsonl \
+        >target/serve/soak.jsonl 2>target/serve/soak.stderr
+    "$CHECK" --serve target/serve/soak.jsonl
+    # In-band probe responses and the stderr heartbeat are two streams;
+    # each must be internally consistent (monotone counters, ordered
+    # percentiles, counts that sum).
+    grep '"status":"stats"' target/serve/soak.jsonl >target/serve/stats_probes.jsonl
+    probes=$(wc -l <target/serve/stats_probes.jsonl)
+    if [[ "$probes" != 3 ]]; then
+        echo "error: 3 stats probes sent but $probes stats responses" >&2
+        exit 1
+    fi
+    "$CHECK" --stats target/serve/stats_probes.jsonl
+    grep '"status":"stats"' target/serve/soak.stderr >target/serve/stats_heartbeat.jsonl || {
+        echo "error: --stats-interval-ms 100 produced no heartbeat on stderr" >&2
+        exit 1
+    }
+    "$CHECK" --stats target/serve/stats_heartbeat.jsonl
+    echo "    $probes probe responses + $(wc -l <target/serve/stats_heartbeat.jsonl) heartbeats, all consistent"
+
+    echo "==> chrome trace export: table-1 subset run, B/E-balanced trace-event JSON"
+    LACR_RECORD_DIR=target/serve target/release/table1 --quiet \
+        --trace-chrome target/serve/trace.json s344 >target/serve/table1.txt
+    "$CHECK" --chrome target/serve/trace.json
 
     echo "==> serve OK (transcripts in target/serve/)"
     exit 0

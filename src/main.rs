@@ -19,7 +19,10 @@
 //!
 //! Global flags (any command): `--trace` streams pipeline spans to
 //! stderr, `--metrics-out <path>` writes the JSONL record stream,
-//! `--report` prints the per-stage self-time table after the run,
+//! `--trace-chrome <path>` writes a Chrome trace-event JSON file
+//! (loadable in Perfetto / `chrome://tracing`), `--report` prints the
+//! per-stage self-time table after the run, `--report-json <path>`
+//! writes the same aggregate report as schema-versioned JSON,
 //! `--quiet` silences `[lacr]` diagnostics, and `--threads N` caps the
 //! worker pool for parallel regions (overriding the `LACR_THREADS`
 //! environment variable; output is bit-identical at any thread count).
@@ -51,7 +54,9 @@ struct ObsFlags {
     quiet: bool,
     trace: bool,
     report: bool,
+    report_json: Option<String>,
     metrics_out: Option<String>,
+    trace_chrome: Option<String>,
     threads: Option<usize>,
     flight_out: Option<String>,
 }
@@ -68,6 +73,12 @@ impl ObsFlags {
                 "--report" => flags.report = true,
                 "--metrics-out" => {
                     flags.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?);
+                }
+                "--trace-chrome" => {
+                    flags.trace_chrome = Some(it.next().ok_or("--trace-chrome needs a path")?);
+                }
+                "--report-json" => {
+                    flags.report_json = Some(it.next().ok_or("--report-json needs a path")?);
                 }
                 "--flight-recorder-out" => {
                     flags.flight_out = Some(it.next().ok_or("--flight-recorder-out needs a path")?);
@@ -90,9 +101,11 @@ impl ObsFlags {
         Ok(flags)
     }
 
-    /// Installs the diagnostics level and one sink: the JSONL file when
-    /// `--metrics-out` is given, live stderr tracing for `--trace`, and a
-    /// null sink when only `--report` asks for aggregation.
+    /// Installs the diagnostics level and the requested sinks: the JSONL
+    /// file for `--metrics-out`, live stderr tracing for `--trace`, a
+    /// Chrome trace-event file for `--trace-chrome`. Several at once fan
+    /// out through a [`lacr::obs::sink::TeeSink`]; `--report` /
+    /// `--report-json` alone install a null sink (aggregation only).
     fn install(&self) -> Result<(), String> {
         if let Some(n) = self.threads {
             lacr::par::set_threads(n);
@@ -100,14 +113,26 @@ impl ObsFlags {
         if self.quiet {
             lacr::obs::set_diag_level(lacr::obs::DiagLevel::Silent);
         }
+        let mut sinks: Vec<Box<dyn lacr::obs::sink::Sink + Send>> = Vec::new();
         if let Some(path) = &self.metrics_out {
             let sink =
                 lacr::obs::sink::JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
-            lacr::obs::init(Box::new(sink));
-        } else if self.trace {
-            lacr::obs::init(Box::new(lacr::obs::sink::StderrSink));
-        } else if self.report {
-            lacr::obs::init(Box::new(lacr::obs::sink::NullSink));
+            sinks.push(Box::new(sink));
+        }
+        if self.trace {
+            sinks.push(Box::new(lacr::obs::sink::StderrSink));
+        }
+        if let Some(path) = &self.trace_chrome {
+            sinks.push(Box::new(lacr::obs::ChromeTraceSink::create(path)));
+        }
+        match sinks.len() {
+            0 => {
+                if self.report || self.report_json.is_some() {
+                    lacr::obs::init(Box::new(lacr::obs::sink::NullSink));
+                }
+            }
+            1 => lacr::obs::init(sinks.pop().expect("one sink")),
+            _ => lacr::obs::init(Box::new(lacr::obs::sink::TeeSink::new(sinks))),
         }
         // The flight recorder is always on (LACR_FLIGHT=off opts out):
         // arm the postmortem path and hook panics so a crash, a degraded
@@ -145,13 +170,27 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    // Flush the sink (writing the JSONL summary line, if any) and print
-    // the self-time table when asked.
+    // Flush the sinks (writing the JSONL summary line and the Chrome
+    // trace, if any), then render the aggregate report as asked.
     let obs_report = lacr::obs::finish();
     if obs.report {
-        match obs_report {
+        match &obs_report {
             Some(r) => print!("{}", r.self_time_table()),
             None => eprintln!("--report: no observability data collected"),
+        }
+    }
+    if let Some(path) = &obs.report_json {
+        match &obs_report {
+            Some(r) => {
+                if let Some(parent) = std::path::Path::new(path).parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                if let Err(e) = std::fs::write(path, r.ranked_json() + "\n") {
+                    lacr::obs::diag!("--report-json: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => eprintln!("--report-json: no observability data collected"),
         }
     }
     match result {
@@ -240,7 +279,7 @@ const COMMANDS: &[Command] = &[
         name: "serve",
         usage: &[
             "serve [--workers N] [--queue-cap N] [--default-budget-ms N]",
-            "      [--max-line-bytes N] [--socket <path>]",
+            "      [--max-line-bytes N] [--socket <path>] [--stats-interval-ms N]",
             "                            daemon: line-JSON requests on stdin/socket,",
             "                            one JSON response line per request",
         ],
@@ -257,8 +296,8 @@ fn print_usage() {
         }
     }
     eprintln!(
-        "global flags: --trace --metrics-out <path> --report --quiet --threads <n> \
-         --flight-recorder-out <path>"
+        "global flags: --trace --metrics-out <path> --trace-chrome <path> --report \
+         --report-json <path> --quiet --threads <n> --flight-recorder-out <path>"
     );
     eprintln!("exit codes: 0 ok, 1 error, 2 usage, 3 degraded plan");
 }
@@ -328,6 +367,17 @@ fn cmd_serve(args: &[String]) -> CliResult {
                     .parse()
                     .map_err(|e| format!("--default-budget-ms: {e}"))?;
                 config.default_budget_ms = Some(ms);
+            }
+            "--stats-interval-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--stats-interval-ms needs a value in milliseconds")?
+                    .parse()
+                    .map_err(|e| format!("--stats-interval-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--stats-interval-ms must be at least 1".into());
+                }
+                config.stats_interval_ms = Some(ms);
             }
             "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?.clone()),
             other => return Err(format!("serve: unexpected argument {other:?}").into()),

@@ -6,7 +6,9 @@
 //! * valid requests produce plan text byte-identical to the one-shot
 //!   `lacr plan` output for the same netlist;
 //! * panics are isolated per request and leave a request-tagged
-//!   flight-recorder postmortem.
+//!   flight-recorder postmortem;
+//! * `{"cmd":"stats"}` probes interleaved with the soak answer with
+//!   schema-valid snapshots whose counts stay self-consistent.
 
 use lacr::bench::json::{parse_json, Json};
 use std::collections::BTreeMap;
@@ -14,6 +16,8 @@ use std::io::Write;
 use std::process::{Command, Stdio};
 
 const TOTAL: usize = 200;
+/// Stats probes interleaved into the soak (one per 50 requests).
+const PROBES: usize = TOTAL / 50;
 
 fn bench_path(name: &str) -> String {
     format!("{}/tests/data/{name}.bench", env!("CARGO_MANIFEST_DIR"))
@@ -114,8 +118,18 @@ fn soak_200_requests_against_a_3_worker_daemon() {
 
     // Feed from a thread so a full stdout pipe can never deadlock the
     // write side (wait_with_output drains stdout/stderr concurrently).
+    // A stats probe rides along every 50 requests, mid-soak.
     let mut stdin = child.stdin.take().expect("stdin piped");
-    let lines: Vec<String> = mix.iter().map(|(l, _)| l.clone()).collect();
+    let mut lines: Vec<String> = Vec::with_capacity(TOTAL + PROBES);
+    for (i, (line, _)) in mix.iter().enumerate() {
+        lines.push(line.clone());
+        if (i + 1) % 50 == 0 {
+            lines.push(format!(
+                r#"{{"cmd":"stats","id":"stats-{}"}}"#,
+                (i + 1) / 50
+            ));
+        }
+    }
     let feeder = std::thread::spawn(move || {
         for line in lines {
             writeln!(stdin, "{line}").expect("request written");
@@ -139,18 +153,55 @@ fn soak_200_requests_against_a_3_worker_daemon() {
             .join("\n")
     );
 
-    // Exactly one structured response line per request.
+    // Exactly one structured response line per request (and per probe).
     let stdout = String::from_utf8(out.stdout).expect("utf8 responses");
-    let responses: Vec<Json> = stdout
+    let all_lines: Vec<Json> = stdout
         .lines()
         .map(|l| parse_json(l).unwrap_or_else(|e| panic!("invalid response JSON ({e}): {l}")))
         .collect();
+    let (snapshots, responses): (Vec<Json>, Vec<Json>) = all_lines
+        .into_iter()
+        .partition(|r| r.get("status").and_then(Json::as_str) == Some("stats"));
     assert_eq!(responses.len(), TOTAL, "one response per request");
     for r in &responses {
         assert!(
             r.get("status").and_then(Json::as_str).is_some(),
             "response without status: {r:?}"
         );
+    }
+
+    // Every probe answered with a schema-valid, self-consistent
+    // snapshot: status counts sum to completed, nothing completes that
+    // was never received, rolling percentiles are ordered.
+    assert_eq!(snapshots.len(), PROBES, "one snapshot per probe");
+    for s in &snapshots {
+        let num = |path: &[&str]| -> f64 {
+            let mut cur = s;
+            for k in path {
+                cur = cur
+                    .get(k)
+                    .unwrap_or_else(|| panic!("snapshot missing {path:?}: {s:?}"));
+            }
+            cur.as_num()
+                .unwrap_or_else(|| panic!("{path:?} not numeric: {s:?}"))
+        };
+        assert_eq!(num(&["schema_version"]), 1.0);
+        let completed = num(&["requests", "completed"]);
+        assert_eq!(
+            completed,
+            num(&["requests", "ok"]) + num(&["requests", "degraded"]) + num(&["requests", "error"])
+        );
+        assert!(completed + num(&["requests", "rejected"]) <= num(&["requests", "received"]));
+        assert_eq!(num(&["pool", "workers"]), 3.0);
+        assert!(num(&["pool", "inflight"]) >= 0.0);
+        for block in ["queue_wait_us", "service_us"] {
+            let (p50, p95, p99) = (
+                num(&["latency", block, "p50"]),
+                num(&["latency", block, "p95"]),
+                num(&["latency", block, "p99"]),
+            );
+            assert!(p50 <= p95 && p95 <= p99, "{block}: {p50} {p95} {p99}");
+        }
     }
 
     // Index responses that carry an id; count the anonymous ones.
