@@ -314,12 +314,17 @@ fn check_run_record(text: &str) -> Result<(String, usize), String> {
 /// (and `degraded` a non-empty `degradations` array), `error` carries
 /// `error.kind`/`error.message`, `rejected` carries a `reason`, and
 /// `stats` carries the snapshot blocks (`requests`/`pool`/`latency`/
-/// `flight` — deep-validated by `--stats`).
+/// `cache`/`connections`/`flight` — deep-validated by `--stats`).
 /// Returns (responses, per-status counts in taxonomy order).
 fn check_serve_transcript(text: &str) -> Result<(usize, [usize; 5]), String> {
     const STATUSES: [&str; 5] = ["ok", "degraded", "error", "rejected", "stats"];
     const ERROR_KINDS: [&str; 3] = ["bad-request", "plan", "panic"];
-    const REJECT_REASONS: [&str; 3] = ["overloaded", "oversized", "shutting-down"];
+    const REJECT_REASONS: [&str; 4] = [
+        "overloaded",
+        "oversized",
+        "shutting-down",
+        "connection-limit",
+    ];
     let mut counts = [0usize; 5];
     let mut responses = 0usize;
     for (ln, line) in text.lines().enumerate() {
@@ -389,7 +394,14 @@ fn check_serve_transcript(text: &str) -> Result<(usize, [usize; 5]), String> {
             }
             _ => {
                 check_schema_version(&v).map_err(|e| format!("line {ln}: stats {e}"))?;
-                for block in ["requests", "pool", "latency", "flight"] {
+                for block in [
+                    "requests",
+                    "pool",
+                    "latency",
+                    "cache",
+                    "connections",
+                    "flight",
+                ] {
                     v.get(block)
                         .ok_or(format!("line {ln}: stats response without {block} block"))?;
                 }
@@ -416,8 +428,9 @@ fn stats_num(v: &Json, path: &[&str]) -> Result<f64, String> {
 }
 
 /// Counters that must never decrease across successive snapshots from
-/// one daemon: the request totals, the pool's lifetime counters, and
-/// the flight-recorder dump count.
+/// one daemon: the request totals, the pool's lifetime counters, the
+/// plan-cache and connection counters, and the flight-recorder dump
+/// count.
 const MONOTONE_COUNTERS: &[&[&str]] = &[
     &["requests", "received"],
     &["requests", "ok"],
@@ -428,6 +441,11 @@ const MONOTONE_COUNTERS: &[&[&str]] = &[
     &["pool", "shed_total"],
     &["pool", "completed_total"],
     &["pool", "panics"],
+    &["cache", "hits"],
+    &["cache", "misses"],
+    &["cache", "evictions"],
+    &["connections", "accepted_total"],
+    &["connections", "shed_total"],
     &["flight", "dumps"],
     &["uptime_us"],
 ];
@@ -487,6 +505,13 @@ fn check_stats_lines(text: &str) -> Result<usize, String> {
             ["pool", "shed_total"],
             ["pool", "completed_total"],
             ["pool", "panics"],
+            ["cache", "hits"],
+            ["cache", "misses"],
+            ["cache", "evictions"],
+            ["connections", "active"],
+            ["connections", "accepted_total"],
+            ["connections", "shed_total"],
+            ["connections", "max"],
             ["flight", "dumps"],
             ["flight", "capacity"],
         ] {
@@ -494,6 +519,21 @@ fn check_stats_lines(text: &str) -> Result<usize, String> {
             if n < 0.0 {
                 return Err(format!("line {ln}: {} is negative ({n})", path.join(".")));
             }
+        }
+        // The plan cache never reports residency beyond its own caps.
+        let cache_entries = num(&["cache", "entries"])?;
+        let cache_max_entries = num(&["cache", "max_entries"])?;
+        if cache_entries > cache_max_entries {
+            return Err(format!(
+                "line {ln}: cache entries {cache_entries} > max_entries {cache_max_entries}"
+            ));
+        }
+        let cache_bytes = num(&["cache", "bytes"])?;
+        let cache_max_bytes = num(&["cache", "max_bytes"])?;
+        if cache_bytes > cache_max_bytes {
+            return Err(format!(
+                "line {ln}: cache bytes {cache_bytes} > max_bytes {cache_max_bytes}"
+            ));
         }
         // Rolling latency: both windows carry ordered percentiles.
         num(&["latency", "window_us"])?;
@@ -871,8 +911,9 @@ mod tests {
 {\"id\":null,\"status\":\"error\",\"error\":{\"kind\":\"bad-request\",\"message\":\"no spec\"}}
 {\"id\":\"c\",\"status\":\"error\",\"error\":{\"kind\":\"panic\",\"message\":\"boom\",\"flight\":\"req-c.jsonl\"}}
 {\"id\":\"d\",\"status\":\"rejected\",\"reason\":\"overloaded\",\"queued\":4,\"capacity\":4}
+{\"id\":null,\"status\":\"rejected\",\"reason\":\"connection-limit\",\"active\":64,\"max\":64}
 ";
-        assert_eq!(check_serve_transcript(good).unwrap(), (5, [1, 1, 2, 1, 0]));
+        assert_eq!(check_serve_transcript(good).unwrap(), (6, [1, 1, 2, 2, 0]));
 
         // Each status must carry the payload it promises.
         let bare_ok = "{\"id\":\"a\",\"status\":\"ok\"}\n";
@@ -904,8 +945,13 @@ mod tests {
         let with_stats = format!("{}{}", good, stats_snapshot(1, 1, 0, 0, 0));
         assert_eq!(
             check_serve_transcript(&with_stats).unwrap(),
-            (6, [1, 1, 2, 1, 1])
+            (7, [1, 1, 2, 2, 1])
         );
+        // The snapshot must carry the cache and connection blocks too.
+        let no_cache = stats_snapshot(1, 1, 0, 0, 0).replace("\"cache\"", "\"cachette\"");
+        assert!(check_serve_transcript(&no_cache)
+            .unwrap_err()
+            .contains("without cache block"));
         let bare_stats = "{\"id\":null,\"status\":\"stats\",\"schema_version\":1}\n";
         assert!(check_serve_transcript(bare_stats)
             .unwrap_err()
@@ -927,6 +973,11 @@ mod tests {
              \"p50\":8,\"p95\":16,\"p99\":16,\"max\":12}},\
              \"service_us\":{{\"count\":{completed},\"rate_per_sec\":0.5,\"mean_us\":900,\
              \"p50\":1024,\"p95\":1024,\"p99\":2048,\"max\":1400}}}},\
+             \"cache\":{{\"entries\":1,\"bytes\":512,\"max_entries\":128,\
+             \"max_bytes\":16777216,\"hits\":{degraded},\"misses\":{completed},\
+             \"evictions\":0}},\
+             \"connections\":{{\"active\":1,\"accepted_total\":{received},\
+             \"shed_total\":0,\"max\":64}},\
              \"flight\":{{\"dumps\":0,\"capacity\":4096}}}}\n",
             1000 + received * 100
         )
@@ -960,6 +1011,25 @@ mod tests {
         assert!(check_stats_lines(&disordered)
             .unwrap_err()
             .contains("out of order"));
+
+        // The cache never reports residency beyond its caps.
+        let overfull = stats_snapshot(2, 1, 0, 0, 0).replace("\"entries\":1", "\"entries\":200");
+        let err = check_stats_lines(&overfull).unwrap_err();
+        assert!(err.contains("cache entries 200 > max_entries"), "{err}");
+        let overweight =
+            stats_snapshot(2, 1, 0, 0, 0).replace("\"bytes\":512", "\"bytes\":99999999");
+        assert!(check_stats_lines(&overweight)
+            .unwrap_err()
+            .contains("max_bytes"));
+
+        // Cache counters are lifetime totals: never backwards.
+        let cache_rewind = format!(
+            "{}{}",
+            stats_snapshot(5, 3, 1, 0, 1),
+            stats_snapshot(9, 5, 2, 1, 1).replace("\"misses\":8", "\"misses\":2")
+        );
+        let err = check_stats_lines(&cache_rewind).unwrap_err();
+        assert!(err.contains("cache.misses went backwards"), "{err}");
 
         // Counters never run backwards across successive snapshots.
         let backwards = format!(

@@ -22,6 +22,15 @@
 //! output must sequence results themselves (the serve loop tags
 //! responses with request ids instead).
 //!
+//! **Sharing.** Every method takes `&self`, so one `Arc<Pool>` can be
+//! fed by any number of submitter threads concurrently — this is the
+//! backbone of `lacr serve`'s socket mode, where all connection
+//! readers submit into a single daemon-wide pool and `workers` /
+//! `capacity` stay global invariants no matter how many clients are
+//! connected. `close_and_drain` is idempotent and safe to call while
+//! other threads are still submitting: they get
+//! [`SubmitError::Closed`] and shed.
+//!
 //! **Telemetry.** The pool is the daemon's load-bearing wall, so it is
 //! instrumented at every edge: submit, start, finish, shed. Two views
 //! are maintained simultaneously:
@@ -499,6 +508,56 @@ mod tests {
             report.hist("pool.service_us").map(Histogram::count),
             Some(3)
         );
+    }
+
+    #[test]
+    fn one_shared_pool_accepts_submitters_from_many_threads() {
+        // The serve socket mode's shape: N connection threads submit
+        // into one Arc<Pool>. Admission stays globally bounded (either
+        // run or shed with a structured depth, never lost), and the
+        // drain accounts for every job exactly once.
+        const SUBMITTERS: usize = 8;
+        const PER_THREAD: usize = 50;
+        let pool = Arc::new(Pool::new("t-shared", 2, 16));
+        let done = Arc::new(AtomicUsize::new(0));
+        let shed = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..SUBMITTERS)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let done = Arc::clone(&done);
+                let shed = Arc::clone(&shed);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        let done = Arc::clone(&done);
+                        match pool.submit(move || {
+                            std::thread::sleep(Duration::from_micros(20));
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }) {
+                            Ok(()) => {}
+                            Err(SubmitError::Overloaded { queued, capacity }) => {
+                                assert!(queued <= capacity, "{queued} > {capacity}");
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(SubmitError::Closed) => panic!("pool closed early"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("submitter finishes");
+        }
+        pool.close_and_drain();
+        let stats = pool.stats();
+        assert_eq!(
+            done.load(Ordering::Relaxed) + shed.load(Ordering::Relaxed),
+            SUBMITTERS * PER_THREAD,
+            "every submission either ran or shed"
+        );
+        assert_eq!(stats.completed_total as usize, done.load(Ordering::Relaxed));
+        assert_eq!(stats.shed_total as usize, shed.load(Ordering::Relaxed));
+        assert_eq!(stats.workers, 2, "worker count is a global invariant");
+        assert_eq!((stats.inflight, stats.queued), (0, 0), "drained to rest");
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! Request-level plan cache: identical netlist + effective config →
+//! memoised plan.
+//!
+//! The serving workload the daemon targets (see PAPERS.md: planners
+//! re-queried across many near-identical design iterations) repeats the
+//! same request over and over; a cache turns those repeats into O(1)
+//! lookups. Correctness comes from the key, not from trust:
+//!
+//! * the netlist component is the **canonicalised** `.bench` text
+//!   (`bench_format::write` of the parsed circuit), so two requests that
+//!   differ only in whitespace, comments or delivery route (`circuit` /
+//!   `bench_path` / inline `bench`) still share an entry, while any
+//!   semantic difference changes the key;
+//! * the config component is the **effective** planner seed and budget
+//!   class (the request's `budget_ms` after the daemon default is
+//!   applied, or `none` for unlimited) — a different seed or deadline is
+//!   a different planning problem;
+//! * entries are matched on the **full key string** (the content hash
+//!   only buckets), so a hash collision degrades to a miss, never to a
+//!   wrong plan.
+//!
+//! Only *reproducible* results are stored: degraded plans (budget
+//! expiry is timing-dependent) and fault-injected requests bypass the
+//! cache entirely, so a warm hit is byte-identical to what a cold run
+//! would produce.
+//!
+//! The cache is bounded two ways — entry count and approximate resident
+//! bytes (key + plan text + quality gauges) — and evicts least recently
+//! used. Counters (`hits`/`misses`/`evictions`) surface in
+//! `{"cmd":"stats"}` and, when a collector is installed, as `cache.*`
+//! obs metrics.
+
+use lacr_core::summary::PlanSummary;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One memoised plan: everything a response line needs.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The plan summary (renders the exact `plan.text` lines).
+    pub summary: PlanSummary,
+    /// The request's `quality.*` gauges from the cold run.
+    pub quality: BTreeMap<String, f64>,
+    /// When the entry was inserted — age is reported on every hit.
+    pub inserted: Instant,
+}
+
+struct Entry {
+    plan: CachedPlan,
+    /// Recency stamp: larger = used more recently.
+    last_used: u64,
+    /// Approximate resident size (key + text + gauges).
+    bytes: usize,
+}
+
+struct Inner {
+    /// Full key string → entry. Matching on the whole key means a
+    /// content-hash collision can only cost a miss.
+    map: BTreeMap<String, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A point-in-time view of the cache for `{"cmd":"stats"}`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounts {
+    /// Entries resident right now.
+    pub entries: u64,
+    /// Approximate resident bytes right now.
+    pub bytes: u64,
+    /// Configured entry cap (0 = cache disabled).
+    pub max_entries: u64,
+    /// Configured byte cap (0 = cache disabled).
+    pub max_bytes: u64,
+    /// Lookups answered from the cache since startup.
+    pub hits: u64,
+    /// Lookups that missed since startup.
+    pub misses: u64,
+    /// Entries evicted to respect the caps since startup.
+    pub evictions: u64,
+}
+
+/// A bounded, LRU, thread-safe plan cache. `max_entries == 0` or
+/// `max_bytes == 0` disables it (every lookup misses, inserts are
+/// dropped) — the daemon still counts the misses so operators can see a
+/// disabled cache working as configured.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    max_entries: usize,
+    max_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    pub fn new(max_entries: usize, max_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: BTreeMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            max_entries,
+            max_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.max_entries > 0 && self.max_bytes > 0
+    }
+
+    /// Builds the cache key for one planning problem. The netlist part
+    /// must be the *canonical* `.bench` text, not the request's raw
+    /// input. A short content hash prefixes the key so `BTreeMap`
+    /// comparisons between near-identical netlists stay cheap; the full
+    /// text follows, so equality is exact.
+    pub fn key(canonical_bench: &str, seed: u64, budget_ms: Option<u64>) -> String {
+        let budget = match budget_ms {
+            Some(ms) => format!("{ms}"),
+            None => "none".to_string(),
+        };
+        format!(
+            "{:016x}\x00seed={seed}\x00budget={budget}\x00{canonical_bench}",
+            fnv1a64(canonical_bench.as_bytes())
+        )
+    }
+
+    /// Looks the key up, bumping recency and the hit/miss counters.
+    pub fn lookup(&self, key: &str) -> Option<CachedPlan> {
+        let found = if self.enabled() {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.map.get_mut(key).map(|e| {
+                e.last_used = tick;
+                e.plan.clone()
+            })
+        } else {
+            None
+        };
+        match &found {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                lacr_obs::counter!("cache.hits", 1_u64);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                lacr_obs::counter!("cache.misses", 1_u64);
+            }
+        }
+        found
+    }
+
+    /// Inserts (or refreshes) an entry, then evicts least-recently-used
+    /// entries until both caps hold. An entry that alone exceeds
+    /// `max_bytes` is not stored.
+    pub fn insert(&self, key: String, plan: CachedPlan) {
+        if !self.enabled() {
+            return;
+        }
+        let bytes = entry_bytes(&key, &plan);
+        if bytes > self.max_bytes {
+            return;
+        }
+        let mut evicted = 0_u64;
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(old) = inner.map.insert(
+                key,
+                Entry {
+                    plan,
+                    last_used: tick,
+                    bytes,
+                },
+            ) {
+                inner.bytes -= old.bytes;
+            }
+            inner.bytes += bytes;
+            while inner.map.len() > self.max_entries || inner.bytes > self.max_bytes {
+                let lru = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty map while over a cap");
+                let gone = inner.map.remove(&lru).expect("lru key present");
+                inner.bytes -= gone.bytes;
+                evicted += 1;
+            }
+            lacr_obs::gauge!("cache.entries", inner.map.len());
+            lacr_obs::gauge!("cache.bytes", inner.bytes);
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            lacr_obs::counter!("cache.evictions", evicted);
+        }
+    }
+
+    /// The cache's counters and gauges, for `{"cmd":"stats"}`.
+    pub fn counts(&self) -> CacheCounts {
+        let (entries, bytes) = {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            (inner.map.len() as u64, inner.bytes as u64)
+        };
+        CacheCounts {
+            entries,
+            bytes,
+            max_entries: self.max_entries as u64,
+            max_bytes: self.max_bytes as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Approximate resident size of one entry: the key, the rendered plan
+/// text, and the quality gauge names (values are a fixed 8 bytes).
+fn entry_bytes(key: &str, plan: &CachedPlan) -> usize {
+    let text: usize = plan.summary.text_lines().iter().map(String::len).sum();
+    let quality: usize = plan.quality.keys().map(|k| k.len() + 8).sum();
+    key.len() + text + quality + std::mem::size_of::<Entry>()
+}
+
+/// FNV-1a, 64-bit: the workspace's zero-dependency content hash. Only
+/// used to bucket keys — equality is always decided on the full bytes.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(circuit: &str) -> CachedPlan {
+        CachedPlan {
+            summary: PlanSummary {
+                circuit: circuit.to_string(),
+                t_init: 1000,
+                t_min: 500,
+                t_clk: 600,
+                min_area_n_foa: 1,
+                min_area_n_f: 2,
+                min_area_n_fn: 3,
+                lac_n_foa: 0,
+                lac_n_f: 2,
+                lac_n_fn: 3,
+                lac_rounds: 2,
+                degradations: Vec::new(),
+            },
+            quality: BTreeMap::new(),
+            inserted: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn keys_separate_netlist_seed_and_budget() {
+        let a = PlanCache::key("INPUT(a)\n", 1, None);
+        assert_eq!(a, PlanCache::key("INPUT(a)\n", 1, None));
+        assert_ne!(a, PlanCache::key("INPUT(b)\n", 1, None));
+        assert_ne!(a, PlanCache::key("INPUT(a)\n", 2, None));
+        assert_ne!(a, PlanCache::key("INPUT(a)\n", 1, Some(500)));
+        assert_ne!(
+            PlanCache::key("INPUT(a)\n", 1, Some(500)),
+            PlanCache::key("INPUT(a)\n", 1, Some(501))
+        );
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters_track() {
+        let cache = PlanCache::new(8, 1 << 20);
+        let key = PlanCache::key("net", 1, None);
+        assert!(cache.lookup(&key).is_none());
+        cache.insert(key.clone(), plan("c1"));
+        let hit = cache.lookup(&key).expect("hit");
+        assert_eq!(hit.summary.circuit, "c1");
+        let c = cache.counts();
+        assert_eq!((c.hits, c.misses, c.evictions), (1, 1, 0));
+        assert_eq!(c.entries, 1);
+        assert!(c.bytes > 0);
+    }
+
+    #[test]
+    fn entry_cap_evicts_least_recently_used() {
+        let cache = PlanCache::new(2, 1 << 20);
+        let (ka, kb, kc) = (
+            PlanCache::key("a", 0, None),
+            PlanCache::key("b", 0, None),
+            PlanCache::key("c", 0, None),
+        );
+        cache.insert(ka.clone(), plan("a"));
+        cache.insert(kb.clone(), plan("b"));
+        // Touch a so b is the LRU, then overflow with c.
+        assert!(cache.lookup(&ka).is_some());
+        cache.insert(kc.clone(), plan("c"));
+        assert!(cache.lookup(&kb).is_none(), "LRU entry b evicted");
+        assert!(cache.lookup(&ka).is_some());
+        assert!(cache.lookup(&kc).is_some());
+        assert_eq!(cache.counts().evictions, 1);
+        assert_eq!(cache.counts().entries, 2);
+    }
+
+    #[test]
+    fn byte_cap_bounds_residency_and_rejects_oversized_entries() {
+        let one = entry_bytes(&PlanCache::key("x", 0, None), &plan("x"));
+        // Room for two entries, not three.
+        let cache = PlanCache::new(64, one * 2 + one / 2);
+        for (i, k) in ["a", "b", "c"].iter().enumerate() {
+            cache.insert(PlanCache::key(k, 0, None), plan(k));
+            assert!(cache.counts().entries <= 2, "over byte cap at insert {i}");
+        }
+        let c = cache.counts();
+        assert_eq!(c.evictions, 1);
+        assert!(c.bytes <= c.max_bytes);
+        // A single entry larger than the whole cap is never stored.
+        let tiny = PlanCache::new(64, 8);
+        tiny.insert(PlanCache::key("big", 0, None), plan("big"));
+        assert_eq!(tiny.counts().entries, 0);
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_without_leaking_bytes() {
+        let cache = PlanCache::new(8, 1 << 20);
+        let key = PlanCache::key("net", 1, None);
+        cache.insert(key.clone(), plan("v1"));
+        let before = cache.counts().bytes;
+        cache.insert(key.clone(), plan("v2"));
+        let c = cache.counts();
+        assert_eq!(c.entries, 1);
+        assert_eq!(c.bytes, before, "replacement accounts the old entry out");
+        assert_eq!(cache.lookup(&key).expect("hit").summary.circuit, "v2");
+    }
+
+    #[test]
+    fn zero_caps_disable_the_cache() {
+        for cache in [PlanCache::new(0, 1 << 20), PlanCache::new(8, 0)] {
+            let key = PlanCache::key("net", 1, None);
+            cache.insert(key.clone(), plan("c"));
+            assert!(cache.lookup(&key).is_none());
+            let c = cache.counts();
+            assert_eq!((c.entries, c.hits), (0, 0));
+            assert_eq!(c.misses, 1, "disabled caches still count misses");
+        }
+    }
+}

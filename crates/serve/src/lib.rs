@@ -5,10 +5,10 @@
 //! [`protocol`]) from stdin or a Unix socket, answering one JSON line
 //! per request. The three robustness layers, in admission order:
 //!
-//! 1. **Admission control** — requests are parsed on the accept thread
-//!    and submitted to a bounded [`lacr_par::Pool`]; a full queue sheds
-//!    the request with `rejected: overloaded` instead of queueing
-//!    unboundedly, and over-long lines are discarded unread
+//! 1. **Admission control** — requests are parsed on their connection's
+//!    accept thread and submitted to a bounded [`lacr_par::Pool`]; a
+//!    full queue sheds the request with `rejected: overloaded` instead
+//!    of queueing unboundedly, and over-long lines are discarded unread
 //!    (`rejected: oversized`). Each request's [`Budget`] deadline is
 //!    created at admission, so time spent queued counts against it.
 //! 2. **Fault isolation** — each request runs under `catch_unwind`
@@ -22,29 +22,51 @@
 //!    shutting-down`, drain every admitted request to a response, flush
 //!    and exit 0.
 //!
-//! On top of the robustness layers sits **live introspection**: a
-//! `{"cmd":"stats"}` line answers (on the accept thread, so it works
-//! even with every worker wedged) with one telemetry snapshot — uptime,
-//! requests by status, the pool's gauges and rolling latency
-//! percentiles, and the flight recorder's dump count — and
-//! `--stats-interval-ms` emits the same snapshot to stderr on a timer.
-//! Status counts are kept under one lock ([`protocol::StatusCounts`]),
-//! so a snapshot is always internally consistent even while requests
-//! are in flight.
+//! **One pool, many connections.** In `--socket` mode every accepted
+//! connection shares the *same* [`Pool`] and [`Session`]: connection
+//! threads are thin readers that parse lines and submit jobs tagged
+//! with their connection's output handle, so responses route back to
+//! the stream that issued the request. `--workers` and `--queue-cap`
+//! are therefore **global invariants** — N clients never multiply the
+//! worker count by N, shed decisions reflect *total* load, and
+//! shutdown drains exactly one pool. `--max-connections` bounds the
+//! accept side the same way the queue bounds admission: an over-limit
+//! connection is answered with one `rejected: connection-limit` line
+//! and closed.
+//!
+//! **The plan cache.** Identical requests (same canonicalised netlist,
+//! same effective seed and budget class) are answered from a bounded
+//! LRU cache (see [`cache`]) with `cached: true` and the entry's age;
+//! correctness is pinned by the cache key carrying the full canonical
+//! netlist text, and only reproducible (non-degraded, fault-free)
+//! results are stored.
+//!
+//! On top sits **live introspection**: a `{"cmd":"stats"}` line answers
+//! (on the connection's accept thread, so it works even with every
+//! worker wedged) with one daemon-wide telemetry snapshot — uptime,
+//! requests by status, the shared pool's gauges and rolling latency
+//! percentiles, cache and connection counters, and the flight
+//! recorder's dump count — and `--stats-interval-ms` emits the same
+//! snapshot to stderr on a drift-free timer (scheduled off the previous
+//! deadline, not the previous emission). Status counts are kept under
+//! one lock ([`protocol::StatusCounts`]), so a snapshot is always
+//! internally consistent even while requests are in flight.
 //!
 //! Valid requests produce plan summaries byte-identical to the one-shot
 //! `lacr plan` output: both front ends render the same
 //! [`lacr_core::summary::PlanSummary`].
 
+pub mod cache;
 pub mod protocol;
 
+use cache::{CachedPlan, PlanCache};
 use lacr_core::planner::{try_build_physical_plan, try_plan_retimings, PlannerConfig};
 use lacr_core::summary::{summarize, PlanSummary};
 use lacr_core::Budget;
 use lacr_netlist::{bench89, bench_format, Circuit};
 use lacr_obs::scope::Scope;
 use lacr_par::{Pool, PoolStats, SubmitError};
-use protocol::{LineRead, Parsed, Request, Spec, StatusCounts};
+use protocol::{ConnCounts, LineRead, Parsed, Request, Spec, StatusCounts};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::panic::AssertUnwindSafe;
@@ -56,9 +78,9 @@ use std::time::{Duration, Instant};
 /// Daemon sizing and limits.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Resident planner workers.
+    /// Resident planner workers (shared by every connection).
     pub workers: usize,
-    /// Bounded request queue (pending, not counting in-flight).
+    /// Bounded request queue (pending, not counting in-flight; shared).
     pub queue_capacity: usize,
     /// Budget applied to requests that don't carry `budget_ms`.
     pub default_budget_ms: Option<u64>,
@@ -68,6 +90,13 @@ pub struct ServeConfig {
     /// `None`). The line is the same JSON as a `{"cmd":"stats"}`
     /// response, so operators can tail stderr into the same tooling.
     pub stats_interval_ms: Option<u64>,
+    /// Plan-cache entry cap (0 disables the cache).
+    pub cache_entries: usize,
+    /// Plan-cache approximate byte cap (0 disables the cache).
+    pub cache_bytes: usize,
+    /// Socket-mode connection cap (0 = unlimited). Connections over the
+    /// cap are answered `rejected: connection-limit` and closed.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +107,9 @@ impl Default for ServeConfig {
             default_budget_ms: None,
             max_line_bytes: protocol::DEFAULT_MAX_LINE_BYTES,
             stats_interval_ms: None,
+            cache_entries: 128,
+            cache_bytes: 16 << 20,
+            max_connections: 64,
         }
     }
 }
@@ -102,6 +134,8 @@ pub struct ServeStats {
     /// The pool's telemetry after the drain — `queued` and `inflight`
     /// are 0 by the drain contract; the counters are session totals.
     pub pool: PoolStats,
+    /// The plan cache's counters after the drain.
+    pub cache: cache::CacheCounts,
 }
 
 /// Set by the SIGINT/SIGTERM handlers; polled by the accept loops.
@@ -135,12 +169,65 @@ pub fn shutdown_requested() -> bool {
     SHUTDOWN.load(Ordering::SeqCst)
 }
 
-/// Shared per-session state: the response writer and the netlist cache.
+/// One connection's response stream. Jobs capture a clone, so a
+/// response always lands on the stream whose reader admitted it —
+/// routing is by construction, not by lookup.
+#[derive(Clone)]
+struct ConnOut(Arc<Mutex<Box<dyn Write + Send>>>);
+
+impl ConnOut {
+    fn new(out: Box<dyn Write + Send>) -> Self {
+        Self(Arc::new(Mutex::new(out)))
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        // A closed client pipe must not kill the daemon mid-drain.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+/// Always-on connection telemetry (the `connections` stats block).
+#[derive(Default)]
+struct ConnTelemetry {
+    active: AtomicU64,
+    accepted_total: AtomicU64,
+    shed_total: AtomicU64,
+}
+
+impl ConnTelemetry {
+    fn open(&self) {
+        self.accepted_total.fetch_add(1, Ordering::Relaxed);
+        let active = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        lacr_obs::gauge!("conn.active", active);
+        lacr_obs::counter!("conn.accepted_total", 1_u64);
+    }
+
+    fn close(&self) {
+        let active = self.active.fetch_sub(1, Ordering::Relaxed) - 1;
+        lacr_obs::gauge!("conn.active", active);
+    }
+
+    fn shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+        lacr_obs::counter!("conn.shed_total", 1_u64);
+    }
+
+    fn active(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+}
+
+/// Daemon-global state shared by every connection: the netlist and plan
+/// caches, the status counts, and the stop latch. One `Session` exists
+/// per daemon, regardless of how many streams are connected.
 struct Session {
-    out: Mutex<Box<dyn Write + Send>>,
     /// Parsed `.bench` files by path — requests against shared device
     /// data reuse one immutable parse.
     circuits: Mutex<BTreeMap<String, Arc<Circuit>>>,
+    /// The request-level plan cache.
+    cache: PlanCache,
     default_budget_ms: Option<u64>,
     panics: AtomicU64,
     /// Session start — the stats snapshot's uptime epoch.
@@ -148,14 +235,29 @@ struct Session {
     /// Responses by status, updated together under one lock so a stats
     /// snapshot never sees a half-applied transition.
     counts: Mutex<StatusCounts>,
+    /// Connection gauges for the stats snapshot.
+    conns: ConnTelemetry,
+    /// Configured connection cap (0 = unlimited), echoed in stats.
+    max_connections: u64,
+    /// Daemon-local stop latch: set by `{"cmd":"shutdown"}` on *any*
+    /// connection; polled (alongside the process-global signal flag) by
+    /// every connection loop and the socket accept loop.
+    stop: AtomicBool,
 }
 
 impl Session {
-    fn write_line(&self, line: &str) {
-        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
-        // A closed client pipe must not kill the daemon mid-drain.
-        let _ = writeln!(out, "{line}");
-        let _ = out.flush();
+    fn new(config: &ServeConfig) -> Self {
+        Self {
+            circuits: Mutex::new(BTreeMap::new()),
+            cache: PlanCache::new(config.cache_entries, config.cache_bytes),
+            default_budget_ms: config.default_budget_ms,
+            panics: AtomicU64::new(0),
+            started: Instant::now(),
+            counts: Mutex::new(StatusCounts::default()),
+            conns: ConnTelemetry::default(),
+            max_connections: config.max_connections as u64,
+            stop: AtomicBool::new(false),
+        }
     }
 
     /// Applies one consistent update to the status counts.
@@ -167,9 +269,66 @@ impl Session {
     fn counts(&self) -> StatusCounts {
         *self.counts.lock().unwrap_or_else(|e| e.into_inner())
     }
+
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || shutdown_requested()
+    }
+
+    fn conn_counts(&self) -> ConnCounts {
+        ConnCounts {
+            active: self.conns.active(),
+            accepted_total: self.conns.accepted_total.load(Ordering::Relaxed),
+            shed_total: self.conns.shed_total.load(Ordering::Relaxed),
+            max: self.max_connections,
+        }
+    }
 }
 
-/// Builds one `status: stats` snapshot line for the session (see
+/// The `--stats-interval-ms` scheduler. Deadlines advance off the
+/// *previous deadline*, never off the emission instant, so lateness
+/// (snapshot rendering, the dispatch loop sitting in a bounded
+/// `recv_timeout`) does not accumulate as period drift. When emission
+/// falls more than a whole interval behind, missed ticks are skipped
+/// but the phase is kept.
+struct Heartbeat {
+    interval: Duration,
+    next: Instant,
+}
+
+impl Heartbeat {
+    fn new(interval: Duration) -> Self {
+        Self {
+            interval,
+            next: Instant::now() + interval,
+        }
+    }
+
+    /// Time until the next deadline (zero when already due) — the
+    /// dispatch loop caps its poll timeout with this, so a heartbeat is
+    /// never late by a full poll period.
+    fn until_due(&self, now: Instant) -> Duration {
+        self.next.saturating_duration_since(now)
+    }
+
+    /// Whether a snapshot is due at `now`; advances the deadline by
+    /// whole intervals when it is.
+    fn due(&mut self, now: Instant) -> bool {
+        if now < self.next {
+            return false;
+        }
+        self.next += self.interval;
+        while self.next <= now {
+            self.next += self.interval;
+        }
+        true
+    }
+}
+
+/// Builds one `status: stats` snapshot line for the daemon (see
 /// [`protocol::stats_line`] for the schema).
 fn stats_snapshot_line(session: &Session, pool: &Pool, id: Option<&str>) -> String {
     protocol::stats_line(
@@ -179,6 +338,8 @@ fn stats_snapshot_line(session: &Session, pool: &Pool, id: Option<&str>) -> Stri
         &pool.stats(),
         &pool.queue_wait(),
         &pool.service(),
+        &session.cache.counts(),
+        &session.conn_counts(),
         lacr_obs::flight::dump_count(),
         lacr_obs::flight::capacity() as u64,
     )
@@ -239,14 +400,14 @@ fn parse_bench(name: &str, text: &str, origin: &str) -> Result<Circuit, RequestE
     Ok(c)
 }
 
-/// Plans one admitted request. Runs on a pool worker, inside the
-/// request's scope; panics escape to the `catch_unwind` in
-/// [`run_request`].
-fn execute(
-    session: &Session,
-    req: &Request,
-    budget: Budget,
-) -> Result<(PlanSummary, BTreeMap<String, f64>), RequestError> {
+/// One request's planning outcome: the summary, its quality gauges, and
+/// — when the cache answered — the entry's age in milliseconds.
+type Planned = (PlanSummary, BTreeMap<String, f64>, Option<u64>);
+
+/// Plans one admitted request, consulting the plan cache first. Runs on
+/// a pool worker, inside the request's scope; panics escape to the
+/// `catch_unwind` in [`run_request`].
+fn execute(session: &Session, req: &Request, budget: Budget) -> Result<Planned, RequestError> {
     if req.fault.sleep_ms > 0 {
         std::thread::sleep(Duration::from_millis(req.fault.sleep_ms));
     }
@@ -260,6 +421,25 @@ fn execute(
     };
     if let Some(seed) = req.seed {
         config.seed = seed;
+    }
+    // The cache key: canonical netlist text (spec-shape independent) +
+    // effective seed + effective budget class. Fault-injected requests
+    // bypass the cache — they exist to exercise the worker, not skip it.
+    let key = if req.fault == protocol::Fault::default() {
+        let effective_budget = req.budget_ms.or(session.default_budget_ms);
+        Some(PlanCache::key(
+            &bench_format::write(&circuit),
+            config.seed,
+            effective_budget,
+        ))
+    } else {
+        None
+    };
+    if let Some(key) = &key {
+        if let Some(hit) = session.cache.lookup(key) {
+            let age_ms = hit.inserted.elapsed().as_millis() as u64;
+            return Ok((hit.summary, hit.quality, Some(age_ms)));
+        }
     }
     let plan = try_build_physical_plan(&circuit, &config, &[])
         .map_err(|e| RequestError::Plan(e.to_string()))?;
@@ -277,11 +457,26 @@ fn execute(
                 .collect()
         })
         .unwrap_or_default();
-    Ok((summary, quality))
+    // Memoise reproducible results only: a degraded plan is what the
+    // budget happened to allow *this* run, not a function of the key.
+    if let Some(key) = key {
+        if !summary.is_degraded() {
+            session.cache.insert(
+                key,
+                CachedPlan {
+                    summary: summary.clone(),
+                    quality: quality.clone(),
+                    inserted: Instant::now(),
+                },
+            );
+        }
+    }
+    Ok((summary, quality, None))
 }
 
-/// The isolation boundary: scope attach, `catch_unwind`, response line.
-fn run_request(session: &Session, req: &Request, budget: Budget, enqueued: Instant) {
+/// The isolation boundary: scope attach, `catch_unwind`, response line
+/// routed to the issuing connection's stream.
+fn run_request(session: &Session, out: &ConnOut, req: &Request, budget: Budget, enqueued: Instant) {
     let scope = Scope::new(req.id.as_str());
     let _guard = scope.attach();
     let queue_ms = enqueued.elapsed().as_millis() as u64;
@@ -289,13 +484,13 @@ fn run_request(session: &Session, req: &Request, budget: Budget, enqueued: Insta
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| execute(session, req, budget)));
     let plan_ms = started.elapsed().as_millis() as u64;
     let line = match outcome {
-        Ok(Ok((summary, quality))) => {
+        Ok(Ok((summary, quality, cache_age_ms))) => {
             if summary.is_degraded() {
                 session.count(|c| c.degraded += 1);
             } else {
                 session.count(|c| c.ok += 1);
             }
-            protocol::result_line(&req.id, &summary, &quality, queue_ms, plan_ms)
+            protocol::result_line(&req.id, &summary, &quality, queue_ms, plan_ms, cache_age_ms)
         }
         Ok(Err(RequestError::BadRequest(msg))) => {
             session.count(|c| c.error += 1);
@@ -318,7 +513,7 @@ fn run_request(session: &Session, req: &Request, budget: Budget, enqueued: Insta
             protocol::error_line(Some(&req.id), "panic", &msg, flight.as_deref())
         }
     };
-    session.write_line(&line);
+    out.write_line(&line);
 }
 
 fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
@@ -337,39 +532,43 @@ enum Feed {
     Io(std::io::Error),
 }
 
-/// Runs one serve session: reads requests from `input` until EOF, a
-/// shutdown command, or a signal; answers every line on `output`; then
-/// drains in-flight work and returns the session's stats.
-///
-/// # Errors
-///
-/// Only I/O errors from the input stream; client-side response-write
-/// failures are swallowed (a gone client must not kill the daemon).
-pub fn serve(
+/// What one connection loop did, merged into daemon totals by its
+/// owner ([`serve`] or the socket accept loop).
+#[derive(Default)]
+struct ConnOutcome {
+    received: u64,
+    admitted: u64,
+    rejected: u64,
+    /// This connection saw an explicit `{"cmd":"shutdown"}` or a
+    /// signal-driven stop (as opposed to plain EOF).
+    shutdown: bool,
+    io_error: Option<std::io::Error>,
+}
+
+/// Runs one connection against the shared session and pool: reads
+/// requests from `input` until EOF, a shutdown, or a stop request;
+/// answers every line on `out`; sweeps late arrivals with `rejected:
+/// shutting-down`. Does *not* drain the pool — in-flight jobs belong to
+/// the daemon and keep routing their responses to `out` after this
+/// returns (the jobs hold clones of the handle).
+fn serve_connection(
     config: &ServeConfig,
+    session: &Arc<Session>,
+    pool: &Arc<Pool>,
+    conn_id: u64,
     input: impl BufRead + Send + 'static,
-    output: impl Write + Send + 'static,
-) -> std::io::Result<ServeStats> {
-    let session = Arc::new(Session {
-        out: Mutex::new(Box::new(output)),
-        circuits: Mutex::new(BTreeMap::new()),
-        default_budget_ms: config.default_budget_ms,
-        panics: AtomicU64::new(0),
-        started: Instant::now(),
-        counts: Mutex::new(StatusCounts::default()),
-    });
-    let pool = Pool::new("lacr-serve", config.workers, config.queue_capacity);
-    let mut stats = ServeStats::default();
-    let stats_interval = config.stats_interval_ms.map(Duration::from_millis);
-    let mut last_stats_emit = Instant::now();
+    out: &ConnOut,
+    mut heartbeat: Option<Heartbeat>,
+) -> ConnOutcome {
+    let mut outcome = ConnOutcome::default();
 
     // The reader thread turns blocking input into channel messages so
-    // the accept loop can poll the shutdown flag between lines.
+    // this loop can poll the stop latches between lines.
     let (tx, rx) = mpsc::channel::<Feed>();
     let max_line = config.max_line_bytes;
     let mut input = input;
     std::thread::Builder::new()
-        .name("lacr-serve-reader".to_string())
+        .name(format!("lacr-serve-read-{conn_id}"))
         .spawn(move || loop {
             match protocol::read_bounded_line(&mut input, max_line) {
                 Ok(LineRead::Eof) => {
@@ -389,45 +588,47 @@ pub fn serve(
         })
         .expect("spawn reader thread");
 
-    let mut io_error: Option<std::io::Error> = None;
     loop {
-        if shutdown_requested() {
-            lacr_obs::diag!("serve: signal received, draining");
-            stats.shutdown = true;
+        if session.stopping() {
+            outcome.shutdown = true;
             break;
         }
-        // The periodic operator heartbeat: one stats snapshot line to
-        // stderr, same JSON as a `{"cmd":"stats"}` response.
-        if let Some(interval) = stats_interval {
-            if last_stats_emit.elapsed() >= interval {
-                eprintln!("{}", stats_snapshot_line(&session, &pool, None));
-                last_stats_emit = Instant::now();
+        // The periodic operator heartbeat (stdin front end only; the
+        // socket accept loop owns it in socket mode): one stats
+        // snapshot line to stderr, same JSON as a `{"cmd":"stats"}`
+        // response, scheduled off the previous deadline.
+        let mut timeout = Duration::from_millis(50);
+        if let Some(h) = heartbeat.as_mut() {
+            let now = Instant::now();
+            if h.due(now) {
+                eprintln!("{}", stats_snapshot_line(session, pool, None));
             }
+            timeout = timeout.min(h.until_due(now));
         }
-        match rx.recv_timeout(Duration::from_millis(50)) {
+        match rx.recv_timeout(timeout) {
             Ok(Feed::Line(read)) => {
-                stats.received += 1;
+                outcome.received += 1;
                 session.count(|c| c.received += 1);
-                if !admit(config, &session, &pool, &mut stats, read) {
-                    stats.shutdown = true;
+                if !admit(config, session, pool, out, &mut outcome, read) {
+                    outcome.shutdown = true;
                     break;
                 }
             }
             Ok(Feed::Eof) | Err(RecvTimeoutError::Disconnected) => break,
             Ok(Feed::Io(e)) => {
-                io_error = Some(e);
+                outcome.io_error = Some(e);
                 break;
             }
             Err(RecvTimeoutError::Timeout) => {}
         }
     }
 
-    // Shutdown: reject anything still in the channel (admission is
-    // closed), then drain every admitted request to a response.
+    // Shutdown sweep: reject anything still in the channel (admission
+    // is closed for this connection).
     while let Ok(feed) = rx.try_recv() {
         if let Feed::Line(read) = feed {
-            stats.received += 1;
-            stats.rejected += 1;
+            outcome.received += 1;
+            outcome.rejected += 1;
             session.count(|c| {
                 c.received += 1;
                 c.rejected += 1;
@@ -439,45 +640,82 @@ pub fn serve(
                 },
                 _ => None,
             };
-            session.write_line(&protocol::rejected_shutdown_line(id.as_deref()));
+            out.write_line(&protocol::rejected_shutdown_line(id.as_deref()));
         }
     }
+    outcome
+}
+
+/// Runs one serve session over stdin-style streams: a single connection
+/// against its own daemon state (shared-pool machinery with exactly one
+/// client). Reads requests from `input` until EOF, a shutdown command,
+/// or a signal; answers every line on `output`; then drains in-flight
+/// work and returns the session's stats.
+///
+/// # Errors
+///
+/// Only I/O errors from the input stream; client-side response-write
+/// failures are swallowed (a gone client must not kill the daemon).
+pub fn serve(
+    config: &ServeConfig,
+    input: impl BufRead + Send + 'static,
+    output: impl Write + Send + 'static,
+) -> std::io::Result<ServeStats> {
+    let session = Arc::new(Session::new(config));
+    let pool = Arc::new(Pool::new(
+        "lacr-serve",
+        config.workers,
+        config.queue_capacity,
+    ));
+    let out = ConnOut::new(Box::new(output));
+    let heartbeat = config
+        .stats_interval_ms
+        .map(|ms| Heartbeat::new(Duration::from_millis(ms)));
+    session.conns.open();
+    let outcome = serve_connection(config, &session, &pool, 0, input, &out, heartbeat);
+    session.conns.close();
     pool.close_and_drain();
-    {
-        let mut out = session.out.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = out.flush();
-    }
-    stats.panics = session.panics.load(Ordering::Relaxed);
-    stats.counts = session.counts();
-    stats.pool = pool.stats();
+    let stats = ServeStats {
+        received: outcome.received,
+        admitted: outcome.admitted,
+        rejected: outcome.rejected,
+        panics: session.panics.load(Ordering::Relaxed),
+        shutdown: outcome.shutdown,
+        counts: session.counts(),
+        pool: pool.stats(),
+        cache: session.cache.counts(),
+    };
     lacr_obs::diag!(
-        "serve: done ({} received, {} admitted, {} rejected, {} panics isolated)",
+        "serve: done ({} received, {} admitted, {} rejected, {} panics isolated, \
+         {} cache hits)",
         stats.received,
         stats.admitted,
         stats.rejected,
-        stats.panics
+        stats.panics,
+        stats.cache.hits
     );
-    match io_error {
+    match outcome.io_error {
         Some(e) => Err(e),
         None => Ok(stats),
     }
 }
 
 /// Parses and admits one line. Returns `false` when the line asked for
-/// shutdown.
+/// shutdown (the daemon-wide stop latch is set before returning).
 fn admit(
     config: &ServeConfig,
     session: &Arc<Session>,
-    pool: &Pool,
-    stats: &mut ServeStats,
+    pool: &Arc<Pool>,
+    out: &ConnOut,
+    outcome: &mut ConnOutcome,
     read: LineRead,
 ) -> bool {
     let line = match read {
         LineRead::Line(line) => line,
         LineRead::TooLong { dropped } => {
-            stats.rejected += 1;
+            outcome.rejected += 1;
             session.count(|c| c.rejected += 1);
-            session.write_line(&protocol::rejected_oversized_line(
+            out.write_line(&protocol::rejected_oversized_line(
                 dropped,
                 config.max_line_bytes,
             ));
@@ -487,17 +725,22 @@ fn admit(
     };
     let req = match protocol::parse_line(&line) {
         Ok(Parsed::Request(req)) => req,
-        Ok(Parsed::Shutdown) => return false,
+        Ok(Parsed::Shutdown) => {
+            // Stop every connection and the accept loop, not just this
+            // stream: shutdown is a daemon-wide command.
+            session.request_stop();
+            return false;
+        }
         Ok(Parsed::Stats { id }) => {
-            // Answered inline on the accept thread: a stats probe must
-            // stay live even when every worker is busy, and must not
-            // consume a queue slot.
-            session.write_line(&stats_snapshot_line(session, pool, id.as_deref()));
+            // Answered inline on the connection thread: a stats probe
+            // must stay live even when every worker is busy, and must
+            // not consume a queue slot.
+            out.write_line(&stats_snapshot_line(session, pool, id.as_deref()));
             return true;
         }
         Err(e) => {
             session.count(|c| c.error += 1);
-            session.write_line(&protocol::error_line(
+            out.write_line(&protocol::error_line(
                 e.id.as_deref(),
                 "bad-request",
                 &e.message,
@@ -517,77 +760,207 @@ fn admit(
     let budget = Budget::new(deadline, None).labeled(req.id.as_str());
     let id = req.id.clone();
     let job_session = Arc::clone(session);
-    match pool.submit(move || run_request(&job_session, &req, budget, enqueued)) {
-        Ok(()) => stats.admitted += 1,
+    let job_out = out.clone();
+    match pool.submit(move || run_request(&job_session, &job_out, &req, budget, enqueued)) {
+        Ok(()) => outcome.admitted += 1,
         Err(SubmitError::Overloaded { queued, capacity }) => {
-            stats.rejected += 1;
+            outcome.rejected += 1;
             session.count(|c| c.rejected += 1);
-            session.write_line(&protocol::rejected_overloaded_line(&id, queued, capacity));
+            out.write_line(&protocol::rejected_overloaded_line(&id, queued, capacity));
         }
         Err(SubmitError::Closed) => {
-            stats.rejected += 1;
+            outcome.rejected += 1;
             session.count(|c| c.rejected += 1);
-            session.write_line(&protocol::rejected_shutdown_line(Some(&id)));
+            out.write_line(&protocol::rejected_shutdown_line(Some(&id)));
         }
     }
     true
 }
 
+/// Binds the daemon's Unix socket without clobbering anything live: an
+/// existing path is only unlinked when it is (a) a socket and (b)
+/// *stale* — a probe connect fails, so no daemon is behind it. A
+/// non-socket file at the path, or a live listener, is refused with a
+/// descriptive error instead of being deleted.
+#[cfg(unix)]
+fn bind_unix_socket(path: &std::path::Path) -> std::io::Result<std::os::unix::net::UnixListener> {
+    use std::os::unix::fs::FileTypeExt;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    match std::fs::symlink_metadata(path) {
+        Ok(meta) => {
+            if !meta.file_type().is_socket() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AlreadyExists,
+                    format!(
+                        "{} exists and is not a socket; refusing to delete it",
+                        path.display()
+                    ),
+                ));
+            }
+            match UnixStream::connect(path) {
+                Ok(_) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::AddrInUse,
+                        format!(
+                            "{} already has a live daemon listening; \
+                             refusing to replace it",
+                            path.display()
+                        ),
+                    ));
+                }
+                Err(_) => {
+                    // Socket file with nobody behind it: a previous
+                    // daemon died without cleanup. Safe to reclaim.
+                    lacr_obs::diag!("serve: removing stale socket {}", path.display());
+                    std::fs::remove_file(path)?;
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    UnixListener::bind(path)
+}
+
 /// Serves on a Unix socket: accepts connections until a shutdown is
-/// requested (signal, or `{"cmd":"shutdown"}` on any connection), each
-/// connection speaking the same line protocol against its own bounded
-/// pool. A client that merely disconnects (EOF) ends its connection,
-/// not the daemon.
+/// requested (signal, or `{"cmd":"shutdown"}` on any connection), every
+/// connection speaking the line protocol against **one shared pool and
+/// session** — `--workers`/`--queue-cap` bound the whole daemon, not
+/// each client. A client that merely disconnects (EOF) ends its
+/// connection, not the daemon. Connections beyond `--max-connections`
+/// are answered `rejected: connection-limit` and closed; finished
+/// connection threads are reaped every accept pass, so a long-lived
+/// daemon holds handles only for live connections.
 ///
 /// # Errors
 ///
-/// Binding or accepting on the socket. Per-connection I/O errors only
-/// end that connection.
+/// Binding or accepting on the socket (an existing non-socket file or a
+/// live daemon at `path` refuses the bind — see the stale-socket rules
+/// on [`bind_unix_socket`]). Per-connection I/O errors only end that
+/// connection.
 #[cfg(unix)]
 pub fn serve_unix_socket(config: &ServeConfig, path: &std::path::Path) -> std::io::Result<()> {
-    use std::os::unix::net::UnixListener;
-    // A stale socket file from a previous run would fail the bind.
-    let _ = std::fs::remove_file(path);
-    let listener = UnixListener::bind(path)?;
+    let listener = bind_unix_socket(path)?;
     listener.set_nonblocking(true)?;
     lacr_obs::diag!("serve: listening on {}", path.display());
+    let session = Arc::new(Session::new(config));
+    let pool = Arc::new(Pool::new(
+        "lacr-serve",
+        config.workers,
+        config.queue_capacity,
+    ));
+    let mut heartbeat = config
+        .stats_interval_ms
+        .map(|ms| Heartbeat::new(Duration::from_millis(ms)));
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    loop {
-        if shutdown_requested() {
-            break;
+    let mut next_conn_id = 0_u64;
+    let result = loop {
+        if session.stopping() {
+            break Ok(());
         }
+        let mut sleep = Duration::from_millis(50);
+        if let Some(h) = heartbeat.as_mut() {
+            let now = Instant::now();
+            if h.due(now) {
+                eprintln!("{}", stats_snapshot_line(&session, &pool, None));
+            }
+            sleep = sleep.min(h.until_due(now));
+        }
+        // Reap finished connection threads each pass: a long-lived
+        // daemon must not accumulate one dead handle per past client.
+        let mut live = Vec::with_capacity(connections.len());
+        for handle in connections.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                live.push(handle);
+            }
+        }
+        connections = live;
         match listener.accept() {
             Ok((stream, _)) => {
+                if config.max_connections > 0
+                    && session.conns.active() >= config.max_connections as u64
+                {
+                    // Admission control for connections mirrors the
+                    // queue: shed with one structured line, then close.
+                    session.conns.shed();
+                    session.count(|c| c.rejected += 1);
+                    let out = ConnOut::new(Box::new(stream));
+                    out.write_line(&protocol::rejected_connection_limit_line(
+                        session.conns.active(),
+                        config.max_connections as u64,
+                    ));
+                    lacr_obs::diag!(
+                        "serve: connection shed ({} active, cap {})",
+                        session.conns.active(),
+                        config.max_connections
+                    );
+                    continue;
+                }
+                // A clone failure is this connection's problem, not the
+                // daemon's: log, drop the stream, keep accepting.
+                let reader = match stream.try_clone() {
+                    Ok(reader) => reader,
+                    Err(e) => {
+                        lacr_obs::diag!("serve: cannot clone connection stream ({e}); dropping");
+                        continue;
+                    }
+                };
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
+                session.conns.open();
                 let config = config.clone();
-                let reader = stream.try_clone()?;
+                let conn_session = Arc::clone(&session);
+                let conn_pool = Arc::clone(&pool);
                 let handle = std::thread::Builder::new()
-                    .name("lacr-serve-conn".to_string())
+                    .name(format!("lacr-serve-conn-{conn_id}"))
                     .spawn(move || {
                         let input = std::io::BufReader::new(reader);
-                        match serve(&config, input, stream) {
-                            Ok(stats) if stats.shutdown => {
-                                // An explicit shutdown command on any
-                                // connection stops the accept loop too.
-                                SHUTDOWN.store(true, Ordering::SeqCst);
-                            }
-                            Ok(_) => {}
-                            Err(e) => lacr_obs::diag!("serve: connection error: {e}"),
+                        let out = ConnOut::new(Box::new(stream));
+                        let outcome = serve_connection(
+                            &config,
+                            &conn_session,
+                            &conn_pool,
+                            conn_id,
+                            input,
+                            &out,
+                            None,
+                        );
+                        conn_session.conns.close();
+                        if let Some(e) = outcome.io_error {
+                            lacr_obs::diag!("serve: connection {conn_id} error: {e}");
                         }
                     })
                     .expect("spawn connection thread");
                 connections.push(handle);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(50));
+                std::thread::sleep(sleep.max(Duration::from_millis(1)));
             }
-            Err(e) => return Err(e),
+            Err(e) => break Err(e),
         }
-    }
+    };
+    // Daemon drain: stop every connection loop, join them, then run the
+    // one shared pool dry — in-flight responses still route to their
+    // issuing streams (jobs hold the output handles).
+    session.request_stop();
     for handle in connections {
         let _ = handle.join();
     }
+    pool.close_and_drain();
+    let counts = session.counts();
+    lacr_obs::diag!(
+        "serve: done ({} received, {} completed, {} rejected, {} connections, \
+         {} cache hits)",
+        counts.received,
+        counts.completed(),
+        counts.rejected,
+        session.conns.accepted_total.load(Ordering::Relaxed),
+        session.cache.counts().hits
+    );
     let _ = std::fs::remove_file(path);
-    Ok(())
+    result
 }
 
 #[cfg(test)]
@@ -690,6 +1063,97 @@ mod tests {
             by_id("ok-1").get("plan").and_then(|p| p.get("text")),
             by_id("ok-2").get("plan").and_then(|p| p.get("text"))
         );
+    }
+
+    #[test]
+    fn identical_requests_hit_the_plan_cache() {
+        // One worker forces FIFO completion, so the cold request is
+        // finished (and inserted) before the warm one runs.
+        let config = ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        // The display name is part of the plan text (and hence the
+        // canonical key), so the file stem must match the inline name.
+        let dir = std::env::temp_dir().join(format!("lacr_cache_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let tmp = dir.join("tiny.bench");
+        std::fs::write(&tmp, tiny_bench().replace("\\n", "\n")).expect("write bench file");
+        let lines = [
+            format!(
+                r#"{{"id":"cold","bench":"{}","name":"tiny"}}"#,
+                tiny_bench()
+            ),
+            format!(
+                r#"{{"id":"warm","bench":"{}","name":"tiny"}}"#,
+                tiny_bench()
+            ),
+            // Same netlist content via a different spec shape: the
+            // canonicalised key must still hit.
+            format!(r#"{{"id":"path","bench_path":"{}"}}"#, tmp.display()),
+            // A different seed is a different planning problem.
+            format!(
+                r#"{{"id":"reseeded","bench":"{}","name":"tiny","seed":99}}"#,
+                tiny_bench()
+            ),
+        ];
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let (out, stats) = run_lines_with_stats(&config, &refs);
+        let _ = std::fs::remove_dir_all(&dir);
+        let by_id = |id: &str| -> Json {
+            out.iter()
+                .map(|l| parse_json(l).expect("valid response JSON"))
+                .find(|j| j.get("id").and_then(Json::as_str) == Some(id))
+                .unwrap_or_else(|| panic!("no response for {id}: {out:?}"))
+        };
+        let (cold, warm, path, reseeded) = (
+            by_id("cold"),
+            by_id("warm"),
+            by_id("path"),
+            by_id("reseeded"),
+        );
+        assert_eq!(cold.get("cached"), Some(&Json::Bool(false)), "{cold:?}");
+        assert_eq!(warm.get("cached"), Some(&Json::Bool(true)), "{warm:?}");
+        assert!(
+            warm.get("cache_age_ms").and_then(Json::as_num).is_some(),
+            "warm hit reports its age: {warm:?}"
+        );
+        // Correctness: the warm hit is byte-identical to the cold run.
+        assert_eq!(
+            cold.get("plan").and_then(|p| p.get("text")),
+            warm.get("plan").and_then(|p| p.get("text"))
+        );
+        // Spec shape does not matter, content does.
+        assert_eq!(path.get("cached"), Some(&Json::Bool(true)), "{path:?}");
+        assert_eq!(
+            reseeded.get("cached"),
+            Some(&Json::Bool(false)),
+            "{reseeded:?}"
+        );
+        assert_eq!(stats.cache.hits, 2);
+        assert_eq!(stats.cache.misses, 2);
+        assert_eq!(stats.cache.entries, 2, "cold + reseeded entries resident");
+    }
+
+    #[test]
+    fn degraded_results_are_not_cached() {
+        let config = ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let lines = [
+            format!(r#"{{"id":"d1","bench":"{}","budget_ms":0}}"#, tiny_bench()),
+            format!(r#"{{"id":"d2","bench":"{}","budget_ms":0}}"#, tiny_bench()),
+        ];
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let (out, stats) = run_lines_with_stats(&config, &refs);
+        for line in &out {
+            let j = parse_json(line).expect("valid JSON");
+            assert_eq!(j.get("status").and_then(Json::as_str), Some("degraded"));
+            assert_eq!(j.get("cached"), Some(&Json::Bool(false)), "{j:?}");
+        }
+        assert_eq!(stats.cache.hits, 0);
+        assert_eq!(stats.cache.entries, 0, "degraded plans are never stored");
     }
 
     #[test]
@@ -797,6 +1261,63 @@ mod tests {
     }
 
     #[test]
+    fn heartbeat_schedules_off_the_previous_deadline() {
+        let interval = Duration::from_millis(100);
+        let mut h = Heartbeat::new(interval);
+        let t0 = h.next; // first deadline
+        assert!(!h.due(t0 - Duration::from_millis(1)));
+        // Emission runs 30 ms late (the loop sat in a recv_timeout):
+        // the next deadline is t0 + interval, NOT late-instant +
+        // interval — lateness does not shift the schedule.
+        assert!(h.due(t0 + Duration::from_millis(30)));
+        assert_eq!(h.next, t0 + interval);
+        // On time for the second tick.
+        assert!(h.due(t0 + interval));
+        assert_eq!(h.next, t0 + 2 * interval);
+        // Falling several intervals behind emits once and skips the
+        // missed ticks, keeping the phase.
+        assert!(h.due(t0 + 5 * interval + Duration::from_millis(50)));
+        assert_eq!(h.next, t0 + 6 * interval);
+        // until_due saturates at zero when already due.
+        assert_eq!(h.until_due(t0 + 7 * interval), Duration::ZERO);
+        assert_eq!(
+            h.until_due(t0 + 6 * interval - Duration::from_millis(40)),
+            Duration::from_millis(40)
+        );
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn bind_refuses_non_socket_files_and_live_daemons() {
+        let dir = std::env::temp_dir().join(format!("lacr_bind_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+
+        // A regular file at the path is never deleted.
+        let file = dir.join("not-a-socket");
+        std::fs::write(&file, b"precious data").expect("write file");
+        let err = bind_unix_socket(&file).expect_err("must refuse a regular file");
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        assert_eq!(
+            std::fs::read(&file).expect("file survives"),
+            b"precious data"
+        );
+
+        // A live listener at the path is refused (probe connects).
+        let live = dir.join("live.sock");
+        let keep = std::os::unix::net::UnixListener::bind(&live).expect("bind live socket");
+        let err = bind_unix_socket(&live).expect_err("must refuse a live daemon");
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        drop(keep);
+
+        // A stale socket (file present, nobody listening) is reclaimed.
+        assert!(live.exists(), "socket file survives the dead listener");
+        let reclaimed = bind_unix_socket(&live).expect("stale socket reclaimed");
+        drop(reclaimed);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn stats_command_returns_a_consistent_snapshot() {
         fn num(j: &Json, path: &[&str]) -> f64 {
             let mut cur = j;
@@ -849,6 +1370,16 @@ mod tests {
             let p99 = num(&probe, &["latency", block, "p99"]);
             assert!(p50 <= p95 && p95 <= p99, "{block}: {p50} {p95} {p99}");
         }
+        // The cache and connection blocks carry daemon-wide truth.
+        assert!(num(&probe, &["cache", "entries"]) <= num(&probe, &["cache", "max_entries"]));
+        assert!(num(&probe, &["cache", "hits"]) >= 0.0);
+        assert!(num(&probe, &["cache", "misses"]) >= 0.0);
+        assert_eq!(
+            num(&probe, &["connections", "active"]),
+            1.0,
+            "the stdin front end is one connection"
+        );
+        assert!(num(&probe, &["connections", "accepted_total"]) >= 1.0);
         assert!(num(&probe, &["flight", "capacity"]) >= 16.0);
         // After drain the final stats agree with the wire transcript:
         // everything admitted finished, nothing is still in flight.

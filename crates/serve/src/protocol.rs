@@ -26,26 +26,34 @@
 //! line was unparsable) and `status`:
 //!
 //! * `ok` — `plan` block (periods in ps, flop counts, and `text`, the
-//!   exact lines `lacr plan` would print), `quality` gauges, `queue_ms`
-//!   and `plan_ms`;
+//!   exact lines `lacr plan` would print), `quality` gauges, `cached`
+//!   (`true` when the plan cache answered, with `cache_age_ms`, the
+//!   entry's age), `queue_ms` and `plan_ms`;
 //! * `degraded` — same as `ok` plus a non-empty `degradations` array:
 //!   the plan is usable but absorbed quality losses (the one-shot
-//!   CLI's exit-3 contract, per request);
+//!   CLI's exit-3 contract, per request); degraded plans are never
+//!   cached, so `cached` is always `false` here;
 //! * `error` — `error.kind` ∈ {`bad-request`, `plan`, `panic`} and
 //!   `error.message`; panics also carry `error.flight`, the tagged
 //!   flight-recorder postmortem path;
 //! * `rejected` — load shedding, `reason` ∈ {`overloaded`, `oversized`,
-//!   `shutting-down`}; `overloaded` carries `queued`/`capacity`;
+//!   `shutting-down`, `connection-limit`}; `overloaded` carries
+//!   `queued`/`capacity`; `connection-limit` (socket mode, whole
+//!   connection shed at accept time) carries `active`/`max`;
 //! * `stats` — the answer to `{"cmd":"stats"}` (id echoed when given):
 //!   one live-telemetry snapshot with `uptime_us`, `requests` (counts
 //!   by response status, `completed = ok + degraded + error` by
-//!   construction), `pool` ([`lacr_par::PoolStats`] gauges/counters),
-//!   `latency` (rolling queue-wait and service-time views over the
-//!   pool's one-minute window) and `flight` (postmortem dump count and
-//!   ring capacity). Validated by `check_metrics --stats`. Stats
-//!   responses answer on the accept thread, so they stay live even when
-//!   every worker is busy.
+//!   construction), `pool` ([`lacr_par::PoolStats`] gauges/counters —
+//!   **the** pool: every connection shares it), `latency` (rolling
+//!   queue-wait and service-time views over the pool's one-minute
+//!   window), `cache` (plan-cache occupancy/caps and hit/miss/eviction
+//!   counters), `connections` (active/accepted/shed gauges and the
+//!   configured cap, 0 = unlimited) and `flight` (postmortem dump
+//!   count and ring capacity). Validated by `check_metrics --stats`.
+//!   Stats responses answer on the connection's accept thread, so they
+//!   stay live even when every worker is busy.
 
+use crate::cache::CacheCounts;
 use lacr_bench::json::{parse_json, Json};
 use lacr_core::summary::PlanSummary;
 use lacr_obs::json_escape;
@@ -131,6 +139,21 @@ impl StatusCounts {
     pub fn completed(&self) -> u64 {
         self.ok + self.degraded + self.error
     }
+}
+
+/// Connection gauges for the stats snapshot's `connections` block:
+/// live and lifetime connection counts for the daemon. In stdin mode
+/// the front end itself is the one connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnCounts {
+    /// Connections currently open.
+    pub active: u64,
+    /// Connections accepted since start (including later-closed ones).
+    pub accepted_total: u64,
+    /// Connections shed at accept time by the connection cap.
+    pub shed_total: u64,
+    /// The configured cap (`--max-connections`; 0 = unlimited).
+    pub max: u64,
 }
 
 /// A request-line parse failure: the id, when one could be recovered
@@ -346,13 +369,16 @@ fn quality_block(gauges: &BTreeMap<String, f64>) -> String {
 }
 
 /// An `ok` / `degraded` response line: the plan summary, the request's
-/// `quality.*` gauges, and the queue/plan timings.
+/// `quality.*` gauges, the cache verdict (`cached: true` with the
+/// entry's age when the plan cache answered), and the queue/plan
+/// timings.
 pub fn result_line(
     id: &str,
     summary: &PlanSummary,
     quality: &BTreeMap<String, f64>,
     queue_ms: u64,
     plan_ms: u64,
+    cache_age_ms: Option<u64>,
 ) -> String {
     let status = if summary.is_degraded() {
         "degraded"
@@ -368,6 +394,12 @@ pub fn result_line(
         let notes: Vec<String> = summary.degradations.iter().map(|d| d.to_string()).collect();
         obj = obj.raw("degradations", &str_array(notes));
     }
+    // `cached` is explicit in both directions so transcripts can be
+    // grepped for hit/miss without schema knowledge.
+    obj = match cache_age_ms {
+        Some(age) => obj.raw("cached", "true").u64("cache_age_ms", age),
+        None => obj.raw("cached", "false"),
+    };
     obj.u64("queue_ms", queue_ms)
         .u64("plan_ms", plan_ms)
         .finish()
@@ -410,6 +442,20 @@ pub fn rejected_oversized_line(dropped: usize, max: usize) -> String {
         .finish()
 }
 
+/// A `rejected: connection-limit` response line (socket mode: the
+/// whole connection was shed at accept time by `--max-connections`;
+/// there is no request yet, hence no id). The daemon writes this one
+/// line and closes the stream.
+pub fn rejected_connection_limit_line(active: u64, max: u64) -> String {
+    Obj::new()
+        .opt_str("id", None)
+        .str("status", "rejected")
+        .str("reason", "connection-limit")
+        .u64("active", active)
+        .u64("max", max)
+        .finish()
+}
+
 /// A `rejected: shutting-down` response line (arrived after shutdown
 /// began; in-flight work still drains).
 pub fn rejected_shutdown_line(id: Option<&str>) -> String {
@@ -448,6 +494,8 @@ pub fn stats_line(
     pool: &PoolStats,
     queue_wait: &WindowSnapshot,
     service: &WindowSnapshot,
+    cache: &CacheCounts,
+    conns: &ConnCounts,
     flight_dumps: u64,
     flight_capacity: u64,
 ) -> String {
@@ -473,6 +521,21 @@ pub fn stats_line(
         .raw("queue_wait_us", &latency_block(queue_wait))
         .raw("service_us", &latency_block(service))
         .finish();
+    let cache_block = Obj::new()
+        .u64("entries", cache.entries)
+        .u64("bytes", cache.bytes)
+        .u64("max_entries", cache.max_entries)
+        .u64("max_bytes", cache.max_bytes)
+        .u64("hits", cache.hits)
+        .u64("misses", cache.misses)
+        .u64("evictions", cache.evictions)
+        .finish();
+    let conns_block = Obj::new()
+        .u64("active", conns.active)
+        .u64("accepted_total", conns.accepted_total)
+        .u64("shed_total", conns.shed_total)
+        .u64("max", conns.max)
+        .finish();
     let flight = Obj::new()
         .u64("dumps", flight_dumps)
         .u64("capacity", flight_capacity)
@@ -485,6 +548,8 @@ pub fn stats_line(
         .raw("requests", &requests)
         .raw("pool", &pool_block)
         .raw("latency", &latency)
+        .raw("cache", &cache_block)
+        .raw("connections", &conns_block)
         .raw("flight", &flight)
         .finish()
 }
@@ -627,7 +692,33 @@ mod tests {
             p95: 4096,
             p99: 4096,
         };
-        let line = stats_line(Some("probe"), 123_456, &counts, &pool, &w, &w, 1, 4096);
+        let cache = CacheCounts {
+            entries: 3,
+            bytes: 2048,
+            max_entries: 128,
+            max_bytes: 1 << 20,
+            hits: 5,
+            misses: 4,
+            evictions: 1,
+        };
+        let conns = ConnCounts {
+            active: 2,
+            accepted_total: 6,
+            shed_total: 1,
+            max: 64,
+        };
+        let line = stats_line(
+            Some("probe"),
+            123_456,
+            &counts,
+            &pool,
+            &w,
+            &w,
+            &cache,
+            &conns,
+            1,
+            4096,
+        );
         let json = parse_json(&line).expect("valid JSON");
         assert_eq!(json.get("status").and_then(Json::as_str), Some("stats"));
         assert_eq!(json.get("id").and_then(Json::as_str), Some("probe"));
@@ -651,6 +742,18 @@ mod tests {
             qw.get("p99").and_then(Json::as_num).unwrap(),
         );
         assert!(p50 <= p95 && p95 <= p99);
+        let cache_json = json.get("cache").expect("cache block");
+        assert_eq!(cache_json.get("hits").and_then(Json::as_num), Some(5.0));
+        assert_eq!(
+            cache_json.get("max_entries").and_then(Json::as_num),
+            Some(128.0)
+        );
+        let conns_json = json.get("connections").expect("connections block");
+        assert_eq!(conns_json.get("active").and_then(Json::as_num), Some(2.0));
+        assert_eq!(
+            conns_json.get("shed_total").and_then(Json::as_num),
+            Some(1.0)
+        );
         assert_eq!(
             json.get("flight")
                 .and_then(|f| f.get("capacity"))
@@ -658,7 +761,7 @@ mod tests {
             Some(4096.0)
         );
         // Without an id the echo is null, like other anonymous lines.
-        let line = stats_line(None, 1, &counts, &pool, &w, &w, 0, 4096);
+        let line = stats_line(None, 1, &counts, &pool, &w, &w, &cache, &conns, 0, 4096);
         let json = parse_json(&line).expect("valid JSON");
         assert_eq!(json.get("id"), Some(&Json::Null));
     }
@@ -709,10 +812,16 @@ mod tests {
         };
         let mut quality = BTreeMap::new();
         quality.insert("quality.slack_ps".to_string(), 12.5);
-        let line = result_line("r1", &summary, &quality, 3, 40);
+        let line = result_line("r1", &summary, &quality, 3, 40, None);
         let json = parse_json(&line).expect("valid JSON");
         assert_eq!(json.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(json.get("id").and_then(Json::as_str), Some("r1"));
+        assert_eq!(json.get("cached"), Some(&Json::Bool(false)));
+        // A cache hit flips the flag and carries the entry's age.
+        let warm = parse_json(&result_line("r1b", &summary, &quality, 3, 0, Some(250)))
+            .expect("valid JSON");
+        assert_eq!(warm.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(warm.get("cache_age_ms").and_then(Json::as_num), Some(250.0));
         assert_eq!(
             json.get("quality")
                 .and_then(|q| q.get("quality.slack_ps"))
@@ -757,6 +866,15 @@ mod tests {
             json.get("reason").and_then(Json::as_str),
             Some("shutting-down")
         );
+
+        let json = parse_json(&rejected_connection_limit_line(64, 64)).expect("valid JSON");
+        assert_eq!(json.get("id"), Some(&Json::Null));
+        assert_eq!(
+            json.get("reason").and_then(Json::as_str),
+            Some("connection-limit")
+        );
+        assert_eq!(json.get("active").and_then(Json::as_num), Some(64.0));
+        assert_eq!(json.get("max").and_then(Json::as_num), Some(64.0));
     }
 
     #[test]
@@ -778,7 +896,7 @@ mod tests {
                 "budget expired",
             )],
         };
-        let line = result_line("d1", &summary, &BTreeMap::new(), 0, 1);
+        let line = result_line("d1", &summary, &BTreeMap::new(), 0, 1, None);
         let json = parse_json(&line).expect("valid JSON");
         assert_eq!(json.get("status").and_then(Json::as_str), Some("degraded"));
         let notes = json

@@ -7,7 +7,7 @@
 #   scripts/verify.sh --metrics      # observability smoke: JSONL stream validated
 #   scripts/verify.sh --determinism  # bit-identical plans across thread counts
 #   scripts/verify.sh --regress      # quality-regression gate vs committed baseline
-#   scripts/verify.sh --serve        # daemon smoke: hostile request mix, shed/panic/drain
+#   scripts/verify.sh --serve        # daemon smoke: hostile mix, multi-client socket, cache determinism
 #
 # The workspace has no external dependencies, so --offline always works.
 set -euo pipefail
@@ -140,6 +140,10 @@ if [[ "$SERVE" == 1 ]]; then
     RUSTFLAGS="${RUSTFLAGS:-} -D warnings" \
         cargo test --release --offline --test serve_soak
 
+    echo "==> multi-client socket suite (4 clients, one shared pool, connection cap, bind rules)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" \
+        cargo test --release --offline --test serve_socket
+
     LACR_BIN=target/release/lacr
     CHECK=target/release/check_metrics
     mkdir -p target/serve
@@ -233,6 +237,36 @@ if [[ "$SERVE" == 1 ]]; then
     }
     "$CHECK" --stats target/serve/stats_heartbeat.jsonl
     echo "    $probes probe responses + $(wc -l <target/serve/stats_heartbeat.jsonl) heartbeats, all consistent"
+
+    echo "==> cache determinism: warm hit must be byte-identical to the cold plan"
+    # --workers 1 makes the queue FIFO, so the cold request completes (and
+    # populates the plan cache) before the identical warm request runs.
+    {
+        printf '{"id":"cold","circuit":"s344"}\n'
+        printf '{"id":"warm","circuit":"s344"}\n'
+    } | "$LACR_BIN" serve --workers 1 --queue-cap 16 \
+        --flight-recorder-out target/serve/flight/last-run.jsonl \
+        >target/serve/cache.jsonl
+    "$CHECK" --serve target/serve/cache.jsonl
+    grep -q '"id":"cold".*"cached":false' target/serve/cache.jsonl || {
+        echo "error: cold request did not report cached:false" >&2
+        exit 1
+    }
+    grep -q '"id":"warm".*"cached":true' target/serve/cache.jsonl || {
+        echo "error: identical warm request did not hit the plan cache" >&2
+        exit 1
+    }
+    # The plan block sits between "plan": and ,"quality" on each response
+    # line; a cache hit must replay it byte-for-byte.
+    plan_of() {
+        sed -n "s/.*\"id\":\"$1\".*\"plan\":{\(.*\)},\"quality\".*/\1/p" \
+            target/serve/cache.jsonl
+    }
+    if [[ -z "$(plan_of cold)" || "$(plan_of cold)" != "$(plan_of warm)" ]]; then
+        echo "error: cached plan is not byte-identical to the cold run" >&2
+        exit 1
+    fi
+    echo "    warm hit byte-identical to cold plan"
 
     echo "==> chrome trace export: table-1 subset run, B/E-balanced trace-event JSON"
     LACR_RECORD_DIR=target/serve target/release/table1 --quiet \

@@ -280,8 +280,10 @@ const COMMANDS: &[Command] = &[
         usage: &[
             "serve [--workers N] [--queue-cap N] [--default-budget-ms N]",
             "      [--max-line-bytes N] [--socket <path>] [--stats-interval-ms N]",
+            "      [--cache-entries N] [--cache-bytes N] [--max-connections N]",
             "                            daemon: line-JSON requests on stdin/socket,",
-            "                            one JSON response line per request",
+            "                            one JSON response line per request;",
+            "                            all connections share one pool + plan cache",
         ],
         run: cmd_serve,
     },
@@ -336,6 +338,20 @@ fn cmd_list() -> CliResult {
     Ok(Vec::new())
 }
 
+/// Parses a serve limit flag where `0` is a meaningful setting
+/// (disable the cache / lift the connection cap), unlike the sizing
+/// flags that must stay positive.
+fn next_limit<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<usize, Box<dyn std::error::Error>> {
+    Ok(it
+        .next()
+        .ok_or_else(|| format!("{flag} needs a value (0 disables)"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))?)
+}
+
 /// `lacr serve`: the long-lived planning daemon (see `lacr::serve`).
 /// Per-request outcomes travel in-band as response lines; the process
 /// itself exits 0 on a graceful shutdown (EOF, shutdown command, or
@@ -345,6 +361,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let mut socket: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        // Sizes that must be positive (a zero pool or line bound is
+        // never meaningful)…
         let mut next_usize = |flag: &str| -> Result<usize, Box<dyn std::error::Error>> {
             let v: usize = it
                 .next()
@@ -356,10 +374,17 @@ fn cmd_serve(args: &[String]) -> CliResult {
             }
             Ok(v)
         };
+        // …versus limits where 0 is a valid setting (cache disabled,
+        // unlimited connections).
         match a.as_str() {
             "--workers" => config.workers = next_usize("--workers")?,
             "--queue-cap" => config.queue_capacity = next_usize("--queue-cap")?,
             "--max-line-bytes" => config.max_line_bytes = next_usize("--max-line-bytes")?,
+            "--cache-entries" => config.cache_entries = next_limit(&mut it, "--cache-entries")?,
+            "--cache-bytes" => config.cache_bytes = next_limit(&mut it, "--cache-bytes")?,
+            "--max-connections" => {
+                config.max_connections = next_limit(&mut it, "--max-connections")?;
+            }
             "--default-budget-ms" => {
                 let ms: u64 = it
                     .next()
