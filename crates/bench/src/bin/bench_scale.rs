@@ -105,6 +105,7 @@ fn main() {
     let mut records = Vec::new();
     for spec in &specs {
         let t_gen = Instant::now();
+        let mem_before = lacr_obs::mem::stats();
         let net = match parse_spec(spec, seed) {
             Ok(n) => n,
             Err(e) => {
@@ -150,10 +151,20 @@ fn main() {
         let obs_json = lacr_obs::take_snapshot()
             .map(|r| format!(",\"obs\":{}", r.to_json()))
             .unwrap_or_default();
+        // Per-size-point memory curve: allocator deltas over this spec
+        // (generation through min-area), plus the process peak so far
+        // (monotone — the high-water mark as of this point finishing).
+        let mem_after = lacr_obs::mem::stats();
+        let mem_json = format!(
+            "\"mem\":{{\"peak_bytes\":{},\"net_bytes\":{},\"allocs\":{}}}",
+            mem_after.peak_bytes,
+            mem_after.live_bytes as i64 - mem_before.live_bytes as i64,
+            mem_after.allocs - mem_before.allocs,
+        );
         records.push(format!(
             "{{\"circuit\":\"{}\",\"wall_s\":{wall_s:.3},\"cells\":{},\"edges\":{},\
              \"t_init_ns\":{:.3},\"min_period_s\":{mp_s:.3},\"wd_build_s\":{wd_s:.3},\
-             \"min_area_s\":{ma_s:.3},\"constraints\":{},\"pairs\":{},\
+             \"min_area_s\":{ma_s:.3},\"constraints\":{},\"pairs\":{},{mem_json},\
              \"quality\":{{\"t_clk_ns\":{:.3},\"min_area_flops\":{},\"flops_before\":{}}}\
              {obs_json}}}",
             net.name,

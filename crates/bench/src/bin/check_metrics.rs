@@ -23,6 +23,13 @@
 //!    searches use arrival-time FEAS probes, which emit only
 //!    `retime.feas_probes`; both sides are then zero.)
 //!
+//! `--mem` mode re-reads the same JSONL stream and enforces the memory
+//! observability contract instead: every `span_close` carries all four
+//! `mem.*` keys (`mem.self_bytes`, `mem.live_bytes`, `mem.peak_bytes`,
+//! `mem.allocs`), the allocator's peak is never below its live gauge at
+//! any sample, per-span alloc counts are non-negative, and `mem.allocs`
+//! counter totals are monotone non-decreasing across the stream.
+//!
 //! Other artifact kinds have their own modes:
 //!
 //! - `--run <RUN_x.json>`: provenance (`schema_version`, `threads`,
@@ -227,6 +234,101 @@ fn check_stream(text: &str) -> Result<(usize, usize, usize), String> {
         ));
     }
     Ok((records, spans, par_regions))
+}
+
+/// Span-close keys the memory observability contract requires on every
+/// record once the counting allocator is wired in (schema version 2).
+const MEM_SPAN_KEYS: &[&str] = &[
+    "mem.self_bytes",
+    "mem.live_bytes",
+    "mem.peak_bytes",
+    "mem.allocs",
+];
+
+/// Validates the memory contract over a JSONL metrics stream: every
+/// `span_close` carries all `mem.*` keys, `mem.peak_bytes >=
+/// mem.live_bytes` at every sample (the allocator loads live before
+/// peak, so a violation means the record was fabricated or the
+/// counters are broken), per-span `mem.allocs` is non-negative, and
+/// `mem.allocs` counter totals never decrease. Returns (span closes
+/// checked, counter samples checked).
+fn check_mem_stream(text: &str) -> Result<(usize, usize), String> {
+    let mut closes = 0usize;
+    let mut counter_samples = 0usize;
+    let mut last_alloc_total = f64::NEG_INFINITY;
+    let mut saw_summary = false;
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {ln}: {e}"))?;
+        let t = v
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {ln}: missing \"t\" tag"))?;
+        match t {
+            "span_close" => {
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {ln}: span_close without name"))?;
+                for &key in MEM_SPAN_KEYS {
+                    v.get(key)
+                        .and_then(Json::as_num)
+                        .ok_or(format!("line {ln}: span_close {name:?} missing {key}"))?;
+                }
+                let live = v.get("mem.live_bytes").and_then(Json::as_num).unwrap();
+                let peak = v.get("mem.peak_bytes").and_then(Json::as_num).unwrap();
+                if peak < live {
+                    return Err(format!(
+                        "line {ln}: span_close {name:?} has mem.peak_bytes {peak} \
+                         below mem.live_bytes {live}"
+                    ));
+                }
+                let allocs = v.get("mem.allocs").and_then(Json::as_num).unwrap();
+                if allocs < 0.0 {
+                    return Err(format!(
+                        "line {ln}: span_close {name:?} has negative mem.allocs {allocs}"
+                    ));
+                }
+                closes += 1;
+            }
+            "counter" if v.get("name").and_then(Json::as_str) == Some("mem.allocs") => {
+                let delta = v
+                    .get("delta")
+                    .and_then(Json::as_num)
+                    .ok_or(format!("line {ln}: mem.allocs counter without delta"))?;
+                if delta < 0.0 {
+                    return Err(format!("line {ln}: mem.allocs delta {delta} is negative"));
+                }
+                let total = v
+                    .get("total")
+                    .and_then(Json::as_num)
+                    .ok_or(format!("line {ln}: mem.allocs counter without total"))?;
+                if total < last_alloc_total {
+                    return Err(format!(
+                        "line {ln}: mem.allocs total went backwards \
+                         ({last_alloc_total} -> {total})"
+                    ));
+                }
+                last_alloc_total = total;
+                counter_samples += 1;
+            }
+            "summary" => {
+                check_schema_version(&v).map_err(|e| format!("line {ln}: summary {e}"))?;
+                saw_summary = true;
+            }
+            _ => {}
+        }
+    }
+    if !saw_summary {
+        return Err("no summary record (stream truncated?)".to_string());
+    }
+    if closes == 0 {
+        return Err("no span_close records to check the memory contract on".to_string());
+    }
+    Ok((closes, counter_samples))
 }
 
 /// Requires a supported `schema_version` on `v`.
@@ -470,7 +572,7 @@ fn check_stats_lines(text: &str) -> Result<usize, String> {
         if v.get("status").and_then(Json::as_str) != Some("stats") {
             return Err(format!("line {ln}: not a stats snapshot (status != stats)"));
         }
-        check_schema_version(&v).map_err(|e| format!("line {ln}: {e}"))?;
+        let version = check_schema_version(&v).map_err(|e| format!("line {ln}: {e}"))?;
         let num = |path: &[&str]| stats_num(&v, path).map_err(|e| format!("line {ln}: {e}"));
         // Request accounting: the status counts partition completed
         // requests, and nothing finishes that was never received.
@@ -535,6 +637,29 @@ fn check_stats_lines(text: &str) -> Result<usize, String> {
                 "line {ln}: cache bytes {cache_bytes} > max_bytes {cache_max_bytes}"
             ));
         }
+        // Schema 2 snapshots carry the allocator block and the cache's
+        // audited byte count; schema-1 archives predate both.
+        if version >= 2 {
+            let live = num(&["mem", "live_bytes"])?;
+            let peak = num(&["mem", "peak_bytes"])?;
+            if peak < live {
+                return Err(format!(
+                    "line {ln}: mem.peak_bytes {peak} below mem.live_bytes {live}"
+                ));
+            }
+            for path in [
+                ["mem", "allocs"],
+                ["mem", "deallocs"],
+                ["mem", "peak_rss_bytes"],
+                ["mem", "cache_bytes_actual"],
+                ["cache", "bytes_actual"],
+            ] {
+                let n = num(&path)?;
+                if n < 0.0 {
+                    return Err(format!("line {ln}: {} is negative ({n})", path.join(".")));
+                }
+            }
+        }
         // Rolling latency: both windows carry ordered percentiles.
         num(&["latency", "window_us"])?;
         for block in ["queue_wait_us", "service_us"] {
@@ -557,6 +682,24 @@ fn check_stats_lines(text: &str) -> Result<usize, String> {
                         "line {ln}: {} went backwards ({before} -> {after})",
                         path.join(".")
                     ));
+                }
+            }
+            // Allocator lifetime counters are monotone too, but only
+            // when both snapshots are schema-2 (a v1 -> v2 boundary in
+            // an archive has nothing to compare).
+            for path in [
+                &["mem", "allocs"][..],
+                &["mem", "deallocs"],
+                &["mem", "peak_bytes"],
+                &["mem", "peak_rss_bytes"],
+            ] {
+                if let (Ok(before), Ok(after)) = (stats_num(p, path), stats_num(&v, path)) {
+                    if after < before {
+                        return Err(format!(
+                            "line {ln}: {} went backwards ({before} -> {after})",
+                            path.join(".")
+                        ));
+                    }
                 }
             }
         }
@@ -702,14 +845,15 @@ fn main() -> ExitCode {
         [mode, path]
             if matches!(
                 mode.as_str(),
-                "--run" | "--bench" | "--flight" | "--serve" | "--stats" | "--chrome"
+                "--run" | "--bench" | "--flight" | "--serve" | "--stats" | "--chrome" | "--mem"
             ) =>
         {
             (mode.as_str(), path.as_str())
         }
         _ => {
             eprintln!(
-                "usage: check_metrics [--run|--bench|--flight|--serve|--stats|--chrome] <file>"
+                "usage: check_metrics \
+                 [--run|--bench|--flight|--serve|--stats|--chrome|--mem] <file>"
             );
             return ExitCode::from(2);
         }
@@ -740,6 +884,12 @@ fn main() -> ExitCode {
             .map(|snapshots| format!("stats snapshots: {snapshots} consistent snapshot(s)")),
         "--chrome" => check_chrome_trace(&text).map(|(events, lanes)| {
             format!("chrome trace: {events} event(s), {lanes} lane(s), B/E balanced")
+        }),
+        "--mem" => check_mem_stream(&text).map(|(closes, counters)| {
+            format!(
+                "memory contract: {closes} span close(s) with mem.* keys, \
+                 peak >= live throughout, {counters} monotone mem.allocs sample(s)"
+            )
         }),
         _ => check_stream(&text).map(|(records, spans, par_regions)| {
             format!(
@@ -852,6 +1002,56 @@ mod tests {
 {\"t\":\"summary\",\"schema_version\":1}
 ";
         assert!(check_stream(host_free).is_ok());
+    }
+
+    #[test]
+    fn enforces_the_memory_contract() {
+        // Well-formed: every close carries the mem keys, peak >= live,
+        // and mem.allocs totals climb.
+        let good = "\
+{\"t\":\"span_open\",\"us\":1,\"name\":\"a\",\"depth\":0,\"attrs\":{}}
+{\"t\":\"span_open\",\"us\":2,\"name\":\"b\",\"depth\":1,\"attrs\":{}}
+{\"t\":\"span_close\",\"us\":3,\"name\":\"b\",\"depth\":1,\"incl_us\":1,\"excl_us\":1,\"mem.self_bytes\":128,\"mem.live_bytes\":4096,\"mem.peak_bytes\":8192,\"mem.allocs\":3}
+{\"t\":\"counter\",\"us\":4,\"name\":\"mem.allocs\",\"delta\":3,\"total\":3}
+{\"t\":\"span_close\",\"us\":5,\"name\":\"a\",\"depth\":0,\"incl_us\":4,\"excl_us\":3,\"mem.self_bytes\":-64,\"mem.live_bytes\":4000,\"mem.peak_bytes\":8192,\"mem.allocs\":5}
+{\"t\":\"counter\",\"us\":6,\"name\":\"mem.allocs\",\"delta\":5,\"total\":8}
+{\"t\":\"summary\",\"schema_version\":2}
+";
+        assert_eq!(check_mem_stream(good).unwrap(), (2, 2));
+
+        // A close missing any mem key fails by name.
+        let keyless = "\
+{\"t\":\"span_close\",\"us\":1,\"name\":\"a\",\"depth\":0,\"incl_us\":1,\"excl_us\":1,\"mem.self_bytes\":0,\"mem.live_bytes\":0,\"mem.allocs\":0}
+{\"t\":\"summary\",\"schema_version\":2}
+";
+        let err = check_mem_stream(keyless).unwrap_err();
+        assert!(err.contains("missing mem.peak_bytes"), "{err}");
+
+        // The allocator loads live before peak: peak < live at any
+        // sample means the record was fabricated.
+        let inverted = good.replace(
+            "\"mem.peak_bytes\":8192,\"mem.allocs\":5",
+            "\"mem.peak_bytes\":100,\"mem.allocs\":5",
+        );
+        let err = check_mem_stream(&inverted).unwrap_err();
+        assert!(err.contains("below mem.live_bytes"), "{err}");
+
+        // mem.allocs counter totals never run backwards.
+        let rewound = good.replace("\"delta\":5,\"total\":8", "\"delta\":5,\"total\":1");
+        let err = check_mem_stream(&rewound).unwrap_err();
+        assert!(err.contains("went backwards"), "{err}");
+
+        // Negative per-span alloc counts are impossible.
+        let negative = good.replace("\"mem.allocs\":3}", "\"mem.allocs\":-3}");
+        let err = check_mem_stream(&negative).unwrap_err();
+        assert!(err.contains("negative mem.allocs"), "{err}");
+
+        // A stream with no closes proves nothing — reject it.
+        let empty = "{\"t\":\"summary\",\"schema_version\":2}\n";
+        assert!(check_mem_stream(empty)
+            .unwrap_err()
+            .contains("no span_close"));
+        assert!(check_mem_stream("").unwrap_err().contains("no summary"));
     }
 
     #[test]
@@ -981,6 +1181,58 @@ mod tests {
              \"flight\":{{\"dumps\":0,\"capacity\":4096}}}}\n",
             1000 + received * 100
         )
+    }
+
+    /// Upgrades a v1 snapshot line to schema 2: the allocator block and
+    /// the cache's audited byte count become mandatory there.
+    fn upgrade_snapshot(line: &str) -> String {
+        line.replace("\"schema_version\":1", "\"schema_version\":2")
+            .replace("\"evictions\":0}", "\"evictions\":0,\"bytes_actual\":512}")
+            .replace(
+                "\"flight\":",
+                "\"mem\":{\"live_bytes\":1048576,\"peak_bytes\":4194304,\
+                 \"allocs\":1000,\"deallocs\":900,\"peak_rss_bytes\":8388608,\
+                 \"cache_bytes_actual\":512},\"flight\":",
+            )
+    }
+
+    #[test]
+    fn schema_2_snapshots_must_carry_the_mem_block() {
+        let good = format!(
+            "{}{}",
+            upgrade_snapshot(&stats_snapshot(2, 1, 0, 0, 0)),
+            upgrade_snapshot(&stats_snapshot(5, 3, 1, 0, 1))
+                .replace("\"allocs\":1000", "\"allocs\":2000")
+        );
+        assert_eq!(check_stats_lines(&good).unwrap(), 2);
+
+        // A v2 snapshot without the allocator block is incomplete.
+        let block_less =
+            stats_snapshot(2, 1, 0, 0, 0).replace("\"schema_version\":1", "\"schema_version\":2");
+        let err = check_stats_lines(&block_less).unwrap_err();
+        assert!(err.contains("missing mem"), "{err}");
+
+        // The snapshot loads live before peak: peak < live is broken.
+        let inverted = upgrade_snapshot(&stats_snapshot(2, 1, 0, 0, 0))
+            .replace("\"peak_bytes\":4194304", "\"peak_bytes\":1");
+        let err = check_stats_lines(&inverted).unwrap_err();
+        assert!(err.contains("below mem.live_bytes"), "{err}");
+
+        // Allocator lifetime counters are monotone across snapshots.
+        let rewound = format!(
+            "{}{}",
+            upgrade_snapshot(&stats_snapshot(2, 1, 0, 0, 0)),
+            upgrade_snapshot(&stats_snapshot(5, 3, 1, 0, 1))
+                .replace("\"allocs\":1000", "\"allocs\":10")
+        );
+        let err = check_stats_lines(&rewound).unwrap_err();
+        assert!(err.contains("mem.allocs went backwards"), "{err}");
+
+        // v1 archives predate the block and are exempt.
+        assert_eq!(
+            check_stats_lines(&stats_snapshot(2, 1, 0, 0, 0)).unwrap(),
+            1
+        );
     }
 
     #[test]

@@ -46,23 +46,34 @@ fn main() {
     let mut run_records = Vec::new();
     for name in &config.circuits {
         let started = Instant::now();
+        let mem_before = lacr_obs::mem::stats();
         match run_circuit(name, &config.planner) {
             Ok(row) => {
                 // Per-circuit perf record: reading the aggregates here and
                 // resetting them scopes each entry to one circuit's run.
                 let report = lacr_obs::take_snapshot();
                 let wall_s = started.elapsed().as_secs_f64();
+                // Per-circuit memory: the allocator's deltas over this
+                // circuit's run, plus the process peak so far (monotone —
+                // the high-water mark as of this circuit finishing).
+                let mem_after = lacr_obs::mem::stats();
+                let mem_json = format!(
+                    "\"mem\":{{\"peak_bytes\":{},\"net_bytes\":{},\"allocs\":{}}}",
+                    mem_after.peak_bytes,
+                    mem_after.live_bytes as i64 - mem_before.live_bytes as i64,
+                    mem_after.allocs - mem_before.allocs,
+                );
                 let obs_json = report
                     .as_ref()
                     .map(|r| format!(",\"obs\":{}", r.to_json()))
                     .unwrap_or_default();
                 circuit_records.push(format!(
                     "{{\"circuit\":\"{name}\",\"wall_s\":{wall_s:.3},\"t_clk_ns\":{:.2},\
-                     \"base_n_foa\":{},\"lac_n_foa\":{},\"n_wr\":{}{obs_json}}}",
+                     \"base_n_foa\":{},\"lac_n_foa\":{},\"n_wr\":{},{mem_json}{obs_json}}}",
                     row.t_clk_ns, row.min_area.n_foa, row.lac.n_foa, row.n_wr,
                 ));
                 run_records.push(format!(
-                    "{{\"circuit\":\"{name}\",\"wall_s\":{wall_s:.3},\"quality\":{}}}",
+                    "{{\"circuit\":\"{name}\",\"wall_s\":{wall_s:.3},{mem_json},\"quality\":{}}}",
                     quality_json(&row, report.as_ref()),
                 ));
                 rows.push(row);

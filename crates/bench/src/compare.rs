@@ -13,6 +13,13 @@
 //!   tolerance (±15 % by default) before it counts as a regression,
 //!   because wall-clock is machine-noisy. CI disables it entirely
 //!   (`check_wall = false`) and relies on Criterion for perf tracking.
+//! - **soft memory gate**: peak heap bytes — the artifact-level
+//!   `mem.peak_bytes` from the counting allocator, and any per-circuit
+//!   `peak_bytes` — may grow up to the configured tolerance (±15 % by
+//!   default, `--no-mem` / `--mem-tolerance` on the CLI). Allocation is
+//!   deterministic but allocator-version sensitive, so the gate is soft
+//!   like wall-clock, not hard like quality. Artifacts predating the
+//!   memory schema (v1) carry no `mem` block and are simply not gated.
 //!
 //! Coverage direction is explicit. By default every baseline circuit
 //! must be present in the current artifact — a circuit that silently
@@ -74,6 +81,9 @@ pub struct RunArtifact {
     pub threads: Option<u64>,
     /// Commit the run was built from, when present.
     pub git_rev: Option<String>,
+    /// Process peak heap bytes from the artifact's `mem` block (absent
+    /// in schema-v1 artifacts, which predate memory observability).
+    pub mem_peak_bytes: Option<f64>,
     /// Per-circuit metrics.
     pub circuits: Vec<CircuitMetrics>,
 }
@@ -111,6 +121,10 @@ pub fn parse_artifact(text: &str) -> Result<RunArtifact, String> {
         .to_string();
     let threads = v.get("threads").and_then(Json::as_num).map(|n| n as u64);
     let git_rev = v.get("git_rev").and_then(Json::as_str).map(str::to_string);
+    let mem_peak_bytes = v
+        .get("mem")
+        .and_then(|m| m.get("peak_bytes"))
+        .and_then(Json::as_num);
     let circuits = v
         .get("circuits")
         .and_then(Json::as_arr)
@@ -140,6 +154,9 @@ pub fn parse_artifact(text: &str) -> Result<RunArtifact, String> {
             if let Some(q) = c.get("quality") {
                 absorb(q);
             }
+            if let Some(m) = c.get("mem") {
+                absorb(m); // flattens per-circuit peak_bytes for gating
+            }
             Ok(CircuitMetrics { name, metrics })
         })
         .collect::<Result<Vec<_>, String>>()?;
@@ -148,6 +165,7 @@ pub fn parse_artifact(text: &str) -> Result<RunArtifact, String> {
         schema_version: version,
         threads,
         git_rev,
+        mem_peak_bytes,
         circuits,
     })
 }
@@ -159,6 +177,10 @@ pub struct CompareConfig {
     pub wall_tolerance_pct: f64,
     /// Whether wall-clock is checked at all (CI turns this off).
     pub check_wall: bool,
+    /// Allowed relative peak-heap growth, percent.
+    pub mem_tolerance_pct: f64,
+    /// Whether peak heap bytes are checked at all.
+    pub check_mem: bool,
     /// Whether the current artifact is a declared subset run: baseline
     /// circuits absent from it are skipped instead of failing as
     /// dropped. Off by default — coverage loss must be opted into.
@@ -170,6 +192,8 @@ impl Default for CompareConfig {
         Self {
             wall_tolerance_pct: 15.0,
             check_wall: true,
+            mem_tolerance_pct: 15.0,
+            check_mem: true,
             allow_subset: false,
         }
     }
@@ -319,6 +343,18 @@ impl Comparison {
     }
 }
 
+/// The soft-gate verdict: growth beyond `tolerance_pct` regresses, any
+/// shrink is an improvement, drift inside the band is Ok.
+fn soft_status(b: f64, c: f64, tolerance_pct: f64) -> Status {
+    if c > b * (1.0 + tolerance_pct / 100.0) {
+        Status::Regressed
+    } else if c < b {
+        Status::Improved
+    } else {
+        Status::Ok
+    }
+}
+
 /// Diffs `current` against `base` under `config`.
 pub fn compare(base: &RunArtifact, current: &RunArtifact, config: &CompareConfig) -> Comparison {
     let mut findings = Vec::new();
@@ -365,22 +401,41 @@ pub fn compare(base: &RunArtifact, current: &RunArtifact, config: &CompareConfig
         }
         if config.check_wall {
             if let (Some(b), Some(c)) = (bc.get("wall_s"), cc.get("wall_s")) {
-                let limit = b * (1.0 + config.wall_tolerance_pct / 100.0);
-                let status = if c > limit {
-                    Status::Regressed
-                } else if c < b {
-                    Status::Improved
-                } else {
-                    Status::Ok
-                };
                 findings.push(Finding {
                     circuit: bc.name.clone(),
                     metric: "wall_s".into(),
                     base: Some(b),
                     current: Some(c),
-                    status,
+                    status: soft_status(b, c, config.wall_tolerance_pct),
                 });
             }
+        }
+        // Per-circuit peak footprint, where the artifact carries it
+        // (schema ≥ 2): soft like wall-clock, since allocation volume is
+        // allocator-version sensitive even when planning is bit-stable.
+        if config.check_mem {
+            if let (Some(b), Some(c)) = (bc.get("peak_bytes"), cc.get("peak_bytes")) {
+                findings.push(Finding {
+                    circuit: bc.name.clone(),
+                    metric: "peak_bytes".into(),
+                    base: Some(b),
+                    current: Some(c),
+                    status: soft_status(b, c, config.mem_tolerance_pct),
+                });
+            }
+        }
+    }
+    // Artifact-level process peak: the whole run's high-water mark, from
+    // the record's `mem` block. Baselines without one are not gated.
+    if config.check_mem {
+        if let (Some(b), Some(c)) = (base.mem_peak_bytes, current.mem_peak_bytes) {
+            findings.push(Finding {
+                circuit: "(process)".into(),
+                metric: "mem.peak_bytes".into(),
+                base: Some(b),
+                current: Some(c),
+                status: soft_status(b, c, config.mem_tolerance_pct),
+            });
         }
     }
     Comparison {
@@ -392,10 +447,11 @@ pub fn compare(base: &RunArtifact, current: &RunArtifact, config: &CompareConfig
 
 /// The shared CLI driver behind the `bench_compare` binary and
 /// `lacr compare`: parses `<base> <current> [--no-wall]
-/// [--wall-tolerance <pct>] [--subset] [--json <out>]`, prints the
-/// human table, and returns whether the gate passed. `--subset`
-/// declares the current artifact a deliberate subset run, so baseline
-/// circuits it omits are skipped instead of failing as dropped.
+/// [--wall-tolerance <pct>] [--no-mem] [--mem-tolerance <pct>]
+/// [--subset] [--json <out>]`, prints the human table, and returns
+/// whether the gate passed. `--subset` declares the current artifact a
+/// deliberate subset run, so baseline circuits it omits are skipped
+/// instead of failing as dropped.
 ///
 /// # Errors
 ///
@@ -408,6 +464,7 @@ pub fn cli_main(args: &[String]) -> Result<bool, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--no-wall" => config.check_wall = false,
+            "--no-mem" => config.check_mem = false,
             "--subset" => config.allow_subset = true,
             "--wall-tolerance" => {
                 config.wall_tolerance_pct = it
@@ -415,13 +472,20 @@ pub fn cli_main(args: &[String]) -> Result<bool, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--wall-tolerance needs a numeric percentage")?;
             }
+            "--mem-tolerance" => {
+                config.mem_tolerance_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--mem-tolerance needs a numeric percentage")?;
+            }
             "--json" => json_out = it.next().cloned(),
             other => paths.push(other.to_string()),
         }
     }
     let [base_path, cur_path] = paths.as_slice() else {
         return Err("usage: bench_compare <base.json> <current.json> \
-             [--no-wall] [--wall-tolerance <pct>] [--subset] [--json <out>]"
+             [--no-wall] [--wall-tolerance <pct>] [--no-mem] \
+             [--mem-tolerance <pct>] [--subset] [--json <out>]"
             .to_string());
     };
     let load = |path: &str| -> Result<RunArtifact, String> {
@@ -541,6 +605,79 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.metric == "wall_s" && f.status.fails()));
+    }
+
+    #[test]
+    fn memory_gate_is_soft_and_fails_inflated_peaks() {
+        // Schema-v1 fixtures carry no mem block: nothing to gate.
+        let base = parse_artifact(BASE).unwrap();
+        assert_eq!(base.mem_peak_bytes, None);
+        let cmp = compare(&base, &base, &CompareConfig::default());
+        assert!(!cmp.findings.iter().any(|f| f.metric == "mem.peak_bytes"));
+        // Grow peaks onto clones: within tolerance passes, beyond fails.
+        let mut with_mem = base.clone();
+        with_mem.mem_peak_bytes = Some(100.0e6);
+        with_mem.circuits[0]
+            .metrics
+            .push(("peak_bytes".into(), 10.0e6));
+        let mut ok = with_mem.clone();
+        ok.mem_peak_bytes = Some(110.0e6); // +10% < 15% tolerance
+        ok.circuits[0].metrics.last_mut().unwrap().1 = 11.0e6;
+        let cmp = compare(&with_mem, &ok, &CompareConfig::default());
+        assert!(cmp.pass(), "{}", cmp.table());
+        // The negative control: an inflated peak must FAIL the gate.
+        let mut bad = with_mem.clone();
+        bad.mem_peak_bytes = Some(200.0e6); // +100% ≫ 15% tolerance
+        let cmp = compare(&with_mem, &bad, &CompareConfig::default());
+        assert!(!cmp.pass(), "inflated process peak must fail");
+        assert!(cmp.findings.iter().any(|f| {
+            f.circuit == "(process)"
+                && f.metric == "mem.peak_bytes"
+                && f.status == Status::Regressed
+        }));
+        // Per-circuit inflation fails the same way.
+        let mut bad_circuit = with_mem.clone();
+        bad_circuit.circuits[0].metrics.last_mut().unwrap().1 = 20.0e6;
+        let cmp = compare(&with_mem, &bad_circuit, &CompareConfig::default());
+        assert!(!cmp.pass());
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|f| f.metric == "peak_bytes" && f.status == Status::Regressed));
+        // `--no-mem` semantics: the gate disappears entirely.
+        let cmp = compare(
+            &with_mem,
+            &bad,
+            &CompareConfig {
+                check_mem: false,
+                ..Default::default()
+            },
+        );
+        assert!(cmp.pass());
+        assert!(!cmp.findings.iter().any(|f| f.metric.contains("peak")));
+        // A generous tolerance forgives the doubling, mirroring wall_s.
+        let cmp = compare(
+            &with_mem,
+            &bad,
+            &CompareConfig {
+                mem_tolerance_pct: 150.0,
+                ..Default::default()
+            },
+        );
+        assert!(cmp.pass());
+    }
+
+    #[test]
+    fn mem_blocks_parse_from_artifacts() {
+        let text = r#"{"t":"run","schema_version":2,"bench":"table1",
+            "mem":{"live_bytes":1,"peak_bytes":5000000,"allocs":9,"deallocs":8,"peak_rss_bytes":0},
+            "circuits":[{"circuit":"s344","wall_s":1.0,
+                "mem":{"peak_bytes":2000000,"net_bytes":100,"allocs":50}}]}"#;
+        let a = parse_artifact(text).expect("schema-2 artifact parses");
+        assert_eq!(a.mem_peak_bytes, Some(5_000_000.0));
+        let c = a.circuit("s344").expect("s344 present");
+        assert_eq!(c.get("peak_bytes"), Some(2_000_000.0));
+        assert_eq!(c.get("allocs"), Some(50.0));
     }
 
     #[test]

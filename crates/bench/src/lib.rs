@@ -91,6 +91,9 @@ impl ObsOptions {
     /// `--flight-recorder-out` additionally arms an automatic dump
     /// path.
     pub fn install(&self) {
+        // Allocation counting honors `LACR_MEM=0|off`; applied here (not
+        // inside the allocator, which must never read the environment).
+        lacr_obs::mem::init_tracking_from_env();
         if let Some(n) = self.threads {
             lacr_par::set_threads(n);
         }
@@ -192,6 +195,18 @@ fn write_record(
     if let Some(report) = lacr_obs::snapshot() {
         body.push_str(&format!(",\"obs\":{}", report.to_json()));
     }
+    // Process-level memory provenance: the counting allocator's totals
+    // plus kernel peak RSS, so `bench_compare` can gate peak footprint
+    // the same way it gates wall-clock.
+    let mem = lacr_obs::mem::stats();
+    body.push_str(&format!(
+        ",\"mem\":{{\"live_bytes\":{},\"peak_bytes\":{},\"allocs\":{},\"deallocs\":{},\"peak_rss_bytes\":{}}}",
+        mem.live_bytes,
+        mem.peak_bytes,
+        mem.allocs,
+        mem.deallocs,
+        lacr_obs::mem::peak_rss_bytes().unwrap_or(0)
+    ));
     body.push_str("}\n");
     let mut f = std::fs::File::create(&path)?;
     f.write_all(body.as_bytes())?;

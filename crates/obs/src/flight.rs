@@ -238,14 +238,23 @@ pub fn dump_to(path: &Path, reason: &str) -> std::io::Result<()> {
         }
     }
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    // Memory state at dump time: postmortems from budget-expiry or panic
+    // must show whether the run was memory-bound without a rerun.
+    let mem = crate::mem::stats();
+    let rss = crate::mem::peak_rss_bytes().unwrap_or(0);
     writeln!(
         out,
-        "{{\"t\":\"flight\",\"schema_version\":{},\"reason\":\"{}\",\"events\":{},\"dropped\":{},\"capacity\":{}}}",
+        "{{\"t\":\"flight\",\"schema_version\":{},\"reason\":\"{}\",\"events\":{},\"dropped\":{},\"capacity\":{},\"peak_rss_bytes\":{},\"mem\":{{\"live_bytes\":{},\"peak_bytes\":{},\"allocs\":{},\"deallocs\":{}}}}}",
         crate::SCHEMA_VERSION,
         crate::json_escape(reason),
         events.len(),
         dropped,
-        cap
+        cap,
+        rss,
+        mem.live_bytes,
+        mem.peak_bytes,
+        mem.allocs,
+        mem.deallocs
     )?;
     for (ts, rec) in &events {
         writeln!(out, "{}", rec.to_json(*ts))?;
@@ -436,6 +445,11 @@ mod tests {
         assert!(header.starts_with("{\"t\":\"flight\""), "{header}");
         assert!(header.contains("\"schema_version\":"), "{header}");
         assert!(header.contains("unit \\\"test\\\""), "{header}");
+        // Postmortem memory state: allocator counters + peak RSS.
+        assert!(header.contains("\"peak_rss_bytes\":"), "{header}");
+        assert!(header.contains("\"mem\":{\"live_bytes\":"), "{header}");
+        assert!(header.contains("\"peak_bytes\":"), "{header}");
+        assert!(header.contains("\"allocs\":"), "{header}");
         // Header "events" count matches the body.
         let body: Vec<&str> = lines.collect();
         assert!(header.contains(&format!("\"events\":{}", body.len())));

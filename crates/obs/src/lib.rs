@@ -40,6 +40,7 @@
 
 pub mod flight;
 pub mod hist;
+pub mod mem;
 pub mod report;
 pub mod scope;
 pub mod sink;
@@ -47,16 +48,29 @@ pub mod trace_export;
 pub mod window;
 
 pub use hist::Histogram;
+pub use mem::{MemDelta, MemStats};
 pub use report::{Report, SpanStat};
 pub use sink::{json_escape, CaptureSink, JsonlSink, NullSink, Record, Sink, StderrSink, TeeSink};
 pub use trace_export::{ChromeTrace, ChromeTraceSink};
 pub use window::{SlidingWindow, WindowSnapshot};
 
+/// The counting allocator ([`mem`]) is installed here, in the crate
+/// every workspace binary links, so live/peak/alloc counters and
+/// per-thread attribution deltas are available everywhere without
+/// per-binary ceremony.
+#[global_allocator]
+static GLOBAL_ALLOC: mem::CountingAlloc = mem::CountingAlloc;
+
 /// Version stamped into every machine-readable artifact this workspace
 /// emits — the JSONL summary line, `BENCH_*.json` / `RUN_*.json` perf
 /// records, and flight-recorder postmortems. Consumers (`check_metrics`,
 /// `bench_compare`) reject artifacts without it.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: 1 = original span/quality schema; 2 = memory observability
+/// (span records carry `mem.*` fields, reports/artifacts carry `mem`
+/// blocks). Consumers accept artifacts at or below their own version,
+/// so version-1 baselines stay comparable.
+pub const SCHEMA_VERSION: u32 = 2;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -371,11 +385,41 @@ pub fn flight_on() -> bool {
 // Spans
 // ---------------------------------------------------------------------
 
+/// One open span's bookkeeping frame: child-inclusive accumulators for
+/// time and memory, so the closing span can compute its exclusive
+/// (self) share as `inclusive - children` — identical semantics for
+/// nanoseconds and bytes.
+#[derive(Default)]
+struct SpanFrame {
+    /// Inclusive nanoseconds of direct children.
+    child_ns: u64,
+    /// This thread's allocator counters when the span opened.
+    start_mem: Option<mem::ThreadMark>,
+    /// Allocation done on other threads, credited to this span by
+    /// `lacr_par::Region` fan-outs ([`mem::credit_foreign`]).
+    foreign_mem: MemDelta,
+    /// Inclusive memory deltas of direct children (own + foreign).
+    child_mem: MemDelta,
+}
+
 thread_local! {
     /// Per-thread stack of open spans: each frame accumulates the
-    /// inclusive time of its direct children, so a closing span can
-    /// compute its exclusive time as `inclusive - children`.
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// inclusive time and memory of its direct children, so a closing
+    /// span can compute its exclusive share as `inclusive - children`.
+    static SPAN_STACK: RefCell<Vec<SpanFrame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Adds worker-thread allocation to the innermost open span on this
+/// thread (no-op outside any span). Called via [`mem::credit_foreign`]
+/// by parallel regions after joining their workers, while the region's
+/// own span is still open — the credit then propagates to enclosing
+/// stage spans through the normal inclusive/exclusive bookkeeping.
+pub(crate) fn credit_span_foreign(delta: &MemDelta) {
+    SPAN_STACK.with(|s| {
+        if let Some(frame) = s.borrow_mut().last_mut() {
+            frame.foreign_mem.add(delta);
+        }
+    });
 }
 
 /// An RAII span guard: created by [`span!`], records inclusive and
@@ -404,7 +448,10 @@ impl Span {
         }
         let depth = SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
-            s.push(0);
+            s.push(SpanFrame {
+                start_mem: Some(mem::thread_mark()),
+                ..SpanFrame::default()
+            });
             s.len() - 1
         });
         {
@@ -436,21 +483,50 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let incl_ns = start.elapsed().as_nanos() as u64;
-        let (child_ns, depth) = SPAN_STACK.with(|s| {
+        let (child_ns, self_mem, self_bytes, depth) = SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
-            let child = s.pop().unwrap_or(0);
+            let frame = s.pop().unwrap_or_default();
+            // Inclusive memory: this thread's delta over the span
+            // window plus worker-thread credit from parallel regions;
+            // exclusive (self) memory subtracts direct children, the
+            // same arithmetic as exclusive time.
+            let mut incl_mem = frame
+                .start_mem
+                .as_ref()
+                .map(mem::ThreadMark::delta)
+                .unwrap_or_default();
+            incl_mem.add(&frame.foreign_mem);
+            let self_mem = incl_mem.saturating_sub(&frame.child_mem);
+            let self_bytes = incl_mem.net_bytes() - frame.child_mem.net_bytes();
             if let Some(parent) = s.last_mut() {
-                *parent += incl_ns;
+                parent.child_ns += incl_ns;
+                parent.child_mem.add(&incl_mem);
+                parent.foreign_mem.add(&frame.foreign_mem);
             }
-            (child, s.len())
+            (frame.child_ns, self_mem, self_bytes, s.len())
         });
         let excl_ns = incl_ns.saturating_sub(child_ns);
-        scope::record_span(self.name, incl_ns, excl_ns);
+        // Live is loaded before peak so `peak >= live` holds within
+        // this record (the peak counter only grows).
+        let live = mem::live_bytes();
+        let peak = mem::peak_bytes().max(live);
+        scope::record_span(
+            self.name,
+            incl_ns,
+            excl_ns,
+            self_bytes,
+            self_mem.allocs,
+            peak,
+        );
         let rec = Record::SpanClose {
             name: self.name.to_string(),
             depth,
             incl_us: incl_ns / 1_000,
             excl_us: excl_ns / 1_000,
+            mem_self_bytes: self_bytes,
+            mem_live_bytes: live,
+            mem_peak_bytes: peak,
+            mem_allocs: self_mem.allocs,
         };
         let recorded_globally = {
             let mut guard = lock();
@@ -459,6 +535,9 @@ impl Drop for Span {
                 stat.count += 1;
                 stat.incl_ns += incl_ns;
                 stat.excl_ns += excl_ns;
+                stat.self_bytes += self_bytes;
+                stat.allocs += self_mem.allocs;
+                stat.peak_bytes = stat.peak_bytes.max(peak);
                 let ts = c.ts_us();
                 c.sink.record(ts, &rec);
                 true
@@ -468,6 +547,13 @@ impl Drop for Span {
         };
         if recorded_globally || scope::active() {
             flight::push(&rec);
+        }
+        // A monotone, serialized allocation counter alongside the span
+        // stream (`check_metrics --mem` verifies its totals never step
+        // backwards). Emitted after the frame pop so its own small
+        // allocations charge the parent span.
+        if self_mem.allocs > 0 {
+            add_counter("mem.allocs", self_mem.allocs as i64);
         }
     }
 }

@@ -8,10 +8,11 @@
 //! records.
 
 use crate::hist::Histogram;
+use crate::mem::MemStats;
 use crate::sink::json_escape;
 use std::collections::BTreeMap;
 
-/// Aggregate timing of one span name.
+/// Aggregate timing and memory of one span name.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpanStat {
     /// Times the span closed.
@@ -20,6 +21,15 @@ pub struct SpanStat {
     pub incl_ns: u64,
     /// Total exclusive (inclusive minus children) nanoseconds.
     pub excl_ns: u64,
+    /// Net bytes allocated exclusively in this span (inclusive minus
+    /// children, worker-thread credit included); negative when the span
+    /// frees more than it allocates.
+    pub self_bytes: i64,
+    /// Highest process-wide peak-live-bytes observed at any close of
+    /// this span.
+    pub peak_bytes: u64,
+    /// Allocation events exclusively in this span.
+    pub allocs: u64,
 }
 
 /// A snapshot of every aggregate the collector holds.
@@ -33,6 +43,9 @@ pub struct Report {
     pub gauges: BTreeMap<String, f64>,
     /// Histograms by name.
     pub hists: BTreeMap<String, Histogram>,
+    /// Process-wide allocator counters at snapshot time (not reset by
+    /// `take_snapshot` — live/peak/alloc counts are process totals).
+    pub mem: MemStats,
 }
 
 impl Report {
@@ -47,6 +60,7 @@ impl Report {
             counters: counters.clone(),
             gauges: gauges.clone(),
             hists: hists.clone(),
+            mem: crate::mem::stats(),
         }
     }
 
@@ -77,10 +91,19 @@ impl Report {
         self.spans.values().map(|s| s.excl_ns).sum()
     }
 
+    /// Sum of exclusive (self) bytes over all spans — the net
+    /// instrumented allocation. Same no-double-count property as
+    /// [`total_excl_ns`](Self::total_excl_ns).
+    pub fn total_self_bytes(&self) -> i64 {
+        self.spans.values().map(|s| s.self_bytes).sum()
+    }
+
     /// Renders the `--report` self-time table: one row per span name,
     /// ranked by exclusive time, with the share of the instrumented
-    /// total. Exclusive times sum to ≈ the top-level spans' inclusive
-    /// wall-clock.
+    /// total, the span's exclusive (self) net bytes, and its exclusive
+    /// allocation count. Exclusive times sum to ≈ the top-level spans'
+    /// inclusive wall-clock; self bytes sum to the net instrumented
+    /// allocation.
     pub fn self_time_table(&self) -> String {
         let mut rows: Vec<(&String, &SpanStat)> = self.spans.iter().collect();
         rows.sort_by(|a, b| b.1.excl_ns.cmp(&a.1.excl_ns).then(a.0.cmp(b.0)));
@@ -93,25 +116,36 @@ impl Report {
             .unwrap_or(4);
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<name_w$}  {:>7}  {:>12}  {:>12}  {:>6}\n",
-            "span", "count", "incl ms", "excl ms", "excl%"
+            "{:<name_w$}  {:>7}  {:>12}  {:>12}  {:>10}  {:>9}  {:>6}\n",
+            "span", "count", "incl ms", "excl ms", "self mem", "allocs", "excl%"
         ));
         for (name, s) in &rows {
             out.push_str(&format!(
-                "{:<name_w$}  {:>7}  {:>12.3}  {:>12.3}  {:>5.1}%\n",
+                "{:<name_w$}  {:>7}  {:>12.3}  {:>12.3}  {:>10}  {:>9}  {:>5.1}%\n",
                 name,
                 s.count,
                 s.incl_ns as f64 / 1e6,
                 s.excl_ns as f64 / 1e6,
+                fmt_bytes_signed(s.self_bytes),
+                s.allocs,
                 100.0 * s.excl_ns as f64 / total as f64
             ));
         }
         out.push_str(&format!(
-            "{:<name_w$}  {:>7}  {:>12}  {:>12.3}  100.0%",
+            "{:<name_w$}  {:>7}  {:>12}  {:>12.3}  {:>10}  {:>9}  100.0%",
             "total",
             "",
             "",
-            total as f64 / 1e6
+            total as f64 / 1e6,
+            fmt_bytes_signed(self.total_self_bytes()),
+            self.spans.values().map(|s| s.allocs).sum::<u64>()
+        ));
+        out.push_str(&format!(
+            "\nmem: live {} peak {} ({} allocs, {} frees)",
+            fmt_bytes_signed(self.mem.live_bytes as i64),
+            fmt_bytes_signed(self.mem.peak_bytes as i64),
+            self.mem.allocs,
+            self.mem.deallocs
         ));
         if !self.hists.is_empty() {
             out.push_str("\n\n");
@@ -151,6 +185,22 @@ impl Report {
         out
     }
 
+    /// The process-wide memory block as one JSON object: allocator
+    /// counters from this snapshot plus the kernel's peak RSS (read at
+    /// render time; 0 where `/proc` is unavailable). Shared by the
+    /// summary line, `--report-json`, and the `RUN_*`/`BENCH_*`
+    /// artifact writers.
+    pub fn mem_json(&self) -> String {
+        format!(
+            "{{\"live_bytes\":{},\"peak_bytes\":{},\"allocs\":{},\"deallocs\":{},\"peak_rss_bytes\":{}}}",
+            self.mem.live_bytes,
+            self.mem.peak_bytes,
+            self.mem.allocs,
+            self.mem.deallocs,
+            crate::mem::peak_rss_bytes().unwrap_or(0)
+        )
+    }
+
     /// The report's fields as a JSON fragment (no surrounding braces),
     /// ready to splice into a summary line or perf record.
     pub fn json_fields(&self) -> String {
@@ -159,11 +209,15 @@ impl Report {
             .iter()
             .map(|(n, s)| {
                 format!(
-                    "\"{}\":{{\"count\":{},\"incl_us\":{},\"excl_us\":{}}}",
+                    "\"{}\":{{\"count\":{},\"incl_us\":{},\"excl_us\":{},\
+                     \"self_bytes\":{},\"peak_bytes\":{},\"allocs\":{}}}",
                     json_escape(n),
                     s.count,
                     s.incl_ns / 1_000,
-                    s.excl_ns / 1_000
+                    s.excl_ns / 1_000,
+                    s.self_bytes,
+                    s.peak_bytes,
+                    s.allocs
                 )
             })
             .collect::<Vec<_>>()
@@ -191,7 +245,8 @@ impl Report {
             .join(",");
         format!(
             "\"spans\":{{{spans}}},\"counters\":{{{counters}}},\
-             \"gauges\":{{{gauges}}},\"hists\":{{{hists}}}"
+             \"gauges\":{{{gauges}}},\"hists\":{{{hists}}},\"mem\":{}",
+            self.mem_json()
         )
     }
 
@@ -213,12 +268,16 @@ impl Report {
             .iter()
             .map(|(n, s)| {
                 format!(
-                    "{{\"name\":\"{}\",\"count\":{},\"incl_us\":{},\"excl_us\":{},\"excl_pct\":{}}}",
+                    "{{\"name\":\"{}\",\"count\":{},\"incl_us\":{},\"excl_us\":{},\"excl_pct\":{},\
+                     \"self_bytes\":{},\"peak_bytes\":{},\"allocs\":{}}}",
                     json_escape(n),
                     s.count,
                     s.incl_ns / 1_000,
                     s.excl_ns / 1_000,
-                    crate::Value::Float(100.0 * s.excl_ns as f64 / total as f64).to_json()
+                    crate::Value::Float(100.0 * s.excl_ns as f64 / total as f64).to_json(),
+                    s.self_bytes,
+                    s.peak_bytes,
+                    s.allocs
                 )
             })
             .collect::<Vec<_>>()
@@ -242,10 +301,30 @@ impl Report {
             .join(",");
         format!(
             "{{\"t\":\"report\",\"schema_version\":{},\"total_excl_us\":{},\
+             \"total_self_bytes\":{},\"mem\":{},\
              \"spans\":[{spans}],\"hists\":{{{hists}}}}}",
             crate::SCHEMA_VERSION,
-            self.total_excl_ns() / 1_000
+            self.total_excl_ns() / 1_000,
+            self.total_self_bytes(),
+            self.mem_json()
         )
+    }
+}
+
+/// Human-readable bytes with a sign: `-1.5M`, `482`, `3.2G`. Used by
+/// the self-time table's memory column, where per-stage values span
+/// bytes to gigabytes.
+pub fn fmt_bytes_signed(v: i64) -> String {
+    let sign = if v < 0 { "-" } else { "" };
+    let a = v.unsigned_abs() as f64;
+    if a < 1024.0 {
+        format!("{sign}{}", v.unsigned_abs())
+    } else if a < 1024.0 * 1024.0 {
+        format!("{sign}{:.1}K", a / 1024.0)
+    } else if a < 1024.0 * 1024.0 * 1024.0 {
+        format!("{sign}{:.1}M", a / (1024.0 * 1024.0))
+    } else {
+        format!("{sign}{:.1}G", a / (1024.0 * 1024.0 * 1024.0))
     }
 }
 
@@ -261,6 +340,9 @@ mod tests {
                 count: 1,
                 incl_ns: 3_000_000,
                 excl_ns: 2_000_000,
+                self_bytes: 2048,
+                peak_bytes: 1 << 20,
+                allocs: 12,
             },
         );
         spans.insert(
@@ -269,6 +351,9 @@ mod tests {
                 count: 4,
                 incl_ns: 9_000_000,
                 excl_ns: 9_000_000,
+                self_bytes: -512,
+                peak_bytes: 1 << 21,
+                allocs: 40,
             },
         );
         let mut counters = BTreeMap::new();
@@ -358,5 +443,37 @@ mod tests {
         assert_eq!(r.gauge("lac.alpha"), Some(0.5));
         assert_eq!(r.span("plan.route").unwrap().count, 1);
         assert_eq!(r.hist("net_len").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn memory_columns_and_blocks_are_rendered() {
+        let r = sample();
+        assert_eq!(r.total_self_bytes(), 2048 - 512);
+        let table = r.self_time_table();
+        assert!(table.contains("self mem"), "{table}");
+        assert!(table.contains("allocs"), "{table}");
+        assert!(table.contains("-512"), "lac frees net 512 B: {table}");
+        assert!(table.contains("2.0K"), "route allocates 2 KiB: {table}");
+        assert!(table.contains("\nmem: live "), "{table}");
+        let json = r.to_json();
+        assert!(json.contains("\"self_bytes\":2048"), "{json}");
+        assert!(json.contains("\"self_bytes\":-512"), "{json}");
+        assert!(json.contains("\"allocs\":40"), "{json}");
+        assert!(json.contains("\"mem\":{\"live_bytes\":"), "{json}");
+        assert!(json.contains("\"peak_rss_bytes\":"), "{json}");
+        let ranked = r.ranked_json();
+        assert!(ranked.contains("\"total_self_bytes\":1536"), "{ranked}");
+        assert!(ranked.contains("\"mem\":{\"live_bytes\":"), "{ranked}");
+        assert!(ranked.contains("\"self_bytes\":-512"), "{ranked}");
+    }
+
+    #[test]
+    fn byte_formatting_covers_all_magnitudes() {
+        assert_eq!(fmt_bytes_signed(0), "0");
+        assert_eq!(fmt_bytes_signed(482), "482");
+        assert_eq!(fmt_bytes_signed(-482), "-482");
+        assert_eq!(fmt_bytes_signed(2048), "2.0K");
+        assert_eq!(fmt_bytes_signed(-(3 << 20) / 2), "-1.5M");
+        assert_eq!(fmt_bytes_signed(5 << 30), "5.0G");
     }
 }

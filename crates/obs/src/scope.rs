@@ -29,6 +29,7 @@
 //! deliberately `!Send`: attach/detach must happen on one thread.
 
 use crate::hist::Histogram;
+use crate::mem::{self, MemDelta};
 use crate::report::{Report, SpanStat};
 use crate::Value;
 use std::cell::{Cell, RefCell};
@@ -44,6 +45,13 @@ struct Agg {
     hists: BTreeMap<String, Histogram>,
     /// Structured events, kept verbatim (they are rare by contract).
     events: Vec<(String, Vec<(String, Value)>)>,
+    /// Allocation activity attributed to this scope: the sum, over
+    /// every thread the scope was attached on, of that thread's
+    /// allocator delta while attached — minus windows where a nested
+    /// scope was attached on the same thread (self-bytes semantics,
+    /// mirroring span self-time). Worker threads of a parallel region
+    /// attach the caller's scope, so their allocation lands here too.
+    mem: MemDelta,
 }
 
 struct Inner {
@@ -66,12 +74,22 @@ impl std::fmt::Debug for Scope {
     }
 }
 
+/// Memory bookkeeping for one scope attachment on one thread: the
+/// thread's allocator counters at attach, plus the inclusive deltas of
+/// nested attachments (excluded from this attachment's own share).
+struct MemFrame {
+    start: mem::ThreadMark,
+    child: MemDelta,
+}
+
 thread_local! {
     /// Innermost-wins stack of scopes attached to this thread.
     static STACK: RefCell<Vec<Scope>> = const { RefCell::new(Vec::new()) };
     /// Fast-path mirror of `!STACK.is_empty()`, read by the recording
     /// macros without borrowing the stack.
     static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    /// Parallel stack of per-attachment memory frames.
+    static MEM_STACK: RefCell<Vec<MemFrame>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Whether a scope is attached to the current thread. One thread-local
@@ -100,11 +118,28 @@ pub struct ScopeGuard {
 
 impl Drop for ScopeGuard {
     fn drop(&mut self) {
-        STACK.with(|s| {
+        let scope = STACK.with(|s| {
             let mut s = s.borrow_mut();
-            s.pop();
+            let scope = s.pop();
             ACTIVE.with(|a| a.set(!s.is_empty()));
+            scope
         });
+        // Attribute this thread's allocation over the attachment window
+        // to the scope, excluding nested attachments' windows; the
+        // inclusive delta rolls up into the enclosing frame, mirroring
+        // span self-time arithmetic.
+        let self_mem = MEM_STACK.with(|m| {
+            let mut m = m.borrow_mut();
+            let frame = m.pop()?;
+            let incl = frame.start.delta();
+            if let Some(parent) = m.last_mut() {
+                parent.child.add(&incl);
+            }
+            Some(incl.saturating_sub(&frame.child))
+        });
+        if let (Some(scope), Some(self_mem)) = (scope, self_mem) {
+            scope.lock().mem.add(&self_mem);
+        }
     }
 }
 
@@ -129,9 +164,24 @@ impl Scope {
     pub fn attach(&self) -> ScopeGuard {
         STACK.with(|s| s.borrow_mut().push(self.clone()));
         ACTIVE.with(|a| a.set(true));
+        MEM_STACK.with(|m| {
+            m.borrow_mut().push(MemFrame {
+                start: mem::thread_mark(),
+                child: MemDelta::default(),
+            });
+        });
         ScopeGuard {
             _not_send: PhantomData,
         }
+    }
+
+    /// Allocation activity attributed to this scope so far: summed over
+    /// all finished attachments on all threads, with nested scopes'
+    /// windows excluded (self-bytes semantics, mirroring span
+    /// self-time). The serve daemon reads this after a request detaches
+    /// to report the request's `mem_bytes`.
+    pub fn mem(&self) -> MemDelta {
+        self.lock().mem
     }
 
     /// Snapshot of everything recorded while attached.
@@ -153,13 +203,23 @@ impl Scope {
 }
 
 /// Folds a span close into the current thread's scope, if any.
-pub(crate) fn record_span(name: &str, incl_ns: u64, excl_ns: u64) {
+pub(crate) fn record_span(
+    name: &str,
+    incl_ns: u64,
+    excl_ns: u64,
+    self_bytes: i64,
+    allocs: u64,
+    peak_bytes: u64,
+) {
     let Some(scope) = current() else { return };
     let mut agg = scope.lock();
     let stat = agg.spans.entry(name.to_string()).or_default();
     stat.count += 1;
     stat.incl_ns += incl_ns;
     stat.excl_ns += excl_ns;
+    stat.self_bytes += self_bytes;
+    stat.allocs += allocs;
+    stat.peak_bytes = stat.peak_bytes.max(peak_bytes);
 }
 
 /// Adds to a counter in the current thread's scope, if any.
@@ -276,6 +336,50 @@ mod tests {
             }
         });
         assert_eq!(scope.report().counter("scope.mt"), Some(400));
+    }
+
+    #[test]
+    fn nested_scope_bytes_are_excluded_from_the_outer_scope() {
+        let outer = Scope::new("mem-outer");
+        let inner = Scope::new("mem-inner");
+        {
+            let _go = outer.attach();
+            let _outer_buf: Vec<u8> = Vec::with_capacity(1 << 12);
+            {
+                let _gi = inner.attach();
+                let _inner_buf: Vec<u8> = Vec::with_capacity(1 << 16);
+            }
+        }
+        let im = inner.mem();
+        let om = outer.mem();
+        assert!(im.alloc_bytes >= 1 << 16, "inner saw its 64 KiB: {im:?}");
+        assert!(im.allocs >= 1, "{im:?}");
+        // The inner attachment's window is excluded from the outer
+        // scope's self-bytes — same arithmetic as span self-time. The
+        // outer keeps only its own 4 KiB plus small stack bookkeeping.
+        assert!(om.alloc_bytes >= 1 << 12, "outer saw its 4 KiB: {om:?}");
+        assert!(
+            om.alloc_bytes < 1 << 16,
+            "outer must exclude the inner scope's bytes: {om:?}"
+        );
+    }
+
+    #[test]
+    fn scope_mem_sums_attachments_across_threads() {
+        let scope = Scope::new("mem-mt");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let scope = scope.clone();
+                s.spawn(move || {
+                    let _g = scope.attach();
+                    let _buf: Vec<u8> = Vec::with_capacity(1 << 14);
+                });
+            }
+        });
+        let m = scope.mem();
+        // Four threads, 16 KiB each: all four attachments contribute.
+        assert!(m.alloc_bytes >= 4 << 14, "{m:?}");
+        assert!(m.allocs >= 4, "{m:?}");
     }
 
     #[test]

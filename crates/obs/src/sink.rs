@@ -34,6 +34,15 @@ pub enum Record {
         incl_us: u64,
         /// Exclusive (inclusive minus children) microseconds.
         excl_us: u64,
+        /// Net bytes retained by this span exclusive of children
+        /// (negative when the span frees more than it allocates).
+        mem_self_bytes: i64,
+        /// Process-wide live heap bytes at close.
+        mem_live_bytes: u64,
+        /// Process-wide peak live heap bytes at close (≥ live).
+        mem_peak_bytes: u64,
+        /// Allocation count attributed to this span (exclusive).
+        mem_allocs: u64,
     },
     /// A counter was incremented.
     Counter {
@@ -91,8 +100,12 @@ impl Record {
                 depth,
                 incl_us,
                 excl_us,
+                mem_self_bytes,
+                mem_live_bytes,
+                mem_peak_bytes,
+                mem_allocs,
             } => format!(
-                "{{\"t\":\"span_close\",\"us\":{ts_us},\"name\":\"{}\",\"depth\":{depth},\"incl_us\":{incl_us},\"excl_us\":{excl_us}}}",
+                "{{\"t\":\"span_close\",\"us\":{ts_us},\"name\":\"{}\",\"depth\":{depth},\"incl_us\":{incl_us},\"excl_us\":{excl_us},\"mem.self_bytes\":{mem_self_bytes},\"mem.live_bytes\":{mem_live_bytes},\"mem.peak_bytes\":{mem_peak_bytes},\"mem.allocs\":{mem_allocs}}}",
                 json_escape(name)
             ),
             Record::Counter { name, delta, total } => format!(
@@ -182,12 +195,15 @@ impl Sink for StderrSink {
                 depth,
                 incl_us,
                 excl_us,
+                mem_self_bytes,
+                ..
             } => {
                 let pad = "  ".repeat(*depth);
                 eprintln!(
-                    "[lacr] {ms:9.3}ms {pad}< {name} {:.3}ms (excl {:.3}ms)",
+                    "[lacr] {ms:9.3}ms {pad}< {name} {:.3}ms (excl {:.3}ms, mem {})",
                     *incl_us as f64 / 1000.0,
-                    *excl_us as f64 / 1000.0
+                    *excl_us as f64 / 1000.0,
+                    crate::report::fmt_bytes_signed(*mem_self_bytes)
                 );
             }
             Record::Counter { name, delta, total } => {
@@ -360,11 +376,16 @@ mod tests {
             depth: 0,
             incl_us: 120,
             excl_us: 20,
+            mem_self_bytes: -64,
+            mem_live_bytes: 4096,
+            mem_peak_bytes: 8192,
+            mem_allocs: 3,
         };
         assert_eq!(
             close.to_json(120),
             "{\"t\":\"span_close\",\"us\":120,\"name\":\"plan\",\"depth\":0,\
-             \"incl_us\":120,\"excl_us\":20}"
+             \"incl_us\":120,\"excl_us\":20,\"mem.self_bytes\":-64,\
+             \"mem.live_bytes\":4096,\"mem.peak_bytes\":8192,\"mem.allocs\":3}"
         );
     }
 

@@ -99,24 +99,44 @@ impl ChromeTrace {
                     if args.is_empty() { None } else { Some(&args) },
                 ));
             }
-            Record::SpanClose { name, depth, .. } => match self.lane_for_close(name, *depth) {
-                Some(lane) => {
-                    self.lanes[lane].pop();
-                    self.events
-                        .push(event_json(name, 'E', ts_us, lane as u64 + 1, None));
+            Record::SpanClose {
+                name,
+                depth,
+                mem_live_bytes,
+                ..
+            } => {
+                match self.lane_for_close(name, *depth) {
+                    Some(lane) => {
+                        self.lanes[lane].pop();
+                        self.events
+                            .push(event_json(name, 'E', ts_us, lane as u64 + 1, None));
+                    }
+                    // A close with no matching open (stream truncated by a
+                    // ring, say): keep the artifact balanced, mark the spot.
+                    None => {
+                        self.events.push(event_json(
+                            name,
+                            'i',
+                            ts_us,
+                            METRICS_TID,
+                            Some("\"unmatched_close\":true"),
+                        ));
+                    }
                 }
-                // A close with no matching open (stream truncated by a
-                // ring, say): keep the artifact balanced, mark the spot.
-                None => {
+                // Span closes double as heap samples: a `ph:"C"` track of
+                // live bytes draws the memory profile above the flames.
+                // Zero means the allocator counters were off — no track.
+                if *mem_live_bytes > 0 {
+                    let args = format!("\"value\":{mem_live_bytes}");
                     self.events.push(event_json(
-                        name,
-                        'i',
+                        "mem.live_bytes",
+                        'C',
                         ts_us,
                         METRICS_TID,
-                        Some("\"unmatched_close\":true"),
+                        Some(&args),
                     ));
                 }
-            },
+            }
             Record::Counter { name, total, .. } => {
                 let args = format!("\"value\":{total}");
                 self.events
@@ -277,6 +297,10 @@ mod tests {
             depth,
             incl_us: 1,
             excl_us: 1,
+            mem_self_bytes: 0,
+            mem_live_bytes: 0,
+            mem_peak_bytes: 0,
+            mem_allocs: 0,
         }
     }
 
@@ -383,6 +407,36 @@ mod tests {
         assert!(doc.contains("\"ph\":\"i\""));
         assert!(doc.contains("\"stage\":\"lac\""));
         assert!(!doc.contains("noisy"), "hist samples are not exported");
+    }
+
+    #[test]
+    fn span_closes_synthesize_a_live_bytes_counter_track() {
+        let mut t = ChromeTrace::new();
+        t.push(0, &open("plan", 0));
+        t.push(
+            10,
+            &Record::SpanClose {
+                name: "plan".into(),
+                depth: 0,
+                incl_us: 10,
+                excl_us: 10,
+                mem_self_bytes: 2048,
+                mem_live_bytes: 1 << 20,
+                mem_peak_bytes: 1 << 21,
+                mem_allocs: 5,
+            },
+        );
+        let doc = t.finish();
+        assert!(
+            doc.contains("\"name\":\"mem.live_bytes\",\"ph\":\"C\""),
+            "{doc}"
+        );
+        assert!(doc.contains(&format!("\"args\":{{\"value\":{}}}", 1u64 << 20)));
+        // Zero-valued samples (counters off) must not create a track.
+        let mut t2 = ChromeTrace::new();
+        t2.push(0, &open("plan", 0));
+        t2.push(5, &close("plan", 0));
+        assert!(!t2.finish().contains("mem.live_bytes"));
     }
 
     #[test]

@@ -174,6 +174,10 @@ impl<'a> Region<'a> {
                 .map(|_| {
                     scope.spawn(|| {
                         let _scope_guard = obs_scope.as_ref().map(|s| s.attach());
+                        // Snapshot the worker's allocation counters so the
+                        // fan-out's memory can be credited to the caller's
+                        // open `par.region` span after the join.
+                        let mem_mark = lacr_obs::mem::thread_mark();
                         let mut state = init();
                         let mut local: Vec<(usize, R)> = Vec::new();
                         let mut claims = 0_u64;
@@ -192,17 +196,20 @@ impl<'a> Region<'a> {
                                 local.push((i, f(&mut state, i, item)));
                             }
                         }
-                        (local, claims)
+                        let mem = mem_mark.delta();
+                        (local, claims, mem)
                     })
                 })
                 .collect();
             let mut all: Vec<(usize, R)> = Vec::with_capacity(n);
             let mut steals = 0_u64;
+            let mut mem = lacr_obs::MemDelta::default();
             let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
             for h in handles {
                 match h.join() {
-                    Ok((local, claims)) => {
+                    Ok((local, claims, worker_mem)) => {
                         steals += claims.saturating_sub(1);
+                        mem.add(&worker_mem);
                         all.extend(local);
                     }
                     Err(e) => panic = Some(e),
@@ -214,6 +221,10 @@ impl<'a> Region<'a> {
                 std::panic::resume_unwind(e);
             }
             lacr_obs::counter!("par.steal", steals);
+            // Credit the workers' allocations to the still-open
+            // `par.region` span — without this, fan-out memory would
+            // vanish from the caller thread's attribution entirely.
+            lacr_obs::mem::credit_foreign(&mem);
             all
         });
         indexed.sort_unstable_by_key(|&(i, _)| i);
@@ -363,6 +374,47 @@ mod tests {
         assert_eq!(scope.report().counter("par.scope.items"), Some(64));
         assert_eq!(scope.report().counter("par.tasks"), Some(64));
         assert!(scope.report().span("par.region").is_some());
+    }
+
+    #[test]
+    fn fan_out_memory_is_credited_to_the_region_span() {
+        // Satellite: Σ per-task allocation deltas must show up in the
+        // global allocator counters and in the `par.region` span's memory
+        // attribution. Strict equality is impossible here — other cargo
+        // test threads allocate concurrently — so the assertions are
+        // one-sided: the global delta and the span's attributed allocs
+        // must both be at least the work we forced.
+        const ITEMS: usize = 64;
+        const BYTES_PER_ITEM: usize = 1 << 14; // 16 KiB
+        let scope = lacr_obs::scope::Scope::new("par-mem-test");
+        let before = lacr_obs::mem::stats();
+        let items: Vec<u64> = (0..ITEMS as u64).collect();
+        let got = with_threads(4, || {
+            let _g = scope.attach();
+            Region::new("test.mem").map_indexed(&items, |_, &x| {
+                let buf = vec![x as u8; BYTES_PER_ITEM];
+                buf.iter().map(|&b| b as u64).sum::<u64>()
+            })
+        });
+        assert_eq!(got.len(), ITEMS);
+        let after = lacr_obs::mem::stats();
+        // Global counters saw every per-task allocation (≥: concurrent
+        // test threads only add to the delta, never subtract).
+        assert!(
+            after.allocs - before.allocs >= ITEMS as u64,
+            "global allocs delta {} < {ITEMS}",
+            after.allocs - before.allocs
+        );
+        // The workers' deltas were credited to the region span while it
+        // was still open, so its attribution carries the fan-out's
+        // allocation count and byte volume.
+        let span = scope.report().span("par.region").expect("region span");
+        assert!(
+            span.allocs >= ITEMS as u64,
+            "span allocs {} < {ITEMS}",
+            span.allocs
+        );
+        assert!(span.peak_bytes >= span.self_bytes.max(0) as u64);
     }
 
     #[test]

@@ -68,8 +68,13 @@ struct Inner {
 pub struct CacheCounts {
     /// Entries resident right now.
     pub entries: u64,
-    /// Approximate resident bytes right now.
+    /// Declared resident bytes right now (the running total the byte
+    /// cap is enforced against).
     pub bytes: u64,
+    /// Resident bytes recomputed from the live entries at snapshot time
+    /// — the audit figure. Always equals `bytes` unless the incremental
+    /// accounting has drifted.
+    pub bytes_actual: u64,
     /// Configured entry cap (0 = cache disabled).
     pub max_entries: u64,
     /// Configured byte cap (0 = cache disabled).
@@ -160,10 +165,13 @@ impl PlanCache {
     /// Inserts (or refreshes) an entry, then evicts least-recently-used
     /// entries until both caps hold. An entry that alone exceeds
     /// `max_bytes` is not stored.
-    pub fn insert(&self, key: String, plan: CachedPlan) {
+    pub fn insert(&self, mut key: String, plan: CachedPlan) {
         if !self.enabled() {
             return;
         }
+        // Shrink so the key's `len` is its allocation — `entry_bytes`
+        // sizes it exactly without carrying capacities around.
+        key.shrink_to_fit();
         let bytes = entry_bytes(&key, &plan);
         if bytes > self.max_bytes {
             return;
@@ -206,13 +214,15 @@ impl PlanCache {
 
     /// The cache's counters and gauges, for `{"cmd":"stats"}`.
     pub fn counts(&self) -> CacheCounts {
-        let (entries, bytes) = {
+        let (entries, bytes, bytes_actual) = {
             let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-            (inner.map.len() as u64, inner.bytes as u64)
+            let actual: usize = inner.map.iter().map(|(k, e)| entry_bytes(k, &e.plan)).sum();
+            (inner.map.len() as u64, inner.bytes as u64, actual as u64)
         };
         CacheCounts {
             entries,
             bytes,
+            bytes_actual,
             max_entries: self.max_entries as u64,
             max_bytes: self.max_bytes as u64,
             hits: self.hits.load(Ordering::Relaxed),
@@ -222,12 +232,51 @@ impl PlanCache {
     }
 }
 
-/// Approximate resident size of one entry: the key, the rendered plan
-/// text, and the quality gauge names (values are a fixed 8 bytes).
+/// Amortised per-element share of a `BTreeMap` node's header and parent
+/// pointers (nodes hold up to 11 elements; the header is ~2 words plus
+/// edge pointers). A small flat constant, stable across allocator and
+/// std versions, so tests can predict entry sizes exactly.
+const MAP_NODE_OVERHEAD: usize = 16;
+
+/// Exact resident size of one entry: every heap block the entry keeps
+/// alive plus its inline slots in the cache's map.
+///
+/// * the key's bytes (`insert` shrinks the key first, so `len` *is* the
+///   allocation) plus its inline `String` header and the `Entry` value
+///   slot in the map node, plus [`MAP_NODE_OVERHEAD`];
+/// * the summary's heap: circuit name and degradation reasons at their
+///   allocated *capacities*, and the degradation vector's buffer;
+/// * the quality map: per gauge, the name's capacity plus the inline
+///   `String` + `f64` element slots and the node-overhead share.
+///
+/// [`PlanCache::counts`] recomputes this over the live map
+/// (`bytes_actual`) so any drift in the incremental `bytes` accounting
+/// is visible in stats rather than silently corrupting the byte cap.
 fn entry_bytes(key: &str, plan: &CachedPlan) -> usize {
-    let text: usize = plan.summary.text_lines().iter().map(String::len).sum();
-    let quality: usize = plan.quality.keys().map(|k| k.len() + 8).sum();
-    key.len() + text + quality + std::mem::size_of::<Entry>()
+    let summary = &plan.summary;
+    let degradations: usize = summary
+        .degradations
+        .iter()
+        .map(|d| d.reason.capacity())
+        .sum::<usize>()
+        + summary.degradations.capacity() * std::mem::size_of::<lacr_core::Degradation>();
+    let quality: usize = plan
+        .quality
+        .keys()
+        .map(|k| {
+            k.capacity()
+                + std::mem::size_of::<String>()
+                + std::mem::size_of::<f64>()
+                + MAP_NODE_OVERHEAD
+        })
+        .sum();
+    key.len()
+        + std::mem::size_of::<String>()
+        + std::mem::size_of::<Entry>()
+        + MAP_NODE_OVERHEAD
+        + summary.circuit.capacity()
+        + degradations
+        + quality
 }
 
 /// FNV-1a, 64-bit: the workspace's zero-dependency content hash. Only
@@ -329,6 +378,51 @@ mod tests {
         let tiny = PlanCache::new(64, 8);
         tiny.insert(PlanCache::key("big", 0, None), plan("big"));
         assert_eq!(tiny.counts().entries, 0);
+    }
+
+    #[test]
+    fn byte_cap_eviction_trips_at_the_predicted_boundary() {
+        // Entries built from same-length inputs size identically, so the
+        // eviction boundary is exactly predictable from `entry_bytes`.
+        let one = entry_bytes(&PlanCache::key("q", 0, None), &plan("q"));
+        let cache = PlanCache::new(64, one * 3);
+        for k in ["a", "b", "c"] {
+            cache.insert(PlanCache::key(k, 0, None), plan(k));
+        }
+        // Exactly at the cap: three entries fit, nothing evicted.
+        let c = cache.counts();
+        assert_eq!((c.entries, c.evictions), (3, 0), "cap {} bytes", one * 3);
+        assert_eq!(c.bytes, (one * 3) as u64, "declared == 3 × predicted");
+        assert_eq!(c.bytes_actual, c.bytes, "audit matches declared");
+        // One more byte of demand trips exactly one eviction.
+        cache.insert(PlanCache::key("d", 0, None), plan("d"));
+        let c = cache.counts();
+        assert_eq!((c.entries, c.evictions), (3, 1));
+        assert_eq!(c.bytes, (one * 3) as u64);
+        assert_eq!(c.bytes_actual, c.bytes);
+    }
+
+    #[test]
+    fn declared_bytes_never_exceed_allocator_truth() {
+        // Audit the accounting against the counting allocator: everything
+        // an entry declares as resident was heap-allocated on this thread
+        // after the mark, so declared bytes must be bounded by the gross
+        // allocation delta (which also covers temporaries and map nodes).
+        let cache = PlanCache::new(64, 1 << 20);
+        let mark = lacr_obs::mem::thread_mark();
+        for k in ["a", "b", "c", "d", "e"] {
+            cache.insert(PlanCache::key(k, 0, None), plan(k));
+        }
+        let delta = mark.delta();
+        let c = cache.counts();
+        assert_eq!(c.entries, 5);
+        assert!(
+            c.bytes <= delta.alloc_bytes,
+            "declared {} > allocated {}",
+            c.bytes,
+            delta.alloc_bytes
+        );
+        assert_eq!(c.bytes_actual, c.bytes);
     }
 
     #[test]

@@ -340,6 +340,8 @@ fn stats_snapshot_line(session: &Session, pool: &Pool, id: Option<&str>) -> Stri
         &pool.service(),
         &session.cache.counts(),
         &session.conn_counts(),
+        &lacr_obs::mem::stats(),
+        lacr_obs::mem::peak_rss_bytes().unwrap_or(0),
         lacr_obs::flight::dump_count(),
         lacr_obs::flight::capacity() as u64,
     )
@@ -479,6 +481,10 @@ fn execute(session: &Session, req: &Request, budget: Budget) -> Result<Planned, 
 fn run_request(session: &Session, out: &ConnOut, req: &Request, budget: Budget, enqueued: Instant) {
     let scope = Scope::new(req.id.as_str());
     let _guard = scope.attach();
+    // The request's allocation volume: this thread's delta over the
+    // planning call, plus whatever worker-thread attachments folded into
+    // the scope while parallel regions ran inside it.
+    let mem_mark = lacr_obs::mem::thread_mark();
     let queue_ms = enqueued.elapsed().as_millis() as u64;
     let started = Instant::now();
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| execute(session, req, budget)));
@@ -490,7 +496,22 @@ fn run_request(session: &Session, out: &ConnOut, req: &Request, budget: Budget, 
             } else {
                 session.count(|c| c.ok += 1);
             }
-            protocol::result_line(&req.id, &summary, &quality, queue_ms, plan_ms, cache_age_ms)
+            let mem_bytes = if cache_age_ms.is_some() {
+                0 // a cache hit ran no planning; its clone is noise
+            } else {
+                let mut mem = mem_mark.delta();
+                mem.add(&scope.mem());
+                mem.alloc_bytes
+            };
+            protocol::result_line(
+                &req.id,
+                &summary,
+                &quality,
+                queue_ms,
+                plan_ms,
+                mem_bytes,
+                cache_age_ms,
+            )
         }
         Ok(Err(RequestError::BadRequest(msg))) => {
             session.count(|c| c.error += 1);
@@ -1118,6 +1139,17 @@ mod tests {
             warm.get("cache_age_ms").and_then(Json::as_num).is_some(),
             "warm hit reports its age: {warm:?}"
         );
+        // Per-request memory attribution: the cold run planned (and
+        // therefore allocated); the warm hit skipped planning entirely.
+        assert!(
+            cold.get("mem_bytes").and_then(Json::as_num).unwrap_or(0.0) > 0.0,
+            "cold run reports its allocation volume: {cold:?}"
+        );
+        assert_eq!(
+            warm.get("mem_bytes").and_then(Json::as_num),
+            Some(0.0),
+            "cache hits plan nothing: {warm:?}"
+        );
         // Correctness: the warm hit is byte-identical to the cold run.
         assert_eq!(
             cold.get("plan").and_then(|p| p.get("text")),
@@ -1348,7 +1380,10 @@ mod tests {
             .find(|j| j.get("status").and_then(Json::as_str) == Some("stats"))
             .expect("stats response present");
         assert_eq!(probe.get("id").and_then(Json::as_str), Some("probe"));
-        assert_eq!(num(&probe, &["schema_version"]), 1.0);
+        assert_eq!(
+            num(&probe, &["schema_version"]),
+            f64::from(lacr_obs::SCHEMA_VERSION)
+        );
         assert!(num(&probe, &["uptime_us"]) >= 0.0);
         // The snapshot races in-flight requests, so assert invariants,
         // not exact counts: status counts sum to completed, completed
@@ -1374,6 +1409,22 @@ mod tests {
         assert!(num(&probe, &["cache", "entries"]) <= num(&probe, &["cache", "max_entries"]));
         assert!(num(&probe, &["cache", "hits"]) >= 0.0);
         assert!(num(&probe, &["cache", "misses"]) >= 0.0);
+        assert_eq!(
+            num(&probe, &["cache", "bytes_actual"]),
+            num(&probe, &["cache", "bytes"]),
+            "declared byte accounting drifted from the audit: {probe:?}"
+        );
+        // The mem block: allocator truth at snapshot time. Two requests
+        // just planned, so the counters cannot be zero, and the peak
+        // bound holds by the allocator's load ordering.
+        let live = num(&probe, &["mem", "live_bytes"]);
+        let peak = num(&probe, &["mem", "peak_bytes"]);
+        assert!(live > 0.0 && peak >= live, "{probe:?}");
+        assert!(num(&probe, &["mem", "allocs"]) > 0.0);
+        assert_eq!(
+            num(&probe, &["mem", "cache_bytes_actual"]),
+            num(&probe, &["cache", "bytes_actual"])
+        );
         assert_eq!(
             num(&probe, &["connections", "active"]),
             1.0,

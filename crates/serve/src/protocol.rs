@@ -370,14 +370,17 @@ fn quality_block(gauges: &BTreeMap<String, f64>) -> String {
 
 /// An `ok` / `degraded` response line: the plan summary, the request's
 /// `quality.*` gauges, the cache verdict (`cached: true` with the
-/// entry's age when the plan cache answered), and the queue/plan
-/// timings.
+/// entry's age when the plan cache answered), the queue/plan timings,
+/// and `mem_bytes` — the request's gross allocation volume from the
+/// worker's scoped allocator delta (0 for cache hits: no planning ran).
+#[allow(clippy::too_many_arguments)]
 pub fn result_line(
     id: &str,
     summary: &PlanSummary,
     quality: &BTreeMap<String, f64>,
     queue_ms: u64,
     plan_ms: u64,
+    mem_bytes: u64,
     cache_age_ms: Option<u64>,
 ) -> String {
     let status = if summary.is_degraded() {
@@ -402,6 +405,7 @@ pub fn result_line(
     };
     obj.u64("queue_ms", queue_ms)
         .u64("plan_ms", plan_ms)
+        .u64("mem_bytes", mem_bytes)
         .finish()
 }
 
@@ -496,6 +500,8 @@ pub fn stats_line(
     service: &WindowSnapshot,
     cache: &CacheCounts,
     conns: &ConnCounts,
+    mem: &lacr_obs::MemStats,
+    peak_rss_bytes: u64,
     flight_dumps: u64,
     flight_capacity: u64,
 ) -> String {
@@ -524,11 +530,23 @@ pub fn stats_line(
     let cache_block = Obj::new()
         .u64("entries", cache.entries)
         .u64("bytes", cache.bytes)
+        .u64("bytes_actual", cache.bytes_actual)
         .u64("max_entries", cache.max_entries)
         .u64("max_bytes", cache.max_bytes)
         .u64("hits", cache.hits)
         .u64("misses", cache.misses)
         .u64("evictions", cache.evictions)
+        .finish();
+    // Process-level memory: the counting allocator's view plus kernel
+    // peak RSS, with the cache audit figure alongside so an operator can
+    // see at a glance how much of the heap the plan cache explains.
+    let mem_block = Obj::new()
+        .u64("live_bytes", mem.live_bytes)
+        .u64("peak_bytes", mem.peak_bytes)
+        .u64("allocs", mem.allocs)
+        .u64("deallocs", mem.deallocs)
+        .u64("peak_rss_bytes", peak_rss_bytes)
+        .u64("cache_bytes_actual", cache.bytes_actual)
         .finish();
     let conns_block = Obj::new()
         .u64("active", conns.active)
@@ -549,6 +567,7 @@ pub fn stats_line(
         .raw("pool", &pool_block)
         .raw("latency", &latency)
         .raw("cache", &cache_block)
+        .raw("mem", &mem_block)
         .raw("connections", &conns_block)
         .raw("flight", &flight)
         .finish()
@@ -695,6 +714,7 @@ mod tests {
         let cache = CacheCounts {
             entries: 3,
             bytes: 2048,
+            bytes_actual: 2048,
             max_entries: 128,
             max_bytes: 1 << 20,
             hits: 5,
@@ -707,6 +727,12 @@ mod tests {
             shed_total: 1,
             max: 64,
         };
+        let mem = lacr_obs::MemStats {
+            live_bytes: 1 << 20,
+            peak_bytes: 1 << 22,
+            allocs: 1000,
+            deallocs: 900,
+        };
         let line = stats_line(
             Some("probe"),
             123_456,
@@ -716,6 +742,8 @@ mod tests {
             &w,
             &cache,
             &conns,
+            &mem,
+            1 << 23,
             1,
             4096,
         );
@@ -748,6 +776,27 @@ mod tests {
             cache_json.get("max_entries").and_then(Json::as_num),
             Some(128.0)
         );
+        assert_eq!(
+            cache_json.get("bytes_actual").and_then(Json::as_num),
+            Some(2048.0)
+        );
+        let mem_json = json.get("mem").expect("mem block");
+        assert_eq!(
+            mem_json.get("live_bytes").and_then(Json::as_num),
+            Some((1u64 << 20) as f64)
+        );
+        assert_eq!(
+            mem_json.get("peak_bytes").and_then(Json::as_num),
+            Some((1u64 << 22) as f64)
+        );
+        assert_eq!(
+            mem_json.get("peak_rss_bytes").and_then(Json::as_num),
+            Some((1u64 << 23) as f64)
+        );
+        assert_eq!(
+            mem_json.get("cache_bytes_actual").and_then(Json::as_num),
+            Some(2048.0)
+        );
         let conns_json = json.get("connections").expect("connections block");
         assert_eq!(conns_json.get("active").and_then(Json::as_num), Some(2.0));
         assert_eq!(
@@ -761,7 +810,9 @@ mod tests {
             Some(4096.0)
         );
         // Without an id the echo is null, like other anonymous lines.
-        let line = stats_line(None, 1, &counts, &pool, &w, &w, &cache, &conns, 0, 4096);
+        let line = stats_line(
+            None, 1, &counts, &pool, &w, &w, &cache, &conns, &mem, 0, 0, 4096,
+        );
         let json = parse_json(&line).expect("valid JSON");
         assert_eq!(json.get("id"), Some(&Json::Null));
     }
@@ -812,16 +863,19 @@ mod tests {
         };
         let mut quality = BTreeMap::new();
         quality.insert("quality.slack_ps".to_string(), 12.5);
-        let line = result_line("r1", &summary, &quality, 3, 40, None);
+        let line = result_line("r1", &summary, &quality, 3, 40, 65536, None);
         let json = parse_json(&line).expect("valid JSON");
         assert_eq!(json.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(json.get("id").and_then(Json::as_str), Some("r1"));
         assert_eq!(json.get("cached"), Some(&Json::Bool(false)));
-        // A cache hit flips the flag and carries the entry's age.
-        let warm = parse_json(&result_line("r1b", &summary, &quality, 3, 0, Some(250)))
+        assert_eq!(json.get("mem_bytes").and_then(Json::as_num), Some(65536.0));
+        // A cache hit flips the flag, carries the entry's age, and
+        // reports zero allocation (no planning ran).
+        let warm = parse_json(&result_line("r1b", &summary, &quality, 3, 0, 0, Some(250)))
             .expect("valid JSON");
         assert_eq!(warm.get("cached"), Some(&Json::Bool(true)));
         assert_eq!(warm.get("cache_age_ms").and_then(Json::as_num), Some(250.0));
+        assert_eq!(warm.get("mem_bytes").and_then(Json::as_num), Some(0.0));
         assert_eq!(
             json.get("quality")
                 .and_then(|q| q.get("quality.slack_ps"))
@@ -896,7 +950,7 @@ mod tests {
                 "budget expired",
             )],
         };
-        let line = result_line("d1", &summary, &BTreeMap::new(), 0, 1, None);
+        let line = result_line("d1", &summary, &BTreeMap::new(), 0, 1, 0, None);
         let json = parse_json(&line).expect("valid JSON");
         assert_eq!(json.get("status").and_then(Json::as_str), Some("degraded"));
         let notes = json

@@ -52,13 +52,36 @@ if [[ "$METRICS" == 1 ]]; then
         echo "error: self-time report missing its total row" >&2
         exit 1
     }
-    grep -q '"t":"report".*"schema_version":1' target/metrics/s344.report.json || {
+    grep -q "self mem" target/metrics/s344.report.txt || {
+        echo "error: self-time report missing its memory columns" >&2
+        exit 1
+    }
+    grep -q '"t":"report".*"schema_version":2' target/metrics/s344.report.json || {
         echo "error: --report-json artifact missing its versioned header" >&2
+        exit 1
+    }
+    grep -q '"mem":{"live_bytes":' target/metrics/s344.report.json || {
+        echo "error: --report-json artifact missing its allocator block" >&2
         exit 1
     }
 
     echo "==> check_metrics (JSONL syntax, span balance, summary record)"
     target/release/check_metrics target/metrics/s344.jsonl
+
+    echo "==> check_metrics --mem (mem.* keys on every span, peak >= live, monotone allocs)"
+    target/release/check_metrics --mem target/metrics/s344.jsonl
+
+    echo "==> disabled-path smoke: LACR_MEM=off still plans, reports zeroed gauges"
+    status=0
+    LACR_MEM=off target/release/lacr run s344 --report >target/metrics/s344.memoff.txt || status=$?
+    if [[ "$status" != 0 && "$status" != 3 ]]; then
+        echo "error: lacr run s344 with LACR_MEM=off exited $status" >&2
+        exit 1
+    fi
+    grep -q "^total" target/metrics/s344.memoff.txt || {
+        echo "error: LACR_MEM=off lost the self-time report" >&2
+        exit 1
+    }
 
     echo "==> metrics OK (artifacts in target/metrics/)"
     exit 0
@@ -117,6 +140,25 @@ if [[ "$REGRESS" == 1 ]]; then
         exit 1
     fi
     echo "    synthetic regression rejected (exit 1), as required"
+
+    echo "==> negative control: an inflated memory peak must fail the soft mem gate"
+    # Appending a digit multiplies every recorded peak by 10 — far past
+    # the 15% tolerance; the gate must reject the inflated run.
+    sed -E 's/"peak_bytes":([0-9]+)/"peak_bytes":\10/g' \
+        target/regress/RUN_table1.json >target/regress/RUN_table1.inflated.json
+    status=0
+    target/release/bench_compare target/regress/RUN_table1.json \
+        target/regress/RUN_table1.inflated.json \
+        --no-wall >target/regress/mem_negative.txt || status=$?
+    if [[ "$status" != 1 ]]; then
+        echo "error: bench_compare accepted a 10x memory-peak inflation (exit $status)" >&2
+        exit 1
+    fi
+    grep -q "peak_bytes" target/regress/mem_negative.txt || {
+        echo "error: memory regression not attributed to peak_bytes" >&2
+        exit 1
+    }
+    echo "    inflated memory peak rejected (exit 1), as required"
 
     echo "==> flight-recorder smoke: budget expiry leaves a postmortem dump"
     status=0
@@ -268,10 +310,28 @@ if [[ "$SERVE" == 1 ]]; then
     fi
     echo "    warm hit byte-identical to cold plan"
 
+    echo "==> per-request memory: cold run allocates, cache hit reports zero"
+    grep -q '"id":"cold".*"mem_bytes":[1-9]' target/serve/cache.jsonl || {
+        echo "error: cold request reported no allocated bytes" >&2
+        exit 1
+    }
+    grep -qE '"id":"warm".*"mem_bytes":0[,}]' target/serve/cache.jsonl || {
+        echo "error: cache hit did not report mem_bytes 0" >&2
+        exit 1
+    }
+
     echo "==> chrome trace export: table-1 subset run, B/E-balanced trace-event JSON"
     LACR_RECORD_DIR=target/serve target/release/table1 --quiet \
-        --trace-chrome target/serve/trace.json s344 >target/serve/table1.txt
+        --trace-chrome target/serve/trace.json \
+        --metrics-out target/serve/table1.jsonl s344 >target/serve/table1.txt
     "$CHECK" --chrome target/serve/trace.json
+    grep -q '"name":"mem.live_bytes","ph":"C"' target/serve/trace.json || {
+        echo "error: chrome trace missing its live-bytes counter track" >&2
+        exit 1
+    }
+
+    echo "==> check_metrics --mem on the table-1 stream (span mem keys, peak >= live)"
+    "$CHECK" --mem target/serve/table1.jsonl
 
     echo "==> serve OK (transcripts in target/serve/)"
     exit 0

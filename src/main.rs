@@ -107,6 +107,9 @@ impl ObsFlags {
     /// out through a [`lacr::obs::sink::TeeSink`]; `--report` /
     /// `--report-json` alone install a null sink (aggregation only).
     fn install(&self) -> Result<(), String> {
+        // Allocation counting honors `LACR_MEM=0|off`; applied here (not
+        // inside the allocator, which must never read the environment).
+        lacr::obs::mem::init_tracking_from_env();
         if let Some(n) = self.threads {
             lacr::par::set_threads(n);
         }

@@ -185,7 +185,10 @@ fn soak_200_requests_against_a_3_worker_daemon() {
             cur.as_num()
                 .unwrap_or_else(|| panic!("{path:?} not numeric: {s:?}"))
         };
-        assert_eq!(num(&["schema_version"]), 1.0);
+        assert_eq!(
+            num(&["schema_version"]),
+            f64::from(lacr::obs::SCHEMA_VERSION)
+        );
         let completed = num(&["requests", "completed"]);
         assert_eq!(
             completed,
